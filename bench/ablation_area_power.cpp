@@ -1,0 +1,60 @@
+// Ablation — area-driven power comparison of controller datapaths (§V's
+// "short interconnections" argument): estimate each controller's dynamic
+// draw from its slice count at its maximum streaming frequency, and the
+// energy to move one 216.5 KB bitstream.
+#include "bench_util.hpp"
+#include "power/breakdown.hpp"
+
+int main() {
+  using namespace uparc;
+  bench::banner("ABLATION", "Area-driven power: controller datapath estimates");
+
+  struct Entry {
+    std::size_t row;
+    double max_mhz;
+    double mbps;  // Table III bandwidth for the energy-per-bitstream column
+  };
+  std::size_t count = 0;
+  const power::ControllerPowerRow* rows = power::controller_power_rows(count);
+
+  const Entry entries[] = {
+      {0, 362.5, 1433.0},  // UPaRC
+      {1, 200.0, 800.0},   // FaRM
+      {2, 120.0, 371.0},   // BRAM_HWICAP
+      {3, 120.0, 358.0},   // FlashCAP
+      {4, 120.0, 235.0},   // MST_ICAP
+  };
+
+  const double bitstream_kb = 216.5;
+  std::printf("  estimated controller-datapath power while streaming (excl. manager):\n\n");
+  std::printf("  %-26s %8s %9s %10s %12s %14s\n", "controller", "slices", "activity",
+              "f [MHz]", "power [mW]", "energy [uJ]*");
+
+  double uparc_uj = 0, worst_uj = 0;
+  for (const auto& e : entries) {
+    if (e.row >= count) continue;
+    const auto& row = rows[e.row];
+    power::BlockEstimate block{row.slices, row.activity, row.memory_mw_per_mhz};
+    const double mw = power::estimate_block_mw(block, Frequency::mhz(e.max_mhz));
+    const double seconds = bitstream_kb * 1024.0 / (e.mbps * 1e6);
+    const double uj = mw * seconds * 1e3;
+    std::printf("  %-26s %8u %9.2f %10.1f %12.1f %14.1f\n", row.name, row.slices,
+                row.activity, e.max_mhz, mw, uj);
+    if (e.row == 0) uparc_uj = uj;
+    worst_uj = std::max(worst_uj, uj);
+  }
+  std::printf("\n  * energy to move one %.1f KB bitstream at the controller's bandwidth\n",
+              bitstream_kb);
+  std::printf(
+      "\n  despite running 1.8-3x faster, UPaRC's 50-slice datapath moves the\n"
+      "  bitstream for %.1fx less energy than the largest DMA-based controller —\n"
+      "  the paper's area argument, quantified.\n",
+      worst_uj / uparc_uj);
+
+  // Consistency: UPaRC datapath estimate at 100 MHz vs the calibrated table.
+  power::BlockEstimate uparc_block{rows[0].slices, rows[0].activity,
+                                   rows[0].memory_mw_per_mhz};
+  bench::row("UPaRC datapath @100 MHz", 152.0,
+             power::estimate_block_mw(uparc_block, Frequency::mhz(100)), "mW");
+  return 0;
+}

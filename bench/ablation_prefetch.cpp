@@ -1,0 +1,55 @@
+// Ablation — bitstream prefetching during idle time (paper §III-A-1) and
+// frequency policies over a task pipeline (paper §VI's global power
+// optimization).
+#include "bench_util.hpp"
+#include "sched/energy_policy.hpp"
+
+int main() {
+  using namespace uparc;
+  bench::banner("ABLATION", "Prefetching and frequency policy over a task pipeline");
+
+  // A two-module streaming pipeline alternating on one region, 2 ms period.
+  sched::TaskSet set;
+  auto fft = set.add_task({"fft_256", 128 * 1024, TimePs::from_us(800)});
+  auto fir = set.add_task({"fir_64", 64 * 1024, TimePs::from_us(500)});
+  TimePs t{};
+  for (int i = 0; i < 16; ++i) {
+    sched::Activation a;
+    a.task_index = (i % 2 == 0) ? fft : fir;
+    a.ready_time = t;
+    a.deadline = t + TimePs::from_us(900);
+    set.add_activation(a);
+    t += TimePs::from_ms(2);
+  }
+  if (!set.validate().ok()) return 1;
+
+  sched::OfflineScheduler scheduler;
+  auto cmp = sched::compare_policies(set, scheduler);
+
+  std::printf("  16 activations, 2 ms period, 900 us reconfiguration deadline\n\n");
+  std::printf("  %-18s %10s %12s %12s %8s\n", "policy", "misses", "energy[uJ]", "peak[mW]",
+              "makespan");
+  const char* names[] = {"max-performance", "min-power-deadline", "min-energy"};
+  for (std::size_t i = 0; i < cmp.outcomes.size(); ++i) {
+    const auto& o = cmp.outcomes[i];
+    std::printf("  %-18s %10u %12.1f %12.1f %7.1fms\n", names[i], o.deadline_misses,
+                o.reconfig_energy_uj, o.peak_power_mw, o.makespan.ms());
+  }
+  std::printf("\n  peak-power reduction of the power-aware policy: %.1f%%\n",
+              cmp.power_reduction_vs_max_percent());
+
+  // Prefetch analysis on the max-performance schedule.
+  const auto& plan = cmp.outcomes[0].schedule;
+  auto report = sched::analyze_prefetch(set, plan);
+  std::printf("\n  prefetch (preload during idle, §III-A-1):\n");
+  std::printf("    total preload time:        %8.2f ms\n", report.total_preload.ms());
+  std::printf("    serialized w/o prefetch:   %8.2f ms\n", report.serial_penalty.ms());
+  std::printf("    exposed with prefetch:     %8.2f ms\n", report.total_exposed.ms());
+  std::printf("    hidden fraction:           %8.1f%%\n", report.hidden_fraction() * 100.0);
+
+  const bool ok =
+      cmp.power_reduction_vs_max_percent() > 10.0 && report.hidden_fraction() > 0.5;
+  std::printf("\n  prefetch hides most preload latency and the power-aware policy cuts\n");
+  std::printf("  peak power at zero deadline misses: %s\n", ok ? "CONFIRMED" : "OFF");
+  return ok ? 0 : 1;
+}

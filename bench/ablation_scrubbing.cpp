@@ -1,0 +1,67 @@
+// Ablation — configuration scrubbing strategies under upsets (the paper's
+// §I fault-tolerance motivation, built out as a subsystem).
+//
+// Compares blind scrubbing vs readback-driven scrubbing at several scrub
+// periods, under a fixed SEU environment, reporting repair bandwidth cost
+// and residual corruption exposure.
+#include "bench_util.hpp"
+#include "core/system.hpp"
+#include "scrub/scrubber.hpp"
+#include "scrub/seu.hpp"
+
+int main() {
+  using namespace uparc;
+  using namespace uparc::literals;
+  bench::banner("ABLATION", "Scrubbing strategy: blind rewrite vs readback-driven");
+
+  auto golden = bench::one_bitstream(64_KiB, 8);
+  std::vector<bits::FrameAddress> region;
+  for (const auto& f : golden.frames) region.push_back(f.address);
+
+  std::printf("  region: %zu frames (%zu KB), SEU mean interval 5 ms, horizon 200 ms\n\n",
+              golden.frames.size(), golden.body_bytes() / 1024);
+  std::printf("  %-10s %-18s %8s %8s %12s %12s %8s\n", "period", "mode", "rounds", "repairs",
+              "readback[ms]", "repair[ms]", "golden");
+
+  for (double period_ms : {2.0, 10.0}) {
+    for (auto mode : {scrub::ScrubMode::kBlind, scrub::ScrubMode::kReadbackDriven,
+                      scrub::ScrubMode::kFrameRepair}) {
+      core::System sys;
+      if (!sys.stage(golden).ok()) return 1;
+      (void)sys.set_frequency_blocking(Frequency::mhz(362.5));
+      auto init = sys.reconfigure_blocking();
+      if (!init.success) return 1;
+
+      scrub::Readback rb(sys.sim(), "rb", sys.icap());
+      scrub::ScrubberConfig cfg;
+      cfg.mode = mode;
+      cfg.period = TimePs::from_ms(period_ms);
+      scrub::Scrubber scrubber(sys.sim(), "scrubber", sys.uparc(), rb, golden.frames, cfg);
+      scrub::SeuInjector seu(sys.sim(), "seu", sys.plane(), region, TimePs::from_ms(5), 17);
+
+      scrubber.start();
+      seu.start();
+      sys.sim().run_until(TimePs::from_ms(200));
+      seu.stop();
+      sys.sim().run_until(TimePs::from_ms(200 + 2 * period_ms));
+      scrubber.stop();
+      sys.sim().run();
+
+      const auto& st = scrubber.scrub_stats();
+      const char* mode_name = mode == scrub::ScrubMode::kBlind ? "blind"
+                              : mode == scrub::ScrubMode::kReadbackDriven
+                                  ? "readback-driven"
+                                  : "frame-repair";
+      std::printf("  %7.0f ms %-18s %8llu %8llu %12.2f %12.2f %8s\n", period_ms, mode_name,
+                  static_cast<unsigned long long>(st.rounds),
+                  static_cast<unsigned long long>(st.repairs), st.readback_time.ms(),
+                  st.repair_time.ms(),
+                  sys.plane().contains(golden.frames) ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\n  readback-driven scrubbing repairs only after real upsets (~40 at a\n");
+  std::printf("  5 ms mean over 200 ms), while blind mode pays a repair every round;\n");
+  std::printf("  UPaRC's bandwidth keeps even blind scrubbing's overhead tolerable.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction benches: fixed-width table
+// printing and the reference corpus generator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bitstream/generator.hpp"
+
+namespace uparc::bench {
+
+/// Prints a banner naming the experiment.
+inline void banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+/// Paper-vs-measured row with a relative delta.
+inline void row(const char* label, double paper, double measured, const char* unit) {
+  const double delta = paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-28s paper %9.2f %-6s measured %9.2f %-6s (%+.1f%%)\n", label, paper, unit,
+              measured, unit, delta);
+}
+
+/// The reference bitstream corpus: high-utilization partial bitstreams at
+/// the calibrated complexity midpoint (see DESIGN.md §5 / Table I notes).
+inline std::vector<bits::PartialBitstream> reference_corpus(std::size_t bytes_each = 96 * 1024,
+                                                            unsigned count = 3) {
+  std::vector<bits::PartialBitstream> corpus;
+  for (unsigned i = 0; i < count; ++i) {
+    bits::GeneratorConfig cfg;
+    cfg.target_body_bytes = bytes_each;
+    cfg.seed = 1 + i;
+    cfg.utilization = 0.95;
+    cfg.complexity = 0.5;
+    cfg.design_name = "corpus_" + std::to_string(i);
+    corpus.push_back(bits::Generator(cfg).generate());
+  }
+  return corpus;
+}
+
+/// One partial bitstream of the requested size (defaults match the paper's
+/// 216.5 KB power-measurement bitstream).
+inline bits::PartialBitstream one_bitstream(std::size_t bytes = 216 * 1024 + 512,
+                                            u64 seed = 1) {
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = bytes;
+  cfg.seed = seed;
+  return bits::Generator(cfg).generate();
+}
+
+}  // namespace uparc::bench

@@ -1,0 +1,41 @@
+// Table II — FPGA resources needed by the basic blocks of UPaRC.
+//
+// Paper values (slices, Virtex-5 / Virtex-6):
+//   DyCloGen 24/18, UReC 26/26, Decompressor 1035/900.
+#include "bench_util.hpp"
+#include "core/resources.hpp"
+
+int main() {
+  using namespace uparc;
+  bench::banner("TABLE II", "FPGA resources needed by basic blocks of UPaRC");
+
+  struct PaperRow {
+    core::Block block;
+    unsigned v5, v6;
+  };
+  const PaperRow paper_rows[] = {
+      {core::Block::kDyCloGen, 24, 18},
+      {core::Block::kUReC, 26, 26},
+      {core::Block::kDecompressorXMatchPro, 1035, 900},
+  };
+
+  std::printf("  %-28s %10s %10s\n", "Module", "V5[slices]", "V6[slices]");
+  bool exact = true;
+  for (const auto& r : paper_rows) {
+    const auto usage = core::resources(r.block);
+    std::printf("  %-28s %10u %10u  (paper: %u / %u)\n", std::string(usage.name).c_str(),
+                usage.slices_v5, usage.slices_v6, r.v5, r.v6);
+    if (usage.slices_v5 != r.v5 || usage.slices_v6 != r.v6) exact = false;
+  }
+
+  std::printf("\n  context (literature estimates, not Table II rows):\n");
+  for (const auto& usage : core::all_resources()) {
+    if (usage.from_paper) continue;
+    std::printf("  %-28s %10u %10u\n", std::string(usage.name).c_str(), usage.slices_v5,
+                usage.slices_v6);
+  }
+  std::printf("\n  UPaRC controller total (DyCloGen + UReC): %u V5 slices — %s\n",
+              core::uparc_controller_slices_v5(),
+              core::uparc_controller_slices_v5() < 60 ? "lightweight, as claimed" : "CHECK");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Table III — comparison of reconfiguration controllers.
+//
+// Paper rows (bandwidth MB/s, large-bitstream class, max frequency MHz):
+//   xps_hwicap    14.5  +++ 120      FaRM      800  ++  200
+//   MST_ICAP      235   +++ 120      UPaRC_ii  1008 ++  255
+//   FlashCAP_i    358   ++  120      UPaRC_i   1433 -   362.5
+//   BRAM_HWICAP   371   -   120
+//
+// Every controller reconfigures the same synthetic module at its maximum
+// frequency; the ICAP-side configuration plane is verified after each run.
+#include "bench_util.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+struct Row {
+  const char* name;
+  double paper_mbps;
+  const char* capacity;
+  double max_mhz;
+};
+
+}  // namespace
+
+int main() {
+  using namespace uparc;
+  using namespace uparc::literals;
+  bench::banner("TABLE III", "Comparisons of different reconfiguration controllers");
+
+  auto bs = bench::one_bitstream(128_KiB);
+  std::printf("  workload: one %zu KB partial bitstream per controller\n\n",
+              bs.body_bytes() / 1024);
+  std::printf("  %-16s %9s %9s %7s %6s %9s %s\n", "Controller", "paper", "measured", "delta",
+              "large", "maxfreq", "verified");
+
+  struct Entry {
+    const char* kind;
+    Row paper;
+  };
+  const Entry entries[] = {
+      {"xps_hwicap_cached", {"xps_hwicap", 14.5, "+++", 120.0}},
+      {"MST_ICAP", {"MST_ICAP", 235.0, "+++", 120.0}},
+      {"FlashCAP", {"FlashCAP_i", 358.0, "++", 120.0}},
+      {"BRAM_HWICAP", {"BRAM_HWICAP", 371.0, "-", 120.0}},
+      {"FaRM", {"FaRM", 800.0, "++", 200.0}},
+  };
+
+  std::vector<std::pair<std::string, double>> measured;
+
+  for (const auto& e : entries) {
+    core::System sys;
+    auto c = sys.make_baseline(e.kind);
+    auto r = sys.run_controller_blocking(*c, bs);
+    const bool verified = r.success && sys.plane().contains(bs.frames);
+    const double mbps = r.bandwidth().mb_per_sec();
+    std::printf("  %-16s %9.1f %9.1f %+6.1f%% %6s %7.1f MHz %s\n", e.paper.name,
+                e.paper.paper_mbps, mbps, (mbps - e.paper.paper_mbps) / e.paper.paper_mbps * 100,
+                ctrl::to_symbol(c->capacity_class()), c->max_frequency().in_mhz(),
+                verified ? "yes" : "NO");
+    measured.emplace_back(e.paper.name, mbps);
+  }
+
+  // UPaRC_ii: compressed preloading (force by exceeding the 256 KB BRAM).
+  {
+    core::System sys;
+    auto big = bench::one_bitstream(600_KiB, 3);
+    (void)sys.set_frequency_blocking(Frequency::mhz(255));
+    auto st = sys.stage(big);
+    if (!st.ok()) {
+      std::printf("  UPaRC_ii staging failed: %s\n", st.error().message.c_str());
+      return 1;
+    }
+    auto r = sys.reconfigure_blocking();
+    const bool verified = r.success && sys.plane().contains(big.frames);
+    const double mbps = r.bandwidth().mb_per_sec();
+    std::printf("  %-16s %9.1f %9.1f %+6.1f%% %6s %7.1f MHz %s\n", "UPaRC_ii", 1008.0, mbps,
+                (mbps - 1008.0) / 1008.0 * 100, ctrl::to_symbol(sys.uparc().capacity_class()),
+                sys.uparc().max_frequency().in_mhz(), verified ? "yes" : "NO");
+    measured.emplace_back("UPaRC_ii", mbps);
+  }
+
+  // UPaRC_i: uncompressed at 362.5 MHz.
+  {
+    core::System sys;
+    auto big = bench::one_bitstream(247_KiB, 4);
+    (void)sys.set_frequency_blocking(Frequency::mhz(362.5));
+    auto st = sys.stage(big);
+    if (!st.ok()) {
+      std::printf("  UPaRC_i staging failed: %s\n", st.error().message.c_str());
+      return 1;
+    }
+    auto r = sys.reconfigure_blocking();
+    const bool verified = r.success && sys.plane().contains(big.frames);
+    const double mbps = r.bandwidth().mb_per_sec();
+    std::printf("  %-16s %9.1f %9.1f %+6.1f%% %6s %7.1f MHz %s\n", "UPaRC_i", 1433.0, mbps,
+                (mbps - 1433.0) / 1433.0 * 100, ctrl::to_symbol(sys.uparc().capacity_class()),
+                sys.uparc().max_frequency().in_mhz(), verified ? "yes" : "NO");
+    measured.emplace_back("UPaRC_i", mbps);
+  }
+
+  bool order_ok = true;
+  for (std::size_t i = 1; i < measured.size(); ++i) {
+    if (measured[i].second <= measured[i - 1].second) order_ok = false;
+  }
+  std::printf("\n  ranking xps < MST < FlashCAP < BRAM < FaRM < UPaRC_ii < UPaRC_i: %s\n",
+              order_ok ? "REPRODUCED" : "VIOLATED");
+  std::printf("  UPaRC_i vs FaRM speedup: %.2fx (paper: 1.8x)\n",
+              measured.back().second / measured[4].second);
+  return order_ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Power-aware video pipeline: one reconfigurable region alternates between
+// a deblocking filter and a motion-estimation module, 25 swaps per second.
+// Each frame-period leaves slack, so the Manager's frequency-adaptation
+// policy (paper §III-A-3 / §V) retunes DyCloGen per swap:
+//
+//   * max-performance : always 362.5 MHz — fastest, highest peak power;
+//   * min-power       : the lowest frequency still meeting the swap
+//                       deadline — the paper's "power-aware solution";
+//   * min-energy      : argmin of predicted energy over the M/D grid.
+//
+// The example runs the same workload under all three policies on the live
+// simulated system (not just the planner) and prints the trade-off.
+#include <cstdio>
+
+#include "core/system.hpp"
+
+namespace {
+
+using namespace uparc;
+using namespace uparc::literals;
+
+struct Workload {
+  bits::PartialBitstream bitstream;
+  const char* name;
+};
+
+struct Totals {
+  double energy_uj = 0;
+  double peak_mw = 0;
+  double worst_us = 0;
+  unsigned misses = 0;
+};
+
+Totals run_policy(manager::FrequencyPolicy policy, const std::vector<Workload>& modules,
+                  unsigned swaps, TimePs deadline) {
+  core::System sys;
+  Totals totals;
+  for (unsigned i = 0; i < swaps; ++i) {
+    const Workload& w = modules[i % modules.size()];
+    if (!sys.stage(w.bitstream).ok()) break;
+    auto plan = sys.adapt_blocking(policy, deadline);
+    if (!plan) {
+      ++totals.misses;
+      continue;
+    }
+    auto r = sys.reconfigure_blocking();
+    if (!r.success) {
+      ++totals.misses;
+      continue;
+    }
+    totals.energy_uj += r.energy_uj;
+    totals.peak_mw = std::max(totals.peak_mw, sys.rail()->peak_mw(r.start, r.end));
+    totals.worst_us = std::max(totals.worst_us, r.duration().us());
+    if (r.duration() > deadline) ++totals.misses;
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("power-aware pipeline: deblock <-> motion-estimation, 25 swaps/s\n");
+
+  bits::GeneratorConfig g1;
+  g1.target_body_bytes = 180_KiB;
+  g1.design_name = "deblock";
+  g1.seed = 11;
+  bits::GeneratorConfig g2;
+  g2.target_body_bytes = 120_KiB;
+  g2.design_name = "motion_est";
+  g2.seed = 12;
+  const std::vector<Workload> modules = {
+      {bits::Generator(g1).generate(), "deblock"},
+      {bits::Generator(g2).generate(), "motion_est"},
+  };
+
+  // 25 swaps/s leaves a 2 ms reconfiguration budget within each 40 ms frame.
+  const TimePs deadline = TimePs::from_ms(2.0);
+  const unsigned swaps = 20;
+
+  struct Row {
+    const char* name;
+    manager::FrequencyPolicy policy;
+  };
+  const Row rows[] = {
+      {"max-performance", manager::FrequencyPolicy::kMaxPerformance},
+      {"min-power (paper)", manager::FrequencyPolicy::kMinPowerDeadline},
+      {"min-energy", manager::FrequencyPolicy::kMinEnergy},
+  };
+
+  std::printf("\n%-20s %10s %12s %12s %8s\n", "policy", "misses", "energy[uJ]", "peak[mW]",
+              "worst");
+  double max_peak = 0, min_peak = 1e18;
+  for (const Row& row : rows) {
+    Totals t = run_policy(row.policy, modules, swaps, deadline);
+    std::printf("%-20s %10u %12.1f %12.1f %6.0fus\n", row.name, t.misses, t.energy_uj,
+                t.peak_mw, t.worst_us);
+    max_peak = std::max(max_peak, t.peak_mw);
+    min_peak = std::min(min_peak, t.peak_mw);
+  }
+
+  std::printf("\nthe power-aware policy trades reconfiguration speed (still inside the\n");
+  std::printf("2 ms budget) for a %.0f%% lower peak draw — thermal/supply headroom.\n",
+              (1.0 - min_peak / max_peak) * 100.0);
+  return 0;
+}

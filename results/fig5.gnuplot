@@ -1,0 +1,7 @@
+set datafile separator ','
+set dgrid3d 7,7
+set hidden3d
+set xlabel 'size [KB]'
+set ylabel 'CLK_2 [MHz]'
+set zlabel 'MB/s'
+splot 'results/fig5.csv' every ::1 using 1:2:3 with lines title 'UPaRC_i'

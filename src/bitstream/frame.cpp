@@ -1,0 +1,38 @@
+#include "bitstream/frame.hpp"
+
+namespace uparc::bits {
+
+FrameAddress next_frame_address(FrameAddress a) {
+  if (a.minor + 1 < 128) {
+    a.minor += 1;
+    return a;
+  }
+  a.minor = 0;
+  if (a.column + 1 < 256) {
+    a.column += 1;
+    return a;
+  }
+  a.column = 0;
+  a.row = (a.row + 1) & 0x1Fu;
+  return a;
+}
+
+std::vector<Frame> split_frames(const Device& device, FrameAddress start, WordsView payload) {
+  if (payload.size() % device.frame_words != 0) {
+    throw std::invalid_argument("FDRI payload is not a whole number of frames");
+  }
+  std::vector<Frame> frames;
+  frames.reserve(payload.size() / device.frame_words);
+  FrameAddress addr = start;
+  for (std::size_t off = 0; off < payload.size(); off += device.frame_words) {
+    Frame f;
+    f.address = addr;
+    f.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                  payload.begin() + static_cast<std::ptrdiff_t>(off + device.frame_words));
+    frames.push_back(std::move(f));
+    addr = next_frame_address(addr);
+  }
+  return frames;
+}
+
+}  // namespace uparc::bits

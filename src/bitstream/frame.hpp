@@ -1,0 +1,53 @@
+// Configuration frames and frame addresses (FAR register layout).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "bitstream/format.hpp"
+
+namespace uparc::bits {
+
+/// Virtex-5 FAR fields (UG191 figure 6-6): block type / top-bottom / row /
+/// major (column) / minor.
+struct FrameAddress {
+  u32 block_type = 0;  // 3 bits
+  u32 top = 0;         // 1 bit
+  u32 row = 0;         // 5 bits
+  u32 column = 0;      // 8 bits
+  u32 minor = 0;       // 7 bits
+
+  [[nodiscard]] constexpr u32 pack() const noexcept {
+    return ((block_type & 0x7u) << 21) | ((top & 0x1u) << 20) | ((row & 0x1Fu) << 15) |
+           ((column & 0xFFu) << 7) | (minor & 0x7Fu);
+  }
+  [[nodiscard]] static constexpr FrameAddress unpack(u32 far) noexcept {
+    return FrameAddress{(far >> 21) & 0x7u, (far >> 20) & 0x1u, (far >> 15) & 0x1Fu,
+                        (far >> 7) & 0xFFu, far & 0x7Fu};
+  }
+  /// Linear index within a simple row-major device sweep; the config plane
+  /// uses it as its storage key.
+  [[nodiscard]] constexpr u32 linear_index() const noexcept {
+    return ((((block_type * 2 + top) * 32 + row) * 256) + column) * 128 + minor;
+  }
+
+  friend constexpr bool operator==(const FrameAddress&, const FrameAddress&) = default;
+};
+
+/// Advances a FrameAddress through the auto-increment order the FDRI write
+/// path uses (minor, then column, then row).
+[[nodiscard]] FrameAddress next_frame_address(FrameAddress a);
+
+/// One configuration frame: exactly `device.frame_words` words.
+struct Frame {
+  FrameAddress address;
+  Words data;
+};
+
+/// Splits a flat FDRI payload into frames starting at `start`, using the
+/// auto-increment address order. Throws if the payload is not a whole number
+/// of frames.
+[[nodiscard]] std::vector<Frame> split_frames(const Device& device, FrameAddress start,
+                                              WordsView payload);
+
+}  // namespace uparc::bits

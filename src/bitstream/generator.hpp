@@ -1,0 +1,101 @@
+// Synthetic partial-bitstream generator.
+//
+// Real partial bitstreams are not redistributable, so experiments run on
+// synthetic ones. The generator reproduces the *statistics* that matter for
+// the paper's evaluation:
+//  * body structure: prologue/sync, RCRC, IDCODE, FAR, WCFG, one long FDRI
+//    type-2 write carrying whole frames, CRC, DESYNC epilogue — so parsers,
+//    controllers and the ICAP model exercise the real packet path;
+//  * content statistics: frames are built from a per-design dictionary of
+//    "tile" words with skewed byte distributions (LUT equations and sparse
+//    routing bits), column-template repetition and tunable mutation noise —
+//    the knobs that determine the Table I compression ratios;
+//  * utilization: the fraction of non-blank frames. The paper compresses
+//    only high-utilization bitstreams "in order not to exaggerate the
+//    compression effectiveness"; utilization defaults high here for the
+//    same reason.
+#pragma once
+
+#include "bitstream/header.hpp"
+#include "bitstream/packet.hpp"
+#include "common/crc32.hpp"
+#include "common/prng.hpp"
+
+namespace uparc::bits {
+
+/// Low-level content-model knobs. Most users should only set
+/// GeneratorConfig::complexity and let these derive; the defaults were
+/// calibrated so the Table I codecs land near the paper's ratios (see
+/// bench/table1_compression). All probabilities are per-segment/word.
+struct ContentTuning {
+  double zero_seg_p = 0.5;        ///< probability a segment is a zero run
+  double blank_stretch_p = 0.15;  ///< long blank stretch within a zero run
+  double zero_run_continue = 0.6; ///< geometric continuation of zero runs
+  double fill_seg_p = 0.14;       ///< probability of an all-ones filler run
+  double fill_run_continue = 0.85;
+  double repeat_seg_p = 0.12;     ///< replicated-tile (same word) run
+  unsigned repeat_run_max = 6;    ///< run length 3..3+max-1
+  double noise_word_p = 0.3;      ///< irregular (near-random) words
+  double mutate_p = 0.17;         ///< per-word point mutation across frames
+  double new_template_p = 0.38;   ///< per-frame template refresh
+  std::size_t palette_min = 20;   ///< local palette floor per template
+  std::size_t palette_spread = 20;
+  std::size_t dict_size = 114;    ///< design-wide tile dictionary size
+  double dense_word_p = 0.15;     ///< dense (4 active bytes) tile words
+  double two_byte_p = 0.25;       ///< 2 active bytes (vs 1) in sparse tiles
+
+  /// Derives the calibrated default model for a complexity in [0,1].
+  [[nodiscard]] static ContentTuning from_complexity(double complexity);
+};
+
+struct GeneratorConfig {
+  Device device = kVirtex5Sx50t;
+  /// Desired body size in bytes; rounded down to a whole number of frames
+  /// (at least one frame).
+  std::size_t target_body_bytes = 64 * 1024;
+  /// Fraction of frames carrying configured logic (rest are blank).
+  double utilization = 0.95;
+  /// 0 = highly regular content (carry chains, replicated tiles),
+  /// 1 = near-random content (dense irregular logic).
+  double complexity = 0.5;
+  /// Explicit content model; when unset, derived from `complexity`.
+  std::optional<ContentTuning> tuning;
+  u64 seed = 1;
+  std::string design_name = "pr_module";
+  FrameAddress start_address{0, 0, 0, 10, 0};
+};
+
+/// A generated partial bitstream plus ground truth for verification.
+struct PartialBitstream {
+  BitstreamHeader header;
+  Words body;                    ///< full body including prologue and epilogue
+  std::size_t fdri_offset = 0;   ///< body index of the first FDRI payload word
+  std::size_t fdri_words = 0;    ///< FDRI payload length in words
+  std::vector<Frame> frames;     ///< ground-truth frames (address + data)
+
+  [[nodiscard]] std::size_t body_bytes() const noexcept { return body.size() * 4; }
+  [[nodiscard]] WordsView fdri_payload() const {
+    return WordsView(body).subspan(fdri_offset, fdri_words);
+  }
+};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config);
+
+  /// Generates one partial bitstream. Deterministic for a given config.
+  [[nodiscard]] PartialBitstream generate();
+
+  [[nodiscard]] const GeneratorConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] Words make_frame_payload(std::size_t frame_count);
+  [[nodiscard]] u32 make_tile_word();
+
+  GeneratorConfig config_;
+  ContentTuning tuning_;
+  Prng rng_;
+  Words tile_dictionary_;
+};
+
+}  // namespace uparc::bits

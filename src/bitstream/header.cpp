@@ -1,0 +1,109 @@
+#include "bitstream/header.hpp"
+
+#include <array>
+
+namespace uparc::bits {
+namespace {
+
+constexpr std::array<u8, 9> kMagic = {0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x00};
+
+void put_u16(Bytes& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+void put_u32(Bytes& out, u32 v) {
+  out.push_back(static_cast<u8>(v >> 24));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+
+void put_field(Bytes& out, char key, const std::string& value) {
+  out.push_back(static_cast<u8>(key));
+  put_u16(out, static_cast<u16>(value.size() + 1));
+  out.insert(out.end(), value.begin(), value.end());
+  out.push_back(0);  // Xilinx strings are NUL-terminated
+}
+
+class Cursor {
+ public:
+  explicit Cursor(BytesView data) : data_(data) {}
+  [[nodiscard]] bool has(std::size_t n) const { return pos_ + n <= data_.size(); }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  u8 u8v() { return data_[pos_++]; }
+  u16 u16v() {
+    u16 v = static_cast<u16>((u16{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  u32 u32v() {
+    u32 v = load_be32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  std::string str(std::size_t len) {
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    if (!s.empty() && s.back() == '\0') s.pop_back();
+    return s;
+  }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes serialize_header(const BitstreamHeader& h) {
+  Bytes out;
+  put_u16(out, static_cast<u16>(kMagic.size()));
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u16(out, 0x0001);
+  put_field(out, 'a', h.design_name);
+  put_field(out, 'b', h.part_name);
+  put_field(out, 'c', h.date);
+  put_field(out, 'd', h.time);
+  out.push_back('e');
+  put_u32(out, h.body_bytes);
+  return out;
+}
+
+Result<ParsedHeader> parse_header(BytesView file) {
+  Cursor c(file);
+  if (!c.has(2 + kMagic.size() + 2)) return make_error("header truncated before magic");
+  const u16 magic_len = c.u16v();
+  if (magic_len != kMagic.size()) return make_error("bad magic length");
+  for (u8 m : kMagic) {
+    if (c.u8v() != m) return make_error("bad magic bytes");
+  }
+  if (c.u16v() != 0x0001) return make_error("bad header version");
+
+  ParsedHeader out{};
+  for (char expect : {'a', 'b', 'c', 'd'}) {
+    if (!c.has(3)) return make_error("header truncated in fields");
+    const char key = static_cast<char>(c.u8v());
+    if (key != expect) return make_error(std::string("unexpected header field '") + key + "'");
+    const u16 len = c.u16v();
+    if (!c.has(len)) return make_error("header field overruns file");
+    std::string value = c.str(len);
+    switch (key) {
+      case 'a': out.header.design_name = std::move(value); break;
+      case 'b': out.header.part_name = std::move(value); break;
+      case 'c': out.header.date = std::move(value); break;
+      case 'd': out.header.time = std::move(value); break;
+      default: break;
+    }
+  }
+  if (!c.has(5)) return make_error("header truncated before length");
+  if (static_cast<char>(c.u8v()) != 'e') return make_error("missing length field");
+  out.header.body_bytes = c.u32v();
+  out.body_offset = c.pos();
+  if (out.body_offset + out.header.body_bytes > file.size()) {
+    return make_error("declared body length exceeds file size");
+  }
+  return out;
+}
+
+}  // namespace uparc::bits

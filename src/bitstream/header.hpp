@@ -1,0 +1,35 @@
+// .bit-style file preamble (the "preamble" the paper's Manager parses before
+// preloading: design name, device ID, size, ...).
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace uparc::bits {
+
+/// Metadata fields of a .bit container, in Xilinx TLV layout:
+/// magic, 'a' design name, 'b' part name, 'c' date, 'd' time, 'e' body size.
+struct BitstreamHeader {
+  std::string design_name;
+  std::string part_name;
+  std::string date = "2012/03/12";
+  std::string time = "12:00:00";
+  u32 body_bytes = 0;
+
+  friend bool operator==(const BitstreamHeader&, const BitstreamHeader&) = default;
+};
+
+/// Serializes the header; `body_bytes` must already be set.
+[[nodiscard]] Bytes serialize_header(const BitstreamHeader& h);
+
+/// Parses a header from the front of `file`; on success also returns the
+/// offset at which the body begins.
+struct ParsedHeader {
+  BitstreamHeader header;
+  std::size_t body_offset;
+};
+[[nodiscard]] Result<ParsedHeader> parse_header(BytesView file);
+
+}  // namespace uparc::bits

@@ -1,0 +1,42 @@
+#include "bitstream/packet.hpp"
+
+namespace uparc::bits {
+
+std::optional<Device> device_by_idcode(u32 idcode) {
+  if (idcode == kVirtex5Sx50t.idcode) return kVirtex5Sx50t;
+  if (idcode == kVirtex6Lx240t.idcode) return kVirtex6Lx240t;
+  return std::nullopt;
+}
+
+void PacketWriter::prologue(unsigned dummy_words) {
+  dummy(dummy_words);
+  words_.push_back(kBusWidthSync);
+  words_.push_back(kBusWidthDetect);
+  dummy(2);
+  sync();
+}
+
+void PacketWriter::dummy(unsigned count) {
+  for (unsigned i = 0; i < count; ++i) words_.push_back(kDummyWord);
+}
+
+void PacketWriter::noop(unsigned count) {
+  for (unsigned i = 0; i < count; ++i) words_.push_back(kNoopWord);
+}
+
+void PacketWriter::sync() { words_.push_back(kSyncWord); }
+
+void PacketWriter::write_reg(ConfigReg reg, u32 value) {
+  words_.push_back(type1(Opcode::kWrite, reg, 1));
+  words_.push_back(value);
+}
+
+void PacketWriter::write_fdri(WordsView payload) {
+  words_.push_back(type1(Opcode::kWrite, ConfigReg::kFdri, 0));
+  words_.push_back(type2(Opcode::kWrite, static_cast<u32>(payload.size())));
+  words_.insert(words_.end(), payload.begin(), payload.end());
+}
+
+void PacketWriter::write_crc(u32 crc) { write_reg(ConfigReg::kCrc, crc); }
+
+}  // namespace uparc::bits

@@ -1,0 +1,115 @@
+#include "bitstream/parser.hpp"
+
+#include "bitstream/header.hpp"
+
+namespace uparc::bits {
+
+Result<ParsedBody> parse_body(const Device& device, WordsView body) {
+  ParsedBody out;
+  std::size_t i = 0;
+
+  // Hunt for the sync word; everything before it must be pad/bus-width words.
+  while (i < body.size() && body[i] != kSyncWord) ++i;
+  if (i == body.size()) return make_error("no sync word in body");
+  ++i;
+  out.saw_sync = true;
+
+  ConfigCrc crc;
+  FrameAddress far{};
+  Command last_cmd = Command::kNull;
+  bool wcfg_active = false;
+  Words fdri_accum;
+
+  auto handle_write = [&](ConfigReg reg, WordsView data) {
+    out.writes.push_back(RegWrite{reg, Words(data.begin(), data.end())});
+    for (u32 w : data) crc.write(reg, w);
+    switch (reg) {
+      case ConfigReg::kCrc:
+        out.crc_checked = true;
+        // The stored checksum is computed before hashing the CRC word itself,
+        // so compare against the value prior to this write.
+        break;
+      case ConfigReg::kFar:
+        if (!data.empty()) far = FrameAddress::unpack(data[0]);
+        break;
+      case ConfigReg::kIdcode:
+        if (!data.empty()) out.idcode = data[0];
+        break;
+      case ConfigReg::kCmd:
+        if (!data.empty()) {
+          last_cmd = static_cast<Command>(data[0]);
+          if (last_cmd == Command::kRcrc) crc.reset();
+          if (last_cmd == Command::kWcfg) wcfg_active = true;
+          if (last_cmd == Command::kDesync) out.desynced = true;
+        }
+        break;
+      case ConfigReg::kFdri:
+        if (wcfg_active) {
+          if (fdri_accum.empty()) out.start_address = far;
+          fdri_accum.insert(fdri_accum.end(), data.begin(), data.end());
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  while (i < body.size() && !out.desynced) {
+    const u32 header = body[i++];
+    if (header == kDummyWord || header == kNoopWord) continue;
+    const u32 type = packet_type(header);
+    if (type == 1) {
+      const Opcode op = packet_opcode(header);
+      const u32 count = type1_count(header);
+      if (op == Opcode::kNop) continue;
+      if (op == Opcode::kRead) return make_error("read packets unsupported in partial bitstream");
+      const ConfigReg reg = packet_reg(header);
+      if (i + count > body.size()) return make_error("type-1 payload overruns body");
+      if (count > 0) {
+        if (reg == ConfigReg::kCrc) {
+          // Compare before the CRC word perturbs the running value.
+          out.crc_ok = (body[i] == crc.value());
+        }
+        handle_write(reg, body.subspan(i, count));
+        i += count;
+      } else {
+        // Zero count: register selected; a type-2 packet with the payload
+        // must follow (possibly after NOOPs).
+        while (i < body.size() && body[i] == kNoopWord) ++i;
+        if (i >= body.size()) return make_error("type-1 select with no type-2 payload");
+        const u32 t2 = body[i++];
+        if (packet_type(t2) != 2) return make_error("expected type-2 packet after select");
+        const u32 n = type2_count(t2);
+        if (i + n > body.size()) return make_error("type-2 payload overruns body");
+        handle_write(reg, body.subspan(i, n));
+        i += n;
+      }
+    } else if (type == 2) {
+      return make_error("type-2 packet without preceding type-1 select");
+    } else {
+      return make_error("unknown packet type");
+    }
+  }
+
+  if (!fdri_accum.empty()) {
+    if (fdri_accum.size() % device.frame_words != 0) {
+      return make_error("FDRI payload is not a whole number of frames");
+    }
+    out.frames = split_frames(device, out.start_address, fdri_accum);
+  }
+  return out;
+}
+
+Result<ParsedFile> parse_file(const Device& device, BytesView file) {
+  auto ph = parse_header(file);
+  if (!ph.ok()) return ph.error();
+  const auto& parsed = ph.value();
+  BytesView body_bytes = file.subspan(parsed.body_offset, parsed.header.body_bytes);
+  if (body_bytes.size() % 4 != 0) return make_error("body is not word aligned");
+  Words body = bytes_to_words(body_bytes);
+  auto pb = parse_body(device, body);
+  if (!pb.ok()) return pb.error();
+  return ParsedFile{parsed.header, std::move(pb).value()};
+}
+
+}  // namespace uparc::bits

@@ -1,0 +1,35 @@
+// Software bitstream body parser: decodes the packet stream the same way the
+// ICAP model does, for host-side validation and the Manager's preload path.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/generator.hpp"
+
+namespace uparc::bits {
+
+/// Fully decoded bitstream body.
+struct ParsedBody {
+  std::vector<RegWrite> writes;   ///< every register write, in order
+  std::vector<Frame> frames;      ///< FDRI payload split into frames
+  FrameAddress start_address{};   ///< FAR value when FDRI data began
+  u32 idcode = 0;
+  bool saw_sync = false;
+  bool desynced = false;
+  bool crc_checked = false;
+  bool crc_ok = false;
+};
+
+/// Parses a bitstream body (32-bit words after the file header). Returns an
+/// error for malformed packet structure; CRC mismatch is reported in-band
+/// via `crc_checked`/`crc_ok` (that is a data error, not a format error).
+[[nodiscard]] Result<ParsedBody> parse_body(const Device& device, WordsView body);
+
+/// Convenience: parse a whole .bit file (header + body).
+struct ParsedFile {
+  BitstreamHeader header;
+  ParsedBody body;
+};
+[[nodiscard]] Result<ParsedFile> parse_file(const Device& device, BytesView file);
+
+}  // namespace uparc::bits

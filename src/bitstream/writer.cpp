@@ -1,0 +1,16 @@
+#include "bitstream/writer.hpp"
+
+namespace uparc::bits {
+
+Bytes to_file(const BitstreamHeader& header, WordsView body) {
+  BitstreamHeader h = header;
+  h.body_bytes = static_cast<u32>(body.size() * 4);
+  Bytes out = serialize_header(h);
+  Bytes body_bytes = words_to_bytes(body);
+  out.insert(out.end(), body_bytes.begin(), body_bytes.end());
+  return out;
+}
+
+Bytes to_file(const PartialBitstream& bs) { return to_file(bs.header, bs.body); }
+
+}  // namespace uparc::bits

@@ -1,0 +1,14 @@
+// Assembles .bit container files from a header and a body word stream.
+#pragma once
+
+#include "bitstream/generator.hpp"
+
+namespace uparc::bits {
+
+/// Serializes header + body into a .bit-style byte stream.
+[[nodiscard]] Bytes to_file(const BitstreamHeader& header, WordsView body);
+
+/// Serializes a generated partial bitstream into a .bit-style byte stream.
+[[nodiscard]] Bytes to_file(const PartialBitstream& bs);
+
+}  // namespace uparc::bits

@@ -1,0 +1,63 @@
+#include "bus/hwicap_core.hpp"
+
+namespace uparc::bus {
+
+HwicapCore::HwicapCore(sim::Simulation& sim, std::string name, icap::Icap& port,
+                       sim::Clock& clock)
+    : Module(sim, std::move(name)), port_(port), clk_(clock), fifo_(this->name() + ".wf",
+                                                                    kFifoDepth) {
+  clk_.on_rising([this] { on_edge(); });
+}
+
+Status HwicapCore::reg_write(u32 offset, u32 value) {
+  switch (offset) {
+    case kRegWf:
+      if (fifo_.full()) return make_error("HWICAP: write FIFO overflow");
+      fifo_.push(value);
+      return Status::success();
+    case kRegCr:
+      if (value & kCrWrite) {
+        transferring_ = true;
+        clk_.enable();
+      }
+      return Status::success();
+    case kRegSr:
+    case kRegWfv:
+      return make_error("HWICAP: read-only register");
+    default:
+      return make_error("HWICAP: unmapped register write");
+  }
+}
+
+Status HwicapCore::reg_read(u32 offset, u32& value) {
+  switch (offset) {
+    case kRegSr:
+      value = transferring_ ? 0u : kSrDone;
+      return Status::success();
+    case kRegWfv:
+      value = static_cast<u32>(fifo_.capacity() - fifo_.size());
+      return Status::success();
+    case kRegCr:
+      value = transferring_ ? kCrWrite : 0u;
+      return Status::success();
+    default:
+      return make_error("HWICAP: unmapped register read");
+  }
+}
+
+void HwicapCore::on_edge() {
+  if (!transferring_) {
+    clk_.disable();
+    return;
+  }
+  if (fifo_.empty()) {
+    // FIFO drained: transfer complete, core idles (EN gating).
+    transferring_ = false;
+    clk_.disable();
+    return;
+  }
+  port_.write_word(fifo_.pop());
+  ++words_to_icap_;
+}
+
+}  // namespace uparc::bus

@@ -1,0 +1,56 @@
+// Register-level xps_hwicap core model (Xilinx DS586 register map subset).
+//
+// The cost-calibrated XpsHwicap controller reproduces Table III's observable
+// throughput; this peripheral models *why*: every configuration word crosses
+// the PLB into a small write FIFO, the core drains the FIFO into the ICAP at
+// its own clock, and the driver burns bus cycles polling vacancy/status.
+// tests/bus_test.cpp cross-validates the two models against each other.
+//
+// Register map (byte offsets, DS586):
+//   0x10C CR  — control: bit0 = start ICAP write transfer
+//   0x110 SR  — status:  bit0 = CR write done (idle)
+//   0x100 WF  — write FIFO port (depth kFifoDepth words)
+//   0x114 WFV — write FIFO vacancy
+#pragma once
+
+#include "bus/plb.hpp"
+#include "icap/icap.hpp"
+#include "sim/clock.hpp"
+#include "sim/fifo.hpp"
+
+namespace uparc::bus {
+
+class HwicapCore : public sim::Module, public Peripheral {
+ public:
+  static constexpr u32 kRegWf = 0x100;
+  static constexpr u32 kRegCr = 0x10C;
+  static constexpr u32 kRegSr = 0x110;
+  static constexpr u32 kRegWfv = 0x114;
+  static constexpr u32 kWindowBytes = 0x200;
+  static constexpr std::size_t kFifoDepth = 64;
+  static constexpr u32 kCrWrite = 0x1;
+  static constexpr u32 kSrDone = 0x1;
+
+  /// `clock` is the core/ICAP clock (the xps core runs bus and ICAP in one
+  /// domain, <= 120 MHz).
+  HwicapCore(sim::Simulation& sim, std::string name, icap::Icap& port, sim::Clock& clock);
+
+  // Peripheral:
+  Status reg_write(u32 offset, u32 value) override;
+  Status reg_read(u32 offset, u32& value) override;
+
+  [[nodiscard]] bool transfer_active() const noexcept { return transferring_; }
+  [[nodiscard]] std::size_t fifo_level() const noexcept { return fifo_.size(); }
+  [[nodiscard]] u64 words_to_icap() const noexcept { return words_to_icap_; }
+
+ private:
+  void on_edge();
+
+  icap::Icap& port_;
+  sim::Clock& clk_;
+  sim::Fifo<u32> fifo_;
+  bool transferring_ = false;
+  u64 words_to_icap_ = 0;
+};
+
+}  // namespace uparc::bus

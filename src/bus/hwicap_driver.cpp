@@ -1,0 +1,88 @@
+#include "bus/hwicap_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uparc::bus {
+
+HwicapDriver::HwicapDriver(manager::MicroBlaze& cpu, PlbBus& bus, u32 core_base,
+                           HwicapDriverCosts costs)
+    : cpu_(cpu), bus_(bus), base_(core_base), costs_(costs) {}
+
+void HwicapDriver::configure(Words body,
+                             std::function<void(const HwicapDriveResult&)> done) {
+  if (busy_) throw std::logic_error("HwicapDriver: configure while busy");
+  busy_ = true;
+  body_ = std::move(body);
+  next_word_ = 0;
+  done_ = std::move(done);
+  result_ = HwicapDriveResult{};
+  result_.start = cpu_.sim().now();
+  result_.words = body_.size();
+  next_batch();
+}
+
+void HwicapDriver::finish(bool success, std::string error) {
+  result_.success = success;
+  result_.error = std::move(error);
+  result_.end = cpu_.sim().now();
+  busy_ = false;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(result_);
+}
+
+void HwicapDriver::next_batch() {
+  if (next_word_ >= body_.size()) {
+    finish(true, {});
+    return;
+  }
+
+  // Read the FIFO vacancy, then fill up to that many words.
+  u32 vacancy = 0;
+  auto rd = bus_.read32(base_ + HwicapCore::kRegWfv, vacancy);
+  if (!rd.ok()) {
+    finish(false, rd.error().message);
+    return;
+  }
+  const std::size_t n =
+      std::min<std::size_t>(vacancy, body_.size() - next_word_);
+  u64 cycles = rd.value() + costs_.batch_setup;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto wr = bus_.write32(base_ + HwicapCore::kRegWf, body_[next_word_ + i]);
+    if (!wr.ok()) {
+      finish(false, wr.error().message);
+      return;
+    }
+    cycles += wr.value() + costs_.word_loop;
+  }
+  next_word_ += n;
+
+  // Pulse CR.write to start the FIFO -> ICAP transfer.
+  auto cr = bus_.write32(base_ + HwicapCore::kRegCr, HwicapCore::kCrWrite);
+  if (!cr.ok()) {
+    finish(false, cr.error().message);
+    return;
+  }
+  cycles += cr.value();
+
+  cpu_.execute(cycles, [this] { poll_done(); });
+}
+
+void HwicapDriver::poll_done() {
+  u32 sr = 0;
+  auto rd = bus_.read32(base_ + HwicapCore::kRegSr, sr);
+  if (!rd.ok()) {
+    finish(false, rd.error().message);
+    return;
+  }
+  const u64 cycles = rd.value() + costs_.poll_loop;
+  if (sr & HwicapCore::kSrDone) {
+    cpu_.execute(cycles, [this] { next_batch(); });
+  } else {
+    cpu_.execute(cycles, [this] { poll_done(); });
+  }
+}
+
+}  // namespace uparc::bus

@@ -1,0 +1,45 @@
+#include "bus/plb.hpp"
+
+namespace uparc::bus {
+
+PlbBus::PlbBus(sim::Simulation& sim, std::string name, PlbTiming timing)
+    : Module(sim, std::move(name)), timing_(timing) {}
+
+Status PlbBus::attach(u32 base, u32 size, Peripheral& peripheral) {
+  if (size == 0) return make_error("PLB: zero-sized mapping");
+  for (const auto& m : map_) {
+    const bool disjoint = base + size <= m.base || m.base + m.size <= base;
+    if (!disjoint) return make_error("PLB: address window overlap");
+  }
+  map_.push_back(Mapping{base, size, &peripheral});
+  return Status::success();
+}
+
+PlbBus::Mapping* PlbBus::decode(u32 addr) {
+  for (auto& m : map_) {
+    if (addr >= m.base && addr < m.base + m.size) return &m;
+  }
+  return nullptr;
+}
+
+Result<unsigned> PlbBus::write32(u32 addr, u32 value) {
+  Mapping* m = decode(addr);
+  if (m == nullptr) return make_error("PLB: write to unmapped address");
+  ++transactions_;
+  if (Status st = m->peripheral->reg_write(addr - m->base, value); !st.ok()) {
+    return st.error();
+  }
+  return timing_.write_cycles;
+}
+
+Result<unsigned> PlbBus::read32(u32 addr, u32& value) {
+  Mapping* m = decode(addr);
+  if (m == nullptr) return make_error("PLB: read from unmapped address");
+  ++transactions_;
+  if (Status st = m->peripheral->reg_read(addr - m->base, value); !st.ok()) {
+    return st.error();
+  }
+  return timing_.read_cycles;
+}
+
+}  // namespace uparc::bus

@@ -1,0 +1,57 @@
+// Processor Local Bus (PLB) model: memory-mapped single-beat reads/writes
+// with fixed arbitration+transfer costs, address-decoded to attached
+// peripherals. Deliberately simple — one master, no pipelining — matching
+// how the MicroBlaze drives xps_hwicap's register file.
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/module.hpp"
+
+namespace uparc::bus {
+
+/// A memory-mapped peripheral on the bus.
+class Peripheral {
+ public:
+  virtual ~Peripheral() = default;
+  /// Register access by byte offset within the peripheral's window.
+  virtual Status reg_write(u32 offset, u32 value) = 0;
+  virtual Status reg_read(u32 offset, u32& value) = 0;
+};
+
+struct PlbTiming {
+  unsigned write_cycles = 5;  ///< request + arbitration + address + data beat
+  unsigned read_cycles = 7;   ///< adds the slave's response latency
+};
+
+class PlbBus : public sim::Module {
+ public:
+  PlbBus(sim::Simulation& sim, std::string name, PlbTiming timing = {});
+
+  /// Maps `peripheral` at [base, base+size). Overlaps are rejected.
+  [[nodiscard]] Status attach(u32 base, u32 size, Peripheral& peripheral);
+
+  /// Single-beat write; returns the bus cycles consumed, or an error for
+  /// unmapped addresses / slave errors.
+  [[nodiscard]] Result<unsigned> write32(u32 addr, u32 value);
+  /// Single-beat read.
+  [[nodiscard]] Result<unsigned> read32(u32 addr, u32& value);
+
+  [[nodiscard]] u64 transactions() const noexcept { return transactions_; }
+  [[nodiscard]] const PlbTiming& timing() const noexcept { return timing_; }
+
+ private:
+  struct Mapping {
+    u32 base;
+    u32 size;
+    Peripheral* peripheral;
+  };
+  [[nodiscard]] Mapping* decode(u32 addr);
+
+  PlbTiming timing_;
+  std::vector<Mapping> map_;
+  u64 transactions_ = 0;
+};
+
+}  // namespace uparc::bus

@@ -1,0 +1,60 @@
+// DyCloGen — the dynamic clock generator (paper §III-D).
+//
+// Provides three run-time-retunable clocks:
+//   CLK_1  bitstream preloading (Manager → BRAM port A)
+//   CLK_2  reconfiguration (UReC → BRAM port B → ICAP)
+//   CLK_3  decompressor
+// Each output is synthesized by a DCM whose M/D dividers DyCloGen programs
+// through the DRP, so frequency changes never require partial
+// reconfiguration of the clocking fabric. Retuning costs a few DRP bus
+// accesses plus the DCM relock time; completion is reported via callback.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "clocking/md_search.hpp"
+#include "icap/dcm.hpp"
+
+namespace uparc::clocking {
+
+enum class ClockId : unsigned { kPreload = 0, kReconfig = 1, kDecompress = 2 };
+
+class DyCloGen : public sim::Module {
+ public:
+  /// Creates the three DCM+clock pairs from one reference input (the
+  /// paper's F_in is the 100 MHz system oscillator).
+  DyCloGen(sim::Simulation& sim, std::string name, Frequency f_in,
+           TimePs lock_time = TimePs::from_us(50));
+
+  [[nodiscard]] sim::Clock& clock(ClockId id) noexcept { return *clocks_[index(id)]; }
+  [[nodiscard]] icap::Dcm& dcm(ClockId id) noexcept { return *dcms_[index(id)]; }
+  [[nodiscard]] Frequency frequency(ClockId id) const {
+    return dcms_[index(id)]->f_out();
+  }
+  [[nodiscard]] Frequency f_in() const noexcept { return f_in_; }
+
+  /// Retunes `id` to the highest synthesizable frequency <= target
+  /// (power-aware: never overshoot). Returns the choice actually
+  /// programmed, or nullopt if no legal M/D exists. `done` fires when the
+  /// DCM relocks. If the synthesized output already matches, no relock
+  /// happens and `done` fires immediately.
+  std::optional<MdChoice> request_frequency(ClockId id, Frequency target,
+                                            std::function<void()> done = {});
+
+  /// Total DRP accesses spent reprogramming (3 writes per retune: M, D,
+  /// reset pulse).
+  [[nodiscard]] u64 drp_accesses() const noexcept { return drp_->accesses(); }
+  [[nodiscard]] TimePs lock_time() const noexcept { return lock_time_; }
+
+ private:
+  static std::size_t index(ClockId id) { return static_cast<std::size_t>(id); }
+
+  Frequency f_in_;
+  TimePs lock_time_;
+  std::array<std::unique_ptr<sim::Clock>, 3> clocks_;
+  std::array<std::unique_ptr<icap::Dcm>, 3> dcms_;
+  std::unique_ptr<icap::DrpBus> drp_;
+};
+
+}  // namespace uparc::clocking

@@ -1,0 +1,47 @@
+#include "clocking/md_search.hpp"
+
+#include <cmath>
+
+namespace uparc::clocking {
+namespace {
+
+template <typename Better>
+std::optional<MdChoice> search(Frequency f_in, const MdConstraints& c, Better better) {
+  std::optional<MdChoice> best;
+  for (unsigned d = c.min_d; d <= c.max_d; ++d) {
+    for (unsigned m = c.min_m; m <= c.max_m; ++m) {
+      const Frequency out = f_in * static_cast<double>(m) / d;
+      if (out > c.f_max) continue;
+      MdChoice cand{m, d, out, 0.0};
+      if (!best || better(cand, *best)) best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<MdChoice> closest(Frequency f_in, Frequency target, const MdConstraints& c) {
+  auto best = search(f_in, c, [&](const MdChoice& a, const MdChoice& b) {
+    const double ea = std::abs(a.f_out.in_hz() - target.in_hz());
+    const double eb = std::abs(b.f_out.in_hz() - target.in_hz());
+    if (ea != eb) return ea < eb;
+    return a.d < b.d;
+  });
+  if (best) best->error_hz = std::abs(best->f_out.in_hz() - target.in_hz());
+  return best;
+}
+
+std::optional<MdChoice> closest_not_above(Frequency f_in, Frequency target,
+                                          const MdConstraints& c) {
+  MdConstraints capped = c;
+  if (target < capped.f_max) capped.f_max = target;
+  auto best = search(f_in, capped, [&](const MdChoice& a, const MdChoice& b) {
+    if (a.f_out != b.f_out) return a.f_out > b.f_out;
+    return a.d < b.d;
+  });
+  if (best) best->error_hz = std::abs(best->f_out.in_hz() - target.in_hz());
+  return best;
+}
+
+}  // namespace uparc::clocking

@@ -1,0 +1,34 @@
+// M/D divider search for DCM frequency synthesis: F_out = F_in * M / D.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+
+namespace uparc::clocking {
+
+struct MdChoice {
+  unsigned m = 2;
+  unsigned d = 1;
+  Frequency f_out;
+  double error_hz = 0.0;  ///< |f_out - target|
+};
+
+struct MdConstraints {
+  unsigned min_m = 2, max_m = 33;  // DCM_ADV CLKFX range (UG190)
+  unsigned min_d = 1, max_d = 32;
+  /// Optional synthesized-output ceiling (e.g. a module's F_max).
+  Frequency f_max = Frequency::mhz(450);
+};
+
+/// Finds the M/D pair whose output is closest to `target`.
+/// Ties prefer smaller D (lower jitter on real DCMs).
+[[nodiscard]] std::optional<MdChoice> closest(Frequency f_in, Frequency target,
+                                              const MdConstraints& c = {});
+
+/// Finds the M/D pair with the highest output that does not exceed `target`
+/// (the power-aware choice: never overshoot a frequency budget).
+[[nodiscard]] std::optional<MdChoice> closest_not_above(Frequency f_in, Frequency target,
+                                                        const MdConstraints& c = {});
+
+}  // namespace uparc::clocking

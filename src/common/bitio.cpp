@@ -1,0 +1,52 @@
+#include "common/bitio.hpp"
+
+namespace uparc {
+
+void BitWriter::put(u32 bits, unsigned count) {
+  if (count > 32) throw std::invalid_argument("BitWriter::put count > 32");
+  bit_count_ += count;
+  while (count > 0) {
+    unsigned take = count;
+    unsigned space = 8 - fill_;
+    if (take > space) take = space;
+    // Select the top `take` bits of the remaining field.
+    u32 piece = (bits >> (count - take)) & ((take == 32) ? 0xFFFFFFFFu : ((1u << take) - 1u));
+    acc_ = (acc_ << take) | piece;
+    fill_ += take;
+    count -= take;
+    if (fill_ == 8) {
+      buf_.push_back(static_cast<u8>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+}
+
+Bytes BitWriter::finish() {
+  if (fill_ > 0) {
+    buf_.push_back(static_cast<u8>(acc_ << (8 - fill_)));
+    acc_ = 0;
+    fill_ = 0;
+  }
+  return std::move(buf_);
+}
+
+u32 BitReader::get(unsigned count) {
+  if (count > 32) throw std::invalid_argument("BitReader::get count > 32");
+  if (count > bits_left()) throw std::out_of_range("BitReader: read past end of stream");
+  u32 out = 0;
+  while (count > 0) {
+    std::size_t byte_idx = pos_bits_ / 8;
+    unsigned bit_idx = static_cast<unsigned>(pos_bits_ % 8);
+    unsigned avail = 8 - bit_idx;
+    unsigned take = count < avail ? count : avail;
+    u8 cur = data_[byte_idx];
+    u32 piece = (static_cast<u32>(cur) >> (avail - take)) & ((1u << take) - 1u);
+    out = (out << take) | piece;
+    pos_bits_ += take;
+    count -= take;
+  }
+  return out;
+}
+
+}  // namespace uparc

@@ -1,0 +1,52 @@
+// Bit-granular reader/writer used by the entropy coders (Huffman, LZ77 token
+// packing, range-coder carry buffers). Bits are written MSB-first within each
+// byte, matching typical hardware serializers.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace uparc {
+
+/// Appends bits MSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `bits` (MSB of the field first).
+  void put(u32 bits, unsigned count);
+  /// Writes a single bit.
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+  /// Pads with zero bits to the next byte boundary and returns the buffer.
+  [[nodiscard]] Bytes finish();
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  Bytes buf_;
+  u32 acc_ = 0;       // pending bits, left-aligned in the low `fill_` bits
+  unsigned fill_ = 0; // number of pending bits in acc_
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer. Reading past the end throws
+/// std::out_of_range (corrupt compressed stream).
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  /// Reads `count` bits (<= 32) and returns them right-aligned.
+  [[nodiscard]] u32 get(unsigned count);
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Number of whole bits still available.
+  [[nodiscard]] std::size_t bits_left() const noexcept {
+    return data_.size() * 8 - pos_bits_;
+  }
+  [[nodiscard]] std::size_t bit_position() const noexcept { return pos_bits_; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_bits_ = 0;
+};
+
+}  // namespace uparc

@@ -1,0 +1,51 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace uparc {
+namespace {
+
+constexpr u32 kPoly = 0xEDB88320u;  // reflected IEEE 802.3 polynomial
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(u8 byte) noexcept {
+  state_ = kTable[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32::update(BytesView bytes) noexcept {
+  for (u8 b : bytes) update(b);
+}
+
+void Crc32::update_word(u32 word) noexcept {
+  update(static_cast<u8>(word >> 24));
+  update(static_cast<u8>(word >> 16));
+  update(static_cast<u8>(word >> 8));
+  update(static_cast<u8>(word));
+}
+
+u32 crc32(BytesView bytes) noexcept {
+  Crc32 c;
+  c.update(bytes);
+  return c.value();
+}
+
+u32 crc32_words(WordsView words) noexcept {
+  Crc32 c;
+  for (u32 w : words) c.update_word(w);
+  return c.value();
+}
+
+}  // namespace uparc

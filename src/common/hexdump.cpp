@@ -1,0 +1,34 @@
+#include "common/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace uparc {
+
+std::string hexdump(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[8];
+  for (std::size_t off = 0; off < n; off += 16) {
+    std::snprintf(line, sizeof line, "%06zx ", off);
+    out += line;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < n) {
+        std::snprintf(line, sizeof line, " %02x", data[off + i]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+    }
+    out += "  |";
+    for (std::size_t i = 0; i < 16 && off + i < n; ++i) {
+      u8 c = data[off + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  if (n < data.size()) out += "... (" + std::to_string(data.size() - n) + " more bytes)\n";
+  return out;
+}
+
+}  // namespace uparc

@@ -1,0 +1,13 @@
+// Hexdump helper for debugging bitstream payloads in tests and examples.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uparc {
+
+/// Classic 16-bytes-per-line hexdump with ASCII gutter.
+[[nodiscard]] std::string hexdump(BytesView data, std::size_t max_bytes = 256);
+
+}  // namespace uparc

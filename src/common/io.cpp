@@ -1,0 +1,32 @@
+#include "common/io.hpp"
+
+#include <fstream>
+
+namespace uparc {
+
+Result<Bytes> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return make_error("cannot open '" + path + "' for reading");
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0 && !f.read(reinterpret_cast<char*>(data.data()), size)) {
+    return make_error("read failed on '" + path + "'");
+  }
+  return data;
+}
+
+Status write_file(const std::string& path, BytesView data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return make_error("cannot open '" + path + "' for writing");
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return make_error("write failed on '" + path + "'");
+  return Status::success();
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  return write_file(path, BytesView(reinterpret_cast<const u8*>(text.data()), text.size()));
+}
+
+}  // namespace uparc

@@ -1,0 +1,20 @@
+// Whole-file I/O helpers for the CLI tool and examples.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace uparc {
+
+/// Reads a whole binary file.
+[[nodiscard]] Result<Bytes> read_file(const std::string& path);
+
+/// Writes a whole binary file (truncates).
+[[nodiscard]] Status write_file(const std::string& path, BytesView data);
+
+/// Writes a text file (truncates).
+[[nodiscard]] Status write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace uparc

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace uparc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[uparc %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace uparc

@@ -1,0 +1,53 @@
+// Tiny leveled logger. Off by default so simulations stay quiet in benches;
+// tests and examples can raise the level for diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace uparc {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Sets the global log threshold (messages above it are dropped).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace uparc

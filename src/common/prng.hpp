@@ -1,0 +1,54 @@
+// Deterministic PRNG (xoshiro256**) for workload generation. Deterministic
+// seeding keeps tests and benchmark tables reproducible across platforms,
+// unlike std::default_random_engine.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace uparc {
+
+/// xoshiro256** by Blackman & Vigna; seeded through splitmix64.
+class Prng {
+ public:
+  explicit Prng(u64 seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 x = seed;
+    for (auto& si : s_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  u64 below(u64 bound) { return bound == 0 ? 0 : next() % bound; }
+  /// Uniform in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+  u8 byte() { return static_cast<u8>(next()); }
+
+ private:
+  static constexpr u64 rotl(u64 v, int k) { return (v << k) | (v >> (64 - k)); }
+  u64 s_[4] = {};
+};
+
+}  // namespace uparc

@@ -1,0 +1,68 @@
+// Minimal expected-like Result<T> used on data paths (parsing, decompression)
+// where failure is a normal outcome rather than a programming error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace uparc {
+
+/// Error payload carried by Result<T>.
+struct Error {
+  std::string message;
+};
+
+[[nodiscard]] inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+/// Either a value or an Error. `value()` throws std::runtime_error when the
+/// caller did not check `ok()` first — a deliberate fail-fast for misuse.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::runtime_error("Result::error on value");
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : err_(std::move(error)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] static Status success() { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::runtime_error("Status::error on success");
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool failed_ = false;
+};
+
+}  // namespace uparc

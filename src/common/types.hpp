@@ -1,0 +1,63 @@
+// Basic fixed-width aliases and small helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace uparc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Raw byte buffer used for bitstreams and compressed payloads.
+using Bytes = std::vector<u8>;
+/// Read-only view over a byte buffer.
+using BytesView = std::span<const u8>;
+
+/// 32-bit configuration words as consumed by the ICAP.
+using Words = std::vector<u32>;
+using WordsView = std::span<const u32>;
+
+/// Interprets four bytes as a big-endian 32-bit word (Xilinx bitstream order).
+[[nodiscard]] constexpr u32 load_be32(const u8* p) noexcept {
+  return (u32{p[0]} << 24) | (u32{p[1]} << 16) | (u32{p[2]} << 8) | u32{p[3]};
+}
+
+/// Stores a 32-bit word as four big-endian bytes.
+constexpr void store_be32(u8* p, u32 v) noexcept {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+/// Packs a big-endian byte stream into 32-bit words; the tail is zero-padded.
+[[nodiscard]] inline Words bytes_to_words(BytesView bytes) {
+  Words out;
+  out.reserve((bytes.size() + 3) / 4);
+  std::size_t i = 0;
+  for (; i + 4 <= bytes.size(); i += 4) out.push_back(load_be32(bytes.data() + i));
+  if (i < bytes.size()) {
+    u8 tail[4] = {0, 0, 0, 0};
+    for (std::size_t j = 0; i + j < bytes.size(); ++j) tail[j] = bytes[i + j];
+    out.push_back(load_be32(tail));
+  }
+  return out;
+}
+
+/// Unpacks 32-bit words into a big-endian byte stream.
+[[nodiscard]] inline Bytes words_to_bytes(WordsView words) {
+  Bytes out(words.size() * 4);
+  for (std::size_t i = 0; i < words.size(); ++i) store_be32(out.data() + i * 4, words[i]);
+  return out;
+}
+
+}  // namespace uparc

@@ -1,0 +1,25 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace uparc {
+
+std::string to_string(Frequency f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g MHz", f.in_mhz());
+  return buf;
+}
+
+std::string to_string(TimePs t) {
+  char buf[32];
+  if (t.ps() < 1'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.4g ns", t.ns());
+  } else if (t.ps() < 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.4g us", t.us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g ms", t.ms());
+  }
+  return buf;
+}
+
+}  // namespace uparc

@@ -1,0 +1,139 @@
+// Strong unit types: frequency, simulated time (picoseconds), data sizes.
+//
+// The simulation kernel uses integral picoseconds so that multi-clock-domain
+// schedules stay exact (no floating-point drift between clock edges).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uparc {
+
+/// Simulated time in integral picoseconds.
+class TimePs {
+ public:
+  constexpr TimePs() = default;
+  constexpr explicit TimePs(u64 ps) : ps_(ps) {}
+
+  [[nodiscard]] constexpr u64 ps() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double ns() const noexcept { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ps_) * 1e-12;
+  }
+
+  [[nodiscard]] static constexpr TimePs from_ns(double ns) {
+    return TimePs(static_cast<u64>(ns * 1e3 + 0.5));
+  }
+  [[nodiscard]] static constexpr TimePs from_us(double us) {
+    return TimePs(static_cast<u64>(us * 1e6 + 0.5));
+  }
+  [[nodiscard]] static constexpr TimePs from_ms(double ms) {
+    return TimePs(static_cast<u64>(ms * 1e9 + 0.5));
+  }
+  [[nodiscard]] static constexpr TimePs from_seconds(double s) {
+    return TimePs(static_cast<u64>(s * 1e12 + 0.5));
+  }
+
+  constexpr TimePs& operator+=(TimePs o) noexcept {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr TimePs& operator-=(TimePs o) noexcept {
+    ps_ -= o.ps_;
+    return *this;
+  }
+
+  friend constexpr TimePs operator+(TimePs a, TimePs b) noexcept { return TimePs(a.ps_ + b.ps_); }
+  friend constexpr TimePs operator-(TimePs a, TimePs b) noexcept { return TimePs(a.ps_ - b.ps_); }
+  friend constexpr TimePs operator*(TimePs a, u64 k) noexcept { return TimePs(a.ps_ * k); }
+  friend constexpr TimePs operator*(u64 k, TimePs a) noexcept { return TimePs(a.ps_ * k); }
+  friend constexpr auto operator<=>(TimePs, TimePs) = default;
+
+ private:
+  u64 ps_ = 0;
+};
+
+/// Clock or bus frequency. Stored in Hz; period is rounded to whole ps.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double hz) : hz_(hz) {}
+
+  [[nodiscard]] static constexpr Frequency hz(double v) { return Frequency(v); }
+  [[nodiscard]] static constexpr Frequency khz(double v) { return Frequency(v * 1e3); }
+  [[nodiscard]] static constexpr Frequency mhz(double v) { return Frequency(v * 1e6); }
+  [[nodiscard]] static constexpr Frequency ghz(double v) { return Frequency(v * 1e9); }
+
+  [[nodiscard]] constexpr double in_hz() const noexcept { return hz_; }
+  [[nodiscard]] constexpr double in_mhz() const noexcept { return hz_ * 1e-6; }
+
+  /// Clock period rounded to the nearest picosecond; throws on zero frequency.
+  [[nodiscard]] TimePs period() const {
+    if (hz_ <= 0.0) throw std::domain_error("Frequency::period on non-positive frequency");
+    return TimePs(static_cast<u64>(1e12 / hz_ + 0.5));
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return hz_ <= 0.0; }
+
+  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+  friend constexpr Frequency operator*(Frequency f, double k) noexcept {
+    return Frequency(f.hz_ * k);
+  }
+  friend constexpr Frequency operator/(Frequency f, double k) { return Frequency(f.hz_ / k); }
+
+ private:
+  double hz_ = 0.0;
+};
+
+/// Data sizes. The paper (and Xilinx docs) use binary KB/MB for bitstream
+/// sizes but decimal MB/s for bandwidths; both helpers are provided.
+struct DataSize {
+  static constexpr u64 kib(u64 v) { return v * 1024; }
+  static constexpr u64 mib(u64 v) { return v * 1024 * 1024; }
+};
+
+/// Bandwidth in bytes per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_sec) : bps_(bytes_per_sec) {}
+
+  [[nodiscard]] static Bandwidth from_bytes_over(u64 bytes, TimePs t) {
+    if (t.ps() == 0) throw std::domain_error("Bandwidth over zero time");
+    return Bandwidth(static_cast<double>(bytes) / t.seconds());
+  }
+
+  [[nodiscard]] constexpr double bytes_per_sec() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double mb_per_sec() const noexcept { return bps_ * 1e-6; }
+  [[nodiscard]] constexpr double gb_per_sec() const noexcept { return bps_ * 1e-9; }
+
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// Formats a frequency as e.g. "362.5 MHz".
+[[nodiscard]] std::string to_string(Frequency f);
+/// Formats a time as the most readable of ns/us/ms.
+[[nodiscard]] std::string to_string(TimePs t);
+
+namespace literals {
+constexpr Frequency operator""_MHz(long double v) {
+  return Frequency::mhz(static_cast<double>(v));
+}
+constexpr Frequency operator""_MHz(unsigned long long v) {
+  return Frequency::mhz(static_cast<double>(v));
+}
+constexpr u64 operator""_KiB(unsigned long long v) { return DataSize::kib(v); }
+constexpr u64 operator""_MiB(unsigned long long v) { return DataSize::mib(v); }
+}  // namespace literals
+
+}  // namespace uparc

@@ -1,0 +1,30 @@
+#include "compress/codec.hpp"
+
+namespace uparc::compress::wire {
+
+Bytes wrap(CodecId id, std::size_t original_size, Bytes payload) {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.push_back(kMagic);
+  out.push_back(static_cast<u8>(id));
+  out.push_back(static_cast<u8>(original_size >> 24));
+  out.push_back(static_cast<u8>(original_size >> 16));
+  out.push_back(static_cast<u8>(original_size >> 8));
+  out.push_back(static_cast<u8>(original_size));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Unwrapped> unwrap(CodecId expected, BytesView container) {
+  if (container.size() < kHeaderBytes) return make_error("compressed container truncated");
+  if (container[0] != kMagic) return make_error("bad compressed container magic");
+  if (container[1] != static_cast<u8>(expected)) {
+    return make_error("codec id mismatch (stream was compressed by a different codec)");
+  }
+  const std::size_t original = (std::size_t{container[2]} << 24) |
+                               (std::size_t{container[3]} << 16) |
+                               (std::size_t{container[4]} << 8) | std::size_t{container[5]};
+  return Unwrapped{original, container.subspan(wire::kHeaderBytes)};
+}
+
+}  // namespace uparc::compress::wire

@@ -1,0 +1,74 @@
+// Lossless codec interface for bitstream compression (paper §III-C).
+//
+// Every codec is a real, round-trip-verified software implementation; the
+// hardware decompressor in the simulated datapath wraps a codec with a timing
+// profile (words/cycle, F_max) in core/decompressor_unit.hpp.
+//
+// Compressed container format (common to all codecs so streams are
+// self-describing): 1 magic byte, 1 codec-id byte, u32 big-endian original
+// size, then the codec-specific payload.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace uparc::compress {
+
+/// Hardware characteristics of a decompressor implementation of the codec,
+/// used by the timed datapath and the resource model.
+struct HardwareProfile {
+  Frequency fmax = Frequency::mhz(126);  ///< max decompressor clock
+  double words_per_cycle = 2.0;          ///< 32-bit output words per cycle
+  unsigned slices_v5 = 1035;             ///< Virtex-5 slice cost
+  unsigned slices_v6 = 900;              ///< Virtex-6 slice cost
+};
+
+/// Stable codec identifiers (also the on-wire codec-id byte).
+enum class CodecId : u8 {
+  kRle = 1,
+  kLz77 = 2,
+  kLz78 = 3,
+  kHuffman = 4,
+  kXMatchPro = 5,
+  kDeflateLite = 6,  // the paper's "Zip" comparison point
+  kLzmaLite = 7,     // the paper's "7-zip" comparison point
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual CodecId id() const = 0;
+
+  /// Compresses `input`; always succeeds (worst case expands slightly).
+  [[nodiscard]] virtual Bytes compress(BytesView input) const = 0;
+  /// Decompresses a container produced by `compress`; fails on corruption
+  /// or a codec-id mismatch.
+  [[nodiscard]] virtual Result<Bytes> decompress(BytesView input) const = 0;
+
+  /// Hardware decompressor profile for the simulated datapath.
+  [[nodiscard]] virtual HardwareProfile hardware() const = 0;
+};
+
+/// Container helpers shared by the codec implementations.
+namespace wire {
+inline constexpr u8 kMagic = 0xC5;
+inline constexpr std::size_t kHeaderBytes = 6;
+
+/// Prepends the container header to a payload.
+[[nodiscard]] Bytes wrap(CodecId id, std::size_t original_size, Bytes payload);
+
+/// Validates the header; returns the original size and payload view.
+struct Unwrapped {
+  std::size_t original_size;
+  BytesView payload;
+};
+[[nodiscard]] Result<Unwrapped> unwrap(CodecId expected, BytesView container);
+}  // namespace wire
+
+}  // namespace uparc::compress

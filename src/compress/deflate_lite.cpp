@@ -1,0 +1,213 @@
+#include "compress/deflate_lite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "compress/huffman.hpp"
+
+namespace uparc::compress {
+namespace {
+
+constexpr std::size_t kWindow = 32768;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kLitLenSymbols = 286;  // 0..255 literals, 257..285 lengths
+constexpr std::size_t kDistSymbols = 30;
+
+// Deflate length code table: symbol 257+i covers [base, base + 2^extra - 1].
+struct LenCode {
+  u16 base;
+  u8 extra;
+};
+constexpr std::array<LenCode, 29> kLenCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},   {9, 0},   {10, 0},
+    {11, 1},  {13, 1},  {15, 1},  {17, 1},  {19, 2},  {23, 2},  {27, 2},  {31, 2},
+    {35, 3},  {43, 3},  {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+// Deflate distance code table: symbol i covers [base, base + 2^extra - 1].
+struct DistCode {
+  u32 base;
+  u8 extra;
+};
+constexpr std::array<DistCode, 30> kDistCodes = {{
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},      {5, 1},      {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},     {33, 4},     {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},    {257, 7},    {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},   {2049, 10},  {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+}};
+
+[[nodiscard]] u32 length_symbol(std::size_t len) {
+  for (std::size_t i = kLenCodes.size(); i-- > 0;) {
+    if (len >= kLenCodes[i].base) return static_cast<u32>(257 + i);
+  }
+  throw std::logic_error("deflate: length below minimum");
+}
+
+[[nodiscard]] u32 dist_symbol(std::size_t dist) {
+  for (std::size_t i = kDistCodes.size(); i-- > 0;) {
+    if (dist >= kDistCodes[i].base) return static_cast<u32>(i);
+  }
+  throw std::logic_error("deflate: distance below minimum");
+}
+
+struct Token {
+  bool is_match;
+  u8 literal;
+  u32 length;
+  u32 distance;
+};
+
+[[nodiscard]] inline u32 hash3(const u8* p) noexcept {
+  return (u32{p[0]} << 16 ^ u32{p[1]} << 8 ^ u32{p[2]}) * 2654435761u >> 17;
+}
+constexpr std::size_t kHashSize = 1u << 15;
+constexpr int kMaxChainSteps = 128;
+
+[[nodiscard]] std::vector<Token> tokenize(BytesView input) {
+  std::vector<Token> tokens;
+  std::vector<i64> head(kHashSize, -1);
+  std::vector<i64> prev(input.size(), -1);
+
+  auto insert_pos = [&](std::size_t pos) {
+    if (pos + kMinMatch <= input.size()) {
+      const u32 h = hash3(input.data() + pos) & (kHashSize - 1);
+      prev[pos] = head[h];
+      head[h] = static_cast<i64>(pos);
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= input.size()) {
+      const u32 h = hash3(input.data() + i) & (kHashSize - 1);
+      i64 cand = head[h];
+      int steps = 0;
+      const std::size_t limit = std::min(kMaxMatch, input.size() - i);
+      while (cand >= 0 && steps++ < kMaxChainSteps) {
+        const std::size_t dist = i - static_cast<std::size_t>(cand);
+        if (dist > kWindow) break;
+        std::size_t len = 0;
+        while (len < limit && input[cand + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+        cand = prev[static_cast<std::size_t>(cand)];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back(Token{true, 0, static_cast<u32>(best_len), static_cast<u32>(best_dist)});
+      for (std::size_t k = 0; k < best_len; ++k) insert_pos(i + k);
+      i += best_len;
+    } else {
+      tokens.push_back(Token{false, input[i], 0, 0});
+      insert_pos(i);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Bytes DeflateLiteCodec::compress(BytesView input) const {
+  const std::vector<Token> tokens = tokenize(input);
+
+  std::vector<u64> lit_freq(kLitLenSymbols, 0);
+  std::vector<u64> dist_freq(kDistSymbols, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[length_symbol(t.length)];
+      ++dist_freq[dist_symbol(t.distance)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  // Guarantee at least one usable code per table so headers stay decodable.
+  if (tokens.empty()) ++lit_freq[0];
+  if (std::all_of(dist_freq.begin(), dist_freq.end(), [](u64 f) { return f == 0; })) {
+    ++dist_freq[0];
+  }
+
+  auto lit_lengths = CanonicalCode::build_lengths(lit_freq);
+  auto dist_lengths = CanonicalCode::build_lengths(dist_freq);
+  CanonicalCode lit_code(lit_lengths);
+  CanonicalCode dist_code(dist_lengths);
+
+  BitWriter bw;
+  for (std::size_t s = 0; s < kLitLenSymbols; ++s) bw.put(lit_lengths[s], 4);
+  for (std::size_t s = 0; s < kDistSymbols; ++s) bw.put(dist_lengths[s], 4);
+
+  for (const Token& t : tokens) {
+    if (!t.is_match) {
+      lit_code.encode(bw, t.literal);
+      continue;
+    }
+    const u32 ls = length_symbol(t.length);
+    lit_code.encode(bw, ls);
+    const LenCode& lc = kLenCodes[ls - 257];
+    if (lc.extra > 0) bw.put(t.length - lc.base, lc.extra);
+    const u32 ds = dist_symbol(t.distance);
+    dist_code.encode(bw, ds);
+    const DistCode& dc = kDistCodes[ds];
+    if (dc.extra > 0) bw.put(t.distance - dc.base, dc.extra);
+  }
+  return wire::wrap(id(), input.size(), bw.finish());
+}
+
+Result<Bytes> DeflateLiteCodec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+
+  BitReader br(payload);
+  try {
+    std::vector<u8> lit_lengths(kLitLenSymbols);
+    for (auto& l : lit_lengths) l = static_cast<u8>(br.get(4));
+    std::vector<u8> dist_lengths(kDistSymbols);
+    for (auto& l : dist_lengths) l = static_cast<u8>(br.get(4));
+    CanonicalCode lit_code(std::move(lit_lengths));
+    CanonicalCode dist_code(std::move(dist_lengths));
+
+    Bytes out;
+    out.reserve(original);
+    while (out.size() < original) {
+      const u32 sym = lit_code.decode(br);
+      if (sym < 256) {
+        out.push_back(static_cast<u8>(sym));
+        continue;
+      }
+      if (sym < 257 || sym >= 257 + kLenCodes.size()) {
+        return make_error("deflate: invalid length symbol");
+      }
+      const LenCode& lc = kLenCodes[sym - 257];
+      u32 len = lc.base;
+      if (lc.extra > 0) len += br.get(lc.extra);
+      const u32 ds = dist_code.decode(br);
+      if (ds >= kDistCodes.size()) return make_error("deflate: invalid distance symbol");
+      const DistCode& dc = kDistCodes[ds];
+      u32 dist = dc.base;
+      if (dc.extra > 0) dist += br.get(dc.extra);
+      if (dist > out.size()) return make_error("deflate: distance before stream start");
+      for (u32 k = 0; k < len && out.size() < original; ++k) {
+        out.push_back(out[out.size() - dist]);
+      }
+    }
+    return out;
+  } catch (const std::out_of_range&) {
+    return make_error("deflate: compressed stream truncated");
+  } catch (const std::runtime_error& e) {
+    return make_error(std::string("deflate: ") + e.what());
+  }
+}
+
+}  // namespace uparc::compress

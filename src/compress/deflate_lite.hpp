@@ -1,0 +1,27 @@
+// Deflate-style codec — the paper's "Zip" comparison point.
+//
+// LZ77 over a 32 KB window with deflate's literal/length/distance symbol
+// structure, entropy-coded with canonical length-limited Huffman codes built
+// per stream (one dynamic block). The container stores the two code-length
+// tables nibble-packed; the bitstream is not zlib-compatible but uses
+// deflate's exact length/distance base+extra-bit tables.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+class DeflateLiteCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Zip(deflate)"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kDeflateLite; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    // A full deflate inflater is big and slow in fabric relative to
+    // X-MatchPRO; included for the offline comparison, not the datapath.
+    return HardwareProfile{Frequency::mhz(75), 0.5, 2600, 2200};
+  }
+};
+
+}  // namespace uparc::compress

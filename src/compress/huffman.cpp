@@ -1,0 +1,153 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace uparc::compress {
+namespace {
+
+struct Package {
+  u64 weight;
+  std::vector<u16> symbols;
+};
+
+[[nodiscard]] std::vector<Package> merge_sorted(std::vector<Package> a, std::vector<Package> b) {
+  std::vector<Package> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j >= b.size() || (i < a.size() && a[i].weight <= b[j].weight);
+    out.push_back(std::move(take_a ? a[i++] : b[j++]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<u8> CanonicalCode::build_lengths(std::span<const u64> freqs, unsigned max_len) {
+  std::vector<u8> lengths(freqs.size(), 0);
+  std::vector<u16> active;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) active.push_back(static_cast<u16>(s));
+  }
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;
+    return lengths;
+  }
+  if ((std::size_t{1} << max_len) < active.size()) {
+    throw std::invalid_argument("Huffman: alphabet too large for length limit");
+  }
+
+  std::vector<Package> coins;
+  coins.reserve(active.size());
+  for (u16 s : active) coins.push_back(Package{freqs[s], {s}});
+  std::sort(coins.begin(), coins.end(),
+            [](const Package& x, const Package& y) { return x.weight < y.weight; });
+
+  // Package-merge: iterate max_len levels; at each level pair up the previous
+  // level's packages and merge with the original coin list.
+  std::vector<Package> prev;
+  for (unsigned level = 0; level < max_len; ++level) {
+    std::vector<Package> paired;
+    paired.reserve(prev.size() / 2);
+    for (std::size_t k = 0; k + 1 < prev.size(); k += 2) {
+      Package p;
+      p.weight = prev[k].weight + prev[k + 1].weight;
+      p.symbols = std::move(prev[k].symbols);
+      p.symbols.insert(p.symbols.end(), prev[k + 1].symbols.begin(), prev[k + 1].symbols.end());
+      paired.push_back(std::move(p));
+    }
+    prev = merge_sorted(coins, std::move(paired));
+  }
+
+  const std::size_t take = 2 * active.size() - 2;
+  for (std::size_t k = 0; k < take && k < prev.size(); ++k) {
+    for (u16 s : prev[k].symbols) ++lengths[s];
+  }
+  return lengths;
+}
+
+CanonicalCode::CanonicalCode(std::vector<u8> lengths) : lengths_(std::move(lengths)) {
+  codes_.assign(lengths_.size(), 0);
+  for (u8 l : lengths_) {
+    if (l > kMaxLen) throw std::invalid_argument("Huffman code length exceeds limit");
+    if (l > 0) ++count_[l];
+  }
+  // Canonical assignment: symbols sorted by (length, symbol index).
+  sorted_symbols_.reserve(lengths_.size());
+  u32 code = 0;
+  u32 index = 0;
+  for (unsigned l = 1; l <= kMaxLen; ++l) {
+    first_code_[l] = code;
+    first_index_[l] = index;
+    for (std::size_t s = 0; s < lengths_.size(); ++s) {
+      if (lengths_[s] == l) {
+        codes_[s] = code++;
+        sorted_symbols_.push_back(static_cast<u32>(s));
+        ++index;
+      }
+    }
+    code <<= 1;
+  }
+  first_code_[kMaxLen + 1] = code;
+  first_index_[kMaxLen + 1] = index;
+}
+
+void CanonicalCode::encode(BitWriter& bw, u32 symbol) const {
+  if (symbol >= lengths_.size() || lengths_[symbol] == 0) {
+    throw std::logic_error("Huffman: encoding symbol with no code");
+  }
+  bw.put(codes_[symbol], lengths_[symbol]);
+}
+
+u32 CanonicalCode::decode(BitReader& br) const {
+  u32 code = 0;
+  for (unsigned l = 1; l <= kMaxLen; ++l) {
+    code = (code << 1) | (br.get_bit() ? 1u : 0u);
+    if (count_[l] != 0 && code < first_code_[l] + count_[l]) {
+      return sorted_symbols_[first_index_[l] + (code - first_code_[l])];
+    }
+  }
+  throw std::runtime_error("Huffman: invalid code in stream");
+}
+
+Bytes HuffmanCodec::compress(BytesView input) const {
+  std::array<u64, 256> freqs{};
+  for (u8 b : input) ++freqs[b];
+
+  auto lengths = CanonicalCode::build_lengths(freqs);
+  CanonicalCode code(lengths);
+
+  BitWriter bw;
+  // Header: 256 nibble-packed code lengths.
+  for (std::size_t s = 0; s < 256; ++s) bw.put(lengths[s], 4);
+  for (u8 b : input) code.encode(bw, b);
+  return wire::wrap(id(), input.size(), bw.finish());
+}
+
+Result<Bytes> HuffmanCodec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+
+  BitReader br(payload);
+  try {
+    std::vector<u8> lengths(256);
+    for (std::size_t s = 0; s < 256; ++s) lengths[s] = static_cast<u8>(br.get(4));
+    CanonicalCode code(std::move(lengths));
+
+    Bytes out;
+    out.reserve(original);
+    while (out.size() < original) out.push_back(static_cast<u8>(code.decode(br)));
+    return out;
+  } catch (const std::out_of_range&) {
+    return make_error("Huffman: compressed stream truncated");
+  } catch (const std::runtime_error& e) {
+    return make_error(std::string("Huffman: ") + e.what());
+  }
+}
+
+}  // namespace uparc::compress

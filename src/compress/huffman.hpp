@@ -1,0 +1,58 @@
+// Canonical order-0 Huffman coder.
+//
+// Two-pass: histogram, build length-limited code (max 15 bits, lengths
+// produced by the package-merge algorithm), emit 256 nibble-packed code
+// lengths as the header, then the coded stream. Shared by the standalone
+// Huffman codec (Table I row) and the Deflate-lite codec.
+#pragma once
+
+#include <array>
+
+#include "common/bitio.hpp"
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+/// Canonical Huffman code over an arbitrary alphabet, max code length 15.
+class CanonicalCode {
+ public:
+  static constexpr unsigned kMaxLen = 15;
+
+  /// Builds length-limited code lengths from symbol frequencies
+  /// (package-merge). Symbols with zero frequency get length 0.
+  [[nodiscard]] static std::vector<u8> build_lengths(std::span<const u64> freqs,
+                                                     unsigned max_len = kMaxLen);
+
+  /// Constructs encode/decode tables from code lengths.
+  explicit CanonicalCode(std::vector<u8> lengths);
+
+  [[nodiscard]] std::size_t alphabet_size() const noexcept { return lengths_.size(); }
+  [[nodiscard]] const std::vector<u8>& lengths() const noexcept { return lengths_; }
+
+  void encode(BitWriter& bw, u32 symbol) const;
+  /// Decodes one symbol; throws std::out_of_range on truncation and
+  /// std::runtime_error on an invalid code.
+  [[nodiscard]] u32 decode(BitReader& br) const;
+
+ private:
+  std::vector<u8> lengths_;
+  std::vector<u32> codes_;                   // per-symbol canonical codes
+  // Decode tables indexed by code length (1..15).
+  std::array<u32, kMaxLen + 2> first_code_{};
+  std::array<u32, kMaxLen + 2> first_index_{};
+  std::array<u32, kMaxLen + 1> count_{};
+  std::vector<u32> sorted_symbols_;
+};
+
+class HuffmanCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Huffman"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kHuffman; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    return HardwareProfile{Frequency::mhz(140), 1.0, 510, 430};
+  }
+};
+
+}  // namespace uparc::compress

@@ -1,0 +1,112 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitio.hpp"
+
+namespace uparc::compress {
+namespace {
+
+/// Hash of a 3-byte prefix for the match-finder chains.
+[[nodiscard]] inline u32 hash3(const u8* p) noexcept {
+  return (u32{p[0]} << 16 ^ u32{p[1]} << 8 ^ u32{p[2]}) * 2654435761u >> 19;
+}
+
+constexpr std::size_t kHashSize = 1u << 13;
+constexpr int kMaxChainSteps = 64;
+
+}  // namespace
+
+Lz77Codec::Lz77Codec(Lz77Params params) : params_(params) {
+  if (params_.offset_bits < 4 || params_.offset_bits > 24) {
+    throw std::invalid_argument("Lz77 offset_bits out of range");
+  }
+  if (params_.length_bits < 2 || params_.length_bits > 16) {
+    throw std::invalid_argument("Lz77 length_bits out of range");
+  }
+  window_size_ = std::size_t{1} << params_.offset_bits;
+  max_match_ = params_.min_match + (std::size_t{1} << params_.length_bits) - 1;
+}
+
+Bytes Lz77Codec::compress(BytesView input) const {
+  BitWriter bw;
+  std::vector<i64> head(kHashSize, -1);
+  std::vector<i64> prev(input.size(), -1);
+
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (i + params_.min_match <= input.size()) {
+      const u32 h = hash3(input.data() + i) & (kHashSize - 1);
+      i64 cand = head[h];
+      int steps = 0;
+      const std::size_t limit = std::min(max_match_, input.size() - i);
+      while (cand >= 0 && steps++ < kMaxChainSteps) {
+        const std::size_t off = i - static_cast<std::size_t>(cand);
+        if (off > window_size_) break;  // chains are position-ordered
+        std::size_t len = 0;
+        while (len < limit && input[cand + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = off;
+          if (len == limit) break;
+        }
+        cand = prev[static_cast<std::size_t>(cand)];
+      }
+    }
+
+    auto insert_pos = [&](std::size_t pos) {
+      if (pos + params_.min_match <= input.size()) {
+        const u32 h = hash3(input.data() + pos) & (kHashSize - 1);
+        prev[pos] = head[h];
+        head[h] = static_cast<i64>(pos);
+      }
+    };
+
+    if (best_len >= params_.min_match) {
+      bw.put_bit(true);
+      bw.put(static_cast<u32>(best_off - 1), params_.offset_bits);
+      bw.put(static_cast<u32>(best_len - params_.min_match), params_.length_bits);
+      for (std::size_t k = 0; k < best_len; ++k) insert_pos(i + k);
+      i += best_len;
+    } else {
+      bw.put_bit(false);
+      bw.put(input[i], 8);
+      insert_pos(i);
+      ++i;
+    }
+  }
+  return wire::wrap(id(), input.size(), bw.finish());
+}
+
+Result<Bytes> Lz77Codec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+
+  Bytes out;
+  out.reserve(original);
+  BitReader br(payload);
+  try {
+    while (out.size() < original) {
+      if (br.get_bit()) {
+        const std::size_t off = br.get(params_.offset_bits) + 1;
+        const std::size_t len = br.get(params_.length_bits) + params_.min_match;
+        if (off > out.size()) return make_error("LZ77: match offset before stream start");
+        for (std::size_t k = 0; k < len && out.size() < original; ++k) {
+          out.push_back(out[out.size() - off]);
+        }
+      } else {
+        out.push_back(static_cast<u8>(br.get(8)));
+      }
+    }
+  } catch (const std::out_of_range&) {
+    return make_error("LZ77: compressed stream truncated");
+  }
+  return out;
+}
+
+}  // namespace uparc::compress

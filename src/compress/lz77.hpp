@@ -1,0 +1,42 @@
+// LZ77 with a hardware-sized sliding window.
+//
+// Hardware LZ77 decompressors of the paper's era keep the window in
+// distributed RAM, so the default window is 128 bytes (7-bit offsets) with
+// 4-bit lengths — the classic LZSS field split, sized like the compact
+// FPGA implementations the paper's Table I benchmarks. Token stream is
+// bit-packed MSB-first:
+//   flag 0 + 8 bits          → literal byte
+//   flag 1 + 7 bits + 4 bits → match (offset-1, length-3)
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+struct Lz77Params {
+  unsigned offset_bits = 7;   ///< window = 2^offset_bits bytes
+  unsigned length_bits = 4;   ///< max match = 3 + 2^length_bits - 1
+  unsigned min_match = 3;
+};
+
+class Lz77Codec final : public Codec {
+ public:
+  explicit Lz77Codec(Lz77Params params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "LZ77"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kLz77; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    return HardwareProfile{Frequency::mhz(150), 1.0, 420, 360};
+  }
+
+  [[nodiscard]] const Lz77Params& params() const noexcept { return params_; }
+
+ private:
+  Lz77Params params_;
+  std::size_t window_size_;
+  std::size_t max_match_;
+};
+
+}  // namespace uparc::compress

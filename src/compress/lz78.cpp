@@ -1,0 +1,101 @@
+#include "compress/lz78.hpp"
+
+#include <bit>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitio.hpp"
+
+namespace uparc::compress {
+namespace {
+
+[[nodiscard]] unsigned index_bits(std::size_t dict_size) {
+  // Enough bits to code indices 0..dict_size (0 = empty phrase).
+  return std::bit_width(dict_size);
+}
+
+}  // namespace
+
+Lz78Codec::Lz78Codec(std::size_t max_entries) : max_entries_(max_entries) {
+  if (max_entries_ < 256) throw std::invalid_argument("Lz78 dictionary too small");
+}
+
+Bytes Lz78Codec::compress(BytesView input) const {
+  BitWriter bw;
+  // Trie keyed by (parent index, byte); index 0 is the empty phrase.
+  std::map<std::pair<u32, u8>, u32> trie;
+  u32 next_index = 1;
+
+  u32 current = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const u8 b = input[i];
+    auto it = trie.find({current, b});
+    const bool last = (i + 1 == input.size());
+    if (it != trie.end() && !last) {
+      current = it->second;
+      continue;
+    }
+    // Emit (current phrase, extension byte).
+    bw.put(current, index_bits(next_index));
+    bw.put(b, 8);
+    if (it == trie.end()) {
+      trie.emplace(std::make_pair(current, b), next_index);
+      ++next_index;
+      if (next_index >= max_entries_) {  // dictionary full: reset
+        trie.clear();
+        next_index = 1;
+      }
+    }
+    current = 0;
+  }
+  if (current != 0) {
+    // Input ended exactly on a known phrase: emit it with a padding byte;
+    // the decoder trims to the original size.
+    bw.put(current, index_bits(next_index));
+    bw.put(0, 8);
+  }
+  return wire::wrap(id(), input.size(), bw.finish());
+}
+
+Result<Bytes> Lz78Codec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+
+  Bytes out;
+  out.reserve(original);
+  // Dictionary entry: (parent, byte); phrase reconstruction walks parents.
+  std::vector<std::pair<u32, u8>> dict;  // index 1 == dict[0]
+  dict.reserve(4096);
+  Bytes phrase;
+
+  BitReader br(payload);
+  try {
+    while (out.size() < original) {
+      const u32 next_index = static_cast<u32>(dict.size()) + 1;
+      const u32 idx = br.get(index_bits(next_index));
+      const u8 b = static_cast<u8>(br.get(8));
+      if (idx >= next_index) return make_error("LZ78: phrase index out of range");
+
+      phrase.clear();
+      u32 walk = idx;
+      while (walk != 0) {
+        phrase.push_back(dict[walk - 1].second);
+        walk = dict[walk - 1].first;
+      }
+      for (auto it = phrase.rbegin(); it != phrase.rend() && out.size() < original; ++it) {
+        out.push_back(*it);
+      }
+      if (out.size() < original) out.push_back(b);
+
+      dict.emplace_back(idx, b);
+      if (dict.size() + 1 >= max_entries_) dict.clear();
+    }
+  } catch (const std::out_of_range&) {
+    return make_error("LZ78: compressed stream truncated");
+  }
+  return out;
+}
+
+}  // namespace uparc::compress

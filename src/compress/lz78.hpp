@@ -1,0 +1,29 @@
+// LZ78 dictionary coder.
+//
+// Emits (phrase index, next byte) pairs; the phrase index width grows with
+// the dictionary (ceil(log2(size+1)) bits). The dictionary resets when it
+// reaches `max_entries`, bounding decoder memory like a hardware
+// implementation would.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+class Lz78Codec final : public Codec {
+ public:
+  explicit Lz78Codec(std::size_t max_entries = 1u << 16);
+
+  [[nodiscard]] std::string_view name() const override { return "LZ78"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kLz78; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    return HardwareProfile{Frequency::mhz(110), 1.0, 780, 640};
+  }
+
+ private:
+  std::size_t max_entries_;
+};
+
+}  // namespace uparc::compress

@@ -1,0 +1,392 @@
+#include "compress/lzma_lite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace uparc::compress {
+namespace {
+
+constexpr std::size_t kWindow = 1u << 20;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 273;
+constexpr u32 kTopValue = 1u << 24;
+constexpr u16 kProbInit = 1024;  // p = 0.5 in 11-bit fixed point
+constexpr unsigned kProbBits = 11;
+constexpr unsigned kMoveBits = 5;
+
+// ---------------------------------------------------------------- range coder
+
+class RangeEncoder {
+ public:
+  void encode_bit(u16& prob, bool bit) {
+    const u32 bound = (range_ >> kProbBits) * prob;
+    if (!bit) {
+      range_ = bound;
+      prob = static_cast<u16>(prob + (((1u << kProbBits) - prob) >> kMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob = static_cast<u16>(prob - (prob >> kMoveBits));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  void encode_direct(u32 value, unsigned bits) {
+    while (bits > 0) {
+      range_ >>= 1;
+      --bits;
+      if ((value >> bits) & 1u) low_ += range_;
+      if (range_ < kTopValue) {
+        range_ <<= 8;
+        shift_low();
+      }
+    }
+  }
+
+  [[nodiscard]] Bytes finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+    return std::move(out_);
+  }
+
+ private:
+  void shift_low() {
+    if (static_cast<u32>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      u8 temp = cache_;
+      const u8 carry = static_cast<u8>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<u8>(temp + carry));
+        temp = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<u8>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFu) << 8;
+  }
+
+  Bytes out_;
+  u64 low_ = 0;
+  u32 range_ = 0xFFFFFFFFu;
+  u8 cache_ = 0;
+  u64 cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(BytesView data) : data_(data) {
+    next_byte();  // first emitted byte is always 0
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  [[nodiscard]] bool decode_bit(u16& prob) {
+    const u32 bound = (range_ >> kProbBits) * prob;
+    bool bit;
+    if (code_ < bound) {
+      range_ = bound;
+      prob = static_cast<u16>(prob + (((1u << kProbBits) - prob) >> kMoveBits));
+      bit = false;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob = static_cast<u16>(prob - (prob >> kMoveBits));
+      bit = true;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+  [[nodiscard]] u32 decode_direct(unsigned bits) {
+    u32 res = 0;
+    while (bits-- > 0) {
+      range_ >>= 1;
+      code_ -= range_;
+      const u32 t = 0u - (code_ >> 31);
+      code_ += range_ & t;
+      if (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | next_byte();
+      }
+      res = (res << 1) + (t + 1);
+    }
+    return res;
+  }
+
+ private:
+  u8 next_byte() {
+    if (pos_ >= data_.size()) throw std::out_of_range("range coder: input exhausted");
+    return data_[pos_++];
+  }
+  BytesView data_;
+  std::size_t pos_ = 0;
+  u32 range_ = 0xFFFFFFFFu;
+  u32 code_ = 0;
+};
+
+// ------------------------------------------------------------------ bit trees
+
+template <unsigned Bits>
+struct BitTree {
+  std::array<u16, 1u << Bits> probs;
+  BitTree() { probs.fill(kProbInit); }
+
+  void encode(RangeEncoder& rc, u32 symbol) {
+    u32 m = 1;
+    for (unsigned i = Bits; i-- > 0;) {
+      const bool bit = (symbol >> i) & 1u;
+      rc.encode_bit(probs[m], bit);
+      m = (m << 1) | (bit ? 1u : 0u);
+    }
+  }
+  [[nodiscard]] u32 decode(RangeDecoder& rc) {
+    u32 m = 1;
+    for (unsigned i = 0; i < Bits; ++i) {
+      const bool bit = rc.decode_bit(probs[m]);
+      m = (m << 1) | (bit ? 1u : 0u);
+    }
+    return m - (1u << Bits);
+  }
+};
+
+// ---------------------------------------------------------------------- model
+
+struct Model {
+  std::array<u16, 4> is_match;  // context: (prev was match) * 2 + (prev2 was match)
+  std::array<u16, 2> is_rep;    // context: prev was match
+  std::array<BitTree<8>, 8> literal;  // context: previous byte >> 5
+  // Length: choice bits then banded trees, lengths stored as len - kMinMatch.
+  u16 len_choice_low = kProbInit;
+  u16 len_choice_mid = kProbInit;
+  BitTree<3> len_low;
+  BitTree<3> len_mid;
+  BitTree<8> len_high;
+  BitTree<6> pos_slot;
+
+  Model() {
+    is_match.fill(kProbInit);
+    is_rep.fill(kProbInit);
+  }
+};
+
+void encode_length(Model& m, RangeEncoder& rc, u32 len) {
+  u32 v = len - kMinMatch;
+  if (v < 8) {
+    rc.encode_bit(m.len_choice_low, false);
+    m.len_low.encode(rc, v);
+  } else if (v < 16) {
+    rc.encode_bit(m.len_choice_low, true);
+    rc.encode_bit(m.len_choice_mid, false);
+    m.len_mid.encode(rc, v - 8);
+  } else {
+    rc.encode_bit(m.len_choice_low, true);
+    rc.encode_bit(m.len_choice_mid, true);
+    m.len_high.encode(rc, v - 16);
+  }
+}
+
+[[nodiscard]] u32 decode_length(Model& m, RangeDecoder& rc) {
+  if (!rc.decode_bit(m.len_choice_low)) return kMinMatch + m.len_low.decode(rc);
+  if (!rc.decode_bit(m.len_choice_mid)) return kMinMatch + 8 + m.len_mid.decode(rc);
+  return kMinMatch + 16 + m.len_high.decode(rc);
+}
+
+// Distance slots as in LZMA: slot < 4 encodes the distance directly; above
+// that, slot = 2*log2 + top bit, with (slot/2 - 1) direct remainder bits.
+[[nodiscard]] u32 distance_slot(u32 dist_minus1) {
+  if (dist_minus1 < 4) return dist_minus1;
+  const unsigned log = std::bit_width(dist_minus1) - 1;
+  return static_cast<u32>((log << 1) | ((dist_minus1 >> (log - 1)) & 1u));
+}
+
+void encode_distance(Model& m, RangeEncoder& rc, u32 distance) {
+  const u32 v = distance - 1;
+  const u32 slot = distance_slot(v);
+  m.pos_slot.encode(rc, slot);
+  if (slot >= 4) {
+    const unsigned direct = (slot >> 1) - 1;
+    rc.encode_direct(v & ((1u << direct) - 1u), direct);
+  }
+}
+
+[[nodiscard]] u32 decode_distance(Model& m, RangeDecoder& rc) {
+  const u32 slot = m.pos_slot.decode(rc);
+  if (slot < 4) return slot + 1;
+  const unsigned direct = (slot >> 1) - 1;
+  const u32 base = (2u | (slot & 1u)) << direct;
+  return base + rc.decode_direct(direct) + 1;
+}
+
+// --------------------------------------------------------------- match finder
+
+[[nodiscard]] inline u32 hash3(const u8* p) noexcept {
+  return (u32{p[0]} << 16 ^ u32{p[1]} << 8 ^ u32{p[2]}) * 2654435761u >> 14;
+}
+constexpr std::size_t kHashSize = 1u << 18;
+constexpr int kMaxChainSteps = 192;
+
+struct MatchFinder {
+  explicit MatchFinder(BytesView input)
+      : input_(input), head_(kHashSize, -1), prev_(input.size(), -1) {}
+
+  struct Match {
+    std::size_t length = 0;
+    std::size_t distance = 0;
+  };
+
+  [[nodiscard]] Match find(std::size_t i) const {
+    Match best;
+    if (i + kMinMatch > input_.size()) return best;
+    const u32 h = hash3(input_.data() + i) & (kHashSize - 1);
+    i64 cand = head_[h];
+    int steps = 0;
+    const std::size_t limit = std::min(kMaxMatch, input_.size() - i);
+    while (cand >= 0 && steps++ < kMaxChainSteps) {
+      const std::size_t dist = i - static_cast<std::size_t>(cand);
+      if (dist > kWindow) break;
+      std::size_t len = 0;
+      while (len < limit && input_[cand + len] == input_[i + len]) ++len;
+      if (len > best.length) {
+        best.length = len;
+        best.distance = dist;
+        if (len == limit) break;
+      }
+      cand = prev_[static_cast<std::size_t>(cand)];
+    }
+    if (best.length < kMinMatch) return Match{};
+    return best;
+  }
+
+  /// Longest match at position `i` constrained to a fixed distance.
+  [[nodiscard]] std::size_t find_at_distance(std::size_t i, std::size_t dist) const {
+    if (dist == 0 || dist > i) return 0;
+    const std::size_t limit = std::min(kMaxMatch, input_.size() - i);
+    std::size_t len = 0;
+    while (len < limit && input_[i - dist + len] == input_[i + len]) ++len;
+    return len;
+  }
+
+  void insert(std::size_t i) {
+    if (i + kMinMatch <= input_.size()) {
+      const u32 h = hash3(input_.data() + i) & (kHashSize - 1);
+      prev_[i] = head_[h];
+      head_[h] = static_cast<i64>(i);
+    }
+  }
+
+ private:
+  BytesView input_;
+  std::vector<i64> head_;
+  std::vector<i64> prev_;
+};
+
+}  // namespace
+
+Bytes LzmaLiteCodec::compress(BytesView input) const {
+  RangeEncoder rc;
+  Model model;
+  MatchFinder mf(input);
+
+  std::size_t i = 0;
+  std::size_t last_distance = 0;
+  unsigned match_ctx = 0;  // low 2 bits: previous two match flags
+
+  auto emit_literal = [&](std::size_t pos) {
+    const unsigned ctx = pos > 0 ? (input[pos - 1] >> 5) : 0;
+    rc.encode_bit(model.is_match[match_ctx & 3], false);
+    model.literal[ctx].encode(rc, input[pos]);
+    mf.insert(pos);
+    match_ctx = (match_ctx << 1);
+  };
+
+  while (i < input.size()) {
+    // Repeat-distance match first: it often beats fresh matches on strided
+    // frame data even when shorter, because it costs no distance bits.
+    const std::size_t rep_len = mf.find_at_distance(i, last_distance);
+    MatchFinder::Match match = mf.find(i);
+
+    // Lazy heuristic: if the next position has a strictly longer fresh
+    // match, emit a literal and let it win.
+    if (match.length >= kMinMatch && i + 1 < input.size()) {
+      const MatchFinder::Match next = mf.find(i + 1);
+      if (next.length > match.length) {
+        emit_literal(i);
+        ++i;
+        continue;
+      }
+    }
+
+    const bool use_rep = rep_len >= kMinMatch && rep_len + 1 >= match.length;
+    if (use_rep || match.length >= kMinMatch) {
+      rc.encode_bit(model.is_match[match_ctx & 3], true);
+      std::size_t len;
+      if (use_rep) {
+        rc.encode_bit(model.is_rep[match_ctx & 1], true);
+        len = rep_len;
+      } else {
+        rc.encode_bit(model.is_rep[match_ctx & 1], false);
+        len = match.length;
+        last_distance = match.distance;
+        encode_distance(model, rc, static_cast<u32>(match.distance));
+      }
+      encode_length(model, rc, static_cast<u32>(len));
+      for (std::size_t k = 0; k < len; ++k) mf.insert(i + k);
+      i += len;
+      match_ctx = (match_ctx << 1) | 1u;
+    } else {
+      emit_literal(i);
+      ++i;
+    }
+  }
+  return wire::wrap(id(), input.size(), rc.finish());
+}
+
+Result<Bytes> LzmaLiteCodec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+  if (original == 0) return Bytes{};
+
+  try {
+    RangeDecoder rc(payload);
+    Model model;
+    Bytes out;
+    out.reserve(original);
+    std::size_t last_distance = 0;
+    unsigned match_ctx = 0;
+
+    while (out.size() < original) {
+      if (!rc.decode_bit(model.is_match[match_ctx & 3])) {
+        const unsigned ctx = out.empty() ? 0 : (out.back() >> 5);
+        out.push_back(static_cast<u8>(model.literal[ctx].decode(rc)));
+        match_ctx = (match_ctx << 1);
+        continue;
+      }
+      std::size_t dist;
+      if (rc.decode_bit(model.is_rep[match_ctx & 1])) {
+        dist = last_distance;
+        if (dist == 0) return make_error("lzma: rep match with no history");
+      } else {
+        dist = decode_distance(model, rc);
+        last_distance = dist;
+      }
+      const u32 len = decode_length(model, rc);
+      if (dist > out.size()) return make_error("lzma: distance before stream start");
+      for (u32 k = 0; k < len && out.size() < original; ++k) {
+        out.push_back(out[out.size() - dist]);
+      }
+      match_ctx = (match_ctx << 1) | 1u;
+    }
+    return out;
+  } catch (const std::out_of_range&) {
+    return make_error("lzma: compressed stream truncated");
+  }
+}
+
+}  // namespace uparc::compress

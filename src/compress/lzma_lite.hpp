@@ -1,0 +1,32 @@
+// LZMA-style codec — the paper's "7-zip" comparison point.
+//
+// Large-window LZ77 (1 MiB) parsed with lazy matching, entropy-coded with an
+// adaptive binary range coder (11-bit probabilities, LZMA's renormalization):
+//   * per-position match/literal flag (adaptive),
+//   * literals coded through 8 context-selected 256-leaf bit trees
+//     (context = previous byte's top 3 bits),
+//   * one repeat-distance slot (is_rep flag) to capture the strided
+//     column-template repetition of configuration frames,
+//   * match lengths via low/mid/high bit trees (deflate-like banding),
+//   * distances via a 6-bit position-slot tree plus direct bits.
+// A faithful subset of LZMA's model — no state machine or 4-slot rep
+// history — hence "lite".
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+class LzmaLiteCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "7-zip(lzma)"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kLzmaLite; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    // Range decoding is strongly serial: poor fit for fabric. Offline only.
+    return HardwareProfile{Frequency::mhz(50), 0.25, 4100, 3500};
+  }
+};
+
+}  // namespace uparc::compress

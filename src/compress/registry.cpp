@@ -1,0 +1,56 @@
+#include "compress/registry.hpp"
+
+#include "compress/deflate_lite.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+#include "compress/lz78.hpp"
+#include "compress/lzma_lite.hpp"
+#include "compress/rle.hpp"
+#include "compress/xmatchpro.hpp"
+
+namespace uparc::compress {
+
+std::unique_ptr<Codec> make_codec(CodecId id) {
+  switch (id) {
+    case CodecId::kRle: return std::make_unique<RleCodec>();
+    case CodecId::kLz77: return std::make_unique<Lz77Codec>();
+    case CodecId::kLz78: return std::make_unique<Lz78Codec>();
+    case CodecId::kHuffman: return std::make_unique<HuffmanCodec>();
+    case CodecId::kXMatchPro: return std::make_unique<XMatchProCodec>();
+    case CodecId::kDeflateLite: return std::make_unique<DeflateLiteCodec>();
+    case CodecId::kLzmaLite: return std::make_unique<LzmaLiteCodec>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Codec> make_codec(std::string_view name) {
+  if (name == "RLE") return make_codec(CodecId::kRle);
+  if (name == "LZ77") return make_codec(CodecId::kLz77);
+  if (name == "LZ78") return make_codec(CodecId::kLz78);
+  if (name == "Huffman") return make_codec(CodecId::kHuffman);
+  if (name == "X-MatchPRO") return make_codec(CodecId::kXMatchPro);
+  if (name == "Zip" || name == "Zip(deflate)") return make_codec(CodecId::kDeflateLite);
+  if (name == "7-zip" || name == "7-zip(lzma)") return make_codec(CodecId::kLzmaLite);
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Codec>> table1_codecs() {
+  std::vector<std::unique_ptr<Codec>> v;
+  v.push_back(make_codec(CodecId::kRle));
+  v.push_back(make_codec(CodecId::kLz77));
+  v.push_back(make_codec(CodecId::kHuffman));
+  v.push_back(make_codec(CodecId::kXMatchPro));
+  v.push_back(make_codec(CodecId::kLz78));
+  v.push_back(make_codec(CodecId::kDeflateLite));
+  v.push_back(make_codec(CodecId::kLzmaLite));
+  return v;
+}
+
+std::unique_ptr<Codec> codec_for_container(BytesView container) {
+  if (container.size() < wire::kHeaderBytes || container[0] != wire::kMagic) return nullptr;
+  const u8 id = container[1];
+  if (id < 1 || id > 7) return nullptr;
+  return make_codec(static_cast<CodecId>(id));
+}
+
+}  // namespace uparc::compress

@@ -1,0 +1,26 @@
+// Codec registry: constructs codecs by id/name and enumerates the Table I
+// comparison set in the paper's row order.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+/// Creates a codec instance by id.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(CodecId id);
+
+/// Creates a codec by its Table I name ("RLE", "LZ77", "Huffman",
+/// "X-MatchPRO", "LZ78", "Zip", "7-zip"); returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(std::string_view name);
+
+/// All codecs in the paper's Table I row order (weakest to strongest).
+[[nodiscard]] std::vector<std::unique_ptr<Codec>> table1_codecs();
+
+/// Identifies the codec that produced a compressed container (by codec-id
+/// byte); returns nullptr for malformed containers.
+[[nodiscard]] std::unique_ptr<Codec> codec_for_container(BytesView container);
+
+}  // namespace uparc::compress

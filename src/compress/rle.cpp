@@ -1,0 +1,61 @@
+#include "compress/rle.hpp"
+
+namespace uparc::compress {
+
+Bytes RleCodec::compress(BytesView input) const {
+  Bytes payload;
+  payload.reserve(input.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const u8 b = input[i];
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == b && run < kMaxRun) ++run;
+    if (run >= 3) {
+      payload.push_back(kEscape);
+      payload.push_back(static_cast<u8>(run - 3));
+      payload.push_back(b);
+      i += run;
+    } else {
+      for (std::size_t k = 0; k < run; ++k) {
+        if (b == kEscape) {
+          payload.push_back(kEscape);
+          payload.push_back(kLiteralMarker);
+        } else {
+          payload.push_back(b);
+        }
+      }
+      i += run;
+    }
+  }
+  return wire::wrap(id(), input.size(), std::move(payload));
+}
+
+Result<Bytes> RleCodec::decompress(BytesView input) const {
+  auto un = wire::unwrap(id(), input);
+  if (!un.ok()) return un.error();
+  const auto [original, payload] = un.value();
+
+  Bytes out;
+  out.reserve(original);
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const u8 b = payload[i++];
+    if (b != kEscape) {
+      out.push_back(b);
+      continue;
+    }
+    if (i >= payload.size()) return make_error("RLE: truncated escape sequence");
+    const u8 count = payload[i++];
+    if (count == kLiteralMarker) {
+      out.push_back(kEscape);
+      continue;
+    }
+    if (i >= payload.size()) return make_error("RLE: truncated run");
+    const u8 value = payload[i++];
+    out.insert(out.end(), std::size_t{count} + 3, value);
+  }
+  if (out.size() != original) return make_error("RLE: size mismatch after decode");
+  return out;
+}
+
+}  // namespace uparc::compress

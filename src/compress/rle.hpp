@@ -1,0 +1,28 @@
+// Byte-level run-length encoder — the codec FaRM uses. Simple and fast in
+// hardware but the weakest ratio in Table I (63%).
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+/// Escape-coded RLE: runs of >= 3 identical bytes become
+/// [kEscape, count-3, byte]; a literal escape byte is emitted as
+/// [kEscape, 0xFF] (0xFF is reserved as the literal marker).
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "RLE"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kRle; }
+  [[nodiscard]] Bytes compress(BytesView input) const override;
+  [[nodiscard]] Result<Bytes> decompress(BytesView input) const override;
+  [[nodiscard]] HardwareProfile hardware() const override {
+    // FaRM's RLE decoder is tiny and fast: 1 word/cycle at 200 MHz.
+    return HardwareProfile{Frequency::mhz(200), 1.0, 120, 100};
+  }
+
+  static constexpr u8 kEscape = 0xBD;
+  static constexpr u8 kLiteralMarker = 0xFF;
+  static constexpr std::size_t kMaxRun = 3 + 0xFE;  // count byte 0x00..0xFE
+};
+
+}  // namespace uparc::compress

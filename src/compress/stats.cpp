@@ -1,0 +1,23 @@
+#include "compress/stats.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace uparc::compress {
+
+CompressionSample measure_verified(const Codec& codec, BytesView input) {
+  Bytes compressed = codec.compress(input);
+  auto back = codec.decompress(compressed);
+  if (!back.ok()) {
+    throw std::runtime_error(std::string(codec.name()) +
+                             ": round trip failed: " + back.error().message);
+  }
+  const Bytes& restored = back.value();
+  if (restored.size() != input.size() ||
+      !std::equal(restored.begin(), restored.end(), input.begin())) {
+    throw std::runtime_error(std::string(codec.name()) + ": round trip produced different data");
+  }
+  return CompressionSample{input.size(), compressed.size()};
+}
+
+}  // namespace uparc::compress

@@ -1,0 +1,59 @@
+// Compression statistics in the paper's convention:
+// ratio [%] = (1 - compressed/original) * 100, i.e. the space *saved* —
+// Table I's "74.2%" means the compressed stream is ~4x smaller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace uparc::compress {
+
+struct CompressionSample {
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+
+  /// Paper-convention ratio in percent (space saved).
+  [[nodiscard]] double ratio_percent() const {
+    if (original_bytes == 0) return 0.0;
+    return (1.0 - static_cast<double>(compressed_bytes) / original_bytes) * 100.0;
+  }
+  /// Size multiple ("about four times smaller" => ~4.0).
+  [[nodiscard]] double reduction_factor() const {
+    return compressed_bytes == 0 ? 0.0
+                                 : static_cast<double>(original_bytes) / compressed_bytes;
+  }
+};
+
+/// Accumulates samples for one codec over a corpus.
+class RatioAccumulator {
+ public:
+  void add(const CompressionSample& s) {
+    total_original_ += s.original_bytes;
+    total_compressed_ += s.compressed_bytes;
+    samples_.push_back(s);
+  }
+
+  /// Corpus-weighted ratio (paper averages over several bitstreams).
+  [[nodiscard]] double ratio_percent() const {
+    CompressionSample total{total_original_, total_compressed_};
+    return total.ratio_percent();
+  }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_.size(); }
+  [[nodiscard]] const std::vector<CompressionSample>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::size_t total_original_ = 0;
+  std::size_t total_compressed_ = 0;
+  std::vector<CompressionSample> samples_;
+};
+
+/// Compresses `input` with `codec`, verifies the round trip, and returns the
+/// sample. Throws std::runtime_error if the round trip fails (a codec bug —
+/// lossless is non-negotiable for configuration data).
+[[nodiscard]] CompressionSample measure_verified(const Codec& codec, BytesView input);
+
+}  // namespace uparc::compress

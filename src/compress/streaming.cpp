@@ -1,0 +1,282 @@
+#include "compress/streaming.hpp"
+
+#include <stdexcept>
+
+#include "compress/rle.hpp"
+#include "compress/xmatch_detail.hpp"
+
+namespace uparc::compress {
+namespace {
+
+/// Incremental bit reservoir: bytes arrive over time, bits are consumed
+/// MSB-first. Reads are transactional: `mark()` snapshots the position and
+/// `rollback()` restores it, so a decoder can abandon a half-read record
+/// when the reservoir underruns mid-record; `commit()` trims consumed bytes
+/// so memory stays bounded.
+class BitFeeder {
+ public:
+  void feed(u8 byte) { buf_.push_back(byte); }
+
+  [[nodiscard]] std::size_t bits_left() const noexcept {
+    return buf_.size() * 8 - bit_pos_;
+  }
+
+  void mark() { mark_ = bit_pos_; }
+  void rollback() { bit_pos_ = mark_; }
+  void commit() {
+    while (bit_pos_ >= 8) {
+      buf_.pop_front();
+      bit_pos_ -= 8;
+    }
+    mark_ = bit_pos_;
+  }
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  [[nodiscard]] u32 get(unsigned count) {
+    if (count > bits_left()) throw std::out_of_range("BitFeeder underrun");
+    u32 out = 0;
+    while (count > 0) {
+      const unsigned avail = 8 - static_cast<unsigned>(bit_pos_ % 8);
+      const unsigned take = count < avail ? count : avail;
+      const u8 cur = buf_[bit_pos_ / 8];
+      const u32 piece = (static_cast<u32>(cur) >> (avail - take)) & ((1u << take) - 1u);
+      out = (out << take) | piece;
+      bit_pos_ += take;
+      count -= take;
+    }
+    return out;
+  }
+
+ private:
+  std::deque<u8> buf_;
+  std::size_t bit_pos_ = 0;
+  std::size_t mark_ = 0;
+};
+
+/// Shared plumbing: container-header parsing, input word unpacking, output
+/// byte->word packing, and bookkeeping.
+class StreamingBase : public StreamingDecoder {
+ public:
+  explicit StreamingBase(CodecId expect) : expect_(expect) {}
+
+  void push_word(u32 word) final {
+    if (input_closed_) throw std::logic_error("StreamingDecoder: input after stream end");
+    for (int b = 3; b >= 0; --b) on_input_byte(static_cast<u8>(word >> (8 * b)));
+    if (!errored_ && header_parsed_) decode_available();
+  }
+
+  bool pop_word(u32& out) final {
+    // A full word, or the padded tail once everything has been produced.
+    if (out_bytes_.size() < 4 && !(all_bytes_produced() && !out_bytes_.empty())) return false;
+    u8 b[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4 && !out_bytes_.empty(); ++i) {
+      b[i] = out_bytes_.front();
+      out_bytes_.pop_front();
+    }
+    out = (u32{b[0]} << 24) | (u32{b[1]} << 16) | (u32{b[2]} << 8) | u32{b[3]};
+    ++produced_words_;
+    return true;
+  }
+
+  [[nodiscard]] bool finished() const final {
+    return header_parsed_ && all_bytes_produced() && out_bytes_.empty();
+  }
+  [[nodiscard]] std::size_t produced_words() const final { return produced_words_; }
+  [[nodiscard]] std::size_t total_words() const final {
+    return header_parsed_ ? (original_size_ + 3) / 4 : 0;
+  }
+  [[nodiscard]] bool errored() const final { return errored_; }
+  [[nodiscard]] const std::string& error_message() const final { return error_; }
+
+ protected:
+  /// Decodes as much as the reservoir allows; implemented per codec.
+  virtual void decode_available() = 0;
+
+  void fail(std::string why) {
+    errored_ = true;
+    error_ = std::move(why);
+  }
+
+  void emit_byte(u8 b) {
+    if (produced_bytes_ < original_size_) {
+      out_bytes_.push_back(b);
+    }
+    ++produced_bytes_;  // padding beyond the size is counted but dropped
+    if (produced_bytes_ > original_size_ + 3) {
+      fail("decoder produced more than the declared size");
+    }
+  }
+
+  [[nodiscard]] bool all_bytes_produced() const {
+    return header_parsed_ && produced_bytes_ >= original_size_;
+  }
+  [[nodiscard]] std::size_t original_size() const noexcept { return original_size_; }
+  [[nodiscard]] std::size_t produced_bytes() const noexcept {
+    return produced_bytes_ < original_size_ ? produced_bytes_ : original_size_;
+  }
+
+  BitFeeder bits_;
+
+ private:
+  void on_input_byte(u8 byte) {
+    if (errored_) return;
+    if (!header_parsed_) {
+      header_buf_.push_back(byte);
+      if (header_buf_.size() == wire::kHeaderBytes) {
+        auto un = wire::unwrap(expect_, header_buf_);
+        if (!un.ok()) {
+          fail(un.error().message);
+          return;
+        }
+        original_size_ = un.value().original_size;
+        header_parsed_ = true;
+      }
+      return;
+    }
+    bits_.feed(byte);
+  }
+
+  CodecId expect_;
+  Bytes header_buf_;
+  bool header_parsed_ = false;
+  bool input_closed_ = false;
+  std::size_t original_size_ = 0;
+  std::size_t produced_bytes_ = 0;
+  std::size_t produced_words_ = 0;
+  std::deque<u8> out_bytes_;
+  bool errored_ = false;
+  std::string error_;
+};
+
+// --------------------------------------------------------------------- RLE
+
+class RleStreamDecoder final : public StreamingBase {
+ public:
+  RleStreamDecoder() : StreamingBase(CodecId::kRle) {}
+
+ protected:
+  void decode_available() override {
+    // Byte-level machine: a record is at most 3 bytes (ESC, count, value).
+    while (!all_bytes_produced() && bits_.bits_left() >= 8) {
+      const u8 b = static_cast<u8>(bits_.get(8));
+      bits_.commit();
+      switch (state_) {
+        case State::kLiteral:
+          if (b == RleCodec::kEscape) {
+            state_ = State::kCount;
+          } else {
+            emit_byte(b);
+          }
+          break;
+        case State::kCount:
+          if (b == RleCodec::kLiteralMarker) {
+            emit_byte(RleCodec::kEscape);
+            state_ = State::kLiteral;
+          } else {
+            run_ = std::size_t{b} + 3;
+            state_ = State::kValue;
+          }
+          break;
+        case State::kValue:
+          for (std::size_t i = 0; i < run_; ++i) emit_byte(b);
+          state_ = State::kLiteral;
+          break;
+      }
+    }
+  }
+
+ private:
+  enum class State { kLiteral, kCount, kValue };
+  State state_ = State::kLiteral;
+  std::size_t run_ = 0;
+};
+
+// -------------------------------------------------------------- X-MatchPRO
+
+class XMatchStreamDecoder final : public StreamingBase {
+ public:
+  explicit XMatchStreamDecoder(std::size_t dict_entries)
+      : StreamingBase(CodecId::kXMatchPro), dict_(dict_entries) {}
+
+ protected:
+  void decode_available() override {
+    // Records are self-delimiting but variable-length; decode records
+    // transactionally until the reservoir underruns mid-record (rollback)
+    // or all output is owed.
+    while (!all_bytes_produced() && bits_.bits_left() >= 2 && !errored()) {
+      bits_.mark();
+      try {
+        decode_record();
+        bits_.commit();
+      } catch (const std::out_of_range&) {
+        bits_.rollback();  // half a record: wait for more input
+        return;
+      }
+    }
+  }
+
+ private:
+  void emit_tuple(const xm::Tuple& t) {
+    for (int b = 0; b < 4; ++b) emit_byte(t[b]);
+  }
+
+  // Reads every field before any side effect, so a mid-record underrun
+  // (thrown by the BitFeeder) leaves the dictionary and output untouched
+  // and the caller can roll the bit position back.
+  void decode_record() {
+    if (bits_.get_bit()) {  // miss
+      xm::Tuple t;
+      for (int b = 0; b < 4; ++b) t[b] = static_cast<u8>(bits_.get(8));
+      emit_tuple(t);
+      dict_.insert(t);
+      return;
+    }
+    if (bits_.get_bit()) {  // RLI zero run
+      const u32 run = bits_.get(xm::kRliBits);
+      if (run == 0) {
+        fail("X-MatchPRO stream: zero-length RLI run");
+        return;
+      }
+      for (u32 r = 0; r < run; ++r) emit_tuple(xm::Tuple{0, 0, 0, 0});
+      return;
+    }
+    const u32 loc = xm::get_phased(bits_, static_cast<u32>(dict_.size()));
+    if (loc >= dict_.size()) {
+      fail("X-MatchPRO stream: location out of range");
+      return;
+    }
+    const int type = xm::get_type(bits_);
+    const u8 mask = xm::kMatchMasks[static_cast<std::size_t>(type)];
+    xm::Tuple t = dict_.at(loc);
+    for (int b = 0; b < 4; ++b) {
+      if (!(mask & (1u << (3 - b)))) t[b] = static_cast<u8>(bits_.get(8));
+    }
+    emit_tuple(t);
+    if (mask == 0b1111) {
+      dict_.promote(loc);
+    } else {
+      dict_.insert(t);
+    }
+  }
+
+  xm::Dictionary dict_;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamingDecoder> make_streaming_decoder(CodecId id,
+                                                         std::size_t xmatch_dict_entries) {
+  switch (id) {
+    case CodecId::kRle: return std::make_unique<RleStreamDecoder>();
+    case CodecId::kXMatchPro:
+      return std::make_unique<XMatchStreamDecoder>(xmatch_dict_entries);
+    default: return nullptr;
+  }
+}
+
+bool has_streaming_decoder(CodecId id) {
+  return id == CodecId::kRle || id == CodecId::kXMatchPro;
+}
+
+}  // namespace uparc::compress

@@ -1,0 +1,6 @@
+// The ReconfigController interface is header-only; this TU anchors it.
+#include "controllers/controller.hpp"
+
+namespace uparc::ctrl {
+// No out-of-line definitions required.
+}  // namespace uparc::ctrl

@@ -1,0 +1,65 @@
+// Common interface for reconfiguration controllers (Table III comparison).
+//
+// Lifecycle: stage() provisions the controller's bitstream storage (host
+// side / idle time — the paper excludes it from reconfiguration time), then
+// reconfigure() performs the timed transfer into the ICAP and reports a
+// ReconfigResult through the callback.
+#pragma once
+
+#include <functional>
+
+#include "bitstream/generator.hpp"
+#include "icap/icap.hpp"
+
+namespace uparc::ctrl {
+
+/// Table III's "Large Bitstream" capacity column.
+enum class CapacityClass {
+  kLimited,    // "-"   : bounded by on-chip BRAM
+  kGood,       // "++"  : compression or sizeable external memory
+  kExcellent,  // "+++" : effectively unbounded (CF / DDR)
+};
+
+[[nodiscard]] constexpr const char* to_symbol(CapacityClass c) {
+  switch (c) {
+    case CapacityClass::kLimited: return "-";
+    case CapacityClass::kGood: return "++";
+    case CapacityClass::kExcellent: return "+++";
+  }
+  return "?";
+}
+
+struct ReconfigResult {
+  bool success = false;
+  std::string error;
+  TimePs start{};
+  TimePs end{};
+  u64 payload_bytes = 0;  ///< configuration words delivered to ICAP * 4
+  double energy_uj = 0.0; ///< rail energy over [start, end] (0 if no rail)
+
+  [[nodiscard]] TimePs duration() const { return end - start; }
+  [[nodiscard]] Bandwidth bandwidth() const {
+    return Bandwidth::from_bytes_over(payload_bytes, duration());
+  }
+};
+
+using ReconfigCallback = std::function<void(const ReconfigResult&)>;
+
+class ReconfigController : public sim::Module {
+ public:
+  using Module::Module;
+
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+  /// Highest clock the controller's datapath closes timing at.
+  [[nodiscard]] virtual Frequency max_frequency() const = 0;
+  [[nodiscard]] virtual CapacityClass capacity_class() const = 0;
+
+  /// Provisions storage with the bitstream. Untimed host-side step for
+  /// externally-fed controllers; preload-timed for BRAM-fed ones.
+  [[nodiscard]] virtual Status stage(const bits::PartialBitstream& bs) = 0;
+
+  /// Performs the reconfiguration; must have been staged first.
+  virtual void reconfigure(ReconfigCallback done) = 0;
+};
+
+}  // namespace uparc::ctrl

@@ -1,0 +1,91 @@
+#include "controllers/farm.hpp"
+
+namespace uparc::ctrl {
+
+Farm::Farm(sim::Simulation& sim, std::string name, icap::Icap& port, FarmParams params,
+           power::Rail* rail)
+    : ReconfigController(sim, std::move(name)),
+      params_(params),
+      port_(port),
+      clock_(sim, this->name() + ".clk", params.clock),
+      bram_(sim, this->name() + ".bram", params.bram_bytes),
+      rail_(rail) {
+  if (rail_ != nullptr) {
+    path_power_ = std::make_unique<power::BlockPower>(
+        *rail_, this->name() + ".path", clock_,
+        [](Frequency f) { return 1.55 * f.in_mhz(); });
+  }
+  clock_.on_rising([this] { on_edge(); });
+}
+
+Status Farm::stage(const bits::PartialBitstream& bs) {
+  const std::size_t raw_bytes = bs.body.size() * 4;
+  if (raw_bytes <= bram_.size_bytes()) {
+    bram_.load_words(bs.body, 0);
+    compressed_ = false;
+  } else {
+    if (!params_.allow_compression) {
+      return make_error("bitstream exceeds FaRM BRAM and compression is disabled");
+    }
+    const Bytes packed = words_to_bytes(bs.body);
+    const Bytes container = rle_.compress(packed);
+    if (container.size() > bram_.size_bytes()) {
+      return make_error("bitstream exceeds FaRM BRAM even after RLE (ratio too low)");
+    }
+    bram_.load(container, 0);
+    compressed_ = true;
+  }
+  output_words_ = bs.body;
+  next_word_ = 0;
+  return Status::success();
+}
+
+void Farm::finish(bool success, std::string error) {
+  clock_.disable();
+  if (path_power_) path_power_->set_active(false);
+  ReconfigResult r;
+  r.success = success;
+  r.error = std::move(error);
+  r.start = start_;
+  r.end = sim_.now();
+  r.payload_bytes = output_words_.size() * 4;
+  if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(r);
+}
+
+void Farm::on_edge() {
+  if (port_.errored()) {
+    finish(false, "ICAP error: " + port_.error_message());
+    return;
+  }
+  if (setup_left_ > 0) {
+    --setup_left_;
+    return;
+  }
+  if (next_word_ >= output_words_.size()) {
+    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    return;
+  }
+  // FaRM's datapath (BRAM read or RLE decode) sustains one word per cycle.
+  port_.write_word(output_words_[next_word_++]);
+}
+
+void Farm::reconfigure(ReconfigCallback done) {
+  if (output_words_.empty()) {
+    ReconfigResult r;
+    r.error = "FaRM: reconfigure without stage";
+    done(r);
+    return;
+  }
+  done_ = std::move(done);
+  start_ = sim_.now();
+  next_word_ = 0;
+  setup_left_ = params_.setup_cycles;
+  port_.reset();
+  if (path_power_) path_power_->set_active(true);
+  clock_.enable();
+}
+
+}  // namespace uparc::ctrl

@@ -1,0 +1,85 @@
+#include "controllers/flashcap.hpp"
+
+namespace uparc::ctrl {
+
+FlashCap::FlashCap(sim::Simulation& sim, std::string name, icap::Icap& port,
+                   FlashCapParams params, power::Rail* rail)
+    : ReconfigController(sim, std::move(name)),
+      params_(params),
+      port_(port),
+      clock_(sim, this->name() + ".clk", params.clock),
+      rail_(rail) {
+  if (rail_ != nullptr) {
+    path_power_ = std::make_unique<power::BlockPower>(
+        *rail_, this->name() + ".path", clock_,
+        [](Frequency f) { return 1.7 * f.in_mhz(); });
+  }
+  clock_.on_rising([this] { on_edge(); });
+}
+
+Status FlashCap::stage(const bits::PartialBitstream& bs) {
+  const Bytes packed = words_to_bytes(bs.body);
+  flash_image_ = codec_.compress(packed);
+  // Verify the stored stream restores exactly (staging-time self check).
+  auto back = codec_.decompress(flash_image_);
+  if (!back.ok()) return back.error();
+  if (back.value() != packed) return make_error("FlashCAP: round-trip mismatch");
+  output_words_ = bs.body;
+  next_word_ = 0;
+  return Status::success();
+}
+
+void FlashCap::finish(bool success, std::string error) {
+  clock_.disable();
+  if (path_power_) path_power_->set_active(false);
+  ReconfigResult r;
+  r.success = success;
+  r.error = std::move(error);
+  r.start = start_;
+  r.end = sim_.now();
+  r.payload_bytes = output_words_.size() * 4;
+  if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(r);
+}
+
+void FlashCap::on_edge() {
+  if (port_.errored()) {
+    finish(false, "ICAP error: " + port_.error_message());
+    return;
+  }
+  if (setup_left_ > 0) {
+    --setup_left_;
+    return;
+  }
+  if (next_word_ >= output_words_.size()) {
+    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    return;
+  }
+  // Fractional-credit model of the decompressor's sustained output rate.
+  credit_ += params_.output_words_per_cycle;
+  while (credit_ >= 1.0 && next_word_ < output_words_.size()) {
+    credit_ -= 1.0;
+    port_.write_word(output_words_[next_word_++]);
+  }
+}
+
+void FlashCap::reconfigure(ReconfigCallback done) {
+  if (output_words_.empty()) {
+    ReconfigResult r;
+    r.error = "FlashCAP: reconfigure without stage";
+    done(r);
+    return;
+  }
+  done_ = std::move(done);
+  start_ = sim_.now();
+  next_word_ = 0;
+  credit_ = 0.0;
+  setup_left_ = params_.setup_cycles;
+  port_.reset();
+  if (path_power_) path_power_->set_active(true);
+  clock_.enable();
+}
+
+}  // namespace uparc::ctrl

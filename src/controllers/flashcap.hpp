@@ -1,0 +1,59 @@
+// FlashCAP model (Nabina & Nunez-Yanez, FPL'10): bitstreams stored
+// compressed (X-MatchPRO) in flash and decompressed in-stream. The
+// decompressor output sustains less than a word per cycle at the ~120 MHz
+// fabric limit, giving the paper's 358 MB/s (FlashCAP_i).
+#pragma once
+
+#include <memory>
+#include "compress/xmatchpro.hpp"
+#include "controllers/controller.hpp"
+#include "power/model.hpp"
+#include "sim/clock.hpp"
+
+namespace uparc::ctrl {
+
+struct FlashCapParams {
+  Frequency clock = Frequency::mhz(120);
+  Frequency f_max = Frequency::mhz(120);
+  /// Sustained decompressor output in words per cycle (<1: flash input and
+  /// decoder stalls). 0.75 reproduces the 358 MB/s measurement at 120 MHz.
+  double output_words_per_cycle = 0.75;
+  unsigned setup_cycles = 40;
+};
+
+class FlashCap final : public ReconfigController {
+ public:
+  FlashCap(sim::Simulation& sim, std::string name, icap::Icap& port,
+           FlashCapParams params = {}, power::Rail* rail = nullptr);
+
+  [[nodiscard]] std::string_view kind() const override { return "FlashCAP"; }
+  [[nodiscard]] Frequency max_frequency() const override { return params_.f_max; }
+  [[nodiscard]] CapacityClass capacity_class() const override { return CapacityClass::kGood; }
+
+  [[nodiscard]] Status stage(const bits::PartialBitstream& bs) override;
+  void reconfigure(ReconfigCallback done) override;
+
+  [[nodiscard]] std::size_t flash_bytes_used() const noexcept { return flash_image_.size(); }
+  [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
+
+ private:
+  void on_edge();
+  void finish(bool success, std::string error);
+
+  FlashCapParams params_;
+  icap::Icap& port_;
+  sim::Clock clock_;
+  compress::XMatchProCodec codec_;
+  std::unique_ptr<power::BlockPower> path_power_;
+  power::Rail* rail_;
+
+  Bytes flash_image_;   // compressed container as stored in flash
+  Words output_words_;  // decompressed stream for the ICAP
+  std::size_t next_word_ = 0;
+  double credit_ = 0.0;
+  unsigned setup_left_ = 0;
+  TimePs start_{};
+  ReconfigCallback done_;
+};
+
+}  // namespace uparc::ctrl

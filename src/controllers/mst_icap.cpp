@@ -1,0 +1,79 @@
+#include "controllers/mst_icap.hpp"
+
+#include <algorithm>
+
+namespace uparc::ctrl {
+
+MstIcap::MstIcap(sim::Simulation& sim, std::string name, icap::Icap& port, MstIcapParams params,
+                 power::Rail* rail)
+    : ReconfigController(sim, std::move(name)),
+      params_(params),
+      port_(port),
+      ddr_(sim, this->name() + ".ddr2", params.ddr_bytes),
+      rail_(rail) {
+  if (rail_ != nullptr) {
+    // DDR2 I/O plus the ICAP path: DRAM interface power dwarfs the fabric.
+    path_power_ = std::make_unique<power::ConstantPower>(
+        *rail_, this->name() + ".path", 2.1 * params_.clock.in_mhz());
+  }
+}
+
+Status MstIcap::stage(const bits::PartialBitstream& bs) {
+  if (bs.body.size() * 4 > ddr_.size_bytes()) {
+    return make_error("bitstream exceeds DDR2 capacity");
+  }
+  ddr_.load_words(bs.body, 0);
+  total_words_ = bs.body.size();
+  return Status::success();
+}
+
+void MstIcap::finish(bool success, std::string error) {
+  if (path_power_) path_power_->set_active(false);
+  ReconfigResult r;
+  r.success = success;
+  r.error = std::move(error);
+  r.start = start_;
+  r.end = sim_.now();
+  r.payload_bytes = total_words_ * 4;
+  if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(r);
+}
+
+void MstIcap::next_burst() {
+  if (port_.errored()) {
+    finish(false, "ICAP error: " + port_.error_message());
+    return;
+  }
+  if (next_word_ >= total_words_) {
+    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    return;
+  }
+  const std::size_t n =
+      std::min<std::size_t>(ddr_.timing().burst_words, total_words_ - next_word_);
+  Words burst;
+  const unsigned cycles = ddr_.read_burst(next_word_, n, burst);
+  sim_.schedule_in(params_.clock.period() * cycles, [this, burst = std::move(burst)] {
+    for (u32 w : burst) port_.write_word(w);
+    next_word_ += burst.size();
+    next_burst();
+  });
+}
+
+void MstIcap::reconfigure(ReconfigCallback done) {
+  if (total_words_ == 0) {
+    ReconfigResult r;
+    r.error = "MST_ICAP: reconfigure without stage";
+    done(r);
+    return;
+  }
+  done_ = std::move(done);
+  start_ = sim_.now();
+  next_word_ = 0;
+  port_.reset();
+  if (path_power_) path_power_->set_active(true);
+  sim_.schedule_in(params_.clock.period() * params_.setup_cycles, [this] { next_burst(); });
+}
+
+}  // namespace uparc::ctrl

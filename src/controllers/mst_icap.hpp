@@ -1,0 +1,54 @@
+// MST_ICAP model (Liu et al., FPL'09): a bus-master DMA streams the
+// bitstream from DDR2 SDRAM to ICAP. Capacity is effectively unbounded but
+// DRAM overheads (CAS gaps, row activations, refresh) cap the measured
+// bandwidth at ~235 MB/s around 120 MHz.
+#pragma once
+
+#include <memory>
+#include "controllers/controller.hpp"
+#include "mem/ddr2.hpp"
+#include "power/model.hpp"
+#include "sim/clock.hpp"
+
+namespace uparc::ctrl {
+
+struct MstIcapParams {
+  Frequency clock = Frequency::mhz(120);
+  Frequency f_max = Frequency::mhz(120);
+  std::size_t ddr_bytes = 64 * 1024 * 1024;
+  unsigned setup_cycles = 80;  ///< master attach + descriptor setup
+};
+
+class MstIcap final : public ReconfigController {
+ public:
+  MstIcap(sim::Simulation& sim, std::string name, icap::Icap& port, MstIcapParams params = {},
+          power::Rail* rail = nullptr);
+
+  [[nodiscard]] std::string_view kind() const override { return "MST_ICAP"; }
+  [[nodiscard]] Frequency max_frequency() const override { return params_.f_max; }
+  [[nodiscard]] CapacityClass capacity_class() const override {
+    return CapacityClass::kExcellent;
+  }
+
+  [[nodiscard]] Status stage(const bits::PartialBitstream& bs) override;
+  void reconfigure(ReconfigCallback done) override;
+
+  [[nodiscard]] mem::Ddr2& ddr() noexcept { return ddr_; }
+
+ private:
+  void next_burst();
+  void finish(bool success, std::string error);
+
+  MstIcapParams params_;
+  icap::Icap& port_;
+  mem::Ddr2 ddr_;
+  std::unique_ptr<power::ConstantPower> path_power_;
+  power::Rail* rail_;
+
+  std::size_t total_words_ = 0;
+  std::size_t next_word_ = 0;
+  TimePs start_{};
+  ReconfigCallback done_;
+};
+
+}  // namespace uparc::ctrl

@@ -1,0 +1,108 @@
+#include "controllers/xps_hwicap.hpp"
+
+#include <algorithm>
+
+#include "power/calibration.hpp"
+
+namespace uparc::ctrl {
+namespace {
+constexpr std::size_t kBatchWords = 64;  // words copied per modeled loop chunk
+}
+
+XpsHwicap::XpsHwicap(sim::Simulation& sim, std::string name, manager::MicroBlaze& mb,
+                     icap::Icap& port, XpsSource source, power::Rail* rail)
+    : ReconfigController(sim, std::move(name)),
+      mb_(mb),
+      port_(port),
+      source_(source),
+      rail_(rail) {
+  if (rail_ != nullptr) {
+    copy_power_ = std::make_unique<power::ConstantPower>(*rail_, this->name() + ".copy",
+                                                         power::kXpsHwicapCopyMw);
+  }
+}
+
+Status XpsHwicap::stage(const bits::PartialBitstream& bs) {
+  body_ = bs.body;
+  next_word_ = 0;
+  payload_bytes_ = bs.body.size() * 4;
+  if (source_ == XpsSource::kCompactFlash) {
+    // Provision a card image holding the raw body.
+    Bytes image = words_to_bytes(bs.body);
+    const std::size_t card = ((image.size() + 511) / 512 + 1) * 512;
+    cf_ = std::make_unique<mem::CompactFlash>(sim_, name() + ".cf", card);
+    cf_->store(image, 0);
+  }
+  return Status::success();
+}
+
+void XpsHwicap::finish(bool success, std::string error) {
+  if (copy_power_) copy_power_->set_active(false);
+  ReconfigResult r;
+  r.success = success;
+  r.error = std::move(error);
+  r.start = start_;
+  r.end = sim_.now();
+  r.payload_bytes = payload_bytes_;
+  if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(r);
+}
+
+void XpsHwicap::pump() {
+  if (port_.errored()) {
+    finish(false, "ICAP error: " + port_.error_message());
+    return;
+  }
+  if (next_word_ >= body_.size()) {
+    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    return;
+  }
+
+  std::size_t chunk = kBatchWords;
+  if (source_ == XpsSource::kCompactFlash) chunk = cf_->timing().sector_bytes / 4;
+  const std::size_t n = std::min(chunk, body_.size() - next_word_);
+  u64 cycles = 0;
+  switch (source_) {
+    case XpsSource::kCached:
+      cycles = n * mb_.costs().xps_copy_loop_word;
+      break;
+    case XpsSource::kUnoptimized:
+      cycles = n * mb_.costs().xps_unoptimized_word;
+      break;
+    case XpsSource::kCompactFlash: {
+      // Fetch the backing sector first (dominates), then the copy loop.
+      cycles = n * mb_.costs().xps_copy_loop_word + mb_.costs().sector_setup;
+      Bytes sector;
+      const std::size_t lba = next_word_ * 4 / cf_->timing().sector_bytes;
+      const TimePs cf_time = cf_->read_sector(lba, sector);
+      // Model the CF access as stalled manager time.
+      cycles += static_cast<u64>(cf_time.seconds() * mb_.frequency().in_hz());
+      break;
+    }
+  }
+
+  mb_.execute(cycles, [this, n] {
+    for (std::size_t i = 0; i < n; ++i) port_.write_word(body_[next_word_ + i]);
+    next_word_ += n;
+    pump();
+  });
+}
+
+void XpsHwicap::reconfigure(ReconfigCallback done) {
+  if (body_.empty()) {
+    ReconfigResult r;
+    r.error = "xps_hwicap: reconfigure without stage";
+    done(r);
+    return;
+  }
+  done_ = std::move(done);
+  start_ = sim_.now();
+  next_word_ = 0;
+  port_.reset();
+  if (copy_power_) copy_power_->set_active(true);
+  pump();
+}
+
+}  // namespace uparc::ctrl

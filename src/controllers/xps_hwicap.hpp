@@ -1,0 +1,56 @@
+// xps_hwicap model (Xilinx LogiCORE DS586) — the processor-driven baseline.
+//
+// The MicroBlaze copies the bitstream word by word into the HWICAP FIFO over
+// the PLB, polling status between bursts. Two source modes, as in the paper:
+//   * kCompactFlash — SystemACE storage: ~180 KB/s end to end.
+//   * kCached       — bitstream already in processor-local memory:
+//                     ~14.5 MB/s at 100 MHz (Liu et al. measurement).
+// A third cost profile, kUnoptimized, reproduces the paper's own §V setup
+// (1.5 MB/s) used in the energy comparison.
+#pragma once
+
+#include <memory>
+#include "controllers/controller.hpp"
+#include "manager/microblaze.hpp"
+#include "mem/compact_flash.hpp"
+#include "power/model.hpp"
+
+namespace uparc::ctrl {
+
+enum class XpsSource { kCompactFlash, kCached, kUnoptimized };
+
+class XpsHwicap final : public ReconfigController {
+ public:
+  XpsHwicap(sim::Simulation& sim, std::string name, manager::MicroBlaze& mb, icap::Icap& port,
+            XpsSource source, power::Rail* rail = nullptr);
+
+  [[nodiscard]] std::string_view kind() const override { return "xps_hwicap"; }
+  [[nodiscard]] Frequency max_frequency() const override { return Frequency::mhz(120); }
+  [[nodiscard]] CapacityClass capacity_class() const override {
+    return CapacityClass::kExcellent;
+  }
+
+  [[nodiscard]] Status stage(const bits::PartialBitstream& bs) override;
+  void reconfigure(ReconfigCallback done) override;
+
+  [[nodiscard]] XpsSource source() const noexcept { return source_; }
+
+ private:
+  void pump();
+  void finish(bool success, std::string error);
+
+  manager::MicroBlaze& mb_;
+  icap::Icap& port_;
+  XpsSource source_;
+  std::unique_ptr<power::ConstantPower> copy_power_;
+  std::unique_ptr<mem::CompactFlash> cf_;
+
+  Words body_;
+  std::size_t next_word_ = 0;
+  u64 payload_bytes_ = 0;
+  TimePs start_{};
+  ReconfigCallback done_;
+  power::Rail* rail_;
+};
+
+}  // namespace uparc::ctrl

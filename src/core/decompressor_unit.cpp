@@ -1,0 +1,128 @@
+#include "core/decompressor_unit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uparc::core {
+
+DecompressorUnit::DecompressorUnit(sim::Simulation& sim, std::string name, sim::Clock& clk3,
+                                   compress::HardwareProfile profile, std::size_t fifo_depth,
+                                   unsigned pipeline_latency)
+    : Module(sim, std::move(name)),
+      clk_(clk3),
+      profile_(profile),
+      in_(this->name() + ".in", fifo_depth),
+      out_(this->name() + ".out", fifo_depth),
+      pipeline_latency_(pipeline_latency) {
+  clk_.on_rising([this] { on_edge(); });
+}
+
+void DecompressorUnit::set_profile(compress::HardwareProfile profile) { profile_ = profile; }
+
+void DecompressorUnit::arm(Words output, std::size_t input_words) {
+  if (output.empty()) throw std::invalid_argument("DecompressorUnit: empty stream");
+  output_ = std::move(output);
+  decoder_.reset();
+  total_output_ = output_.size();
+  produced_ = 0;
+  input_expected_ = input_words;
+  input_taken_ = 0;
+  consume_ratio_ = static_cast<double>(input_words) / static_cast<double>(total_output_);
+  output_credit_ = 0.0;
+  warmup_left_ = pipeline_latency_;
+  in_.clear();
+  out_.clear();
+}
+
+void DecompressorUnit::arm_streaming(std::unique_ptr<compress::StreamingDecoder> decoder,
+                                     std::size_t total_output_words,
+                                     std::size_t input_words) {
+  if (decoder == nullptr) throw std::invalid_argument("DecompressorUnit: null decoder");
+  if (total_output_words == 0) throw std::invalid_argument("DecompressorUnit: empty stream");
+  output_.clear();
+  decoder_ = std::move(decoder);
+  total_output_ = total_output_words;
+  produced_ = 0;
+  input_expected_ = input_words;
+  input_taken_ = 0;
+  consume_ratio_ = static_cast<double>(input_words) / static_cast<double>(total_output_);
+  output_credit_ = 0.0;
+  warmup_left_ = pipeline_latency_;
+  in_.clear();
+  out_.clear();
+}
+
+void DecompressorUnit::push_input(u32 word) { in_.push(word); }
+
+bool DecompressorUnit::errored() const noexcept {
+  return decoder_ != nullptr && decoder_->errored();
+}
+
+std::string DecompressorUnit::error_message() const {
+  return decoder_ != nullptr ? decoder_->error_message() : std::string();
+}
+
+bool DecompressorUnit::produce_one() {
+  if (decoder_ != nullptr) {
+    u32 word = 0;
+    if (!decoder_->pop_word(word)) return false;  // decoder needs more input
+    out_.push(word);
+  } else {
+    out_.push(output_[produced_]);
+  }
+  ++produced_;
+  return true;
+}
+
+void DecompressorUnit::on_edge() {
+  if (produced_ >= total_output_) return;
+  if (errored()) return;
+  if (warmup_left_ > 0) {
+    --warmup_left_;
+    return;
+  }
+
+  output_credit_ += profile_.words_per_cycle;
+  bool progressed = false;
+  auto feed_one = [&] {
+    const u32 word = in_.pop();
+    if (decoder_ != nullptr) decoder_->push_word(word);
+    ++input_taken_;
+  };
+
+  while (output_credit_ >= 1.0 && produced_ < total_output_ && !errored()) {
+    // The decoder must have consumed enough compressed input to emit the
+    // next word (cumulative credit, matching the stream's true ratio).
+    const auto needed =
+        static_cast<std::size_t>(std::ceil((produced_ + 1) * consume_ratio_));
+    while (input_taken_ < needed && in_.can_pop()) feed_one();
+    if (input_taken_ < needed && input_taken_ < input_expected_) break;  // input starved
+    if (out_.full()) break;  // back-pressure from the ICAP side
+
+    if (!produce_one()) {
+      // Streaming only: the decoder is owed more input than the average
+      // ratio estimated (per-record variance). Pull ahead while the FIFO
+      // has words until a word decodes; otherwise genuinely starved.
+      bool produced_now = false;
+      while (in_.can_pop() && input_taken_ < input_expected_) {
+        feed_one();
+        if (produce_one()) {
+          produced_now = true;
+          break;
+        }
+      }
+      if (!produced_now) break;
+    }
+    output_credit_ -= 1.0;
+    progressed = true;
+  }
+  if (!progressed) {
+    ++stalls_;
+    // Credit must not accumulate across stalls beyond one cycle's worth.
+    if (output_credit_ > profile_.words_per_cycle) {
+      output_credit_ = profile_.words_per_cycle;
+    }
+  }
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,93 @@
+// Timed hardware decompressor (the reconfigurable slot of Fig. 2).
+//
+// Two functional modes:
+//  * streaming — for codecs with a word-at-a-time software decoder (RLE,
+//    X-MatchPRO): compressed words flow in, decoded words flow out, and the
+//    decoded data genuinely passes through the decoder in-simulation;
+//  * replay — for codecs without one: the stage-time decode result is
+//    replayed at the datapath rate (documented modeling substitution).
+//
+// Either way the *timing* is the hardware profile's: a clocked block on
+// CLK_3 sustaining `words_per_cycle` output words, stalling on input
+// starvation and output back-pressure, with input consumption credited at
+// the stream's true compression ratio.
+#pragma once
+
+#include "compress/codec.hpp"
+#include "compress/streaming.hpp"
+#include "sim/clock.hpp"
+#include "sim/fifo.hpp"
+#include "sim/module.hpp"
+
+namespace uparc::core {
+
+class DecompressorUnit : public sim::Module {
+ public:
+  DecompressorUnit(sim::Simulation& sim, std::string name, sim::Clock& clk3,
+                   compress::HardwareProfile profile, std::size_t fifo_depth = 16,
+                   unsigned pipeline_latency = 12);
+
+  /// Swaps the hardware profile (the paper's future-work runtime codec
+  /// exchange; UPaRC::swap_decompressor drives this).
+  void set_profile(compress::HardwareProfile profile);
+  [[nodiscard]] const compress::HardwareProfile& profile() const noexcept { return profile_; }
+
+  /// Arms replay mode: `output` is the exact word sequence the ICAP must
+  /// receive; `input_words` the compressed word count that will arrive.
+  void arm(Words output, std::size_t input_words);
+
+  /// Arms streaming mode: the decoder consumes the pushed container words
+  /// and produces the output itself. `total_output_words` and `input_words`
+  /// size the stream (for done detection and consumption credit).
+  void arm_streaming(std::unique_ptr<compress::StreamingDecoder> decoder,
+                     std::size_t total_output_words, std::size_t input_words);
+
+  [[nodiscard]] bool streaming() const noexcept { return decoder_ != nullptr; }
+
+  /// Input side (UReC pushes compressed words from BRAM).
+  [[nodiscard]] bool can_accept_input() const { return in_.can_push(); }
+  void push_input(u32 word);
+
+  /// Output side (UReC pops words toward the ICAP on CLK_2).
+  [[nodiscard]] bool has_output() const { return out_.can_pop(); }
+  [[nodiscard]] u32 pop_output() { return out_.pop(); }
+
+  /// All output produced *and* drained.
+  [[nodiscard]] bool stream_done() const {
+    return produced_ == total_output_ && out_.empty();
+  }
+  [[nodiscard]] std::size_t produced() const noexcept { return produced_; }
+  [[nodiscard]] u64 stall_cycles() const noexcept { return stalls_; }
+
+  /// Streaming-decoder failure (corrupt compressed stream).
+  [[nodiscard]] bool errored() const noexcept;
+  [[nodiscard]] std::string error_message() const;
+
+  [[nodiscard]] sim::Clock& clock() noexcept { return clk_; }
+
+ private:
+  void on_edge();
+  bool produce_one();
+
+  sim::Clock& clk_;
+  compress::HardwareProfile profile_;
+  sim::Fifo<u32> in_;
+  sim::Fifo<u32> out_;
+  unsigned pipeline_latency_;
+
+  // Replay mode state.
+  Words output_;
+  // Streaming mode state.
+  std::unique_ptr<compress::StreamingDecoder> decoder_;
+
+  std::size_t total_output_ = 0;
+  std::size_t produced_ = 0;
+  std::size_t input_expected_ = 0;
+  std::size_t input_taken_ = 0;
+  double consume_ratio_ = 0.0;  // input words required per output word
+  double output_credit_ = 0.0;
+  unsigned warmup_left_ = 0;
+  u64 stalls_ = 0;
+};
+
+}  // namespace uparc::core

@@ -1,0 +1,42 @@
+#include "core/resources.hpp"
+
+#include <stdexcept>
+
+namespace uparc::core {
+
+ResourceUsage resources(Block block) {
+  switch (block) {
+    // Paper Table II.
+    case Block::kDyCloGen: return {"DyCloGen", 24, 18, true};
+    case Block::kUReC: return {"UReC", 26, 26, true};
+    case Block::kDecompressorXMatchPro: return {"Decompressor (X-MatchPRO)", 1035, 900, true};
+    // Literature / datasheet estimates for context.
+    case Block::kMicroBlazeManager: return {"MicroBlaze manager", 1450, 1250, false};
+    case Block::kXpsHwicap: return {"xps_hwicap", 320, 280, false};
+    case Block::kBramHwicapDma: return {"BRAM_HWICAP (Xilinx DMA)", 860, 760, false};
+    case Block::kMstIcapMaster: return {"MST_ICAP (bus master)", 1100, 980, false};
+    case Block::kFarm: return {"FaRM (incl. RLE)", 510, 440, false};
+    case Block::kFlashCap: return {"FlashCAP (incl. X-MatchPRO)", 1320, 1150, false};
+  }
+  throw std::invalid_argument("unknown resource block");
+}
+
+std::vector<ResourceUsage> all_resources() {
+  return {
+      resources(Block::kDyCloGen),
+      resources(Block::kUReC),
+      resources(Block::kDecompressorXMatchPro),
+      resources(Block::kMicroBlazeManager),
+      resources(Block::kXpsHwicap),
+      resources(Block::kBramHwicapDma),
+      resources(Block::kMstIcapMaster),
+      resources(Block::kFarm),
+      resources(Block::kFlashCap),
+  };
+}
+
+unsigned uparc_controller_slices_v5() {
+  return resources(Block::kDyCloGen).slices_v5 + resources(Block::kUReC).slices_v5;
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,42 @@
+// FPGA resource model (Table II plus the comparison controllers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uparc::core {
+
+enum class Block {
+  kDyCloGen,
+  kUReC,
+  kDecompressorXMatchPro,
+  kMicroBlazeManager,
+  kXpsHwicap,
+  kBramHwicapDma,
+  kMstIcapMaster,
+  kFarm,
+  kFlashCap,
+};
+
+struct ResourceUsage {
+  std::string_view name;
+  unsigned slices_v5;
+  unsigned slices_v6;
+  bool from_paper;  ///< true = Table II figure; false = literature estimate
+};
+
+/// Resource usage per block. Table II rows carry the paper's numbers; the
+/// rest are estimates from the cited papers (documented in DESIGN.md).
+[[nodiscard]] ResourceUsage resources(Block block);
+
+/// Every block, in a stable report order.
+[[nodiscard]] std::vector<ResourceUsage> all_resources();
+
+/// UPaRC's controller total (DyCloGen + UReC), excluding the optional
+/// decompressor — the paper's headline "very small area" claim.
+[[nodiscard]] unsigned uparc_controller_slices_v5();
+
+}  // namespace uparc::core

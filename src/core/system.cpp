@@ -1,0 +1,95 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+namespace uparc::core {
+
+System::System(SystemConfig config) : config_(config) {
+  if (config_.with_power_rail) {
+    rail_ = std::make_unique<power::Rail>(sim_, "vccint");
+  }
+  plane_ = std::make_unique<icap::ConfigPlane>(sim_, "config_plane", config_.uparc.device);
+  icap_ = std::make_unique<icap::Icap>(sim_, "icap", *plane_);
+  uparc_ = std::make_unique<Uparc>(sim_, "uparc", *icap_, config_.uparc, rail_.get());
+}
+
+ctrl::ReconfigResult System::reconfigure_blocking() {
+  std::optional<ctrl::ReconfigResult> result;
+  uparc_->reconfigure([&](const ctrl::ReconfigResult& r) { result = r; });
+  sim_.run();
+  if (!result) throw std::logic_error("System: reconfiguration never completed");
+  return *result;
+}
+
+std::optional<clocking::MdChoice> System::set_frequency_blocking(Frequency target) {
+  auto choice = uparc_->set_frequency(target);
+  sim_.run();  // drain the relock event
+  return choice;
+}
+
+std::optional<manager::AdaptationPlan> System::adapt_blocking(manager::FrequencyPolicy policy,
+                                                              TimePs deadline) {
+  auto plan = uparc_->adapt(policy, deadline);
+  sim_.run();
+  return plan;
+}
+
+ctrl::ReconfigResult System::swap_decompressor_blocking(compress::CodecId codec) {
+  std::optional<ctrl::ReconfigResult> result;
+  uparc_->swap_decompressor(codec, [&](const ctrl::ReconfigResult& r) { result = r; });
+  sim_.run();
+  if (!result) throw std::logic_error("System: decompressor swap never completed");
+  return *result;
+}
+
+std::unique_ptr<ctrl::ReconfigController> System::make_baseline(std::string_view kind) {
+  if (baseline_mb_ == nullptr) {
+    baseline_mb_ = std::make_unique<manager::MicroBlaze>(sim_, "baseline_microblaze");
+  }
+  power::Rail* rail = rail_.get();
+  if (kind == "xps_hwicap_cf") {
+    return std::make_unique<ctrl::XpsHwicap>(sim_, "xps_cf", *baseline_mb_, *icap_,
+                                             ctrl::XpsSource::kCompactFlash, rail);
+  }
+  if (kind == "xps_hwicap_cached") {
+    return std::make_unique<ctrl::XpsHwicap>(sim_, "xps_cached", *baseline_mb_, *icap_,
+                                             ctrl::XpsSource::kCached, rail);
+  }
+  if (kind == "xps_hwicap_unopt") {
+    return std::make_unique<ctrl::XpsHwicap>(sim_, "xps_unopt", *baseline_mb_, *icap_,
+                                             ctrl::XpsSource::kUnoptimized, rail);
+  }
+  if (kind == "BRAM_HWICAP") {
+    return std::make_unique<ctrl::BramHwicap>(sim_, "bram_hwicap", *icap_,
+                                              ctrl::BramHwicapParams{}, rail);
+  }
+  if (kind == "MST_ICAP") {
+    return std::make_unique<ctrl::MstIcap>(sim_, "mst_icap", *icap_, ctrl::MstIcapParams{},
+                                           rail);
+  }
+  if (kind == "FaRM") {
+    return std::make_unique<ctrl::Farm>(sim_, "farm", *icap_, ctrl::FarmParams{}, rail);
+  }
+  if (kind == "FlashCAP") {
+    return std::make_unique<ctrl::FlashCap>(sim_, "flashcap", *icap_, ctrl::FlashCapParams{},
+                                            rail);
+  }
+  return nullptr;
+}
+
+ctrl::ReconfigResult System::run_controller_blocking(ctrl::ReconfigController& c,
+                                                     const bits::PartialBitstream& bs) {
+  ctrl::ReconfigResult result;
+  Status st = c.stage(bs);
+  if (!st.ok()) {
+    result.error = st.error().message;
+    return result;
+  }
+  std::optional<ctrl::ReconfigResult> got;
+  c.reconfigure([&](const ctrl::ReconfigResult& r) { got = r; });
+  sim_.run();
+  if (!got) throw std::logic_error("System: controller run never completed");
+  return *got;
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,70 @@
+// System — a one-stop testbench: simulation kernel + power rail + config
+// plane + ICAP + UPaRC, with blocking helpers that drive the event loop to
+// completion. Examples and benches build on this; lower-level code composes
+// the pieces directly.
+#pragma once
+
+#include <memory>
+
+#include "controllers/bram_hwicap.hpp"
+#include "controllers/farm.hpp"
+#include "controllers/flashcap.hpp"
+#include "controllers/mst_icap.hpp"
+#include "controllers/xps_hwicap.hpp"
+#include "core/uparc.hpp"
+#include "power/scope.hpp"
+
+namespace uparc::core {
+
+struct SystemConfig {
+  UparcConfig uparc{};
+  bool with_power_rail = true;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] power::Rail* rail() noexcept { return rail_.get(); }
+  [[nodiscard]] icap::ConfigPlane& plane() noexcept { return *plane_; }
+  [[nodiscard]] icap::Icap& icap() noexcept { return *icap_; }
+  [[nodiscard]] Uparc& uparc() noexcept { return *uparc_; }
+
+  /// Stages a bitstream into UPaRC (see Uparc::stage).
+  [[nodiscard]] Status stage(const bits::PartialBitstream& bs) { return uparc_->stage(bs); }
+
+  /// Runs a full reconfiguration to completion and returns the result.
+  [[nodiscard]] ctrl::ReconfigResult reconfigure_blocking();
+
+  /// Programs the reconfiguration clock and runs the relock to completion.
+  /// Returns the synthesized choice (nullopt if unsynthesizable).
+  std::optional<clocking::MdChoice> set_frequency_blocking(Frequency target);
+
+  /// Runs an adaptation plan (program + relock) to completion.
+  std::optional<manager::AdaptationPlan> adapt_blocking(manager::FrequencyPolicy policy,
+                                                        TimePs deadline);
+
+  /// Runs a decompressor swap to completion.
+  [[nodiscard]] ctrl::ReconfigResult swap_decompressor_blocking(compress::CodecId codec);
+
+  /// Constructs a Table III baseline controller sharing this system's ICAP
+  /// and rail. `kind` is one of: "xps_hwicap_cf", "xps_hwicap_cached",
+  /// "xps_hwicap_unopt", "BRAM_HWICAP", "MST_ICAP", "FaRM", "FlashCAP".
+  [[nodiscard]] std::unique_ptr<ctrl::ReconfigController> make_baseline(std::string_view kind);
+
+  /// Stages + reconfigures any controller to completion.
+  [[nodiscard]] ctrl::ReconfigResult run_controller_blocking(ctrl::ReconfigController& c,
+                                                             const bits::PartialBitstream& bs);
+
+ private:
+  SystemConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<power::Rail> rail_;
+  std::unique_ptr<icap::ConfigPlane> plane_;
+  std::unique_ptr<icap::Icap> icap_;
+  std::unique_ptr<manager::MicroBlaze> baseline_mb_;  // shared by xps baselines
+  std::unique_ptr<Uparc> uparc_;
+};
+
+}  // namespace uparc::core

@@ -1,0 +1,47 @@
+#include "core/timing_model.hpp"
+
+#include <algorithm>
+
+namespace uparc::core {
+namespace {
+
+// Nominal reconfiguration-path ceilings (paper §IV). The Virtex-5 figure is
+// the validated 362.5 MHz plus a small margin (362.5 worked on every sample
+// tested); the Virtex-6 figure sits "a few MHz lower".
+[[nodiscard]] double family_ceiling_mhz(unsigned family) {
+  switch (family) {
+    case 5: return 366.0;
+    case 6: return 358.0;
+    default: return 300.0;  // unknown family: stay within BRAM rating
+  }
+}
+
+// First-order derating slopes (model assumptions):
+//  * temperature: -0.35 MHz per degree C above 20 C,
+//  * voltage: +500 MHz per volt above/below 1.0 V (droop hurts fast).
+constexpr double kTempSlopeMhzPerC = -0.35;
+constexpr double kVoltSlopeMhzPerV = 500.0;
+
+}  // namespace
+
+TimingModel::TimingModel(bits::Device device, u64 sample_seed)
+    : device_(device), family_ceiling_(Frequency::mhz(family_ceiling_mhz(device.family))) {
+  if (sample_seed == 0) {
+    sample_offset_mhz_ = 0.0;
+  } else {
+    // Deterministic sample spread: roughly +-2.5 MHz across a lot. The
+    // paper validated 362.5 MHz on every V5 sample tested; the spread keeps
+    // the whole distribution above that point.
+    Prng rng(sample_seed);
+    sample_offset_mhz_ = (rng.uniform() * 2.0 - 1.0) * 2.5;
+  }
+}
+
+Frequency TimingModel::max_reliable(OperatingConditions cond) const {
+  double mhz = family_ceiling_.in_mhz() + sample_offset_mhz_;
+  mhz += kTempSlopeMhzPerC * (cond.ambient_c - 20.0);
+  mhz += kVoltSlopeMhzPerV * (cond.core_voltage - 1.0);
+  return Frequency::mhz(std::max(mhz, 1.0));
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,51 @@
+// Overclock/timing model for the UReC->BRAM->ICAP path.
+//
+// Everything UPaRC gains comes from clocking hardwired blocks beyond their
+// datasheet ratings (BRAM rated 300 MHz, ICAP rated 100 MHz). The paper's
+// empirical findings (§IV):
+//   * Virtex-5 XC5VSX50T: 362.5 MHz reconfigures reliably at 1.0 V / 20 C,
+//     across several samples;
+//   * Virtex-6 XC6VLX240T: 362.5 MHz is NOT reliable; the ceiling sits a
+//     few MHz lower.
+// The model captures: a per-family ceiling, sample-to-sample silicon spread
+// (seeded, deterministic), and first-order voltage/temperature derating.
+// Coefficients are model assumptions, documented here, not measurements.
+#pragma once
+
+#include "bitstream/format.hpp"
+#include "common/prng.hpp"
+#include "common/units.hpp"
+
+namespace uparc::core {
+
+struct OperatingConditions {
+  double core_voltage = 1.0;  ///< V (paper's default)
+  double ambient_c = 20.0;    ///< degrees C (paper's test condition)
+};
+
+class TimingModel {
+ public:
+  /// `sample_seed` selects one silicon sample from the family distribution
+  /// (seed 0 = a typical part).
+  explicit TimingModel(bits::Device device, u64 sample_seed = 0);
+
+  [[nodiscard]] const bits::Device& device() const noexcept { return device_; }
+
+  /// Highest reliable reconfiguration frequency under `cond`.
+  [[nodiscard]] Frequency max_reliable(OperatingConditions cond = {}) const;
+
+  /// Whether `f` reconfigures reliably under `cond`.
+  [[nodiscard]] bool is_reliable(Frequency f, OperatingConditions cond = {}) const {
+    return f <= max_reliable(cond);
+  }
+
+  /// The family's nominal ceiling before sample spread and derating.
+  [[nodiscard]] Frequency family_ceiling() const noexcept { return family_ceiling_; }
+
+ private:
+  bits::Device device_;
+  Frequency family_ceiling_;
+  double sample_offset_mhz_;  // this sample's deviation from nominal
+};
+
+}  // namespace uparc::core

@@ -1,0 +1,224 @@
+#include "core/uparc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitstream/generator.hpp"
+#include "core/resources.hpp"
+#include "power/calibration.hpp"
+
+namespace uparc::core {
+
+Uparc::Uparc(sim::Simulation& sim, std::string name, icap::Icap& port, UparcConfig config,
+             power::Rail* rail)
+    : ReconfigController(sim, std::move(name)),
+      config_(config),
+      port_(port),
+      rail_(rail),
+      dyclogen_(sim, this->name() + ".dyclogen", config.f_in, config.dcm_lock_time),
+      bram_(sim, this->name() + ".bram", config.bram_bytes),
+      decomp_(sim, this->name() + ".decomp", dyclogen_.clock(clocking::ClockId::kDecompress),
+              compress::HardwareProfile{}),
+      urec_(sim, this->name() + ".urec", dyclogen_.clock(clocking::ClockId::kReconfig), bram_,
+            port, &decomp_),
+      manager_(sim, this->name() + "." + config.manager.name, config.manager.clock,
+               config.manager.costs),
+      preloader_(sim, this->name() + ".preloader", manager_, bram_),
+      control_(sim, this->name() + ".control", manager_, rail, config.wait_mode,
+               config.manager.control_burst_mw, config.manager.active_wait_mw),
+      timing_(config.device, config.silicon_sample_seed),
+      adapter_(dyclogen_, timing_.max_reliable(config.conditions), control_.control_overhead(),
+               config.wait_mode, config.manager.active_wait_mw),
+      codec_id_(config.codec) {
+  codec_impl_ = compress::make_codec(codec_id_);
+  if (codec_impl_ == nullptr) throw std::invalid_argument("Uparc: unknown codec");
+  decomp_.set_profile(codec_impl_->hardware());
+  bind_power(rail);
+}
+
+void Uparc::bind_power(power::Rail* rail) {
+  if (rail == nullptr) return;
+  datapath_power_ = std::make_unique<power::BlockPower>(
+      *rail, name() + ".datapath", dyclogen_.clock(clocking::ClockId::kReconfig),
+      [](Frequency f) { return power::reconfig_datapath_mw(f); });
+  decomp_power_ = std::make_unique<power::BlockPower>(
+      *rail, name() + ".decompressor", dyclogen_.clock(clocking::ClockId::kDecompress),
+      [](Frequency f) { return power::decompressor_mw(f); });
+}
+
+Frequency Uparc::max_frequency() const {
+  const Frequency reliable = timing_.max_reliable(config_.conditions);
+  return mode_compressed_ ? std::min(reliable, config_.compressed_mode_fmax) : reliable;
+}
+
+Status Uparc::stage(const bits::PartialBitstream& bs) {
+  if (urec_.busy()) return make_error("UPaRC: stage while a reconfiguration is in flight");
+  if (control_.busy()) return make_error("UPaRC: stage while the manager is mid-launch");
+
+  staged_payload_bytes_ = bs.body.size() * 4;
+  staging_done_ = false;
+
+  const std::size_t raw_needed = (1 + bs.body.size()) * 4;
+  Status st = Status::success();
+  if (raw_needed <= bram_.size_bytes()) {
+    // Preloading without compression (paper mode i).
+    mode_compressed_ = false;
+    stored_bytes_ = raw_needed;
+    st = preloader_.preload_body(bs.body, [this] { on_staged(); });
+  } else {
+    // Preloading with compression (paper mode ii): the container is built
+    // offline ("compressed offline using PC-running software").
+    const Bytes packed = words_to_bytes(bs.body);
+    const Bytes container = codec_impl_->compress(packed);
+    if (4 + ((container.size() + 3) / 4) * 4 > bram_.size_bytes()) {
+      return make_error("UPaRC: bitstream exceeds BRAM even compressed (" +
+                        std::to_string(container.size()) + " bytes with " +
+                        std::string(codec_impl_->name()) + ")");
+    }
+    mode_compressed_ = true;
+    stored_bytes_ = container.size() + 4;
+    decomp_output_ = bs.body;
+    decomp_input_words_ = (container.size() + 3) / 4;
+    // Run the decompressor at its own F_max (CLK_3 is independent of the
+    // reconfiguration clock — paper §IV). Relock completes well inside the
+    // preload copy time.
+    dyclogen_.request_frequency(clocking::ClockId::kDecompress,
+                                codec_impl_->hardware().fmax);
+    st = preloader_.preload_compressed(container, [this] { on_staged(); });
+  }
+  return st;
+}
+
+void Uparc::on_staged() {
+  staging_done_ = true;
+  if (pending_reconfig_) {
+    auto go = std::move(pending_reconfig_);
+    pending_reconfig_ = nullptr;
+    go();
+  }
+}
+
+void Uparc::reconfigure(ctrl::ReconfigCallback done) {
+  if (staged_payload_bytes_ == 0) {
+    ctrl::ReconfigResult r;
+    r.error = "UPaRC: reconfigure without stage";
+    done(r);
+    return;
+  }
+  if (!staging_done_) {
+    // The preload is still copying; launch as soon as it lands.
+    pending_reconfig_ = [this, done = std::move(done)]() mutable {
+      reconfigure(std::move(done));
+    };
+    return;
+  }
+
+  const TimePs start_time = sim_.now();
+  control_.launch(
+      [this](std::function<void()> finish) {
+        if (mode_compressed_) {
+          // Streaming decode when the codec supports it (the data then
+          // truly flows through the decoder); offline replay otherwise.
+          auto streaming = compress::make_streaming_decoder(codec_id_);
+          if (streaming != nullptr) {
+            decomp_.arm_streaming(std::move(streaming), decomp_output_.size(),
+                                  decomp_input_words_);
+          } else {
+            decomp_.arm(decomp_output_, decomp_input_words_);
+          }
+          if (decomp_power_) decomp_power_->set_active(true);
+          dyclogen_.clock(clocking::ClockId::kDecompress).enable();
+        }
+        if (datapath_power_) datapath_power_->set_active(true);
+        urec_.start([this, finish = std::move(finish)] {
+          if (datapath_power_) datapath_power_->set_active(false);
+          if (mode_compressed_) {
+            dyclogen_.clock(clocking::ClockId::kDecompress).disable();
+            if (decomp_power_) decomp_power_->set_active(false);
+          }
+          finish();
+        });
+      },
+      [this, done = std::move(done), start_time]() {
+        ctrl::ReconfigResult r;
+        r.start = start_time;
+        r.end = sim_.now();
+        r.payload_bytes = staged_payload_bytes_;
+        if (urec_.state() != UrecState::kFinished) {
+          r.success = false;
+          r.error = "UReC: " + urec_.error_message();
+        } else if (!port_.done()) {
+          r.success = false;
+          r.error = "ICAP did not reach DESYNC";
+        } else if (port_.crc_checked() && !port_.crc_ok()) {
+          r.success = false;
+          r.error = "configuration CRC mismatch";
+        } else {
+          r.success = true;
+        }
+        if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+        done(r);
+      });
+}
+
+std::optional<manager::AdaptationPlan> Uparc::adapt(manager::FrequencyPolicy policy,
+                                                    TimePs deadline) {
+  if (!mode_compressed_) {
+    return adapter_.apply(policy, staged_payload_bytes_, deadline);
+  }
+  // Compressed mode: the UReC/ICAP clock is additionally capped (255 MHz).
+  manager::FrequencyAdapter capped(dyclogen_, max_frequency(), control_.control_overhead(),
+                                   config_.wait_mode);
+  return capped.apply(policy, staged_payload_bytes_, deadline);
+}
+
+std::optional<clocking::MdChoice> Uparc::set_frequency(Frequency target,
+                                                       std::function<void()> relocked) {
+  const Frequency capped = std::min(target, max_frequency());
+  return dyclogen_.request_frequency(clocking::ClockId::kReconfig, capped,
+                                     std::move(relocked));
+}
+
+void Uparc::swap_decompressor(compress::CodecId codec, ctrl::ReconfigCallback done) {
+  auto impl = compress::make_codec(codec);
+  if (impl == nullptr) {
+    ctrl::ReconfigResult r;
+    r.error = "UPaRC: unknown decompressor codec";
+    done(r);
+    return;
+  }
+
+  // The decompressor slot is itself a reconfigurable module (Fig. 2): build
+  // its partial bitstream, sized from its slice count, and load it through
+  // this very controller.
+  const auto hw = impl->hardware();
+  bits::GeneratorConfig gen;
+  gen.device = config_.device;
+  gen.design_name = "decompressor_slot";
+  gen.target_body_bytes = static_cast<std::size_t>(hw.slices_v5) * 180;  // ~bytes/slice
+  gen.seed = static_cast<u64>(codec) * 7919 + 17;
+  bits::PartialBitstream slot = bits::Generator(gen).generate();
+
+  Status st = stage(slot);
+  if (!st.ok()) {
+    ctrl::ReconfigResult r;
+    r.error = "UPaRC: decompressor swap staging failed: " + st.error().message;
+    done(r);
+    return;
+  }
+  reconfigure([this, codec, impl = std::shared_ptr<compress::Codec>(std::move(impl)),
+               done = std::move(done)](const ctrl::ReconfigResult& r) mutable {
+    if (!r.success) {
+      done(r);
+      return;
+    }
+    // Module swapped: install the codec and retune CLK_3 to its F_max.
+    codec_id_ = codec;
+    codec_impl_ = compress::make_codec(codec);
+    decomp_.set_profile(impl->hardware());
+    dyclogen_.request_frequency(clocking::ClockId::kDecompress, impl->hardware().fmax,
+                                [this, done = std::move(done), r]() { done(r); });
+  });
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,123 @@
+// UPaRC — the ultra-fast power-aware reconfiguration controller (paper
+// Fig. 2): UReC + DyCloGen + decompressor + 256 KB dual-port bitstream BRAM,
+// driven by a MicroBlaze manager (preloading, Start/Finish control,
+// frequency adaptation).
+//
+// Implements the common ReconfigController interface so it slots into the
+// Table III comparison, and adds the UPaRC-specific API: frequency policies
+// (power-aware DVFS through DyCloGen), compressed preloading for bitstreams
+// larger than the BRAM, and run-time decompressor exchange (the paper's
+// future-work feature).
+#pragma once
+
+#include "clocking/dyclogen.hpp"
+#include "compress/registry.hpp"
+#include "controllers/controller.hpp"
+#include "core/decompressor_unit.hpp"
+#include "core/timing_model.hpp"
+#include "core/urec.hpp"
+#include "manager/adaptation.hpp"
+#include "manager/control.hpp"
+#include "manager/preloader.hpp"
+#include "manager/profiles.hpp"
+
+namespace uparc::core {
+
+struct UparcConfig {
+  bits::Device device = bits::kVirtex5Sx50t;
+  std::size_t bram_bytes = 256 * 1024;  ///< paper's bitstream BRAM
+  Frequency f_in = Frequency::mhz(100); ///< system oscillator into DyCloGen
+  /// Manager implementation: the paper's MicroBlaze by default, or the
+  /// §III-A small-hardware-modules alternative (hardware_fsm_profile()).
+  manager::ManagerProfile manager = manager::microblaze_profile();
+  manager::WaitMode wait_mode = manager::WaitMode::kActiveWait;
+  compress::CodecId codec = compress::CodecId::kXMatchPro;
+  OperatingConditions conditions{};
+  u64 silicon_sample_seed = 0;          ///< 0 = typical part
+  TimePs dcm_lock_time = TimePs::from_us(50);
+  /// Compressed-mode UReC/ICAP ceiling (paper: 255 MHz).
+  Frequency compressed_mode_fmax = Frequency::mhz(255);
+};
+
+class Uparc final : public ctrl::ReconfigController {
+ public:
+  Uparc(sim::Simulation& sim, std::string name, icap::Icap& port, UparcConfig config = {},
+        power::Rail* rail = nullptr);
+
+  // ----- ReconfigController ------------------------------------------------
+  [[nodiscard]] std::string_view kind() const override {
+    return mode_compressed_ ? "UPaRC_ii" : "UPaRC_i";
+  }
+  [[nodiscard]] Frequency max_frequency() const override;
+  [[nodiscard]] ctrl::CapacityClass capacity_class() const override {
+    return mode_compressed_ ? ctrl::CapacityClass::kGood : ctrl::CapacityClass::kLimited;
+  }
+  /// Preloads through the Manager: uncompressed when the body fits the
+  /// BRAM, compressed (offline, with the configured codec) otherwise —
+  /// exactly the paper's two operating modes.
+  [[nodiscard]] Status stage(const bits::PartialBitstream& bs) override;
+  void reconfigure(ctrl::ReconfigCallback done) override;
+
+  // ----- UPaRC-specific API ------------------------------------------------
+  /// Chooses and programs the reconfiguration frequency per policy before
+  /// the next reconfigure() (relock happens asynchronously).
+  std::optional<manager::AdaptationPlan> adapt(manager::FrequencyPolicy policy,
+                                               TimePs deadline = TimePs::from_ms(1e6));
+
+  /// Directly requests a reconfiguration frequency (capped at the timing
+  /// model's reliable maximum).
+  std::optional<clocking::MdChoice> set_frequency(Frequency target,
+                                                  std::function<void()> relocked = {});
+
+  /// Runtime decompressor exchange (future work §VI): reconfigures the
+  /// decompressor slot using UPaRC itself, then retunes CLK_3 to the new
+  /// codec's F_max. `done` reports the swap result.
+  void swap_decompressor(compress::CodecId codec, ctrl::ReconfigCallback done);
+
+  [[nodiscard]] compress::CodecId codec() const noexcept { return codec_id_; }
+  [[nodiscard]] bool staged_compressed() const noexcept { return mode_compressed_; }
+  [[nodiscard]] std::size_t staged_stored_bytes() const noexcept { return stored_bytes_; }
+
+  [[nodiscard]] clocking::DyCloGen& dyclogen() noexcept { return dyclogen_; }
+  [[nodiscard]] UReC& urec() noexcept { return urec_; }
+  [[nodiscard]] mem::Bram& bram() noexcept { return bram_; }
+  [[nodiscard]] manager::MicroBlaze& manager() noexcept { return manager_; }
+  [[nodiscard]] manager::Preloader& preloader() noexcept { return preloader_; }
+  [[nodiscard]] manager::FrequencyAdapter& adapter() noexcept { return adapter_; }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+  [[nodiscard]] DecompressorUnit& decompressor() noexcept { return decomp_; }
+  [[nodiscard]] const UparcConfig& config() const noexcept { return config_; }
+
+ private:
+  void bind_power(power::Rail* rail);
+  void on_staged();
+
+  UparcConfig config_;
+  icap::Icap& port_;
+  power::Rail* rail_;
+
+  clocking::DyCloGen dyclogen_;
+  mem::Bram bram_;
+  DecompressorUnit decomp_;
+  UReC urec_;
+  manager::MicroBlaze manager_;
+  manager::Preloader preloader_;
+  manager::ReconfigControl control_;
+  TimingModel timing_;
+  manager::FrequencyAdapter adapter_;
+
+  std::unique_ptr<compress::Codec> codec_impl_;
+  compress::CodecId codec_id_;
+  std::unique_ptr<power::BlockPower> datapath_power_;
+  std::unique_ptr<power::BlockPower> decomp_power_;
+
+  bool mode_compressed_ = false;
+  bool staging_done_ = false;
+  std::function<void()> pending_reconfig_;
+  Words decomp_output_;                 // ground-truth stream for the armed unit
+  std::size_t decomp_input_words_ = 0;  // compressed container length in words
+  std::size_t stored_bytes_ = 0;
+  u64 staged_payload_bytes_ = 0;
+};
+
+}  // namespace uparc::core

@@ -1,0 +1,103 @@
+#include "core/urec.hpp"
+
+#include <stdexcept>
+
+namespace uparc::core {
+
+UReC::UReC(sim::Simulation& sim, std::string name, sim::Clock& clk2, mem::Bram& bram,
+           icap::Icap& port, DecompressorUnit* decomp)
+    : Module(sim, std::move(name)), clk_(clk2), bram_(bram), port_(port), decomp_(decomp) {
+  clk_.on_rising([this] { on_edge(); });
+}
+
+void UReC::start(std::function<void()> finish) {
+  if (busy()) throw std::logic_error("UReC: Start while busy: " + name());
+  finish_cb_ = std::move(finish);
+  state_ = UrecState::kReadHeader;
+  error_.clear();
+  words_to_icap_ = 0;
+  port_.reset();
+  clk_.enable();  // EN: BRAM + ICAP access on
+}
+
+void UReC::finish_now(UrecState final_state, std::string error) {
+  state_ = final_state;
+  error_ = std::move(error);
+  clk_.disable();  // EN off: BRAM and ICAP gated to save power
+  if (finish_cb_) {
+    auto cb = std::move(finish_cb_);
+    finish_cb_ = nullptr;
+    cb();
+  }
+}
+
+void UReC::on_edge() {
+  ++active_cycles_;
+  if (port_.errored()) {
+    finish_now(UrecState::kError, "ICAP error: " + port_.error_message());
+    return;
+  }
+
+  switch (state_) {
+    case UrecState::kReadHeader: {
+      const u32 header = bram_.read_word(0);
+      payload_words_ = manager::BramLayout::payload_words(header);
+      next_addr_ = 1;
+      if (payload_words_ == 0) {
+        finish_now(UrecState::kError, "empty payload in BRAM mode word");
+        return;
+      }
+      if (1 + payload_words_ > bram_.size_words()) {
+        finish_now(UrecState::kError, "mode word length exceeds BRAM");
+        return;
+      }
+      if (manager::BramLayout::is_compressed(header)) {
+        if (decomp_ == nullptr) {
+          finish_now(UrecState::kError, "compressed payload but no decompressor present");
+          return;
+        }
+        state_ = UrecState::kStreamDecompress;
+      } else {
+        state_ = UrecState::kStreamDirect;
+      }
+      return;
+    }
+
+    case UrecState::kStreamDirect: {
+      // One BRAM word to ICAP per cycle — the burst path.
+      port_.write_word(bram_.read_word(next_addr_++));
+      ++words_to_icap_;
+      if (next_addr_ > payload_words_) {
+        finish_now(UrecState::kFinished);
+      }
+      return;
+    }
+
+    case UrecState::kStreamDecompress: {
+      if (decomp_->errored()) {
+        finish_now(UrecState::kError, "decompressor: " + decomp_->error_message());
+        return;
+      }
+      // Feed side: one compressed word per cycle while the FIFO accepts.
+      if (next_addr_ <= payload_words_ && decomp_->can_accept_input()) {
+        decomp_->push_input(bram_.read_word(next_addr_++));
+      }
+      // Drain side: one decompressed word per cycle into ICAP.
+      if (decomp_->has_output()) {
+        port_.write_word(decomp_->pop_output());
+        ++words_to_icap_;
+      }
+      if (next_addr_ > payload_words_ && decomp_->stream_done()) {
+        finish_now(UrecState::kFinished);
+      }
+      return;
+    }
+
+    case UrecState::kIdle:
+    case UrecState::kFinished:
+    case UrecState::kError:
+      return;
+  }
+}
+
+}  // namespace uparc::core

@@ -1,0 +1,67 @@
+// UReC — the ultra-fast reconfiguration controller (paper §III-B).
+//
+// A tiny FSM (26 slices, Table II) clocked by CLK_2:
+//   1. on Start, enable BRAM access and read the first word to learn the
+//      operation mode (compressed?) and payload length (paper Fig. 4);
+//   2. burst-read port B one word per cycle;
+//   3. uncompressed: the word goes straight to ICAP the same cycle;
+//      compressed: words feed the decompressor FIFO while the decompressor's
+//      output drains into ICAP (also one word per CLK_2 cycle);
+//   4. on the last word, raise Finish and gate BRAM/ICAP off (EN) to save
+//      power.
+#pragma once
+
+#include "core/decompressor_unit.hpp"
+#include "icap/icap.hpp"
+#include "manager/preloader.hpp"
+#include "mem/bram.hpp"
+
+namespace uparc::core {
+
+enum class UrecState {
+  kIdle,
+  kReadHeader,
+  kStreamDirect,
+  kStreamDecompress,
+  kFinished,
+  kError,
+};
+
+class UReC : public sim::Module {
+ public:
+  /// `decomp` may be null for an uncompressed-only build (saves the slices).
+  UReC(sim::Simulation& sim, std::string name, sim::Clock& clk2, mem::Bram& bram,
+       icap::Icap& port, DecompressorUnit* decomp = nullptr);
+
+  /// Start signal. For compressed payloads the decompressor must have been
+  /// armed first (UPaRC does this). `finish` is the Finish signal.
+  void start(std::function<void()> finish);
+
+  [[nodiscard]] UrecState state() const noexcept { return state_; }
+  [[nodiscard]] bool busy() const noexcept {
+    return state_ != UrecState::kIdle && state_ != UrecState::kFinished &&
+           state_ != UrecState::kError;
+  }
+  [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+  [[nodiscard]] u64 words_to_icap() const noexcept { return words_to_icap_; }
+  [[nodiscard]] u64 active_cycles() const noexcept { return active_cycles_; }
+
+ private:
+  void on_edge();
+  void finish_now(UrecState final_state, std::string error = {});
+
+  sim::Clock& clk_;
+  mem::Bram& bram_;
+  icap::Icap& port_;
+  DecompressorUnit* decomp_;
+
+  UrecState state_ = UrecState::kIdle;
+  std::string error_;
+  std::function<void()> finish_cb_;
+  std::size_t payload_words_ = 0;
+  std::size_t next_addr_ = 0;
+  u64 words_to_icap_ = 0;
+  u64 active_cycles_ = 0;
+};
+
+}  // namespace uparc::core

@@ -1,0 +1,75 @@
+#include "icap/dcm.hpp"
+
+#include <stdexcept>
+
+namespace uparc::icap {
+
+Dcm::Dcm(sim::Simulation& sim, std::string name, Frequency f_in, sim::Clock& output,
+         TimePs lock_time)
+    : Module(sim, std::move(name)), f_in_(f_in), output_(output), lock_time_(lock_time) {
+  if (f_in_.is_zero()) throw std::invalid_argument("Dcm input frequency must be positive");
+  // Power-on: assume the configured dividers are already locked.
+  output_.set_frequency(f_out());
+  locked_ = true;
+}
+
+void Dcm::program(unsigned m, unsigned d) {
+  if (m < kMinM || m > kMaxM) throw std::invalid_argument("Dcm M out of range");
+  if (d < kMinD || d > kMaxD) throw std::invalid_argument("Dcm D out of range");
+  staged_m_ = m;
+  staged_d_ = d;
+  start_relock();
+}
+
+void Dcm::drp_write(u16 addr, u16 value) {
+  switch (addr) {
+    case kRegM: {
+      const unsigned m = value + 1u;
+      if (m < kMinM || m > kMaxM) throw std::invalid_argument("Dcm DRP M out of range");
+      staged_m_ = m;
+      break;
+    }
+    case kRegD: {
+      const unsigned d = value + 1u;
+      if (d < kMinD || d > kMaxD) throw std::invalid_argument("Dcm DRP D out of range");
+      staged_d_ = d;
+      break;
+    }
+    case kRegStatus:
+      if (value & 0x2u) start_relock();  // reset pulse applies staged values
+      break;
+    default:
+      throw std::out_of_range("Dcm DRP address unmapped");
+  }
+}
+
+u16 Dcm::drp_read(u16 addr) const {
+  switch (addr) {
+    case kRegM: return static_cast<u16>(m_ - 1);
+    case kRegD: return static_cast<u16>(d_ - 1);
+    case kRegStatus: return locked_ ? 0x1 : 0x0;
+    default: throw std::out_of_range("Dcm DRP address unmapped");
+  }
+}
+
+void Dcm::start_relock() {
+  // LOCKED drops; the output clock is not usable during relock.
+  if (locked_) {
+    output_was_enabled_ = output_.enabled();
+    if (output_was_enabled_) output_.disable();
+  }
+  locked_ = false;
+  const u64 epoch = ++relock_epoch_;
+  sim_.schedule_in(lock_time_, [this, epoch] {
+    if (epoch != relock_epoch_) return;  // superseded by a newer program()
+    m_ = staged_m_;
+    d_ = staged_d_;
+    output_.set_frequency(f_out());
+    locked_ = true;
+    ++relocks_;
+    if (output_was_enabled_) output_.enable();
+    if (locked_cb_) locked_cb_();
+  });
+}
+
+}  // namespace uparc::icap

@@ -1,0 +1,69 @@
+// DCM_ADV frequency-synthesis model (Virtex-5 digital clock manager).
+//
+// The CLKFX output produces F_out = F_in * M / D with M in [2,33] and
+// D in [1,32] (UG190). M and D live in DRP registers; reprogramming them
+// drops LOCKED, and after the lock time the output clock runs at the new
+// frequency. The model drives a sim::Clock: the clock is gated off while
+// unlocked, retuned and re-enabled (if it was enabled) when lock returns.
+#pragma once
+
+#include <functional>
+
+#include "icap/drp.hpp"
+#include "sim/clock.hpp"
+
+namespace uparc::icap {
+
+class Dcm : public sim::Module, public DrpPeripheral {
+ public:
+  /// DRP register addresses for the synthesis fields (model-local map).
+  static constexpr u16 kRegM = 0x50;     ///< multiplier, stored as M-1
+  static constexpr u16 kRegD = 0x52;     ///< divider, stored as D-1
+  static constexpr u16 kRegStatus = 0x00;///< bit0 = LOCKED
+
+  static constexpr unsigned kMinM = 2, kMaxM = 33;
+  static constexpr unsigned kMinD = 1, kMaxD = 32;
+
+  Dcm(sim::Simulation& sim, std::string name, Frequency f_in, sim::Clock& output,
+      TimePs lock_time = TimePs::from_us(50));
+
+  [[nodiscard]] Frequency f_in() const noexcept { return f_in_; }
+  [[nodiscard]] Frequency f_out() const { return f_in_ * static_cast<double>(m_) / d_; }
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] unsigned d() const noexcept { return d_; }
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  [[nodiscard]] TimePs lock_time() const noexcept { return lock_time_; }
+  [[nodiscard]] sim::Clock& output() noexcept { return output_; }
+
+  /// Programs both dividers and pulses reset: LOCKED drops immediately and
+  /// returns after lock_time with the output retuned. Throws on values
+  /// outside the DCM's legal range.
+  void program(unsigned m, unsigned d);
+
+  /// Called when LOCKED reasserts (each relock).
+  void on_locked(std::function<void()> cb) { locked_cb_ = std::move(cb); }
+
+  // DrpPeripheral: field writes stage values; writing kRegStatus bit1
+  // applies them (models the required reset pulse after DRP changes).
+  void drp_write(u16 addr, u16 value) override;
+  [[nodiscard]] u16 drp_read(u16 addr) const override;
+
+  [[nodiscard]] u64 relocks() const noexcept { return relocks_; }
+
+ private:
+  void start_relock();
+
+  Frequency f_in_;
+  sim::Clock& output_;
+  TimePs lock_time_;
+  // Power-on default: M/D = 2/2, i.e. the output mirrors F_in.
+  unsigned m_ = 2, d_ = 2;
+  unsigned staged_m_ = 2, staged_d_ = 2;
+  bool locked_ = false;
+  bool output_was_enabled_ = false;
+  u64 relock_epoch_ = 0;
+  u64 relocks_ = 0;
+  std::function<void()> locked_cb_;
+};
+
+}  // namespace uparc::icap

@@ -1,0 +1,26 @@
+#include "icap/drp.hpp"
+
+#include <stdexcept>
+
+namespace uparc::icap {
+
+DrpBus::DrpBus(sim::Simulation& sim, std::string name, unsigned cycles_per_access)
+    : Module(sim, std::move(name)), cycles_per_access_(cycles_per_access) {
+  if (cycles_per_access_ == 0) throw std::invalid_argument("DRP access cost must be > 0");
+}
+
+unsigned DrpBus::write(u16 addr, u16 value) {
+  if (peripheral_ == nullptr) throw std::logic_error("DRP bus has no peripheral: " + name());
+  peripheral_->drp_write(addr, value);
+  ++accesses_;
+  return cycles_per_access_;
+}
+
+unsigned DrpBus::read(u16 addr, u16& value_out) {
+  if (peripheral_ == nullptr) throw std::logic_error("DRP bus has no peripheral: " + name());
+  value_out = peripheral_->drp_read(addr);
+  ++accesses_;
+  return cycles_per_access_;
+}
+
+}  // namespace uparc::icap

@@ -1,0 +1,44 @@
+// Dynamic Reconfiguration Port (DRP) bus model.
+//
+// The DRP is the register interface through which DyCloGen reprograms the
+// DCM's M/D dividers at run time without partial reconfiguration (UG191).
+// Accesses are synchronous, a few cycles each; the model charges a fixed
+// cycle cost per access and dispatches to the attached peripheral.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "sim/module.hpp"
+
+namespace uparc::icap {
+
+/// A DRP-addressable peripheral (the DCM implements this).
+class DrpPeripheral {
+ public:
+  virtual ~DrpPeripheral() = default;
+  virtual void drp_write(u16 addr, u16 value) = 0;
+  [[nodiscard]] virtual u16 drp_read(u16 addr) const = 0;
+};
+
+class DrpBus : public sim::Module {
+ public:
+  DrpBus(sim::Simulation& sim, std::string name, unsigned cycles_per_access = 3);
+
+  void attach(DrpPeripheral& peripheral) { peripheral_ = &peripheral; }
+
+  /// Writes a register; returns the bus cycles consumed.
+  unsigned write(u16 addr, u16 value);
+  /// Reads a register; returns the bus cycles consumed.
+  unsigned read(u16 addr, u16& value_out);
+
+  [[nodiscard]] u64 accesses() const noexcept { return accesses_; }
+  [[nodiscard]] unsigned cycles_per_access() const noexcept { return cycles_per_access_; }
+
+ private:
+  DrpPeripheral* peripheral_ = nullptr;
+  unsigned cycles_per_access_;
+  u64 accesses_ = 0;
+};
+
+}  // namespace uparc::icap

@@ -1,0 +1,206 @@
+#include "icap/icap.hpp"
+
+namespace uparc::icap {
+
+Icap::Icap(sim::Simulation& sim, std::string name, ConfigPlane& plane, Frequency rated_fmax)
+    : Module(sim, std::move(name)), plane_(plane), rated_fmax_(rated_fmax) {
+  frame_buf_.reserve(plane_.device().frame_words);
+}
+
+void Icap::reset() {
+  state_ = IcapState::kPreSync;
+  error_.clear();
+  payload_left_ = 0;
+  readout_left_ = 0;
+  readout_buf_.clear();
+  readout_pos_ = 0;
+  rcfg_active_ = false;
+  crc_.reset();
+  wcfg_active_ = false;
+  far_ = bits::FrameAddress{};
+  frame_buf_.clear();
+  crc_checked_ = false;
+  crc_ok_ = false;
+}
+
+void Icap::fail(std::string why) {
+  state_ = IcapState::kError;
+  error_ = std::move(why);
+  stats().add("errors");
+}
+
+void Icap::begin_payload(bits::ConfigReg reg, u32 count, IcapState next) {
+  current_reg_ = reg;
+  payload_left_ = count;
+  state_ = count > 0 ? next : IcapState::kAwaitType2;
+}
+
+void Icap::begin_readout(u32 count) {
+  if (count == 0) {
+    state_ = IcapState::kIdle;
+    return;
+  }
+  readout_left_ = count;
+  readout_buf_.clear();
+  readout_pos_ = 0;
+  state_ = IcapState::kReadout;
+}
+
+bool Icap::read_word(u32& out) {
+  if (state_ != IcapState::kReadout) return false;
+  if (readout_pos_ >= readout_buf_.size()) {
+    // Fetch the next frame from the plane; unwritten frames read as zeros.
+    const Words* frame = plane_.read_frame(far_);
+    readout_buf_ = frame != nullptr ? *frame : Words(plane_.device().frame_words, 0);
+    readout_pos_ = 0;
+    far_ = bits::next_frame_address(far_);
+  }
+  out = readout_buf_[readout_pos_++];
+  ++readback_words_;
+  if (--readout_left_ == 0) {
+    state_ = IcapState::kIdle;
+    readout_buf_.clear();
+    readout_pos_ = 0;
+  }
+  return true;
+}
+
+void Icap::finish_packet() { state_ = IcapState::kIdle; }
+
+void Icap::handle_payload_word(u32 word) {
+  // CRC comparison happens against the running value *before* the checksum
+  // word itself is hashed, mirroring the generator's discipline.
+  if (current_reg_ == bits::ConfigReg::kCrc) {
+    crc_checked_ = true;
+    crc_ok_ = (word == crc_.value());
+    if (!crc_ok_) stats().add("crc_mismatches");
+  }
+  crc_.write(current_reg_, word);
+
+  switch (current_reg_) {
+    case bits::ConfigReg::kFar:
+      far_ = bits::FrameAddress::unpack(word);
+      break;
+    case bits::ConfigReg::kIdcode:
+      idcode_ = word;
+      if (word != plane_.device().idcode) {
+        fail("IDCODE mismatch: bitstream is for a different device");
+        return;
+      }
+      break;
+    case bits::ConfigReg::kCmd: {
+      const auto cmd = static_cast<bits::Command>(word);
+      if (cmd == bits::Command::kRcrc) crc_.reset();
+      if (cmd == bits::Command::kWcfg) {
+        wcfg_active_ = true;
+        rcfg_active_ = false;
+      }
+      if (cmd == bits::Command::kRcfg) {
+        rcfg_active_ = true;
+        wcfg_active_ = false;
+      }
+      if (cmd == bits::Command::kDesync) {
+        if (!frame_buf_.empty()) {
+          fail("DESYNC with a partial frame buffered");
+          return;
+        }
+        state_ = IcapState::kDesynced;
+        if (done_cb_) done_cb_();
+        return;
+      }
+      break;
+    }
+    case bits::ConfigReg::kFdri:
+      if (!wcfg_active_) {
+        fail("FDRI write without WCFG");
+        return;
+      }
+      frame_buf_.push_back(word);
+      if (frame_buf_.size() == plane_.device().frame_words) {
+        plane_.write_frame(far_, frame_buf_);
+        far_ = bits::next_frame_address(far_);
+        frame_buf_.clear();
+        ++frames_;
+      }
+      break;
+    default:
+      break;  // registers we model as write-only scratch
+  }
+
+  if (--payload_left_ == 0 && state_ != IcapState::kDesynced && state_ != IcapState::kError) {
+    finish_packet();
+  }
+}
+
+void Icap::write_word(u32 word) {
+  ++words_;
+  switch (state_) {
+    case IcapState::kPreSync:
+      if (word == bits::kSyncWord) state_ = IcapState::kIdle;
+      return;
+
+    case IcapState::kIdle: {
+      if (word == bits::kDummyWord || word == bits::kNoopWord) return;
+      const u32 type = bits::packet_type(word);
+      if (type == 1) {
+        const auto op = bits::packet_opcode(word);
+        if (op == bits::Opcode::kNop) return;
+        if (op == bits::Opcode::kRead) {
+          if (bits::packet_reg(word) != bits::ConfigReg::kFdro || !rcfg_active_) {
+            fail("read packets are only supported for FDRO after CMD RCFG");
+            return;
+          }
+          const u32 count = bits::type1_count(word);
+          if (count > 0) {
+            begin_readout(count);
+          } else {
+            reading_fdro_ = true;
+            state_ = IcapState::kAwaitType2;
+          }
+          return;
+        }
+        begin_payload(bits::packet_reg(word), bits::type1_count(word),
+                      IcapState::kType1Payload);
+      } else if (type == 2) {
+        fail("type-2 packet without a preceding type-1 select");
+      } else {
+        fail("unknown packet type");
+      }
+      return;
+    }
+
+    case IcapState::kAwaitType2: {
+      if (word == bits::kNoopWord) return;
+      if (bits::packet_type(word) != 2) {
+        fail("expected type-2 packet after zero-count select");
+        return;
+      }
+      if (reading_fdro_) {
+        reading_fdro_ = false;
+        begin_readout(bits::type2_count(word));
+        return;
+      }
+      payload_left_ = bits::type2_count(word);
+      state_ = payload_left_ > 0 ? IcapState::kType2Payload : IcapState::kIdle;
+      return;
+    }
+
+    case IcapState::kType1Payload:
+    case IcapState::kType2Payload:
+      handle_payload_word(word);
+      return;
+
+    case IcapState::kReadout:
+      fail("write during active readout");
+      return;
+
+    case IcapState::kDesynced:
+      // Trailing pad words after DESYNC are ignored, as in hardware.
+      return;
+
+    case IcapState::kError:
+      return;
+  }
+}
+
+}  // namespace uparc::icap

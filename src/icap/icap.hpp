@@ -1,0 +1,103 @@
+// ICAP primitive model (ICAP_VIRTEX5, UG191).
+//
+// The ICAP is a 32-bit synchronous write port into the configuration logic:
+// one word per CLK cycle while CE/WRITE are asserted. This model consumes a
+// word per `write_word` call (the driving controller calls it once per clock
+// edge), runs the streaming packet decoder, commits whole frames to the
+// ConfigPlane, checks the running CRC, and raises `done` on DESYNC.
+//
+// The hardware primitive is *rated* at 100 MHz; the entire point of UPaRC is
+// that the silicon tolerates far higher clocks (362.5 MHz on the paper's
+// Virtex-5 samples). Whether a given overclock is reliable is decided by
+// core/timing_model.hpp, not here.
+#pragma once
+
+#include <functional>
+
+#include "bitstream/packet.hpp"
+#include "icap/config_plane.hpp"
+
+namespace uparc::icap {
+
+enum class IcapState {
+  kPreSync,      // hunting for the sync word
+  kIdle,         // synced, awaiting a packet header
+  kType1Payload, // consuming a type-1 payload
+  kAwaitType2,   // type-1 select with zero count seen
+  kType2Payload, // consuming a type-2 payload
+  kReadout,      // streaming FDRO words back out (readback)
+  kDesynced,     // configuration finished
+  kError,        // malformed stream
+};
+
+class Icap : public sim::Module {
+ public:
+  Icap(sim::Simulation& sim, std::string name, ConfigPlane& plane,
+       Frequency rated_fmax = Frequency::mhz(100));
+
+  /// Feeds one configuration word (one clock cycle's worth).
+  void write_word(u32 word);
+
+  /// Readback: after a type-1/2 READ of FDRO (preceded by FAR and CMD RCFG
+  /// writes) the port enters kReadout and streams one configuration word
+  /// per call — unconfigured frames read back as zeros, as on silicon.
+  /// Returns false when no readout is active.
+  [[nodiscard]] bool read_word(u32& out);
+  [[nodiscard]] bool readout_active() const noexcept {
+    return state_ == IcapState::kReadout;
+  }
+  [[nodiscard]] u64 words_read_back() const noexcept { return readback_words_; }
+
+  [[nodiscard]] IcapState state() const noexcept { return state_; }
+  [[nodiscard]] bool done() const noexcept { return state_ == IcapState::kDesynced; }
+  [[nodiscard]] bool errored() const noexcept { return state_ == IcapState::kError; }
+  [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+
+  [[nodiscard]] u64 words_consumed() const noexcept { return words_; }
+  [[nodiscard]] u64 frames_committed() const noexcept { return frames_; }
+  [[nodiscard]] bool crc_checked() const noexcept { return crc_checked_; }
+  [[nodiscard]] bool crc_ok() const noexcept { return crc_ok_; }
+  [[nodiscard]] u32 idcode_seen() const noexcept { return idcode_; }
+  [[nodiscard]] Frequency rated_fmax() const noexcept { return rated_fmax_; }
+  [[nodiscard]] const bits::Device& device() const noexcept { return plane_.device(); }
+
+  /// Invoked (at most once per reset) when DESYNC lands.
+  void on_done(std::function<void()> cb) { done_cb_ = std::move(cb); }
+
+  /// Returns the primitive to the pre-sync state for the next bitstream.
+  void reset();
+
+ private:
+  void fail(std::string why);
+  void handle_payload_word(u32 word);
+  void begin_payload(bits::ConfigReg reg, u32 count, IcapState next);
+  void begin_readout(u32 count);
+  void finish_packet();
+
+  ConfigPlane& plane_;
+  Frequency rated_fmax_;
+  IcapState state_ = IcapState::kPreSync;
+  std::string error_;
+
+  bits::ConfigReg current_reg_ = bits::ConfigReg::kCrc;
+  u32 payload_left_ = 0;
+  u32 readout_left_ = 0;
+  Words readout_buf_;           // current frame being streamed out
+  std::size_t readout_pos_ = 0;
+  u64 readback_words_ = 0;
+  bool rcfg_active_ = false;
+  bool reading_fdro_ = false;  // type-1 FDRO read select seen, type-2 pending
+  bits::ConfigCrc crc_;
+  bool wcfg_active_ = false;
+  bits::FrameAddress far_{};
+  Words frame_buf_;
+
+  u64 words_ = 0;
+  u64 frames_ = 0;
+  bool crc_checked_ = false;
+  bool crc_ok_ = false;
+  u32 idcode_ = 0;
+  std::function<void()> done_cb_;
+};
+
+}  // namespace uparc::icap

@@ -1,0 +1,114 @@
+#include "manager/adaptation.hpp"
+
+#include <cmath>
+
+namespace uparc::manager {
+
+FrequencyAdapter::FrequencyAdapter(clocking::DyCloGen& dyclogen, Frequency f_limit,
+                                   TimePs overhead, WaitMode wait_mode, double wait_mw)
+    : dyclogen_(dyclogen),
+      f_limit_(f_limit),
+      overhead_(overhead),
+      wait_mode_(wait_mode),
+      wait_mw_(wait_mw) {}
+
+TimePs FrequencyAdapter::predict_time(u64 payload_bytes, Frequency f) const {
+  const double transfer_s = static_cast<double>(payload_bytes) / (4.0 * f.in_hz());
+  return overhead_ + TimePs::from_seconds(transfer_s);
+}
+
+double FrequencyAdapter::predict_mw(Frequency f) const {
+  double mw = power::reconfig_datapath_mw(f);
+  if (wait_mode_ == WaitMode::kActiveWait) mw += wait_mw_;
+  return mw;
+}
+
+double FrequencyAdapter::predict_uj(u64 payload_bytes, Frequency f) const {
+  return predict_mw(f) * predict_time(payload_bytes, f).seconds() * 1e3;
+}
+
+std::optional<Frequency> FrequencyAdapter::min_frequency_for(u64 payload_bytes,
+                                                             TimePs deadline) const {
+  if (deadline <= overhead_) return std::nullopt;
+  const double budget_s = (deadline - overhead_).seconds();
+  const double f_hz = static_cast<double>(payload_bytes) / (4.0 * budget_s);
+  if (f_hz > f_limit_.in_hz()) return std::nullopt;
+  return Frequency(f_hz);
+}
+
+std::optional<AdaptationPlan> FrequencyAdapter::plan(FrequencyPolicy policy, u64 payload_bytes,
+                                                     TimePs deadline) const {
+  clocking::MdConstraints c;
+  c.f_max = f_limit_;
+  std::optional<clocking::MdChoice> choice;
+  Frequency target = f_limit_;
+
+  switch (policy) {
+    case FrequencyPolicy::kMaxPerformance:
+      choice = clocking::closest_not_above(dyclogen_.f_in(), f_limit_, c);
+      if (choice && predict_time(payload_bytes, choice->f_out) > deadline) return std::nullopt;
+      break;
+
+    case FrequencyPolicy::kMinPowerDeadline:
+      // §V: "the power-aware solution is to use the lowest possible
+      // frequency which meets timing constraints" — lowest synthesizable
+      // frequency whose predicted time fits the deadline.
+      for (unsigned d = c.min_d; d <= c.max_d; ++d) {
+        for (unsigned m = c.min_m; m <= c.max_m; ++m) {
+          const Frequency out = dyclogen_.f_in() * static_cast<double>(m) / d;
+          if (out > c.f_max) continue;
+          if (predict_time(payload_bytes, out) > deadline) continue;
+          if (!choice || out < choice->f_out || (out == choice->f_out && d < choice->d)) {
+            choice = clocking::MdChoice{m, d, out, 0.0};
+          }
+        }
+      }
+      if (choice) target = choice->f_out;
+      break;
+
+    case FrequencyPolicy::kMinEnergy: {
+      // Explicit argmin of predicted energy over deadline-meeting grid
+      // points. Under the calibrated (sub-linear) power curve this lands at
+      // high frequency even for an interrupt-driven manager; with an
+      // active-wait manager the preference for speed is even stronger.
+      double best_uj = 0.0;
+      for (unsigned d = c.min_d; d <= c.max_d; ++d) {
+        for (unsigned m = c.min_m; m <= c.max_m; ++m) {
+          const Frequency out = dyclogen_.f_in() * static_cast<double>(m) / d;
+          if (out > c.f_max) continue;
+          if (predict_time(payload_bytes, out) > deadline) continue;
+          const double uj = predict_uj(payload_bytes, out);
+          if (!choice || uj < best_uj) {
+            choice = clocking::MdChoice{m, d, out, 0.0};
+            best_uj = uj;
+          }
+        }
+      }
+      if (choice) target = choice->f_out;
+      break;
+    }
+  }
+  if (!choice) return std::nullopt;
+
+  AdaptationPlan plan_out;
+  plan_out.target = target;
+  plan_out.choice = *choice;
+  plan_out.predicted_time = predict_time(payload_bytes, choice->f_out);
+  plan_out.predicted_mw = predict_mw(choice->f_out);
+  plan_out.predicted_uj = predict_uj(payload_bytes, choice->f_out);
+  return plan_out;
+}
+
+std::optional<AdaptationPlan> FrequencyAdapter::apply(FrequencyPolicy policy,
+                                                      u64 payload_bytes, TimePs deadline,
+                                                      std::function<void()> done) {
+  auto p = plan(policy, payload_bytes, deadline);
+  if (!p) return std::nullopt;
+  auto programmed = dyclogen_.request_frequency(clocking::ClockId::kReconfig, p->choice.f_out,
+                                                std::move(done));
+  if (!programmed) return std::nullopt;
+  p->choice = *programmed;
+  return p;
+}
+
+}  // namespace uparc::manager

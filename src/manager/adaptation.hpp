@@ -1,0 +1,73 @@
+// Frequency adaptation (Manager task 3, paper §III-A-3): analyze run-time
+// constraints and pick the reconfiguration frequency, then drive DyCloGen.
+//
+// Policies reflect §V's analysis:
+//  * kMaxPerformance     — highest reliable frequency (fastest swap).
+//  * kMinPowerDeadline   — "the power-aware solution is to use the lowest
+//                          possible frequency which meets timing constraints".
+//  * kMinEnergy          — minimize predicted energy: with an active-wait
+//                          manager that is the highest frequency (the wait
+//                          term dominates); with an interrupt manager every
+//                          frequency costs ~the same energy, so the lowest
+//                          deadline-meeting frequency wins.
+#pragma once
+
+#include <optional>
+
+#include "clocking/dyclogen.hpp"
+#include "manager/control.hpp"
+#include "power/calibration.hpp"
+
+namespace uparc::manager {
+
+enum class FrequencyPolicy { kMaxPerformance, kMinPowerDeadline, kMinEnergy };
+
+struct AdaptationPlan {
+  Frequency target;          ///< frequency the policy asked for
+  clocking::MdChoice choice; ///< what DyCloGen can synthesize
+  TimePs predicted_time;     ///< overhead + transfer at choice.f_out
+  double predicted_mw = 0.0; ///< rail draw during the reconfiguration
+  double predicted_uj = 0.0; ///< energy over the reconfiguration
+};
+
+class FrequencyAdapter {
+ public:
+  /// `f_limit` is the highest reliable reconfiguration frequency (from the
+  /// timing model); `overhead` the constant control time (Fig. 5);
+  /// `wait_mw` the manager implementation's active-wait draw.
+  FrequencyAdapter(clocking::DyCloGen& dyclogen, Frequency f_limit, TimePs overhead,
+                   WaitMode wait_mode = WaitMode::kActiveWait,
+                   double wait_mw = power::kManagerActiveWaitMw);
+
+  /// Predicted uncompressed reconfiguration time at frequency `f`.
+  [[nodiscard]] TimePs predict_time(u64 payload_bytes, Frequency f) const;
+  /// Predicted rail draw during reconfiguration at `f` (calibrated model).
+  [[nodiscard]] double predict_mw(Frequency f) const;
+  /// Predicted energy for one reconfiguration at `f`.
+  [[nodiscard]] double predict_uj(u64 payload_bytes, Frequency f) const;
+
+  /// Lowest frequency whose predicted time meets `deadline`; nullopt if even
+  /// f_limit misses it.
+  [[nodiscard]] std::optional<Frequency> min_frequency_for(u64 payload_bytes,
+                                                           TimePs deadline) const;
+
+  /// Chooses a frequency per policy and evaluates the plan. Does not touch
+  /// hardware. Returns nullopt if the deadline is infeasible.
+  [[nodiscard]] std::optional<AdaptationPlan> plan(FrequencyPolicy policy, u64 payload_bytes,
+                                                   TimePs deadline) const;
+
+  /// Plans and programs CLK_2 through DyCloGen; `done` fires at relock.
+  std::optional<AdaptationPlan> apply(FrequencyPolicy policy, u64 payload_bytes,
+                                      TimePs deadline, std::function<void()> done = {});
+
+  [[nodiscard]] Frequency f_limit() const noexcept { return f_limit_; }
+
+ private:
+  clocking::DyCloGen& dyclogen_;
+  Frequency f_limit_;
+  TimePs overhead_;
+  WaitMode wait_mode_;
+  double wait_mw_;
+};
+
+}  // namespace uparc::manager

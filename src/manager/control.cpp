@@ -1,0 +1,49 @@
+#include "manager/control.hpp"
+
+#include <stdexcept>
+
+namespace uparc::manager {
+
+ReconfigControl::ReconfigControl(sim::Simulation& sim, std::string name, MicroBlaze& manager,
+                                 power::Rail* rail, WaitMode mode, double burst_mw,
+                                 double wait_mw)
+    : Module(sim, std::move(name)), manager_(manager), mode_(mode) {
+  if (rail != nullptr) {
+    burst_power_ = std::make_unique<power::ConstantPower>(*rail, this->name() + ".ctrl_burst",
+                                                          burst_mw);
+    wait_power_ =
+        std::make_unique<power::ConstantPower>(*rail, this->name() + ".active_wait", wait_mw);
+  }
+}
+
+TimePs ReconfigControl::control_overhead() const {
+  return manager_.cycles(manager_.costs().control_launch);
+}
+
+void ReconfigControl::launch(std::function<void(std::function<void()> finish)> start,
+                             std::function<void()> done) {
+  if (busy_) throw std::logic_error("ReconfigControl: launch while busy: " + name());
+  busy_ = true;
+  ++launches_;
+  if (burst_power_) burst_power_->set_active(true);
+
+  manager_.execute(manager_.costs().control_launch, [this, start = std::move(start),
+                                                     done = std::move(done)]() mutable {
+    if (burst_power_) burst_power_->set_active(false);
+    if (mode_ == WaitMode::kActiveWait && wait_power_) wait_power_->set_active(true);
+
+    auto finish = [this, done = std::move(done)]() mutable {
+      const u64 tail_cycles = mode_ == WaitMode::kActiveWait
+                                  ? manager_.costs().poll_iteration
+                                  : manager_.costs().irq_entry;
+      if (wait_power_) wait_power_->set_active(false);
+      manager_.execute(tail_cycles, [this, done = std::move(done)]() mutable {
+        busy_ = false;
+        done();
+      });
+    };
+    start(std::move(finish));
+  });
+}
+
+}  // namespace uparc::manager

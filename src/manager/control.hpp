@@ -1,0 +1,49 @@
+// Reconfiguration control (Manager task 2, paper §III-A-2): pulse Start,
+// wait for Finish. The paper's implementation actively waits — which is why
+// its measured energy falls with frequency — so both active-wait and
+// interrupt-driven variants exist (the ablation benches compare them).
+#pragma once
+
+#include <memory>
+
+#include "manager/microblaze.hpp"
+#include "power/calibration.hpp"
+#include "power/model.hpp"
+
+namespace uparc::manager {
+
+enum class WaitMode { kActiveWait, kInterrupt };
+
+class ReconfigControl : public sim::Module {
+ public:
+  /// `rail` may be null (no power accounting, e.g. in unit tests).
+  /// `burst_mw`/`wait_mw` parameterize the manager implementation's draw
+  /// (defaults: the paper's MicroBlaze levels; see manager/profiles.hpp).
+  ReconfigControl(sim::Simulation& sim, std::string name, MicroBlaze& manager,
+                  power::Rail* rail, WaitMode mode = WaitMode::kActiveWait,
+                  double burst_mw = power::kManagerControlBurstMw,
+                  double wait_mw = power::kManagerActiveWaitMw);
+
+  /// Launches a reconfiguration: charges the control-launch cycles (the
+  /// Fig. 5 constant overhead) with the control-burst power, invokes
+  /// `start(finish)` — the hardware must call `finish()` when its Finish
+  /// signal rises — then waits per the WaitMode and finally calls `done`.
+  void launch(std::function<void(std::function<void()> finish)> start,
+              std::function<void()> done);
+
+  [[nodiscard]] WaitMode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] u64 launches() const noexcept { return launches_; }
+  /// Manager-side overhead charged per launch (excludes the wait itself).
+  [[nodiscard]] TimePs control_overhead() const;
+
+ private:
+  MicroBlaze& manager_;
+  WaitMode mode_;
+  std::unique_ptr<power::ConstantPower> burst_power_;
+  std::unique_ptr<power::ConstantPower> wait_power_;
+  bool busy_ = false;
+  u64 launches_ = 0;
+};
+
+}  // namespace uparc::manager

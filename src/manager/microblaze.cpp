@@ -1,0 +1,16 @@
+#include "manager/microblaze.hpp"
+
+namespace uparc::manager {
+
+MicroBlaze::MicroBlaze(sim::Simulation& sim, std::string name, Frequency f,
+                       MicroBlazeCosts costs)
+    : Module(sim, std::move(name)), freq_(f), costs_(costs) {}
+
+void MicroBlaze::execute(u64 n, std::function<void()> done) {
+  const TimePs t = cycles(n);
+  busy_ += t;
+  stats().add("cycles", static_cast<double>(n));
+  sim_.schedule_in(t, std::move(done));
+}
+
+}  // namespace uparc::manager

@@ -1,0 +1,50 @@
+#include "manager/preloader.hpp"
+
+#include "bitstream/header.hpp"
+
+namespace uparc::manager {
+
+Preloader::Preloader(sim::Simulation& sim, std::string name, MicroBlaze& manager,
+                     mem::Bram& bram)
+    : Module(sim, std::move(name)), manager_(manager), bram_(bram) {}
+
+Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
+                        std::function<void()> done) {
+  if (payload.size() > BramLayout::kWordCountMask) {
+    return make_error("payload too large for the mode word's length field");
+  }
+  if (1 + payload.size() > bram_.size_words()) {
+    return make_error("payload does not fit the bitstream BRAM (" +
+                      std::to_string((1 + payload.size()) * 4) + " > " +
+                      std::to_string(bram_.size_bytes()) + " bytes)");
+  }
+  bram_.write_word(0, BramLayout::make_header(compressed, static_cast<u32>(payload.size())));
+  bram_.load_words(payload, 1);
+
+  const u64 cycles =
+      extra_cycles + static_cast<u64>(payload.size() + 1) * manager_.costs().copy_loop_word;
+  last_duration_ = manager_.cycles(cycles);
+  ++preloads_;
+  stats().add("words_preloaded", static_cast<double>(payload.size() + 1));
+  manager_.execute(cycles, std::move(done));
+  return Status::success();
+}
+
+Status Preloader::preload_file(BytesView bit_file, std::function<void()> done) {
+  auto parsed = bits::parse_header(bit_file);
+  if (!parsed.ok()) return parsed.error();
+  const auto& ph = parsed.value();
+  if (ph.header.body_bytes % 4 != 0) return make_error("bitstream body not word aligned");
+  Words body = bytes_to_words(bit_file.subspan(ph.body_offset, ph.header.body_bytes));
+  return store(false, body, manager_.costs().header_parse, std::move(done));
+}
+
+Status Preloader::preload_body(WordsView body, std::function<void()> done) {
+  return store(false, body, 0, std::move(done));
+}
+
+Status Preloader::preload_compressed(BytesView container, std::function<void()> done) {
+  return store(true, bytes_to_words(container), 0, std::move(done));
+}
+
+}  // namespace uparc::manager

@@ -1,0 +1,63 @@
+// Bitstream preloading (Manager task 1, paper §III-A-1).
+//
+// The Manager reads the .bit file from external storage, parses the
+// preamble, and fills the bitstream BRAM through port A: the first 32-bit
+// word carries the operation mode and payload length (paper Fig. 3),
+// followed by the configuration data (raw body words, or a compressed
+// container produced offline on a PC).
+#pragma once
+
+#include "bitstream/generator.hpp"
+#include "bitstream/writer.hpp"
+#include "manager/microblaze.hpp"
+#include "mem/bram.hpp"
+
+namespace uparc::manager {
+
+/// Layout of the BRAM contents (paper Fig. 3).
+struct BramLayout {
+  static constexpr u32 kCompressedFlag = 1u << 31;
+  static constexpr u32 kWordCountMask = 0x00FFFFFFu;
+
+  [[nodiscard]] static constexpr u32 make_header(bool compressed, u32 payload_words) {
+    return (compressed ? kCompressedFlag : 0u) | (payload_words & kWordCountMask);
+  }
+  [[nodiscard]] static constexpr bool is_compressed(u32 header) {
+    return (header & kCompressedFlag) != 0;
+  }
+  [[nodiscard]] static constexpr u32 payload_words(u32 header) {
+    return header & kWordCountMask;
+  }
+};
+
+class Preloader : public sim::Module {
+ public:
+  Preloader(sim::Simulation& sim, std::string name, MicroBlaze& manager, mem::Bram& bram);
+
+  /// Parses a .bit file image and preloads its body uncompressed. Fails if
+  /// the body (plus header word) does not fit the BRAM. `done` fires when
+  /// the copy completes; the Status reports immediate (pre-copy) errors.
+  [[nodiscard]] Status preload_file(BytesView bit_file, std::function<void()> done);
+
+  /// Preloads an already-parsed body uncompressed.
+  [[nodiscard]] Status preload_body(WordsView body, std::function<void()> done);
+
+  /// Preloads a compressed container (produced offline). The container is
+  /// stored verbatim after the mode word.
+  [[nodiscard]] Status preload_compressed(BytesView container, std::function<void()> done);
+
+  /// Time the last successful preload consumed.
+  [[nodiscard]] TimePs last_duration() const noexcept { return last_duration_; }
+  [[nodiscard]] u64 preloads() const noexcept { return preloads_; }
+
+ private:
+  [[nodiscard]] Status store(bool compressed, WordsView payload, u64 extra_cycles,
+                             std::function<void()> done);
+
+  MicroBlaze& manager_;
+  mem::Bram& bram_;
+  TimePs last_duration_{};
+  u64 preloads_ = 0;
+};
+
+}  // namespace uparc::manager

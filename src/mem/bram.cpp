@@ -1,0 +1,40 @@
+#include "mem/bram.hpp"
+
+namespace uparc::mem {
+
+Bram::Bram(sim::Simulation& sim, std::string name, std::size_t size_bytes, Frequency rated_fmax)
+    : Module(sim, std::move(name)), rated_fmax_(rated_fmax) {
+  if (size_bytes == 0 || size_bytes % 4 != 0) {
+    throw std::invalid_argument("Bram size must be a positive multiple of 4 bytes");
+  }
+  words_.assign(size_bytes / 4, 0);
+}
+
+void Bram::write_word(std::size_t word_addr, u32 value) {
+  if (word_addr >= words_.size()) throw std::out_of_range("Bram write out of range: " + name());
+  words_[word_addr] = value;
+  ++writes_;
+}
+
+u32 Bram::read_word(std::size_t word_addr) const {
+  if (word_addr >= words_.size()) throw std::out_of_range("Bram read out of range: " + name());
+  ++reads_;
+  return words_[word_addr];
+}
+
+void Bram::load(BytesView data, std::size_t word_offset) {
+  Words packed = bytes_to_words(data);
+  load_words(packed, word_offset);
+}
+
+void Bram::load_words(WordsView data, std::size_t word_offset) {
+  if (word_offset + data.size() > words_.size()) {
+    throw std::out_of_range("Bram load overflows memory: " + name());
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) words_[word_offset + i] = data[i];
+  writes_ += data.size();
+}
+
+void Bram::clear() { words_.assign(words_.size(), 0); }
+
+}  // namespace uparc::mem

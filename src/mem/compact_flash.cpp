@@ -1,0 +1,39 @@
+#include "mem/compact_flash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uparc::mem {
+
+CompactFlash::CompactFlash(sim::Simulation& sim, std::string name, std::size_t size_bytes,
+                           CompactFlashTiming timing)
+    : Module(sim, std::move(name)), timing_(timing) {
+  if (size_bytes == 0) throw std::invalid_argument("CompactFlash size must be > 0");
+  if (timing_.sector_bytes == 0) throw std::invalid_argument("CompactFlash sector size 0");
+  data_.assign(size_bytes, 0);
+}
+
+void CompactFlash::store(BytesView data, std::size_t offset) {
+  if (offset + data.size() > data_.size()) {
+    throw std::out_of_range("CompactFlash store overflows card: " + name());
+  }
+  std::copy(data.begin(), data.end(), data_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+TimePs CompactFlash::read_sector(std::size_t lba, Bytes& out) {
+  const std::size_t start = lba * timing_.sector_bytes;
+  if (start >= data_.size()) throw std::out_of_range("CompactFlash read past end: " + name());
+  const std::size_t n = std::min(timing_.sector_bytes, data_.size() - start);
+  out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(start),
+             data_.begin() + static_cast<std::ptrdiff_t>(start + n));
+  ++sectors_read_;
+  return timing_.sector_command + timing_.byte_transfer * static_cast<u64>(n);
+}
+
+Bandwidth CompactFlash::sequential_bandwidth() const {
+  const TimePs per_sector =
+      timing_.sector_command + timing_.byte_transfer * static_cast<u64>(timing_.sector_bytes);
+  return Bandwidth::from_bytes_over(timing_.sector_bytes, per_sector);
+}
+
+}  // namespace uparc::mem

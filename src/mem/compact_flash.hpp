@@ -1,0 +1,45 @@
+// CompactFlash card model (SystemACE-style access).
+//
+// xps_hwicap's classic deployment streams bitstreams from CompactFlash; the
+// paper measures ~180 KB/s in that mode. The dominant costs are per-sector
+// command latency and per-byte PIO transfers through the SystemACE
+// controller, both modeled here as wall-clock times (the card is asynchronous
+// to the FPGA fabric clocks).
+#pragma once
+
+#include "sim/module.hpp"
+
+namespace uparc::mem {
+
+struct CompactFlashTiming {
+  TimePs sector_command = TimePs::from_us(500);  ///< command + seek per sector
+  TimePs byte_transfer = TimePs::from_us(4.5);   ///< PIO byte through SystemACE
+  std::size_t sector_bytes = 512;
+};
+
+class CompactFlash : public sim::Module {
+ public:
+  CompactFlash(sim::Simulation& sim, std::string name, std::size_t size_bytes,
+               CompactFlashTiming timing = {});
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return data_.size(); }
+  [[nodiscard]] const CompactFlashTiming& timing() const noexcept { return timing_; }
+
+  /// Writes a file image starting at byte `offset` (host-side provisioning).
+  void store(BytesView data, std::size_t offset = 0);
+
+  /// Reads one sector; returns the access time charged to the caller.
+  [[nodiscard]] TimePs read_sector(std::size_t lba, Bytes& out);
+
+  /// Sustained sequential throughput implied by the timing parameters.
+  [[nodiscard]] Bandwidth sequential_bandwidth() const;
+
+  [[nodiscard]] u64 sectors_read() const noexcept { return sectors_read_; }
+
+ private:
+  Bytes data_;
+  CompactFlashTiming timing_;
+  u64 sectors_read_ = 0;
+};
+
+}  // namespace uparc::mem

@@ -1,0 +1,23 @@
+#include "power/breakdown.hpp"
+
+namespace uparc::power {
+namespace {
+
+// Streaming-mode activities: DMA engines toggle wide descriptor/burst logic;
+// UReC is a counter and a handful of control flops.
+constexpr ControllerPowerRow kRows[] = {
+    {"UPaRC (UReC+DyCloGen)", 50, 0.50, kBramIcapMwPerMhz},
+    {"FaRM", 510, 0.40, kBramIcapMwPerMhz},
+    {"BRAM_HWICAP (Xilinx DMA)", 860, 0.45, kBramIcapMwPerMhz},
+    {"FlashCAP", 1320, 0.40, kBramIcapMwPerMhz},
+    {"MST_ICAP (bus master)", 1100, 0.45, kBramIcapMwPerMhz + 0.9},  // + DDR I/O
+};
+
+}  // namespace
+
+const ControllerPowerRow* controller_power_rows(std::size_t& count) {
+  count = sizeof(kRows) / sizeof(kRows[0]);
+  return kRows;
+}
+
+}  // namespace uparc::power

@@ -1,0 +1,55 @@
+#include "power/calibration.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace uparc::power {
+namespace {
+
+struct Point {
+  double mhz;
+  double mw;
+};
+
+// D(f) = Fig. 7 totals minus the 107 mW manager term.
+constexpr std::array<Point, 4> kDatapath = {{
+    {50.0, 76.0},
+    {100.0, 152.0},
+    {200.0, 287.0},
+    {300.0, 346.0},
+}};
+
+double interpolate(const std::array<Point, 4>& table, double mhz) {
+  if (mhz <= table.front().mhz) {
+    // Scale linearly through the origin below the first point (dynamic
+    // power vanishes with frequency).
+    return table.front().mw * (mhz / table.front().mhz);
+  }
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    if (mhz <= table[i + 1].mhz) {
+      const double t = (mhz - table[i].mhz) / (table[i + 1].mhz - table[i].mhz);
+      return table[i].mw + t * (table[i + 1].mw - table[i].mw);
+    }
+  }
+  // Extrapolate with the final segment's slope (the droop regime).
+  const auto& a = table[table.size() - 2];
+  const auto& b = table.back();
+  const double slope = (b.mw - a.mw) / (b.mhz - a.mhz);
+  return b.mw + slope * (mhz - b.mhz);
+}
+
+}  // namespace
+
+double reconfig_datapath_mw(Frequency f) {
+  return interpolate(kDatapath, std::max(0.0, f.in_mhz()));
+}
+
+double decompressor_mw(Frequency f) {
+  // Table II: decompressor ~900 slices vs ~26+18 for UReC+DyCloGen; its
+  // switching capacitance dominates its own clock domain. Calibrated to
+  // ~1.1 mW/MHz — comparable per-MHz draw to the whole BRAM+ICAP path is
+  // not plausible for a datapath without BRAM bursts, so it sits lower.
+  return 1.1 * std::max(0.0, f.in_mhz());
+}
+
+}  // namespace uparc::power

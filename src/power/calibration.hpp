@@ -1,0 +1,48 @@
+// Calibration constants anchored to the paper's published measurements.
+//
+// Fig. 7 (Virtex-6, 216.5 KB uncompressed bitstream, MicroBlaze manager at
+// 100 MHz with active wait):
+//     50 MHz -> 183 mW for 1.1 ms        200 MHz -> 394 mW for 270 us
+//    100 MHz -> 259 mW for 550 us        300 MHz -> 453 mW for 180 us
+//
+// Decomposition: the paper states the manager's active-wait draw is constant
+// across frequencies and explains why energy falls as frequency rises.
+// Solving 183 - D(50) = 259 - D(100) with D proportional-ish to f gives a
+// manager term of ~107 mW; the residual D(f) = P(f) - 107 is the
+// reconfiguration datapath draw, tabulated below and interpolated. D(f) is
+// sub-linear above 200 MHz in the measurements (voltage droop on the real
+// rail); the table reproduces that bend rather than an idealized CV²f line.
+//
+// Section V energy anchors: 0.66 uJ/KB for UPaRC at 100 MHz and 30 uJ/KB for
+// xps_hwicap at ~1.5 MB/s (=> ~44 mW while copying), ratio ~45x.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace uparc::power {
+
+/// Manager (MicroBlaze, 100 MHz) draw while controlling / actively waiting.
+inline constexpr double kManagerActiveWaitMw = 107.0;
+
+/// Manager draw during the pre-start control burst (bitstream launch):
+/// slightly above the wait level — the paper's pre-zero "power peak".
+inline constexpr double kManagerControlBurstMw = 128.0;
+
+/// xps_hwicap datapath draw while the processor copies words to ICAP.
+inline constexpr double kXpsHwicapCopyMw = 44.0;
+
+/// Reconfiguration datapath (UReC + BRAM + ICAP) draw at frequency `f`,
+/// interpolated from the Fig. 7 operating points.
+[[nodiscard]] double reconfig_datapath_mw(Frequency f);
+
+/// Decompressor draw when running at frequency `f` (X-MatchPRO block;
+/// scaled from its resource share relative to the datapath).
+[[nodiscard]] double decompressor_mw(Frequency f);
+
+/// Total rail draw during an uncompressed UPaRC reconfiguration at `f` with
+/// the MicroBlaze manager actively waiting — the quantity Fig. 7 plots.
+[[nodiscard]] inline double fig7_total_mw(Frequency f) {
+  return kManagerActiveWaitMw + reconfig_datapath_mw(f);
+}
+
+}  // namespace uparc::power

@@ -1,0 +1,40 @@
+#include "power/model.hpp"
+
+namespace uparc::power {
+
+BlockPower::BlockPower(Rail& rail, std::string component, sim::Clock& clock, DrawFn draw)
+    : rail_(rail), component_(std::move(component)), clock_(clock), draw_(std::move(draw)) {}
+
+BlockPower::~BlockPower() {
+  if (active_) rail_.set_contribution(component_, 0.0);
+}
+
+void BlockPower::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  rail_.set_contribution(component_, active_ ? draw_(clock_.frequency()) : 0.0);
+}
+
+void BlockPower::refresh() {
+  if (active_) rail_.set_contribution(component_, draw_(clock_.frequency()));
+}
+
+ConstantPower::ConstantPower(Rail& rail, std::string component, double mw)
+    : rail_(rail), component_(std::move(component)), mw_(mw) {}
+
+ConstantPower::~ConstantPower() {
+  if (active_) rail_.set_contribution(component_, 0.0);
+}
+
+void ConstantPower::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  rail_.set_contribution(component_, active_ ? mw_ : 0.0);
+}
+
+void ConstantPower::set_level(double mw) {
+  mw_ = mw;
+  if (active_) rail_.set_contribution(component_, mw_);
+}
+
+}  // namespace uparc::power

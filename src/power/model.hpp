@@ -1,0 +1,65 @@
+// Component power model: each hardware block registers a descriptor and
+// toggles between idle and active; the model pushes the implied draw onto a
+// Rail. Two descriptor sources exist:
+//   * calibrated: the Fig. 7-anchored values in calibration.hpp (used by the
+//     paper-reproduction benches), and
+//   * first-principles: P = c_mw_per_mhz * f for ablations and what-if
+//     sweeps where no measurement exists.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "power/rail.hpp"
+#include "sim/clock.hpp"
+
+namespace uparc::power {
+
+/// A block's draw as a function of its clock frequency (mW).
+using DrawFn = std::function<double(Frequency)>;
+
+/// Binds one hardware block to a rail: while active, the block contributes
+/// draw(f) where f tracks its clock; while idle it contributes nothing
+/// (clock gating — the EN signal in the paper).
+class BlockPower {
+ public:
+  BlockPower(Rail& rail, std::string component, sim::Clock& clock, DrawFn draw);
+  ~BlockPower();
+  BlockPower(const BlockPower&) = delete;
+  BlockPower& operator=(const BlockPower&) = delete;
+
+  /// Marks the block active/idle as of the current simulated time.
+  void set_active(bool active);
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Re-evaluates the draw after a clock retune while active.
+  void refresh();
+
+ private:
+  Rail& rail_;
+  std::string component_;
+  sim::Clock& clock_;
+  DrawFn draw_;
+  bool active_ = false;
+};
+
+/// Constant-draw helper (e.g. the manager's active wait).
+class ConstantPower {
+ public:
+  ConstantPower(Rail& rail, std::string component, double mw);
+  ~ConstantPower();
+  ConstantPower(const ConstantPower&) = delete;
+  ConstantPower& operator=(const ConstantPower&) = delete;
+
+  void set_active(bool active);
+  void set_level(double mw);
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  Rail& rail_;
+  std::string component_;
+  double mw_;
+  bool active_ = false;
+};
+
+}  // namespace uparc::power

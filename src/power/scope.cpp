@@ -1,0 +1,66 @@
+#include "power/scope.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uparc::power {
+
+std::vector<ScopeSample> VirtualScope::capture(TimePs t0, TimePs t1, TimePs interval) const {
+  std::vector<ScopeSample> out;
+  if (t1 <= t0 || interval.ps() == 0) return out;
+  const auto& steps = rail_.steps();
+  std::size_t idx = 0;
+  for (TimePs t = t0; t <= t1; t += interval) {
+    while (idx + 1 < steps.size() && steps[idx + 1].time <= t) ++idx;
+    // steps[idx] is the last step at or before t.
+    double mw = steps[idx].time <= t ? steps[idx].total_mw : 0.0;
+    out.push_back(ScopeSample{t, mw});
+  }
+  return out;
+}
+
+std::string VirtualScope::to_csv(const std::vector<ScopeSample>& samples) {
+  std::string csv = "time_us,power_mw\n";
+  char line[64];
+  for (const auto& s : samples) {
+    std::snprintf(line, sizeof line, "%.3f,%.3f\n", s.time.us(), s.mw);
+    csv += line;
+  }
+  return csv;
+}
+
+std::string VirtualScope::to_ascii(const std::vector<ScopeSample>& samples, unsigned width,
+                                   unsigned height) {
+  if (samples.empty() || width == 0 || height == 0) return "";
+  double peak = 0.0;
+  for (const auto& s : samples) peak = std::max(peak, s.mw);
+  if (peak <= 0.0) peak = 1.0;
+
+  // Downsample to `width` columns by averaging.
+  std::vector<double> cols(width, 0.0);
+  std::vector<unsigned> counts(width, 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const std::size_t c = i * width / samples.size();
+    cols[c] += samples[i].mw;
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < width; ++c) {
+    if (counts[c] > 0) cols[c] /= counts[c];
+  }
+
+  std::string out;
+  for (unsigned row = 0; row < height; ++row) {
+    const double level = peak * (height - row - 0.5) / height;
+    char label[16];
+    std::snprintf(label, sizeof label, "%6.0f |", peak * (height - row) / height);
+    out += label;
+    for (unsigned c = 0; c < width; ++c) out += cols[c] >= level ? '#' : ' ';
+    out += "\n";
+  }
+  out += "  (mW) +";
+  out += std::string(width, '-');
+  out += "> time\n";
+  return out;
+}
+
+}  // namespace uparc::power

@@ -1,0 +1,37 @@
+// Virtual oscilloscope: samples a Rail at a fixed interval, reproducing the
+// shunt-resistor + precision-amplifier + scope setup of the paper's Fig. 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/rail.hpp"
+
+namespace uparc::power {
+
+struct ScopeSample {
+  TimePs time;
+  double mw;
+};
+
+class VirtualScope {
+ public:
+  /// Sampling the step-function history is done offline (after the run), so
+  /// the scope never perturbs the simulation.
+  explicit VirtualScope(const Rail& rail) : rail_(rail) {}
+
+  /// Uniformly samples [t0, t1] at `interval`.
+  [[nodiscard]] std::vector<ScopeSample> capture(TimePs t0, TimePs t1, TimePs interval) const;
+
+  /// Renders a CSV ("time_us,power_mw") for plotting.
+  [[nodiscard]] static std::string to_csv(const std::vector<ScopeSample>& samples);
+
+  /// Renders a coarse ASCII plot of the trace (for bench output).
+  [[nodiscard]] static std::string to_ascii(const std::vector<ScopeSample>& samples,
+                                            unsigned width = 64, unsigned height = 12);
+
+ private:
+  const Rail& rail_;
+};
+
+}  // namespace uparc::power

@@ -1,0 +1,80 @@
+#include "region/region.hpp"
+
+namespace uparc::region {
+
+std::vector<bits::FrameAddress> RegionGeometry::frames() const {
+  std::vector<bits::FrameAddress> out;
+  out.reserve(frame_count);
+  bits::FrameAddress a = origin;
+  for (u32 i = 0; i < frame_count; ++i) {
+    out.push_back(a);
+    a = bits::next_frame_address(a);
+  }
+  return out;
+}
+
+bool RegionGeometry::covers(const bits::FrameAddress& addr) const {
+  bits::FrameAddress a = origin;
+  for (u32 i = 0; i < frame_count; ++i) {
+    if (a == addr) return true;
+    a = bits::next_frame_address(a);
+  }
+  return false;
+}
+
+bool RegionGeometry::overlaps(const RegionGeometry& other) const {
+  // Frame windows are short (hundreds to thousands); the quadratic check is
+  // a floorplan-construction cost only.
+  for (const auto& a : other.frames()) {
+    if (covers(a)) return true;
+  }
+  return false;
+}
+
+Status Floorplan::add_region(std::string name, RegionGeometry geometry) {
+  if (geometry.frame_count == 0) return make_error("region has no frames: " + name);
+  for (const auto& r : regions_) {
+    if (r.name == name) return make_error("duplicate region name: " + name);
+    if (r.geometry.overlaps(geometry)) {
+      return make_error("region '" + name + "' overlaps '" + r.name + "'");
+    }
+  }
+  regions_.push_back(Region{std::move(name), geometry, "", 0});
+  return Status::success();
+}
+
+Region* Floorplan::find(const std::string& name) {
+  for (auto& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+const Region* Floorplan::find(const std::string& name) const {
+  for (const auto& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+const Region* Floorplan::region_at(const bits::FrameAddress& addr) const {
+  for (const auto& r : regions_) {
+    if (r.geometry.covers(addr)) return &r;
+  }
+  return nullptr;
+}
+
+Status Floorplan::check_fits(const Region& region, const bits::PartialBitstream& bs) const {
+  if (bs.frames.empty()) return make_error("bitstream carries no frames");
+  if (bs.frames.size() > region.geometry.frame_count) {
+    return make_error("module needs " + std::to_string(bs.frames.size()) +
+                      " frames; region '" + region.name + "' has " +
+                      std::to_string(region.geometry.frame_count));
+  }
+  if (!(bs.frames.front().address == region.geometry.origin)) {
+    return make_error("bitstream start address does not match region origin (relocate it)");
+  }
+  return Status::success();
+}
+
+}  // namespace uparc::region

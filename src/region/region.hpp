@@ -1,0 +1,64 @@
+// Reconfigurable regions (partial-reconfiguration partitions).
+//
+// A PR system floorplans the FPGA into regions; each module bitstream is
+// compiled for (or relocated to) a region's frame window. This module gives
+// UPaRC the region bookkeeping every real PR system carries: geometry,
+// occupancy, and compatibility checks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/generator.hpp"
+
+namespace uparc::region {
+
+/// A rectangular frame window: `frame_count` consecutive frames (in FAR
+/// auto-increment order) starting at `origin`.
+struct RegionGeometry {
+  bits::FrameAddress origin{};
+  u32 frame_count = 0;
+
+  /// All frame addresses covered by this window.
+  [[nodiscard]] std::vector<bits::FrameAddress> frames() const;
+  /// Whether `addr` falls inside the window.
+  [[nodiscard]] bool covers(const bits::FrameAddress& addr) const;
+  /// Whether two windows share any frame.
+  [[nodiscard]] bool overlaps(const RegionGeometry& other) const;
+};
+
+struct Region {
+  std::string name;
+  RegionGeometry geometry;
+  /// Currently configured module name; empty = blank.
+  std::string occupant;
+  u64 reconfigurations = 0;
+};
+
+/// Static floorplan: named, non-overlapping regions.
+class Floorplan {
+ public:
+  explicit Floorplan(bits::Device device) : device_(device) {}
+
+  /// Adds a region; fails on duplicate names or overlapping windows.
+  [[nodiscard]] Status add_region(std::string name, RegionGeometry geometry);
+
+  [[nodiscard]] const bits::Device& device() const noexcept { return device_; }
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept { return regions_; }
+  [[nodiscard]] Region* find(const std::string& name);
+  [[nodiscard]] const Region* find(const std::string& name) const;
+
+  /// The region whose window contains `addr`, if any.
+  [[nodiscard]] const Region* region_at(const bits::FrameAddress& addr) const;
+
+  /// Checks that `bs` fits a region's window exactly from its origin.
+  [[nodiscard]] Status check_fits(const Region& region,
+                                  const bits::PartialBitstream& bs) const;
+
+ private:
+  bits::Device device_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace uparc::region

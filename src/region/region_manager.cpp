@@ -1,0 +1,96 @@
+#include "region/region_manager.hpp"
+
+namespace uparc::region {
+
+RegionManager::RegionManager(sim::Simulation& sim, std::string name, Floorplan floorplan,
+                             ModuleLibrary& library, core::Uparc& controller,
+                             icap::ConfigPlane& plane)
+    : Module(sim, std::move(name)),
+      floorplan_(std::move(floorplan)),
+      library_(library),
+      controller_(controller),
+      plane_(plane) {}
+
+std::string RegionManager::occupant(const std::string& region_name) const {
+  const Region* r = floorplan_.find(region_name);
+  return r == nullptr ? "" : r->occupant;
+}
+
+Status RegionManager::evict(const std::string& region_name) {
+  Region* r = floorplan_.find(region_name);
+  if (r == nullptr) return make_error("unknown region: " + region_name);
+  r->occupant.clear();
+  return Status::success();
+}
+
+void RegionManager::load(const std::string& module, const std::string& region_name,
+                         LoadCallback done) {
+  queue_.push_back(PendingLoad{module, region_name, sim_.now(), std::move(done)});
+  stats().add("loads_requested");
+  pump();
+}
+
+void RegionManager::finish(PendingLoad job, LoadResult result) {
+  result.module = job.module;
+  result.region = job.region;
+  result.queued_at = job.queued_at;
+  result.finished_at = sim_.now();
+  if (result.success) {
+    ++loads_completed_;
+  } else {
+    ++loads_failed_;
+  }
+  in_flight_ = false;
+  if (job.done) job.done(result);
+  pump();
+}
+
+void RegionManager::pump() {
+  if (in_flight_ || queue_.empty()) return;
+  in_flight_ = true;
+  PendingLoad job = std::move(queue_.front());
+  queue_.pop_front();
+
+  LoadResult result;
+  result.started_at = sim_.now();
+
+  Region* region = floorplan_.find(job.region);
+  if (region == nullptr) {
+    result.error = "unknown region: " + job.region;
+    finish(std::move(job), std::move(result));
+    return;
+  }
+
+  auto instance = library_.instantiate(job.module, floorplan_, *region);
+  if (!instance.ok()) {
+    result.error = instance.error().message;
+    finish(std::move(job), std::move(result));
+    return;
+  }
+
+  Status staged = controller_.stage(instance.value());
+  if (!staged.ok()) {
+    result.error = staged.error().message;
+    finish(std::move(job), std::move(result));
+    return;
+  }
+
+  // Keep the instance's frames for post-load verification.
+  auto frames = std::make_shared<std::vector<bits::Frame>>(instance.value().frames);
+  controller_.reconfigure([this, job = std::move(job), result = std::move(result), region,
+                           frames](const ctrl::ReconfigResult& r) mutable {
+    result.reconfig = r;
+    if (!r.success) {
+      result.error = r.error;
+    } else if (!plane_.contains(*frames)) {
+      result.error = "post-load verification failed: plane does not match module";
+    } else {
+      result.success = true;
+      region->occupant = job.module;
+      ++region->reconfigurations;
+    }
+    finish(std::move(job), std::move(result));
+  });
+}
+
+}  // namespace uparc::region

@@ -1,0 +1,76 @@
+// Region manager: the orchestration layer a deployed PR system runs on top
+// of UPaRC. Owns the floorplan and the module library; `load()` relocates a
+// module image to the target region, stages it, reconfigures, verifies the
+// configuration plane, and updates occupancy. Loads are queued: one
+// reconfiguration port, one in-flight load.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "core/uparc.hpp"
+#include "region/module_library.hpp"
+
+namespace uparc::region {
+
+struct LoadResult {
+  bool success = false;
+  std::string error;
+  std::string module;
+  std::string region;
+  TimePs queued_at{};
+  TimePs started_at{};
+  TimePs finished_at{};
+  ctrl::ReconfigResult reconfig;  ///< underlying controller result
+
+  [[nodiscard]] TimePs queue_latency() const { return started_at - queued_at; }
+  [[nodiscard]] TimePs total_latency() const { return finished_at - queued_at; }
+};
+
+using LoadCallback = std::function<void(const LoadResult&)>;
+
+class RegionManager : public sim::Module {
+ public:
+  RegionManager(sim::Simulation& sim, std::string name, Floorplan floorplan,
+                ModuleLibrary& library, core::Uparc& controller, icap::ConfigPlane& plane);
+
+  /// Queues a module load into a region. The callback fires when the load
+  /// completes (or fails). Immediate errors (unknown region/module) are
+  /// reported through the callback as well, synchronously.
+  void load(const std::string& module, const std::string& region_name, LoadCallback done);
+
+  /// Marks a region blank (bookkeeping only; the fabric keeps the old
+  /// configuration until something overwrites it, as in real hardware).
+  [[nodiscard]] Status evict(const std::string& region_name);
+
+  [[nodiscard]] const Floorplan& floorplan() const noexcept { return floorplan_; }
+  [[nodiscard]] const ModuleLibrary& library() const noexcept { return library_; }
+  /// Occupant module of a region ("" if blank / unknown region).
+  [[nodiscard]] std::string occupant(const std::string& region_name) const;
+
+  [[nodiscard]] u64 loads_completed() const noexcept { return loads_completed_; }
+  [[nodiscard]] u64 loads_failed() const noexcept { return loads_failed_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+ private:
+  struct PendingLoad {
+    std::string module;
+    std::string region;
+    TimePs queued_at;
+    LoadCallback done;
+  };
+
+  void pump();
+  void finish(PendingLoad job, LoadResult result);
+
+  Floorplan floorplan_;
+  ModuleLibrary& library_;
+  core::Uparc& controller_;
+  icap::ConfigPlane& plane_;
+  std::deque<PendingLoad> queue_;
+  bool in_flight_ = false;
+  u64 loads_completed_ = 0;
+  u64 loads_failed_ = 0;
+};
+
+}  // namespace uparc::region

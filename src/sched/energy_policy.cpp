@@ -1,0 +1,59 @@
+#include "sched/energy_policy.hpp"
+
+#include <algorithm>
+
+namespace uparc::sched {
+
+const PolicyOutcome* PolicyComparison::find(manager::FrequencyPolicy policy) const {
+  for (const auto& o : outcomes) {
+    if (o.policy == policy) return &o;
+  }
+  return nullptr;
+}
+
+double PolicyComparison::savings_vs_max_percent() const {
+  const PolicyOutcome* max_perf = find(manager::FrequencyPolicy::kMaxPerformance);
+  const PolicyOutcome* best = best_feasible();
+  if (max_perf == nullptr || best == nullptr || max_perf->reconfig_energy_uj <= 0.0) {
+    return 0.0;
+  }
+  return (1.0 - best->reconfig_energy_uj / max_perf->reconfig_energy_uj) * 100.0;
+}
+
+double PolicyComparison::power_reduction_vs_max_percent() const {
+  const PolicyOutcome* max_perf = find(manager::FrequencyPolicy::kMaxPerformance);
+  const PolicyOutcome* low = find(manager::FrequencyPolicy::kMinPowerDeadline);
+  if (max_perf == nullptr || low == nullptr || low->deadline_misses > 0 ||
+      max_perf->peak_power_mw <= 0.0) {
+    return 0.0;
+  }
+  return (1.0 - low->peak_power_mw / max_perf->peak_power_mw) * 100.0;
+}
+
+const PolicyOutcome* PolicyComparison::best_feasible() const {
+  const PolicyOutcome* best = nullptr;
+  for (const auto& o : outcomes) {
+    if (o.deadline_misses > 0) continue;
+    if (best == nullptr || o.reconfig_energy_uj < best->reconfig_energy_uj) best = &o;
+  }
+  return best;
+}
+
+PolicyComparison compare_policies(const TaskSet& set, const OfflineScheduler& scheduler) {
+  PolicyComparison cmp;
+  for (auto policy : {manager::FrequencyPolicy::kMaxPerformance,
+                      manager::FrequencyPolicy::kMinPowerDeadline,
+                      manager::FrequencyPolicy::kMinEnergy}) {
+    PolicyOutcome o;
+    o.policy = policy;
+    o.schedule = scheduler.plan(set, policy);
+    o.reconfig_energy_uj = o.schedule.total_reconfig_energy_uj;
+    o.peak_power_mw = o.schedule.peak_reconfig_power_mw;
+    o.makespan = o.schedule.makespan;
+    o.deadline_misses = o.schedule.deadline_misses;
+    cmp.outcomes.push_back(std::move(o));
+  }
+  return cmp;
+}
+
+}  // namespace uparc::sched

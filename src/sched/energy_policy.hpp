@@ -1,0 +1,36 @@
+// Global power optimization (paper §VI future work): evaluate frequency
+// policies over a whole task set and report the energy/performance
+// trade-off — the "power optimization algorithm" that would manage UPaRC.
+#pragma once
+
+#include "sched/prefetch.hpp"
+
+namespace uparc::sched {
+
+struct PolicyOutcome {
+  manager::FrequencyPolicy policy;
+  Schedule schedule;
+  double reconfig_energy_uj = 0;
+  double peak_power_mw = 0;
+  TimePs makespan{};
+  unsigned deadline_misses = 0;
+};
+
+struct PolicyComparison {
+  std::vector<PolicyOutcome> outcomes;
+
+  /// Energy saved by the lowest-energy feasible policy vs always-max.
+  [[nodiscard]] double savings_vs_max_percent() const;
+  /// Peak-power reduction of kMinPowerDeadline vs always-max — the paper's
+  /// §V "power-aware solution" benefit (thermal / supply headroom).
+  [[nodiscard]] double power_reduction_vs_max_percent() const;
+  /// The lowest-energy outcome that misses no deadline (nullptr if none).
+  [[nodiscard]] const PolicyOutcome* best_feasible() const;
+  [[nodiscard]] const PolicyOutcome* find(manager::FrequencyPolicy policy) const;
+};
+
+/// Runs every FrequencyPolicy over `set` and collects the outcomes.
+[[nodiscard]] PolicyComparison compare_policies(const TaskSet& set,
+                                                const OfflineScheduler& scheduler);
+
+}  // namespace uparc::sched

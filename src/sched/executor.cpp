@@ -1,0 +1,82 @@
+#include "sched/executor.hpp"
+
+#include <stdexcept>
+
+namespace uparc::sched {
+
+ScheduleExecutor::ScheduleExecutor(core::System& system,
+                                   std::vector<bits::PartialBitstream> images)
+    : system_(system), images_(std::move(images)) {}
+
+ExecutionReport ScheduleExecutor::run(const TaskSet& set, const Schedule& plan) {
+  if (set.activations().size() != plan.slots.size()) {
+    throw std::invalid_argument("ScheduleExecutor: plan does not match task set");
+  }
+  ExecutionReport report;
+  report.slots.reserve(plan.slots.size());
+
+  auto& sim = system_.sim();
+  auto& uparc = system_.uparc();
+
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    const ScheduledSlot& slot = plan.slots[i];
+    const Activation& act = slot.activation;
+    if (act.task_index >= images_.size()) {
+      throw std::invalid_argument("ScheduleExecutor: missing image for task");
+    }
+
+    ExecutedSlot ex;
+    ex.predicted = slot;
+
+    // Preload: start as soon as the previous reconfiguration finished (the
+    // dual-port BRAM accepts port-A writes while the module computes).
+    Status staged = uparc.stage(images_[act.task_index]);
+    if (!staged.ok()) {
+      ex.error = staged.error().message;
+      ++report.failures;
+      report.slots.push_back(std::move(ex));
+      continue;
+    }
+
+    // Program the slot's frequency; the relock overlaps the preload.
+    (void)uparc.set_frequency(slot.frequency);
+
+    // Wait for the activation's release.
+    if (sim.now() < act.ready_time) {
+      sim.run_until(act.ready_time);
+    } else {
+      sim.run();  // drain preload/relock if already past ready
+    }
+
+    std::optional<ctrl::ReconfigResult> result;
+    uparc.reconfigure([&](const ctrl::ReconfigResult& r) { result = r; });
+    sim.run();
+    if (!result) throw std::logic_error("ScheduleExecutor: reconfiguration never completed");
+
+    ex.actual_reconfig_start = result->start;
+    ex.actual_reconfig_end = result->end;
+    ex.actual_energy_uj = result->energy_uj;
+    ex.success = result->success;
+    ex.error = result->error;
+    if (!ex.success) {
+      ++report.failures;
+      report.slots.push_back(std::move(ex));
+      continue;
+    }
+
+    ex.deadline_met = ex.actual_reconfig_end <= act.deadline;
+    if (!ex.deadline_met) ++report.deadline_misses;
+
+    // The module computes; the region is busy until compute ends.
+    const TaskSpec& task = set.task_of(act);
+    sim.run_until(sim.now() + task.compute_time);
+    ex.actual_compute_end = sim.now();
+
+    report.total_reconfig_energy_uj += ex.actual_energy_uj;
+    report.makespan = std::max(report.makespan, ex.actual_compute_end);
+    report.slots.push_back(std::move(ex));
+  }
+  return report;
+}
+
+}  // namespace uparc::sched

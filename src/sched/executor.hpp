@@ -1,0 +1,53 @@
+// Schedule executor: runs an offline Schedule on the live, cycle-accurate
+// system, closing the loop between the planner's predictions and the
+// simulated hardware. Preloads are overlapped with the previous activation's
+// compute where the plan allows (the §III-A-1 prefetch), frequencies are
+// programmed through DyCloGen per slot, and per-slot actuals are recorded
+// next to the predictions.
+#pragma once
+
+#include "core/system.hpp"
+#include "sched/scheduler.hpp"
+
+namespace uparc::sched {
+
+struct ExecutedSlot {
+  ScheduledSlot predicted;
+  TimePs actual_reconfig_start{};
+  TimePs actual_reconfig_end{};
+  TimePs actual_compute_end{};
+  double actual_energy_uj = 0;
+  bool success = false;
+  bool deadline_met = false;
+  std::string error;
+
+  [[nodiscard]] TimePs actual_reconfig_time() const {
+    return actual_reconfig_end - actual_reconfig_start;
+  }
+};
+
+struct ExecutionReport {
+  std::vector<ExecutedSlot> slots;
+  TimePs makespan{};
+  unsigned deadline_misses = 0;
+  unsigned failures = 0;
+  double total_reconfig_energy_uj = 0;
+
+  [[nodiscard]] bool all_succeeded() const noexcept { return failures == 0; }
+};
+
+class ScheduleExecutor {
+ public:
+  /// `images[i]` is the bitstream of TaskSet::tasks()[i]; image sizes must
+  /// match the TaskSpec bitstream sizes the plan was built from.
+  ScheduleExecutor(core::System& system, std::vector<bits::PartialBitstream> images);
+
+  /// Executes `plan` (built from `set`) to completion on the live system.
+  [[nodiscard]] ExecutionReport run(const TaskSet& set, const Schedule& plan);
+
+ private:
+  core::System& system_;
+  std::vector<bits::PartialBitstream> images_;
+};
+
+}  // namespace uparc::sched

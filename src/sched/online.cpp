@@ -1,0 +1,94 @@
+#include "sched/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uparc::sched {
+
+OnlineScheduler::OnlineScheduler(core::System& system, std::string name,
+                                 std::vector<bits::PartialBitstream> images,
+                                 manager::FrequencyPolicy policy)
+    : Module(system.sim(), std::move(name)),
+      system_(system),
+      images_(std::move(images)),
+      policy_(policy) {}
+
+void OnlineScheduler::submit(OnlineJob job) {
+  if (job.image_index >= images_.size()) {
+    throw std::invalid_argument("OnlineScheduler: job references unknown image");
+  }
+  ++stats_.submitted;
+  // EDF insert.
+  auto it = std::lower_bound(
+      queue_.begin(), queue_.end(), job,
+      [](const OnlineJob& a, const OnlineJob& b) { return a.deadline < b.deadline; });
+  queue_.insert(it, std::move(job));
+  pump();
+}
+
+void OnlineScheduler::finish_job(OnlineJobRecord record) {
+  if (record.success) {
+    ++stats_.completed;
+    if (!record.deadline_met) ++stats_.missed;
+    stats_.reconfig_energy_uj += record.energy_uj;
+  } else {
+    ++stats_.failed;
+  }
+  records_.push_back(std::move(record));
+  busy_ = false;
+  pump();
+}
+
+void OnlineScheduler::pump() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  OnlineJob job = std::move(queue_.front());
+  queue_.pop_front();
+
+  OnlineJobRecord record;
+  record.job = job;
+  record.submitted = sim_.now();
+
+  core::Uparc& uparc = system_.uparc();
+  Status staged = uparc.stage(images_[job.image_index]);
+  if (!staged.ok()) {
+    record.error = staged.error().message;
+    finish_job(std::move(record));
+    return;
+  }
+
+  // Frequency per policy against the job's remaining slack, net of the
+  // preload copy (known after stage()) and the DCM relock that precede the
+  // launch. An infeasible deadline falls back to maximum performance.
+  const TimePs lead = uparc.preloader().last_duration() + uparc.config().dcm_lock_time;
+  const TimePs now_plus_lead = sim_.now() + lead;
+  const TimePs slack =
+      job.deadline > now_plus_lead ? job.deadline - now_plus_lead : TimePs(0);
+  auto plan = uparc.adapt(policy_, slack);
+  if (!plan) {
+    plan = uparc.adapt(manager::FrequencyPolicy::kMaxPerformance);
+    stats().add("deadline_infeasible");
+  }
+  record.frequency = plan ? plan->choice.f_out : Frequency();
+
+  record.reconfig_start = sim_.now();
+  uparc.reconfigure([this, record = std::move(record)](const ctrl::ReconfigResult& r) mutable {
+    record.success = r.success;
+    record.error = r.error;
+    record.energy_uj = r.energy_uj;
+    record.compute_start = r.end;
+    record.deadline_met = r.success && r.end <= record.job.deadline;
+    if (!r.success) {
+      finish_job(std::move(record));
+      return;
+    }
+    // Occupy the region for the compute phase, then release.
+    sim_.schedule_in(record.job.compute_time,
+                     [this, record = std::move(record)]() mutable {
+                       record.compute_end = sim_.now();
+                       finish_job(std::move(record));
+                     });
+  });
+}
+
+}  // namespace uparc::sched

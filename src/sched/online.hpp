@@ -1,0 +1,76 @@
+// Online (run-time) scheduler: jobs arrive dynamically, each needing its
+// hardware module configured on the single region before a deadline. The
+// scheduler runs earliest-deadline-first, retunes the reconfiguration clock
+// per job through the frequency-adaptation policy, and keeps statistics.
+// This is the run-time counterpart of the offline planner in scheduler.hpp
+// (the paper's §VI power-optimization manager, reacting instead of
+// precomputing).
+#pragma once
+
+#include <deque>
+
+#include "core/system.hpp"
+#include "sched/task.hpp"
+
+namespace uparc::sched {
+
+struct OnlineJob {
+  std::string name;
+  std::size_t image_index = 0;  ///< into the image table
+  TimePs deadline{};            ///< absolute: compute must have started
+  TimePs compute_time{};
+};
+
+struct OnlineJobRecord {
+  OnlineJob job;
+  TimePs submitted{};
+  TimePs reconfig_start{};
+  TimePs compute_start{};
+  TimePs compute_end{};
+  Frequency frequency;
+  double energy_uj = 0;
+  bool success = false;
+  bool deadline_met = false;
+  std::string error;
+};
+
+struct OnlineStats {
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 missed = 0;
+  u64 failed = 0;
+  double reconfig_energy_uj = 0;
+};
+
+class OnlineScheduler : public sim::Module {
+ public:
+  /// `images[i]` is the bitstream configured for jobs with image_index i.
+  OnlineScheduler(core::System& system, std::string name,
+                  std::vector<bits::PartialBitstream> images,
+                  manager::FrequencyPolicy policy =
+                      manager::FrequencyPolicy::kMinPowerDeadline);
+
+  /// Submits a job as of the current simulated time. Jobs queue EDF.
+  void submit(OnlineJob job);
+
+  [[nodiscard]] const OnlineStats& online_stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<OnlineJobRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+ private:
+  void pump();
+  void finish_job(OnlineJobRecord record);
+
+  core::System& system_;
+  std::vector<bits::PartialBitstream> images_;
+  manager::FrequencyPolicy policy_;
+  std::deque<OnlineJob> queue_;  // kept EDF-sorted on insert
+  bool busy_ = false;
+  OnlineStats stats_;
+  std::vector<OnlineJobRecord> records_;
+};
+
+}  // namespace uparc::sched

@@ -1,0 +1,48 @@
+#include "sched/prefetch.hpp"
+
+#include <algorithm>
+
+namespace uparc::sched {
+
+PrefetchReport analyze_prefetch(const TaskSet& set, const Schedule& schedule,
+                                PrefetchParams params) {
+  PrefetchReport report;
+  for (std::size_t i = 0; i < schedule.slots.size(); ++i) {
+    const ScheduledSlot& slot = schedule.slots[i];
+    const TaskSpec& task = set.task_of(slot.activation);
+
+    const double preload_s =
+        static_cast<double>(task.bitstream_bytes) / params.preload_bandwidth.bytes_per_sec();
+    const TimePs preload = TimePs::from_seconds(preload_s);
+
+    PrefetchSlot p;
+    p.activation_index = i;
+    // The preload may run while the *previous* activation computes (dual-
+    // port BRAM: port A preloads while port B is idle or serving the
+    // previous stream — the paper's design point). Earliest start: the
+    // previous reconfiguration's end; latest useful end: this reconfig
+    // start.
+    const TimePs window_start = i == 0 ? TimePs(0) : schedule.slots[i - 1].reconfig_end;
+    const TimePs window_end = slot.reconfig_start;
+
+    if (window_start + preload <= window_end) {
+      p.preload_end = window_end;
+      p.preload_start = window_end - preload;
+      p.fully_hidden = true;
+      p.exposed = TimePs(0);
+    } else {
+      p.preload_start = window_start;
+      p.preload_end = window_start + preload;
+      p.fully_hidden = false;
+      p.exposed = p.preload_end - window_end;
+    }
+
+    report.total_preload += preload;
+    report.total_exposed += p.exposed;
+    report.serial_penalty += preload;
+    report.slots.push_back(p);
+  }
+  return report;
+}
+
+}  // namespace uparc::sched

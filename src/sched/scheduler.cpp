@@ -1,0 +1,115 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "power/calibration.hpp"
+
+namespace uparc::sched {
+
+OfflineScheduler::OfflineScheduler(SchedulerParams params) : params_(params) {}
+
+TimePs OfflineScheduler::reconfig_time(std::size_t bytes, Frequency f) const {
+  const double transfer_s = static_cast<double>(bytes) / (4.0 * f.in_hz());
+  return params_.control_overhead + TimePs::from_seconds(transfer_s);
+}
+
+double OfflineScheduler::reconfig_power_mw(Frequency f) const {
+  double mw = power::reconfig_datapath_mw(f);
+  if (params_.wait_mode == manager::WaitMode::kActiveWait) {
+    mw += params_.manager_wait_mw;
+  }
+  return mw;
+}
+
+double OfflineScheduler::reconfig_energy_uj(std::size_t bytes, Frequency f) const {
+  return reconfig_power_mw(f) * reconfig_time(bytes, f).seconds() * 1e3;
+}
+
+std::optional<Frequency> OfflineScheduler::choose_frequency(manager::FrequencyPolicy policy,
+                                                            std::size_t bytes,
+                                                            TimePs budget) const {
+  clocking::MdConstraints c;
+  c.f_max = params_.f_limit;
+
+  if (policy == manager::FrequencyPolicy::kMaxPerformance) {
+    auto choice = clocking::closest_not_above(params_.f_in, params_.f_limit, c);
+    if (!choice) return std::nullopt;
+    if (reconfig_time(bytes, choice->f_out) > budget) return std::nullopt;
+    return choice->f_out;
+  }
+
+  // Grid search over synthesizable frequencies fitting the budget:
+  // kMinPowerDeadline takes the lowest frequency (lowest instantaneous
+  // power, §V); kMinEnergy takes the argmin of predicted energy.
+  std::optional<Frequency> best;
+  double best_uj = 0.0;
+  for (unsigned d = c.min_d; d <= c.max_d; ++d) {
+    for (unsigned m = c.min_m; m <= c.max_m; ++m) {
+      const Frequency out = params_.f_in * static_cast<double>(m) / d;
+      if (out > c.f_max) continue;
+      if (reconfig_time(bytes, out) > budget) continue;
+      if (policy == manager::FrequencyPolicy::kMinPowerDeadline) {
+        if (!best || out < *best) best = out;
+      } else {
+        const double uj = reconfig_energy_uj(bytes, out);
+        if (!best || uj < best_uj) {
+          best = out;
+          best_uj = uj;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Schedule OfflineScheduler::plan(const TaskSet& set, manager::FrequencyPolicy policy) const {
+  Schedule out;
+  TimePs region_free{};
+  Frequency last_freq{};
+
+  for (const auto& act : set.activations()) {
+    const TaskSpec& task = set.task_of(act);
+    ScheduledSlot slot;
+    slot.activation = act;
+
+    TimePs start = std::max(region_free, act.ready_time);
+    // Budget conservatively includes a DCM relock: the policy may pick a new
+    // frequency, and the relock must not push the slot past its deadline.
+    const TimePs latest = act.deadline > params_.dcm_relock
+                              ? act.deadline - params_.dcm_relock
+                              : TimePs(0);
+    const TimePs budget = latest > start ? latest - start : TimePs(0);
+
+    auto f = choose_frequency(policy, task.bitstream_bytes, budget);
+    if (!f) {
+      // Infeasible under the policy: fall back to full speed and record the
+      // miss (or meet it, if only the policy's floor was infeasible).
+      auto fallback = choose_frequency(manager::FrequencyPolicy::kMaxPerformance,
+                                       task.bitstream_bytes, TimePs(~u64{0} / 2));
+      f = fallback ? *fallback : params_.f_limit;
+    }
+
+    // Charge a DCM relock whenever the frequency actually changes.
+    if (!(last_freq == *f)) start += params_.dcm_relock;
+    last_freq = *f;
+
+    slot.reconfig_start = start;
+    slot.reconfig_end = start + reconfig_time(task.bitstream_bytes, *f);
+    slot.compute_start = slot.reconfig_end;
+    slot.compute_end = slot.compute_start + task.compute_time;
+    slot.frequency = *f;
+    slot.energy_uj = reconfig_energy_uj(task.bitstream_bytes, *f);
+    slot.power_mw = reconfig_power_mw(*f);
+    slot.deadline_met = slot.compute_start <= act.deadline;
+
+    region_free = slot.compute_end;
+    out.total_reconfig_energy_uj += slot.energy_uj;
+    out.peak_reconfig_power_mw = std::max(out.peak_reconfig_power_mw, slot.power_mw);
+    if (!slot.deadline_met) ++out.deadline_misses;
+    out.makespan = std::max(out.makespan, slot.compute_end);
+    out.slots.push_back(slot);
+  }
+  return out;
+}
+
+}  // namespace uparc::sched

@@ -1,0 +1,74 @@
+// Offline schedule construction for one reconfigurable region: for each
+// activation, place the reconfiguration, pick its frequency per policy, and
+// check the deadline. Predictions use the same calibrated models as the
+// run-time FrequencyAdapter, so a plan built here executes faithfully on the
+// simulated UPaRC.
+#pragma once
+
+#include "manager/adaptation.hpp"
+#include "power/calibration.hpp"
+#include "sched/task.hpp"
+
+namespace uparc::sched {
+
+struct ScheduledSlot {
+  Activation activation;
+  TimePs reconfig_start{};
+  TimePs reconfig_end{};
+  TimePs compute_start{};
+  TimePs compute_end{};
+  Frequency frequency;   ///< reconfiguration clock chosen
+  double energy_uj = 0;  ///< predicted reconfiguration energy
+  double power_mw = 0;   ///< predicted rail draw during the reconfiguration
+  bool deadline_met = false;
+};
+
+struct Schedule {
+  std::vector<ScheduledSlot> slots;
+  double total_reconfig_energy_uj = 0;
+  double peak_reconfig_power_mw = 0;  ///< worst instantaneous draw (§V's concern)
+  TimePs makespan{};
+  unsigned deadline_misses = 0;
+
+  [[nodiscard]] bool feasible() const noexcept { return deadline_misses == 0; }
+};
+
+struct SchedulerParams {
+  Frequency f_limit = Frequency::mhz(362.5);
+  Frequency f_in = Frequency::mhz(100);  ///< DyCloGen reference (M/D grid)
+  TimePs control_overhead = TimePs::from_us(1.25);
+  manager::WaitMode wait_mode = manager::WaitMode::kActiveWait;
+  /// Active-wait draw of the manager implementation (see manager/profiles.hpp).
+  double manager_wait_mw = power::kManagerActiveWaitMw;
+  TimePs dcm_relock = TimePs::from_us(50);  ///< charged when frequency changes
+};
+
+class OfflineScheduler {
+ public:
+  explicit OfflineScheduler(SchedulerParams params = {});
+
+  /// Builds the schedule under `policy`. Activations run in order on the
+  /// single region; a reconfiguration may start once the region is free and
+  /// the activation is ready.
+  [[nodiscard]] Schedule plan(const TaskSet& set, manager::FrequencyPolicy policy) const;
+
+  [[nodiscard]] const SchedulerParams& params() const noexcept { return params_; }
+
+  /// Reconfiguration time for `bytes` at `f` (same model as the adapter).
+  [[nodiscard]] TimePs reconfig_time(std::size_t bytes, Frequency f) const;
+  /// Predicted reconfiguration energy at `f` (calibrated rail model).
+  [[nodiscard]] double reconfig_energy_uj(std::size_t bytes, Frequency f) const;
+  /// Predicted rail draw during a reconfiguration at `f`.
+  [[nodiscard]] double reconfig_power_mw(Frequency f) const;
+  /// Frequency chosen by `policy` for a reconfiguration of `bytes` that must
+  /// finish within `budget` (from its start). Returns the synthesizable
+  /// (M/D-grid) frequency, or nullopt if infeasible.
+  [[nodiscard]] std::optional<Frequency> choose_frequency(manager::FrequencyPolicy policy,
+                                                          std::size_t bytes,
+                                                          TimePs budget) const;
+
+ private:
+  SchedulerParams params_;
+};
+
+}  // namespace uparc::sched

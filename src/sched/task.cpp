@@ -1,0 +1,26 @@
+#include "sched/task.hpp"
+
+namespace uparc::sched {
+
+std::size_t TaskSet::add_task(TaskSpec spec) {
+  tasks_.push_back(std::move(spec));
+  return tasks_.size() - 1;
+}
+
+void TaskSet::add_activation(Activation a) { activations_.push_back(a); }
+
+Status TaskSet::validate() const {
+  TimePs last_ready{};
+  for (const auto& a : activations_) {
+    if (a.task_index >= tasks_.size()) return make_error("activation references unknown task");
+    if (a.deadline <= a.ready_time) return make_error("activation deadline before ready time");
+    if (a.ready_time < last_ready) return make_error("activations not sorted by ready time");
+    last_ready = a.ready_time;
+  }
+  for (const auto& t : tasks_) {
+    if (t.bitstream_bytes == 0) return make_error("task '" + t.name + "' has no bitstream");
+  }
+  return Status::success();
+}
+
+}  // namespace uparc::sched

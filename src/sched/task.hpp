@@ -1,0 +1,54 @@
+// Hardware task model for the scheduling extension (paper §III-A-1 cites
+// offline placement/scheduling [13] as the source of activation predictions;
+// §VI plans "global power optimization of an application" — this module and
+// sched/energy_policy.hpp implement that workload layer).
+//
+// One reconfigurable region executes a sequence of hardware tasks. Each
+// activation needs its module's bitstream reconfigured before compute may
+// start; the scheduler decides reconfiguration frequencies and preload
+// placement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace uparc::sched {
+
+struct TaskSpec {
+  std::string name;
+  std::size_t bitstream_bytes = 0;  ///< partial bitstream (body) size
+  TimePs compute_time{};            ///< region occupancy once configured
+};
+
+struct Activation {
+  std::size_t task_index = 0;
+  TimePs ready_time{};  ///< earliest instant reconfiguration may start
+  TimePs deadline{};    ///< latest instant compute must have started
+};
+
+class TaskSet {
+ public:
+  std::size_t add_task(TaskSpec spec);
+  void add_activation(Activation a);
+
+  [[nodiscard]] const std::vector<TaskSpec>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const std::vector<Activation>& activations() const noexcept {
+    return activations_;
+  }
+  [[nodiscard]] const TaskSpec& task_of(const Activation& a) const {
+    return tasks_.at(a.task_index);
+  }
+
+  /// Structural checks: indices in range, deadlines after ready times,
+  /// activations sorted by ready time.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<Activation> activations_;
+};
+
+}  // namespace uparc::sched

@@ -1,0 +1,86 @@
+// Configuration scrubber: keeps a reconfigurable region's configuration
+// intact under single-event upsets by periodically rewriting it through a
+// reconfiguration controller. Two classic strategies:
+//
+//   * kBlind          — rewrite the golden bitstream every period
+//                       (simple, constant repair bandwidth cost);
+//   * kReadbackDriven — read the region back each period and rewrite only
+//                       on a CRC mismatch (cheaper when upsets are rare,
+//                       detection latency bounded by the period);
+//   * kFrameRepair    — readback-driven, but repair each corrupted frame
+//                       individually with a minimal single-frame bitstream
+//                       synthesized on the fly (FAR + one-frame FDRI + CRC),
+//                       so repair cost scales with damage, not region size.
+//
+// The repair path is the staged controller (UPaRC keeps the golden image in
+// its BRAM, so repairs are a bare reconfigure() at full bandwidth). This is
+// the subsystem the paper's fault-tolerance motivation (§I) implies.
+#pragma once
+
+#include "controllers/controller.hpp"
+#include "scrub/readback.hpp"
+
+namespace uparc::scrub {
+
+enum class ScrubMode { kBlind, kReadbackDriven, kFrameRepair };
+
+struct ScrubberConfig {
+  ScrubMode mode = ScrubMode::kReadbackDriven;
+  TimePs period = TimePs::from_ms(10);
+};
+
+struct ScrubberStats {
+  u64 rounds = 0;
+  u64 repairs = 0;
+  u64 mismatched_frames = 0;
+  TimePs readback_time{};
+  TimePs repair_time{};
+
+  /// Region-downtime upper bound: every repair interval plus, for
+  /// readback-driven mode, the detection latency folded into repair_time.
+  [[nodiscard]] TimePs overhead_time() const { return readback_time + repair_time; }
+};
+
+class Scrubber : public sim::Module {
+ public:
+  /// `repair` must already be staged with the golden bitstream; `golden`
+  /// provides the reference frames for readback comparison.
+  Scrubber(sim::Simulation& sim, std::string name, ctrl::ReconfigController& repair,
+           Readback& readback, const std::vector<bits::Frame>& golden_frames,
+           ScrubberConfig config = {});
+
+  /// Starts periodic scrubbing until stop().
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Runs one scrub round immediately; `done(repaired)` reports whether a
+  /// repair was performed.
+  void scrub_once(std::function<void(bool repaired)> done);
+
+  [[nodiscard]] const ScrubberStats& scrub_stats() const noexcept { return stats_; }
+  [[nodiscard]] const ScrubberConfig& config() const noexcept { return config_; }
+
+  /// Builds the minimal repair bitstream for one frame of the golden image
+  /// (exposed for tests; kFrameRepair uses it internally).
+  [[nodiscard]] static bits::PartialBitstream make_frame_repair_bitstream(
+      const bits::Device& device, const bits::Frame& frame);
+
+ private:
+  void schedule_next();
+  void repair(std::function<void(bool)> done);
+  void repair_frames(std::vector<bits::FrameAddress> damaged, std::size_t index,
+                     std::function<void(bool)> done);
+
+  ctrl::ReconfigController& repair_;
+  Readback& readback_;
+  std::vector<bits::Frame> golden_frames_;
+  GoldenSignature golden_;
+  ScrubberConfig config_;
+  ScrubberStats stats_;
+  bool running_ = false;
+  bool round_in_flight_ = false;
+  u64 epoch_ = 0;
+};
+
+}  // namespace uparc::scrub

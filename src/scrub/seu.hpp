@@ -1,0 +1,49 @@
+// Single-event-upset injector: flips random configuration bits in a region
+// of the config plane at a configurable rate, modelling the radiation
+// environment that motivates configuration scrubbing (paper §I's
+// fault-tolerant systems).
+#pragma once
+
+#include "bitstream/frame.hpp"
+#include "common/prng.hpp"
+#include "icap/config_plane.hpp"
+
+namespace uparc::scrub {
+
+struct SeuEvent {
+  TimePs time;
+  bits::FrameAddress frame;
+  unsigned word_index;
+  unsigned bit_index;
+};
+
+class SeuInjector : public sim::Module {
+ public:
+  /// Upsets strike uniformly at `mean_interval` (exponential-ish via
+  /// uniform jitter), confined to `region` frames.
+  SeuInjector(sim::Simulation& sim, std::string name, icap::ConfigPlane& plane,
+              std::vector<bits::FrameAddress> region, TimePs mean_interval, u64 seed = 1);
+
+  /// Starts injecting until stop() or the simulation ends.
+  void start();
+  void stop();
+
+  /// Injects one upset immediately (deterministic tests).
+  SeuEvent inject_now();
+
+  [[nodiscard]] const std::vector<SeuEvent>& log() const noexcept { return log_; }
+  [[nodiscard]] u64 injected() const noexcept { return log_.size(); }
+
+ private:
+  void schedule_next();
+
+  icap::ConfigPlane& plane_;
+  std::vector<bits::FrameAddress> region_;
+  TimePs mean_interval_;
+  Prng rng_;
+  bool running_ = false;
+  u64 epoch_ = 0;
+  std::vector<SeuEvent> log_;
+};
+
+}  // namespace uparc::scrub

@@ -1,0 +1,65 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+namespace uparc::sim {
+
+Clock::Clock(Simulation& sim, std::string name, Frequency f)
+    : sim_(sim), name_(std::move(name)), freq_(f) {}
+
+void Clock::set_frequency(Frequency f) { freq_ = f; }
+
+Clock::SubscriptionId Clock::on_rising(Handler h) {
+  handlers_.emplace_back(next_id_, std::move(h));
+  return next_id_++;
+}
+
+void Clock::unsubscribe(SubscriptionId id) {
+  std::erase_if(handlers_, [id](const auto& p) { return p.first == id; });
+}
+
+void Clock::enable() {
+  if (enabled_) return;
+  enabled_ = true;
+  enabled_since_ = sim_.now();
+  schedule_tick();
+}
+
+void Clock::disable() {
+  if (!enabled_) return;
+  enabled_ = false;
+  active_accum_ += sim_.now() - enabled_since_;
+  ++epoch_;  // invalidate any scheduled tick
+  tick_pending_ = false;
+}
+
+TimePs Clock::active_time() const noexcept {
+  TimePs t = active_accum_;
+  if (enabled_) t += sim_.now() - enabled_since_;
+  return t;
+}
+
+void Clock::schedule_tick() {
+  if (!enabled_ || tick_pending_) return;
+  tick_pending_ = true;
+  const u64 epoch = epoch_;
+  sim_.schedule_in(period(), [this, epoch] {
+    if (epoch != epoch_) return;  // clock was gated off meanwhile
+    tick_pending_ = false;
+    tick();
+  });
+}
+
+void Clock::tick() {
+  ++cycles_;
+  // Index-based iteration so handlers may subscribe or disable the clock
+  // mid-edge without invalidating the loop. Unsubscribing from inside a
+  // handler of the same clock is not supported (see header).
+  for (std::size_t i = 0; i < handlers_.size(); ++i) {
+    if (!enabled_) break;
+    handlers_[i].second();
+  }
+  schedule_tick();
+}
+
+}  // namespace uparc::sim

@@ -1,0 +1,15 @@
+// Fifo<T> is header-only; this translation unit pins the header's
+// compilation into the library so include errors surface at build time.
+#include "sim/fifo.hpp"
+
+namespace uparc::sim {
+namespace {
+// Force an instantiation of the common element types.
+[[maybe_unused]] void instantiate() {
+  Fifo<u32> words("anchor32", 4);
+  Fifo<u64> dwords("anchor64", 4);
+  (void)words.capacity();
+  (void)dwords.capacity();
+}
+}  // namespace
+}  // namespace uparc::sim

@@ -1,0 +1,70 @@
+// Bounded FIFO channel with ready/valid semantics, modelling the small
+// synchronization FIFOs between clock domains (BRAM read port → decompressor
+// → ICAP feed). Occupancy statistics feed back into the power model's
+// activity estimates.
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uparc::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(std::string name, std::size_t capacity) : name_(std::move(name)), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Fifo capacity must be > 0");
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return q_.size() >= capacity_; }
+
+  /// Hardware "ready" on the write side.
+  [[nodiscard]] bool can_push() const noexcept { return !full(); }
+  /// Hardware "valid" on the read side.
+  [[nodiscard]] bool can_pop() const noexcept { return !empty(); }
+
+  /// Pushes one element; throws on overflow (a model bug, not a data error).
+  void push(T v) {
+    if (full()) throw std::logic_error("Fifo overflow: " + name_);
+    q_.push_back(std::move(v));
+    ++total_pushed_;
+    if (q_.size() > max_occupancy_) max_occupancy_ = q_.size();
+  }
+
+  /// Pops one element; throws on underflow.
+  [[nodiscard]] T pop() {
+    if (empty()) throw std::logic_error("Fifo underflow: " + name_);
+    T v = std::move(q_.front());
+    q_.pop_front();
+    ++total_popped_;
+    return v;
+  }
+
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::logic_error("Fifo::front on empty: " + name_);
+    return q_.front();
+  }
+
+  [[nodiscard]] u64 total_pushed() const noexcept { return total_pushed_; }
+  [[nodiscard]] u64 total_popped() const noexcept { return total_popped_; }
+  [[nodiscard]] std::size_t max_occupancy() const noexcept { return max_occupancy_; }
+
+  void clear() { q_.clear(); }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> q_;
+  u64 total_pushed_ = 0;
+  u64 total_popped_ = 0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace uparc::sim

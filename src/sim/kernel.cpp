@@ -1,0 +1,43 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace uparc::sim {
+
+void Simulation::schedule_at(TimePs t, Action action) {
+  if (t < now_) throw std::logic_error("Simulation::schedule_at in the past");
+  queue_.push(Event{t, seq_++, std::move(action)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  auto& top = const_cast<Event&>(queue_.top());
+  TimePs t = top.time;
+  Action action = std::move(top.action);
+  queue_.pop();
+  now_ = t;
+  ++executed_;
+  action();
+  return true;
+}
+
+void Simulation::run(u64 max_events) {
+  u64 budget = max_events;
+  while (step()) {
+    if (--budget == 0) throw std::runtime_error("Simulation::run exceeded event budget");
+  }
+}
+
+void Simulation::run_until(TimePs deadline, u64 max_events) {
+  u64 budget = max_events;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    if (--budget == 0) throw std::runtime_error("Simulation::run_until exceeded event budget");
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace uparc::sim

@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is a time-ordered queue of closures with picosecond resolution.
+// Events scheduled for the same timestamp run in scheduling order (stable
+// FIFO), which gives deterministic multi-clock-domain interleaving.
+//
+// Hardware models built on top (clocks, BRAM, ICAP, controllers) are
+// cycle-accurate: they subscribe to clock rising edges and advance one
+// FSM step per edge. Clocks only tick while enabled, mirroring the paper's
+// EN gating ("the EN signal deactivates the BRAM and ICAP access to save
+// power") and letting `run()` terminate when the system goes idle.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace uparc::sim {
+
+/// Central event scheduler. Not thread-safe; one Simulation per scenario.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePs now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `t` (must be >= now()).
+  void schedule_at(TimePs t, Action action);
+  /// Schedules `action` `dt` after the current time.
+  void schedule_in(TimePs dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+  /// Runs until the queue drains. Throws if the event budget is exceeded
+  /// (guards against accidentally free-running clocks).
+  void run(u64 max_events = kDefaultEventBudget);
+  /// Runs until simulated time reaches `deadline` or the queue drains.
+  void run_until(TimePs deadline, u64 max_events = kDefaultEventBudget);
+
+  [[nodiscard]] u64 events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  static constexpr u64 kDefaultEventBudget = 500'000'000ULL;
+
+ private:
+  struct Event {
+    TimePs time;
+    u64 seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePs now_{};
+  u64 seq_ = 0;
+  u64 executed_ = 0;
+};
+
+}  // namespace uparc::sim

@@ -1,0 +1,7 @@
+#include "sim/module.hpp"
+
+namespace uparc::sim {
+
+Module::Module(Simulation& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+}  // namespace uparc::sim

@@ -1,0 +1,33 @@
+// Base class for named hardware models living inside a Simulation.
+#pragma once
+
+#include <string>
+
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace uparc::sim {
+
+/// A named simulation component. Owns a stats scope; concrete models
+/// (BRAM, ICAP, controllers, ...) derive from this.
+class Module {
+ public:
+  Module(Simulation& sim, std::string name);
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Simulation& sim() const noexcept { return sim_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+
+ protected:
+  Simulation& sim_;
+
+ private:
+  std::string name_;
+  Stats stats_;
+};
+
+}  // namespace uparc::sim

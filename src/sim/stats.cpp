@@ -1,0 +1,17 @@
+#include "sim/stats.hpp"
+
+#include <cstdio>
+
+namespace uparc::sim {
+
+std::string Stats::report(const std::string& prefix) const {
+  std::string out;
+  char buf[64];
+  for (const auto& [k, v] : values_) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += prefix + k + " = " + buf + "\n";
+  }
+  return out;
+}
+
+}  // namespace uparc::sim

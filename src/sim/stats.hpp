@@ -1,0 +1,30 @@
+// Lightweight named counters attached to simulation modules.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uparc::sim {
+
+/// Ordered name→value counter map. Ordered so that reports are stable.
+class Stats {
+ public:
+  void add(const std::string& key, double delta = 1.0) { values_[key] += delta; }
+  void set(const std::string& key, double value) { values_[key] = value; }
+  [[nodiscard]] double get(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
+  [[nodiscard]] const std::map<std::string, double>& all() const noexcept { return values_; }
+
+  /// Multi-line "key = value" report, one counter per line.
+  [[nodiscard]] std::string report(const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace uparc::sim

@@ -1,0 +1,82 @@
+#include "sim/vcd.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace uparc::sim {
+
+VcdWriter::VcdWriter(std::string top_scope, u64 timescale_ps)
+    : scope_(std::move(top_scope)), timescale_ps_(timescale_ps) {
+  if (timescale_ps_ == 0) throw std::invalid_argument("VCD timescale must be > 0");
+}
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // VCD identifiers use printable ASCII 33..126 as base-94 digits.
+  std::string code;
+  do {
+    code += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+VcdWriter::SignalId VcdWriter::add_signal(const std::string& name, unsigned width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("VCD signal width must be 1..64");
+  signals_.push_back(Signal{name, width, id_code(signals_.size()), 0, false});
+  return signals_.size() - 1;
+}
+
+void VcdWriter::change(SignalId id, TimePs t, u64 value) {
+  if (id >= signals_.size()) throw std::out_of_range("VCD: unknown signal");
+  Signal& s = signals_[id];
+  if (s.width < 64) value &= (u64{1} << s.width) - 1;
+  if (s.has_value && s.last_value == value) return;
+  s.last_value = value;
+  s.has_value = true;
+  changes_.push_back(Change{t.ps(), id, value});
+}
+
+std::string VcdWriter::render() const {
+  std::string out;
+  out += "$date simulated $end\n";
+  out += "$version uparc simulator $end\n";
+  out += "$timescale " + std::to_string(timescale_ps_) + " ps $end\n";
+  out += "$scope module " + scope_ + " $end\n";
+  for (const auto& s : signals_) {
+    out += "$var wire " + std::to_string(s.width) + " " + s.code + " " + s.name + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  u64 last_time = ~u64{0};
+  for (const auto& c : changes_) {
+    u64 t = c.time_ps / timescale_ps_;
+    if (t != last_time) {
+      out += "#" + std::to_string(t) + "\n";
+      last_time = t;
+    }
+    const Signal& s = signals_[c.id];
+    if (s.width == 1) {
+      out += (c.value ? "1" : "0");
+      out += s.code + "\n";
+    } else {
+      std::string bits = "b";
+      bool seen = false;
+      for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+        bool v = (c.value >> bit) & 1u;
+        if (v) seen = true;
+        if (seen || bit == 0) bits += v ? '1' : '0';
+      }
+      out += bits + " " + s.code + "\n";
+    }
+  }
+  return out;
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace uparc::sim

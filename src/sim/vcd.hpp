@@ -1,0 +1,56 @@
+// Minimal Value Change Dump (IEEE 1364 §18) writer so simulation runs can be
+// inspected in any waveform viewer (gtkwave etc.). Signals are scalar
+// booleans or vectors up to 64 bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace uparc::sim {
+
+class VcdWriter {
+ public:
+  using SignalId = std::size_t;
+
+  /// `timescale_ps` sets the VCD timescale unit (default 1 ps).
+  explicit VcdWriter(std::string top_scope = "uparc", u64 timescale_ps = 1);
+
+  /// Declares a signal before recording; width in bits (1..64).
+  [[nodiscard]] SignalId add_signal(const std::string& name, unsigned width = 1);
+
+  /// Records a value change at simulated time `t`. Identical consecutive
+  /// values are deduplicated.
+  void change(SignalId id, TimePs t, u64 value);
+
+  /// Renders the full VCD document.
+  [[nodiscard]] std::string render() const;
+  /// Writes the document to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t change_count() const noexcept { return changes_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::string code;  // VCD short identifier
+    u64 last_value;
+    bool has_value;
+  };
+  struct Change {
+    u64 time_ps;
+    SignalId id;
+    u64 value;
+  };
+
+  static std::string id_code(std::size_t index);
+
+  std::string scope_;
+  u64 timescale_ps_;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace uparc::sim

@@ -1,0 +1,103 @@
+// Unit tests for the M/D search and DyCloGen.
+#include <gtest/gtest.h>
+
+#include "clocking/dyclogen.hpp"
+
+namespace uparc::clocking {
+namespace {
+
+TEST(MdSearch, FindsThePapersOperatingPoint) {
+  // The paper reaches 362.5 MHz from 100 MHz with M=29, D=8.
+  auto c = closest(Frequency::mhz(100), Frequency::mhz(362.5));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->m, 29u);
+  EXPECT_EQ(c->d, 8u);
+  EXPECT_NEAR(c->f_out.in_mhz(), 362.5, 1e-9);
+  EXPECT_NEAR(c->error_hz, 0.0, 1e-3);
+}
+
+TEST(MdSearch, ClosestNotAboveNeverOvershoots) {
+  for (double target : {50.0, 126.0, 200.0, 255.0, 300.0, 362.5}) {
+    auto c = closest_not_above(Frequency::mhz(100), Frequency::mhz(target));
+    ASSERT_TRUE(c.has_value()) << target;
+    EXPECT_LE(c->f_out.in_mhz(), target + 1e-9) << target;
+    // And it should get within a few percent of any reasonable target.
+    EXPECT_GT(c->f_out.in_mhz(), target * 0.95) << target;
+  }
+}
+
+TEST(MdSearch, RespectsFmaxCeiling) {
+  MdConstraints c;
+  c.f_max = Frequency::mhz(150);
+  auto best = closest(Frequency::mhz(100), Frequency::mhz(400), c);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LE(best->f_out.in_mhz(), 150.0 + 1e-9);
+}
+
+TEST(MdSearch, InfeasibleWhenCeilingBelowGrid) {
+  MdConstraints c;
+  c.f_max = Frequency::mhz(1);  // below min M/D output of 100*2/32
+  EXPECT_FALSE(closest(Frequency::mhz(100), Frequency::mhz(5), c).has_value());
+}
+
+TEST(MdSearch, TiesPreferSmallerD) {
+  // 200 MHz = 2/1 = 4/2 = 6/3 ...; expect D=1.
+  auto c = closest(Frequency::mhz(100), Frequency::mhz(200));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->d, 1u);
+  EXPECT_EQ(c->m, 2u);
+}
+
+class DyCloGenFixture : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  DyCloGen gen{sim, "dyclogen", Frequency::mhz(100), TimePs::from_us(10)};
+};
+
+TEST_F(DyCloGenFixture, ThreeIndependentClocks) {
+  bool done2 = false, done3 = false;
+  auto c2 = gen.request_frequency(ClockId::kReconfig, Frequency::mhz(300),
+                                  [&] { done2 = true; });
+  auto c3 = gen.request_frequency(ClockId::kDecompress, Frequency::mhz(126),
+                                  [&] { done3 = true; });
+  ASSERT_TRUE(c2 && c3);
+  sim.run();
+  EXPECT_TRUE(done2);
+  EXPECT_TRUE(done3);
+  EXPECT_NEAR(gen.frequency(ClockId::kReconfig).in_mhz(), 300.0, 1e-9);
+  EXPECT_LE(gen.frequency(ClockId::kDecompress).in_mhz(), 126.0 + 1e-9);
+  EXPECT_GT(gen.frequency(ClockId::kDecompress).in_mhz(), 120.0);
+  // CLK_1 untouched.
+  EXPECT_NEAR(gen.frequency(ClockId::kPreload).in_mhz(), 100.0, 1e-9);
+}
+
+TEST_F(DyCloGenFixture, RetuneCostsDrpAccessesAndLockTime) {
+  const TimePs before = sim.now();
+  bool done = false;
+  (void)gen.request_frequency(ClockId::kReconfig, Frequency::mhz(362.5), [&] { done = true; });
+  EXPECT_EQ(gen.drp_accesses(), 3u);  // M, D, reset pulse
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GE((sim.now() - before).ps(), TimePs::from_us(10).ps());
+}
+
+TEST_F(DyCloGenFixture, SameFrequencySkipsRelock) {
+  (void)gen.request_frequency(ClockId::kReconfig, Frequency::mhz(200));
+  sim.run();
+  bool done = false;
+  auto c = gen.request_frequency(ClockId::kReconfig, Frequency::mhz(200), [&] { done = true; });
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(done);  // fired synchronously, no relock
+  EXPECT_EQ(gen.dcm(ClockId::kReconfig).relocks(), 1u);
+}
+
+TEST_F(DyCloGenFixture, PowerAwareRequestNeverOvershoots) {
+  for (double target : {140.0, 222.0, 255.0}) {
+    (void)gen.request_frequency(ClockId::kReconfig, Frequency::mhz(target));
+    sim.run();
+    EXPECT_LE(gen.frequency(ClockId::kReconfig).in_mhz(), target + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uparc::clocking

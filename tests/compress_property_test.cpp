@@ -1,0 +1,186 @@
+// Property-based round-trip sweeps: every codec must losslessly restore
+// every input — random data, frame-like data, generated bitstreams, and
+// adversarial patterns — across sizes and seeds (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include "bitstream/generator.hpp"
+#include "common/prng.hpp"
+#include "compress/registry.hpp"
+#include "compress/stats.hpp"
+
+namespace uparc::compress {
+namespace {
+
+struct Case {
+  const char* codec;
+  const char* shape;
+  std::size_t size;
+  u64 seed;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << c.codec << "/" << c.shape << "/" << c.size << "/seed" << c.seed;
+}
+
+[[nodiscard]] Bytes make_input(const Case& c) {
+  Prng rng(c.seed);
+  Bytes data;
+  data.reserve(c.size);
+  const std::string shape = c.shape;
+  if (shape == "random") {
+    for (std::size_t i = 0; i < c.size; ++i) data.push_back(rng.byte());
+  } else if (shape == "zeros") {
+    data.assign(c.size, 0);
+  } else if (shape == "sparse") {
+    data.assign(c.size, 0);
+    for (std::size_t i = 0; i < c.size / 16; ++i) data[rng.below(c.size)] = rng.byte();
+  } else if (shape == "strided") {
+    Bytes unit(164);
+    for (auto& b : unit) b = static_cast<u8>(rng.below(8) * 32);
+    while (data.size() < c.size) {
+      Bytes copy = unit;
+      if (rng.chance(0.7)) copy[rng.below(copy.size())] = rng.byte();
+      const std::size_t take = std::min(copy.size(), c.size - data.size());
+      data.insert(data.end(), copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+  } else if (shape == "text") {
+    const char* words[] = {"config ", "frame ", "lut6 ", "route ", "clb ", "bram "};
+    while (data.size() < c.size) {
+      const char* w = words[rng.below(6)];
+      for (const char* p = w; *p && data.size() < c.size; ++p) {
+        data.push_back(static_cast<u8>(*p));
+      }
+    }
+  } else if (shape == "bitstream") {
+    bits::GeneratorConfig cfg;
+    cfg.target_body_bytes = c.size;
+    cfg.seed = c.seed;
+    cfg.utilization = 0.9;
+    cfg.complexity = 0.5;
+    auto bs = bits::Generator(cfg).generate();
+    data = words_to_bytes(bs.body);
+  }
+  return data;
+}
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, LosslessAndSelfConsistent) {
+  const Case& c = GetParam();
+  auto codec = make_codec(c.codec);
+  ASSERT_NE(codec, nullptr);
+  const Bytes input = make_input(c);
+
+  // measure_verified throws on any round-trip failure.
+  auto sample = measure_verified(*codec, input);
+  EXPECT_EQ(sample.original_bytes, input.size());
+  EXPECT_GT(sample.compressed_bytes, 0u);
+
+  // Decompressing with every *other* codec must cleanly fail (container
+  // id check), never crash or return wrong data.
+  Bytes compressed = codec->compress(input);
+  for (const auto& other : table1_codecs()) {
+    if (other->id() == codec->id()) continue;
+    EXPECT_FALSE(other->decompress(compressed).ok())
+        << other->name() << " accepted a " << codec->name() << " stream";
+  }
+}
+
+[[nodiscard]] std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const char* codecs[] = {"RLE", "LZ77", "LZ78", "Huffman", "X-MatchPRO", "Zip", "7-zip"};
+  const char* shapes[] = {"random", "zeros", "sparse", "strided", "text", "bitstream"};
+  const std::size_t sizes[] = {1, 255, 4096, 40'000};
+  u64 seed = 1000;
+  for (const char* codec : codecs) {
+    for (const char* shape : shapes) {
+      for (std::size_t size : sizes) {
+        cases.push_back(Case{codec, shape, size, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTrip, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           std::string name = std::string(info.param.codec) + "_" +
+                                              info.param.shape + "_" +
+                                              std::to_string(info.param.size);
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+// Truncation fuzz: every codec must reject (not crash on) truncated streams.
+class Truncation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Truncation, TruncatedStreamsRejectedOrShorter) {
+  auto codec = make_codec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  Prng rng(99);
+  Bytes input;
+  for (int i = 0; i < 3000; ++i) input.push_back(static_cast<u8>(rng.below(32)));
+  Bytes c = codec->compress(input);
+
+  for (std::size_t cut : {c.size() - 1, c.size() / 2, wire::kHeaderBytes + 1, std::size_t{3}}) {
+    if (cut >= c.size()) continue;
+    Bytes truncated(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto r = codec->decompress(truncated);
+    if (r.ok()) {
+      // Acceptable only if the codec legitimately finished early with
+      // exactly the declared size — then data must still match a prefix.
+      FAIL() << codec->name() << " accepted a truncated stream";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, Truncation,
+                         ::testing::Values("RLE", "LZ77", "LZ78", "Huffman", "X-MatchPRO",
+                                           "Zip", "7-zip"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+// Bit-flip fuzz: corrupting a compressed stream must never crash the
+// decoder; it either errors out or returns (wrong) data of bounded size.
+class BitFlip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BitFlip, CorruptedStreamsNeverCrash) {
+  auto codec = make_codec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  Prng rng(7);
+  Bytes input;
+  for (int i = 0; i < 2000; ++i) input.push_back(static_cast<u8>(rng.below(64)));
+  const Bytes c = codec->compress(input);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes mutated = c;
+    const std::size_t pos = wire::kHeaderBytes + rng.below(mutated.size() - wire::kHeaderBytes);
+    mutated[pos] ^= static_cast<u8>(1u << rng.below(8));
+    auto r = codec->decompress(mutated);
+    if (r.ok()) {
+      EXPECT_EQ(r.value().size(), input.size())
+          << codec->name() << ": corrupted stream changed output size";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, BitFlip,
+                         ::testing::Values("RLE", "LZ77", "LZ78", "Huffman", "X-MatchPRO",
+                                           "Zip", "7-zip"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace uparc::compress

@@ -1,0 +1,154 @@
+// Unit tests for the five baseline reconfiguration controllers: delivered
+// data correctness plus bandwidth calibration against Table III.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace uparc::ctrl {
+namespace {
+
+using namespace uparc::literals;
+
+bits::PartialBitstream make_bs(std::size_t bytes, u64 seed = 1) {
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = bytes;
+  cfg.seed = seed;
+  return bits::Generator(cfg).generate();
+}
+
+class Baselines : public ::testing::Test {
+ protected:
+  core::System sys;
+
+  ReconfigResult run(std::string_view kind, const bits::PartialBitstream& bs) {
+    auto c = sys.make_baseline(kind);
+    EXPECT_NE(c, nullptr) << kind;
+    return sys.run_controller_blocking(*c, bs);
+  }
+};
+
+TEST_F(Baselines, AllDeliverIdenticalConfiguration) {
+  auto bs = make_bs(64_KiB);
+  for (const char* kind : {"xps_hwicap_cached", "BRAM_HWICAP", "MST_ICAP", "FaRM", "FlashCAP"}) {
+    sys.plane().clear();
+    auto r = run(kind, bs);
+    EXPECT_TRUE(r.success) << kind << ": " << r.error;
+    EXPECT_TRUE(sys.plane().contains(bs.frames)) << kind;
+    EXPECT_EQ(r.payload_bytes, bs.body.size() * 4) << kind;
+  }
+}
+
+TEST_F(Baselines, XpsCachedBandwidthNearPaper) {
+  auto r = run("xps_hwicap_cached", make_bs(128_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 14.5, 1.0);  // Table III
+}
+
+TEST_F(Baselines, XpsCompactFlashAt180KBps) {
+  auto r = run("xps_hwicap_cf", make_bs(16_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().bytes_per_sec() / 1024.0, 180.0, 15.0);  // paper §IV
+}
+
+TEST_F(Baselines, XpsUnoptimizedAt1_5MBps) {
+  auto r = run("xps_hwicap_unopt", make_bs(64_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 1.5, 0.1);  // paper §V
+}
+
+TEST_F(Baselines, BramHwicapBandwidthNearPaper) {
+  auto r = run("BRAM_HWICAP", make_bs(128_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 371.0, 12.0);  // Table III
+}
+
+TEST_F(Baselines, BramHwicapRejectsOversize) {
+  auto c = sys.make_baseline("BRAM_HWICAP");
+  auto st = c->stage(make_bs(300_KiB));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("exceeds"), std::string::npos);
+}
+
+TEST_F(Baselines, MstIcapBandwidthNearPaper) {
+  auto r = run("MST_ICAP", make_bs(256_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 235.0, 20.0);  // Table III
+}
+
+TEST_F(Baselines, MstIcapHandlesLargeBitstreams) {
+  auto r = run("MST_ICAP", make_bs(1200_KiB, 5));
+  EXPECT_TRUE(r.success) << r.error;
+}
+
+TEST_F(Baselines, FarmBandwidthNearPaper) {
+  auto r = run("FaRM", make_bs(128_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 800.0, 15.0);  // Table III
+}
+
+TEST_F(Baselines, FarmCompressesWhenOversized) {
+  auto c = sys.make_baseline("FaRM");
+  auto* farm = dynamic_cast<Farm*>(c.get());
+  ASSERT_NE(farm, nullptr);
+  auto bs = make_bs(400_KiB, 3);
+  auto st = c->stage(bs);
+  ASSERT_TRUE(st.ok()) << st.error().message;
+  EXPECT_TRUE(farm->staged_compressed());
+  auto r = sys.run_controller_blocking(*c, bs);
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(sys.plane().contains(bs.frames));
+}
+
+TEST_F(Baselines, FlashCapBandwidthNearPaper) {
+  auto r = run("FlashCAP", make_bs(128_KiB));
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 358.0, 12.0);  // Table III
+}
+
+TEST_F(Baselines, FlashCapStoresCompressed) {
+  auto c = sys.make_baseline("FlashCAP");
+  auto* fc = dynamic_cast<FlashCap*>(c.get());
+  ASSERT_NE(fc, nullptr);
+  auto bs = make_bs(128_KiB);
+  ASSERT_TRUE(c->stage(bs).ok());
+  EXPECT_LT(fc->flash_bytes_used(), bs.body.size() * 4 / 2);  // > 50% saved
+}
+
+TEST_F(Baselines, ReconfigureWithoutStageFails) {
+  for (const char* kind : {"xps_hwicap_cached", "BRAM_HWICAP", "MST_ICAP", "FaRM", "FlashCAP"}) {
+    auto c = sys.make_baseline(kind);
+    std::optional<ReconfigResult> got;
+    c->reconfigure([&](const ReconfigResult& r) { got = r; });
+    sys.sim().run();
+    ASSERT_TRUE(got.has_value()) << kind;
+    EXPECT_FALSE(got->success) << kind;
+    EXPECT_NE(got->error.find("without stage"), std::string::npos) << kind;
+  }
+}
+
+TEST_F(Baselines, CapacityClassesMatchTable3) {
+  EXPECT_EQ(sys.make_baseline("xps_hwicap_cached")->capacity_class(),
+            CapacityClass::kExcellent);
+  EXPECT_EQ(sys.make_baseline("MST_ICAP")->capacity_class(), CapacityClass::kExcellent);
+  EXPECT_EQ(sys.make_baseline("BRAM_HWICAP")->capacity_class(), CapacityClass::kLimited);
+  EXPECT_EQ(sys.make_baseline("FaRM")->capacity_class(), CapacityClass::kGood);
+  EXPECT_EQ(sys.make_baseline("FlashCAP")->capacity_class(), CapacityClass::kGood);
+  EXPECT_EQ(sys.make_baseline("nonsense"), nullptr);
+}
+
+TEST_F(Baselines, MaxFrequenciesMatchTable3) {
+  EXPECT_NEAR(sys.make_baseline("xps_hwicap_cached")->max_frequency().in_mhz(), 120, 1e-9);
+  EXPECT_NEAR(sys.make_baseline("BRAM_HWICAP")->max_frequency().in_mhz(), 120, 1e-9);
+  EXPECT_NEAR(sys.make_baseline("MST_ICAP")->max_frequency().in_mhz(), 120, 1e-9);
+  EXPECT_NEAR(sys.make_baseline("FaRM")->max_frequency().in_mhz(), 200, 1e-9);
+  EXPECT_NEAR(sys.make_baseline("FlashCAP")->max_frequency().in_mhz(), 120, 1e-9);
+}
+
+TEST(CapacitySymbols, MatchPaperNotation) {
+  EXPECT_STREQ(to_symbol(CapacityClass::kLimited), "-");
+  EXPECT_STREQ(to_symbol(CapacityClass::kGood), "++");
+  EXPECT_STREQ(to_symbol(CapacityClass::kExcellent), "+++");
+}
+
+}  // namespace
+}  // namespace uparc::ctrl

@@ -1,0 +1,145 @@
+// Tests for the schedule executor: the offline planner's predictions must
+// hold on the live cycle-accurate system.
+#include <gtest/gtest.h>
+
+#include "power/breakdown.hpp"
+#include "sched/executor.hpp"
+
+namespace uparc::sched {
+namespace {
+
+using namespace uparc::literals;
+
+struct Workload {
+  TaskSet set;
+  std::vector<bits::PartialBitstream> images;
+};
+
+Workload make_workload(unsigned activations, TimePs period, TimePs deadline_offset) {
+  Workload w;
+  bits::GeneratorConfig g1;
+  g1.target_body_bytes = 96_KiB;
+  g1.seed = 61;
+  bits::GeneratorConfig g2;
+  g2.target_body_bytes = 48_KiB;
+  g2.seed = 62;
+  w.images.push_back(bits::Generator(g1).generate());
+  w.images.push_back(bits::Generator(g2).generate());
+
+  const auto a = w.set.add_task(
+      {"alpha", w.images[0].body_bytes(), TimePs::from_us(700)});
+  const auto b = w.set.add_task(
+      {"beta", w.images[1].body_bytes(), TimePs::from_us(400)});
+  TimePs t = TimePs::from_ms(1);
+  for (unsigned i = 0; i < activations; ++i) {
+    w.set.add_activation({i % 2 == 0 ? a : b, t, t + deadline_offset});
+    t += period;
+  }
+  EXPECT_TRUE(w.set.validate().ok());
+  return w;
+}
+
+// The executor workloads use the hardware-FSM manager (1 word/cycle
+// preload) so that preloads hide inside the activation gaps — the planner's
+// prefetch assumption (§III-A-1). With the MicroBlaze copy loop the preloads
+// of these image sizes would dominate, which sched_test's prefetch analysis
+// covers separately.
+core::SystemConfig fsm_system() {
+  core::SystemConfig cfg;
+  cfg.uparc.manager = manager::hardware_fsm_profile();
+  return cfg;
+}
+
+SchedulerParams fsm_params() {
+  SchedulerParams p;
+  p.manager_wait_mw = manager::hardware_fsm_profile().active_wait_mw;
+  return p;
+}
+
+TEST(Executor, MaxPerformancePlanExecutesWithinPredictions) {
+  Workload w = make_workload(6, TimePs::from_ms(3), TimePs::from_ms(1));
+  OfflineScheduler planner(fsm_params());
+  Schedule plan = planner.plan(w.set, manager::FrequencyPolicy::kMaxPerformance);
+  ASSERT_TRUE(plan.feasible());
+
+  core::System sys(fsm_system());
+  ScheduleExecutor exec(sys, w.images);
+  ExecutionReport report = exec.run(w.set, plan);
+
+  ASSERT_TRUE(report.all_succeeded());
+  EXPECT_EQ(report.deadline_misses, 0u);
+  ASSERT_EQ(report.slots.size(), plan.slots.size());
+  for (const auto& slot : report.slots) {
+    // The planner's reconfiguration-time model must match the simulated
+    // hardware within 5%.
+    const double predicted_us =
+        (slot.predicted.reconfig_end - slot.predicted.reconfig_start).us();
+    EXPECT_NEAR(slot.actual_reconfig_time().us(), predicted_us, predicted_us * 0.05);
+    EXPECT_GT(slot.actual_energy_uj, 0.0);
+  }
+}
+
+TEST(Executor, MinPowerPlanRunsSlowerButMeetsDeadlines) {
+  Workload w = make_workload(6, TimePs::from_ms(4), TimePs::from_ms(2.5));
+  OfflineScheduler planner(fsm_params());
+  Schedule fast_plan = planner.plan(w.set, manager::FrequencyPolicy::kMaxPerformance);
+  Schedule slow_plan = planner.plan(w.set, manager::FrequencyPolicy::kMinPowerDeadline);
+  ASSERT_TRUE(slow_plan.feasible());
+
+  core::System fast_sys(fsm_system()), slow_sys(fsm_system());
+  ExecutionReport fast = ScheduleExecutor(fast_sys, w.images).run(w.set, fast_plan);
+  ExecutionReport slow = ScheduleExecutor(slow_sys, w.images).run(w.set, slow_plan);
+
+  ASSERT_TRUE(fast.all_succeeded());
+  ASSERT_TRUE(slow.all_succeeded());
+  EXPECT_EQ(slow.deadline_misses, 0u);
+  for (std::size_t i = 0; i < slow.slots.size(); ++i) {
+    EXPECT_GE(slow.slots[i].actual_reconfig_time().ps(),
+              fast.slots[i].actual_reconfig_time().ps());
+  }
+}
+
+TEST(Executor, PredictedEnergyTracksActualEnergy) {
+  Workload w = make_workload(4, TimePs::from_ms(3), TimePs::from_ms(1));
+  OfflineScheduler planner(fsm_params());
+  Schedule plan = planner.plan(w.set, manager::FrequencyPolicy::kMaxPerformance);
+
+  core::System sys(fsm_system());
+  ExecutionReport report = ScheduleExecutor(sys, w.images).run(w.set, plan);
+  ASSERT_TRUE(report.all_succeeded());
+  // Aggregate energy within 15% (the planner ignores relock-tail effects).
+  EXPECT_NEAR(report.total_reconfig_energy_uj, plan.total_reconfig_energy_uj,
+              plan.total_reconfig_energy_uj * 0.15);
+}
+
+TEST(Executor, MismatchedPlanThrows) {
+  Workload w = make_workload(4, TimePs::from_ms(3), TimePs::from_ms(1));
+  OfflineScheduler planner;
+  Schedule plan = planner.plan(w.set, manager::FrequencyPolicy::kMaxPerformance);
+  plan.slots.pop_back();
+  core::System sys;
+  ScheduleExecutor exec(sys, w.images);
+  EXPECT_THROW((void)exec.run(w.set, plan), std::invalid_argument);
+}
+
+TEST(PowerBreakdown, EstimateScalesWithAreaAndFrequency) {
+  power::BlockEstimate small{50, 0.5, power::kBramIcapMwPerMhz};
+  power::BlockEstimate big{860, 0.45, power::kBramIcapMwPerMhz};
+  const double small_mw = power::estimate_block_mw(small, Frequency::mhz(100));
+  const double big_mw = power::estimate_block_mw(big, Frequency::mhz(100));
+  EXPECT_GT(big_mw, small_mw);
+  EXPECT_NEAR(power::estimate_block_mw(small, Frequency::mhz(200)), 2 * small_mw, 1e-9);
+  // The fit: UPaRC's datapath at 100 MHz ~= the calibrated 152 mW.
+  EXPECT_NEAR(small_mw, 152.0, 3.0);
+}
+
+TEST(PowerBreakdown, ControllerRowsAvailable) {
+  std::size_t count = 0;
+  const auto* rows = power::controller_power_rows(count);
+  ASSERT_GE(count, 5u);
+  EXPECT_STREQ(rows[0].name, "UPaRC (UReC+DyCloGen)");
+  EXPECT_EQ(rows[0].slices, 50u);
+}
+
+}  // namespace
+}  // namespace uparc::sched

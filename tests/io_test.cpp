@@ -1,0 +1,71 @@
+// Unit tests for whole-file I/O helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/io.hpp"
+#include "common/prng.hpp"
+
+namespace uparc {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Io, WriteReadRoundTrip) {
+  const std::string path = temp_path("uparc_io_test.bin");
+  Bytes data(4096);
+  Prng rng(1);
+  for (auto& b : data) b = rng.byte();
+
+  ASSERT_TRUE(write_file(path, data).ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  std::remove(path.c_str());
+}
+
+TEST(Io, EmptyFile) {
+  const std::string path = temp_path("uparc_io_empty.bin");
+  ASSERT_TRUE(write_file(path, Bytes{}).ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileErrors) {
+  auto r = read_file("/nonexistent/definitely/not/here.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cannot open"), std::string::npos);
+}
+
+TEST(Io, UnwritablePathErrors) {
+  auto st = write_file("/nonexistent_dir_xyz/file.bin", Bytes{1, 2, 3});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Io, TextFileWrite) {
+  const std::string path = temp_path("uparc_io_text.csv");
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n").ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 8u);
+  EXPECT_EQ(back.value()[0], 'a');
+  std::remove(path.c_str());
+}
+
+TEST(Io, OverwriteTruncates) {
+  const std::string path = temp_path("uparc_io_trunc.bin");
+  ASSERT_TRUE(write_file(path, Bytes(100, 0xAA)).ok());
+  ASSERT_TRUE(write_file(path, Bytes(10, 0xBB)).ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 10u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uparc

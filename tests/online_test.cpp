@@ -1,0 +1,130 @@
+// Tests for the online EDF scheduler.
+#include <gtest/gtest.h>
+
+#include "sched/online.hpp"
+
+namespace uparc::sched {
+namespace {
+
+using namespace uparc::literals;
+
+std::vector<bits::PartialBitstream> two_images() {
+  std::vector<bits::PartialBitstream> images;
+  bits::GeneratorConfig g;
+  g.target_body_bytes = 48_KiB;
+  g.seed = 71;
+  images.push_back(bits::Generator(g).generate());
+  g.target_body_bytes = 24_KiB;
+  g.seed = 72;
+  images.push_back(bits::Generator(g).generate());
+  return images;
+}
+
+core::SystemConfig fsm_cfg() {
+  core::SystemConfig cfg;
+  cfg.uparc.manager = manager::hardware_fsm_profile();  // fast preloads
+  return cfg;
+}
+
+TEST(Online, CompletesJobsAndMeetsDeadlines) {
+  core::System sys(fsm_cfg());
+  OnlineScheduler sched(sys, "online", two_images());
+
+  sched.submit({"j0", 0, sys.sim().now() + TimePs::from_ms(5), TimePs::from_us(300)});
+  sched.submit({"j1", 1, sys.sim().now() + TimePs::from_ms(10), TimePs::from_us(200)});
+  sys.sim().run();
+
+  const auto& st = sched.online_stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.missed, 0u);
+  EXPECT_EQ(st.failed, 0u);
+  ASSERT_EQ(sched.records().size(), 2u);
+  for (const auto& r : sched.records()) {
+    EXPECT_TRUE(r.success) << r.error;
+    EXPECT_TRUE(r.deadline_met);
+    EXPECT_GT(r.energy_uj, 0.0);
+  }
+}
+
+TEST(Online, EdfOrdersByDeadlineNotSubmission) {
+  core::System sys(fsm_cfg());
+  OnlineScheduler sched(sys, "online", two_images());
+
+  // Make the region busy first so both later jobs sit queued together.
+  sched.submit({"head", 0, sys.sim().now() + TimePs::from_ms(50), TimePs::from_ms(2)});
+  // Submitted in reverse deadline order:
+  sched.submit({"late", 0, sys.sim().now() + TimePs::from_ms(40), TimePs::from_us(100)});
+  sched.submit({"urgent", 1, sys.sim().now() + TimePs::from_ms(8), TimePs::from_us(100)});
+  EXPECT_EQ(sched.queue_depth(), 2u);
+  sys.sim().run();
+
+  ASSERT_EQ(sched.records().size(), 3u);
+  EXPECT_EQ(sched.records()[0].job.name, "head");
+  EXPECT_EQ(sched.records()[1].job.name, "urgent");  // EDF picked it first
+  EXPECT_EQ(sched.records()[2].job.name, "late");
+  EXPECT_EQ(sched.online_stats().missed, 0u);
+}
+
+TEST(Online, PowerAwarePolicySlowsDownWithSlack) {
+  core::System relaxed_sys(fsm_cfg()), tight_sys(fsm_cfg());
+  OnlineScheduler relaxed(relaxed_sys, "relaxed", two_images(),
+                          manager::FrequencyPolicy::kMinPowerDeadline);
+  OnlineScheduler tight(tight_sys, "tight", two_images(),
+                        manager::FrequencyPolicy::kMinPowerDeadline);
+
+  relaxed.submit({"slacky", 0, TimePs::from_ms(20), TimePs::from_us(100)});
+  relaxed_sys.sim().run();
+  tight.submit({"rushed", 0, TimePs::from_us(900), TimePs::from_us(100)});
+  tight_sys.sim().run();
+
+  ASSERT_EQ(relaxed.records().size(), 1u);
+  ASSERT_EQ(tight.records().size(), 1u);
+  EXPECT_LT(relaxed.records()[0].frequency.in_mhz(), tight.records()[0].frequency.in_mhz());
+  EXPECT_TRUE(relaxed.records()[0].deadline_met);
+  EXPECT_TRUE(tight.records()[0].deadline_met);
+}
+
+TEST(Online, ImpossibleDeadlineBestEffortAndCounted) {
+  core::System sys(fsm_cfg());
+  OnlineScheduler sched(sys, "online", two_images());
+  // Deadline already essentially expired: best effort at max frequency.
+  sched.submit({"doomed", 0, sys.sim().now() + TimePs::from_us(1), TimePs::from_us(50)});
+  sys.sim().run();
+  ASSERT_EQ(sched.records().size(), 1u);
+  EXPECT_TRUE(sched.records()[0].success);
+  EXPECT_FALSE(sched.records()[0].deadline_met);
+  EXPECT_EQ(sched.online_stats().missed, 1u);
+  EXPECT_GT(sched.records()[0].frequency.in_mhz(), 300.0);  // ran flat out
+}
+
+TEST(Online, RejectsUnknownImage) {
+  core::System sys;
+  OnlineScheduler sched(sys, "online", two_images());
+  EXPECT_THROW(sched.submit({"bad", 9, TimePs::from_ms(1), TimePs::from_us(1)}),
+               std::invalid_argument);
+}
+
+TEST(Online, DynamicArrivalsDuringExecution) {
+  core::System sys(fsm_cfg());
+  OnlineScheduler sched(sys, "online", two_images());
+
+  sched.submit({"first", 0, TimePs::from_ms(5), TimePs::from_ms(1)});
+  // Arrivals while the first job runs.
+  sys.sim().schedule_at(TimePs::from_us(500), [&] {
+    sched.submit({"second", 1, TimePs::from_ms(12), TimePs::from_us(200)});
+  });
+  sys.sim().schedule_at(TimePs::from_us(800), [&] {
+    sched.submit({"third", 0, TimePs::from_ms(9), TimePs::from_us(200)});
+  });
+  sys.sim().run();
+
+  ASSERT_EQ(sched.records().size(), 3u);
+  EXPECT_EQ(sched.online_stats().completed, 3u);
+  EXPECT_EQ(sched.online_stats().missed, 0u);
+  // "third" (deadline 9 ms) overtook "second" (12 ms) in the EDF queue.
+  EXPECT_EQ(sched.records()[1].job.name, "third");
+}
+
+}  // namespace
+}  // namespace uparc::sched

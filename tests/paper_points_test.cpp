@@ -1,0 +1,213 @@
+// Paper-point regression tests: every headline number of the paper, asserted
+// with tolerances, so a refactor that silently breaks the reproduction fails
+// CI. These mirror the benches but as pass/fail checks.
+#include <gtest/gtest.h>
+
+#include "compress/registry.hpp"
+#include "compress/stats.hpp"
+#include "core/system.hpp"
+
+namespace uparc {
+namespace {
+
+using namespace uparc::literals;
+
+bits::PartialBitstream paper_bitstream(std::size_t bytes = 216 * 1024 + 512, u64 seed = 1) {
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = bytes;
+  cfg.seed = seed;
+  return bits::Generator(cfg).generate();
+}
+
+// Same corpus as bench/table1_compression (see bench/bench_util.hpp).
+std::vector<bits::PartialBitstream> reference_corpus() {
+  std::vector<bits::PartialBitstream> corpus;
+  for (unsigned i = 0; i < 3; ++i) {
+    bits::GeneratorConfig cfg;
+    cfg.target_body_bytes = 96 * 1024;
+    cfg.seed = 1 + i;
+    cfg.utilization = 0.95;
+    cfg.complexity = 0.5;
+    corpus.push_back(bits::Generator(cfg).generate());
+  }
+  return corpus;
+}
+
+TEST(PaperPoints, TableI_RatiosWithinTwoPoints) {
+  struct Row {
+    std::size_t index;
+    double paper;
+  };
+  // Row order of compress::table1_codecs().
+  const Row rows[] = {{0, 63.0}, {1, 71.4}, {2, 72.3}, {3, 74.2},
+                      {4, 75.6}, {5, 81.2}, {6, 81.9}};
+  auto codecs = compress::table1_codecs();
+  auto corpus = reference_corpus();
+
+  double prev = -1;
+  for (const auto& row : rows) {
+    compress::RatioAccumulator acc;
+    for (const auto& bs : corpus) {
+      acc.add(compress::measure_verified(*codecs[row.index], words_to_bytes(bs.body)));
+    }
+    EXPECT_NEAR(acc.ratio_percent(), row.paper, 2.0) << codecs[row.index]->name();
+    EXPECT_GT(acc.ratio_percent(), prev) << "ordering violated at "
+                                         << codecs[row.index]->name();
+    prev = acc.ratio_percent();
+  }
+}
+
+TEST(PaperPoints, TableIII_UPaRC_i_1433MBps) {
+  core::System sys;
+  auto bs = paper_bitstream(247_KiB, 4);
+  (void)sys.set_frequency_blocking(Frequency::mhz(362.5));
+  ASSERT_TRUE(sys.stage(bs).ok());
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 1433.0, 15.0);
+}
+
+TEST(PaperPoints, TableIII_UPaRC_ii_1008MBps) {
+  core::System sys;
+  auto bs = paper_bitstream(600_KiB, 3);
+  (void)sys.set_frequency_blocking(Frequency::mhz(255));
+  ASSERT_TRUE(sys.stage(bs).ok());
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_NEAR(r.bandwidth().mb_per_sec(), 1008.0, 25.0);
+}
+
+TEST(PaperPoints, TableIII_BaselineBandwidths) {
+  struct Row {
+    const char* kind;
+    double paper_mbps;
+    double tol;
+  };
+  const Row rows[] = {
+      {"xps_hwicap_cached", 14.5, 1.0}, {"MST_ICAP", 235.0, 15.0},
+      {"FlashCAP", 358.0, 10.0},        {"BRAM_HWICAP", 371.0, 10.0},
+      {"FaRM", 800.0, 10.0},
+  };
+  auto bs = paper_bitstream(128_KiB);
+  for (const auto& row : rows) {
+    core::System sys;
+    auto c = sys.make_baseline(row.kind);
+    auto r = sys.run_controller_blocking(*c, bs);
+    ASSERT_TRUE(r.success) << row.kind << ": " << r.error;
+    EXPECT_NEAR(r.bandwidth().mb_per_sec(), row.paper_mbps, row.tol) << row.kind;
+  }
+}
+
+TEST(PaperPoints, Fig5_EfficiencyAnchors) {
+  // 6.5 KB at 362.5 MHz: 78.8% of theoretical; 247 KB: 99%.
+  const double theoretical_mbps = 1450.0;
+  {
+    core::System sys;
+    (void)sys.set_frequency_blocking(Frequency::mhz(362.5));
+    ASSERT_TRUE(sys.stage(paper_bitstream(6656, 1)).ok());
+    auto r = sys.reconfigure_blocking();
+    ASSERT_TRUE(r.success);
+    EXPECT_NEAR(r.bandwidth().mb_per_sec() / theoretical_mbps, 0.788, 0.03);
+  }
+  {
+    core::System sys;
+    (void)sys.set_frequency_blocking(Frequency::mhz(362.5));
+    ASSERT_TRUE(sys.stage(paper_bitstream(247_KiB, 1)).ok());
+    auto r = sys.reconfigure_blocking();
+    ASSERT_TRUE(r.success);
+    EXPECT_NEAR(r.bandwidth().mb_per_sec() / theoretical_mbps, 0.99, 0.01);
+  }
+}
+
+TEST(PaperPoints, Fig7_PowerAndTimeAtEachFrequency) {
+  struct Anchor {
+    double mhz, mw, us;
+  };
+  const Anchor anchors[] = {
+      {50, 183, 1100}, {100, 259, 550}, {200, 394, 270}, {300, 453, 180}};
+
+  bits::GeneratorConfig gen;
+  gen.device = bits::kVirtex6Lx240t;
+  gen.target_body_bytes = 216 * 1024 + 512;
+  auto bs = bits::Generator(gen).generate();
+
+  for (const auto& a : anchors) {
+    core::SystemConfig cfg;
+    cfg.uparc.device = bits::kVirtex6Lx240t;
+    core::System sys(cfg);
+    (void)sys.set_frequency_blocking(Frequency::mhz(a.mhz));
+    ASSERT_TRUE(sys.stage(bs).ok());
+    auto r = sys.reconfigure_blocking();
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_NEAR(sys.rail()->peak_mw(r.start, r.end), a.mw, 2.0) << a.mhz << " MHz";
+    EXPECT_NEAR(r.duration().us(), a.us, a.us * 0.05) << a.mhz << " MHz";
+  }
+}
+
+TEST(PaperPoints, SecV_EnergyEfficiency45x) {
+  auto bs = paper_bitstream();
+  const double kb = static_cast<double>(bs.body_bytes()) / 1024.0;
+
+  core::System xps_sys;
+  auto xps = xps_sys.make_baseline("xps_hwicap_unopt");
+  auto xr = xps_sys.run_controller_blocking(*xps, bs);
+  ASSERT_TRUE(xr.success) << xr.error;
+  const double xps_uj_kb = xr.energy_uj / kb;
+  EXPECT_NEAR(xps_uj_kb, 30.0, 1.5);
+
+  core::System up_sys;
+  (void)up_sys.set_frequency_blocking(Frequency::mhz(100));
+  ASSERT_TRUE(up_sys.stage(bs).ok());
+  auto ur = up_sys.reconfigure_blocking();
+  ASSERT_TRUE(ur.success) << ur.error;
+  const double uparc_uj_kb = ur.energy_uj / kb;
+  EXPECT_NEAR(uparc_uj_kb, 0.66, 0.03);
+
+  EXPECT_NEAR(xps_uj_kb / uparc_uj_kb, 45.0, 4.0);
+}
+
+TEST(PaperPoints, SecIV_CompressedCapacity992KB) {
+  // 256 KB BRAM handles a ~992 KB bitstream with X-MatchPRO compression.
+  core::System sys;
+  auto bs = paper_bitstream(992_KiB, 11);
+  auto st = sys.stage(bs);
+  ASSERT_TRUE(st.ok()) << st.error().message;
+  auto r = sys.reconfigure_blocking();
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(sys.plane().contains(bs.frames));
+}
+
+TEST(PaperPoints, SecIV_DcmSetting_M29_D8) {
+  core::System sys;
+  auto md = sys.set_frequency_blocking(Frequency::mhz(362.5));
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->m, 29u);
+  EXPECT_EQ(md->d, 8u);
+}
+
+TEST(PaperPoints, SecIV_V5ReliableV6NotAt362_5) {
+  core::TimingModel v5(bits::kVirtex5Sx50t);
+  core::TimingModel v6(bits::kVirtex6Lx240t);
+  EXPECT_TRUE(v5.is_reliable(Frequency::mhz(362.5)));
+  EXPECT_FALSE(v6.is_reliable(Frequency::mhz(362.5)));
+}
+
+TEST(PaperPoints, TableIII_SpeedupOverFarm1_8x) {
+  core::System farm_sys;
+  auto bs = paper_bitstream(128_KiB);
+  auto farm = farm_sys.make_baseline("FaRM");
+  auto fr = farm_sys.run_controller_blocking(*farm, bs);
+  ASSERT_TRUE(fr.success);
+
+  core::System up_sys;
+  auto big = paper_bitstream(247_KiB, 4);
+  (void)up_sys.set_frequency_blocking(Frequency::mhz(362.5));
+  ASSERT_TRUE(up_sys.stage(big).ok());
+  auto ur = up_sys.reconfigure_blocking();
+  ASSERT_TRUE(ur.success);
+
+  EXPECT_NEAR(ur.bandwidth().mb_per_sec() / fr.bandwidth().mb_per_sec(), 1.8, 0.1);
+}
+
+}  // namespace
+}  // namespace uparc

@@ -1,0 +1,141 @@
+// Unit tests for the power substrate: rail integration, calibrated model,
+// component bindings, virtual scope.
+#include <gtest/gtest.h>
+
+#include "power/calibration.hpp"
+#include "power/model.hpp"
+#include "power/scope.hpp"
+
+namespace uparc::power {
+namespace {
+
+TEST(Calibration, MatchesFig7OperatingPoints) {
+  // Paper Fig. 7: total rail draw during reconfiguration.
+  EXPECT_NEAR(fig7_total_mw(Frequency::mhz(50)), 183.0, 0.5);
+  EXPECT_NEAR(fig7_total_mw(Frequency::mhz(100)), 259.0, 0.5);
+  EXPECT_NEAR(fig7_total_mw(Frequency::mhz(200)), 394.0, 0.5);
+  EXPECT_NEAR(fig7_total_mw(Frequency::mhz(300)), 453.0, 0.5);
+}
+
+TEST(Calibration, InterpolatesBetweenAnchors) {
+  const double p150 = fig7_total_mw(Frequency::mhz(150));
+  EXPECT_GT(p150, fig7_total_mw(Frequency::mhz(100)));
+  EXPECT_LT(p150, fig7_total_mw(Frequency::mhz(200)));
+}
+
+TEST(Calibration, DatapathVanishesAtZeroFrequency) {
+  EXPECT_NEAR(reconfig_datapath_mw(Frequency::mhz(0)), 0.0, 1e-9);
+  EXPECT_NEAR(reconfig_datapath_mw(Frequency::mhz(25)), 38.0, 1.0);  // linear below 50
+}
+
+TEST(Calibration, ExtrapolatesWithDroopSlopeAbove300) {
+  // 362.5 MHz continues the sub-linear 200->300 slope (0.59 mW/MHz).
+  const double p362 = reconfig_datapath_mw(Frequency::mhz(362.5));
+  EXPECT_NEAR(p362, 346.0 + 0.59 * 62.5, 2.0);
+}
+
+TEST(Calibration, EnergyAnchorsFromSectionV) {
+  // UPaRC at 100 MHz: 259 mW for 550 us over 216.5 KB => ~0.66 uJ/KB.
+  const double t_s = 550e-6;
+  const double uj_per_kb = fig7_total_mw(Frequency::mhz(100)) * t_s * 1e3 / 216.5;
+  EXPECT_NEAR(uj_per_kb, 0.66, 0.02);
+  // xps_hwicap: 44 mW at 1.5 MB/s => ~30 uJ/KB.
+  const double xps_uj_per_kb = kXpsHwicapCopyMw * (1024.0 / 1.5e6) * 1e3;
+  EXPECT_NEAR(xps_uj_per_kb, 30.0, 1.0);
+  // Ratio ~45x.
+  EXPECT_NEAR(xps_uj_per_kb / uj_per_kb, 45.0, 3.0);
+}
+
+TEST(RailTest, StepFunctionAndEnergy) {
+  sim::Simulation sim;
+  Rail rail(sim, "vccint");
+  EXPECT_EQ(rail.current_mw(), 0.0);
+
+  rail.set_contribution("a", 100.0);
+  sim.schedule_at(TimePs::from_us(10), [&] { rail.set_contribution("b", 50.0); });
+  sim.schedule_at(TimePs::from_us(20), [&] { rail.set_contribution("a", 0.0); });
+  sim.schedule_at(TimePs::from_us(30), [&] { rail.set_contribution("b", 0.0); });
+  sim.run();
+
+  // Energy: 100 mW * 10 us + 150 * 10 + 50 * 10 = 1 + 1.5 + 0.5 uJ = 3 uJ.
+  EXPECT_NEAR(rail.energy_uj(TimePs(0), TimePs::from_us(30)), 3.0, 1e-9);
+  EXPECT_NEAR(rail.energy_uj(TimePs::from_us(10), TimePs::from_us(20)), 1.5, 1e-9);
+  EXPECT_NEAR(rail.peak_mw(TimePs(0), TimePs::from_us(30)), 150.0, 1e-9);
+  EXPECT_EQ(rail.current_mw(), 0.0);
+}
+
+TEST(RailTest, ZeroWindowAndContributionQueries) {
+  sim::Simulation sim;
+  Rail rail(sim, "r");
+  rail.set_contribution("x", 10.0);
+  EXPECT_EQ(rail.energy_uj(TimePs(5), TimePs(5)), 0.0);
+  EXPECT_EQ(rail.contribution("x"), 10.0);
+  EXPECT_EQ(rail.contribution("unknown"), 0.0);
+}
+
+TEST(BlockPowerTest, TracksClockFrequencyAndGating) {
+  sim::Simulation sim;
+  Rail rail(sim, "r");
+  sim::Clock clk(sim, "clk", Frequency::mhz(100));
+  BlockPower block(rail, "urec", clk, [](Frequency f) { return 1.5 * f.in_mhz(); });
+
+  EXPECT_EQ(rail.current_mw(), 0.0);
+  block.set_active(true);
+  EXPECT_NEAR(rail.current_mw(), 150.0, 1e-9);
+
+  clk.set_frequency(Frequency::mhz(300));
+  block.refresh();
+  EXPECT_NEAR(rail.current_mw(), 450.0, 1e-9);
+
+  block.set_active(false);
+  EXPECT_EQ(rail.current_mw(), 0.0);
+}
+
+TEST(BlockPowerTest, DestructorReleasesContribution) {
+  sim::Simulation sim;
+  Rail rail(sim, "r");
+  sim::Clock clk(sim, "clk", Frequency::mhz(100));
+  {
+    BlockPower block(rail, "tmp", clk, [](Frequency) { return 42.0; });
+    block.set_active(true);
+    EXPECT_NEAR(rail.current_mw(), 42.0, 1e-9);
+  }
+  EXPECT_EQ(rail.current_mw(), 0.0);
+}
+
+TEST(ConstantPowerTest, LevelsAndRelevel) {
+  sim::Simulation sim;
+  Rail rail(sim, "r");
+  ConstantPower p(rail, "mgr", kManagerActiveWaitMw);
+  p.set_active(true);
+  EXPECT_NEAR(rail.current_mw(), 107.0, 1e-9);
+  p.set_level(128.0);
+  EXPECT_NEAR(rail.current_mw(), 128.0, 1e-9);
+  p.set_active(false);
+  EXPECT_EQ(rail.current_mw(), 0.0);
+}
+
+TEST(ScopeTest, SamplesStepFunction) {
+  sim::Simulation sim;
+  Rail rail(sim, "r");
+  rail.set_contribution("x", 100.0);
+  sim.schedule_at(TimePs::from_us(50), [&] { rail.set_contribution("x", 0.0); });
+  sim.run();
+
+  VirtualScope scope(rail);
+  auto samples = scope.capture(TimePs(0), TimePs::from_us(100), TimePs::from_us(10));
+  ASSERT_EQ(samples.size(), 11u);
+  EXPECT_NEAR(samples[0].mw, 100.0, 1e-9);
+  EXPECT_NEAR(samples[4].mw, 100.0, 1e-9);
+  EXPECT_NEAR(samples[6].mw, 0.0, 1e-9);
+
+  const std::string csv = VirtualScope::to_csv(samples);
+  EXPECT_NE(csv.find("time_us,power_mw"), std::string::npos);
+  EXPECT_NE(csv.find("100.000"), std::string::npos);
+
+  const std::string ascii = VirtualScope::to_ascii(samples, 20, 5);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uparc::power

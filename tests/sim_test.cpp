@@ -1,0 +1,231 @@
+// Unit tests for the simulation kernel: event ordering, clocks, FIFOs, VCD.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/fifo.hpp"
+#include "sim/kernel.hpp"
+#include "sim/module.hpp"
+#include "sim/vcd.hpp"
+
+namespace uparc::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePs(30), [&] { order.push_back(3); });
+  sim.schedule_at(TimePs(10), [&] { order.push_back(1); });
+  sim.schedule_at(TimePs(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ps(), 30u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulation, SameTimeEventsFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePs(100), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(TimePs(50), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePs(10), [] {}), std::logic_error);
+}
+
+TEST(Simulation, NestedSchedulingFromActions) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(TimePs(10), [&] {
+    sim.schedule_in(TimePs(5), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ps(), 15u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  // Self-rescheduling event every 10 ps.
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_in(TimePs(10), tick);
+  };
+  sim.schedule_at(TimePs(10), tick);
+  sim.run_until(TimePs(55));
+  EXPECT_EQ(count, 5);  // t = 10,20,30,40,50
+  EXPECT_EQ(sim.now().ps(), 55u);
+}
+
+TEST(Simulation, EventBudgetGuardsInfiniteLoops) {
+  Simulation sim;
+  std::function<void()> forever = [&] { sim.schedule_in(TimePs(1), forever); };
+  sim.schedule_at(TimePs(0), forever);
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+TEST(Clock, TicksAtConfiguredPeriod) {
+  Simulation sim;
+  Clock clk(sim, "clk", Frequency::mhz(100));  // 10 ns period
+  std::vector<u64> edge_times;
+  clk.on_rising([&] {
+    edge_times.push_back(sim.now().ps());
+    if (edge_times.size() == 3) clk.disable();
+  });
+  clk.enable();
+  sim.run();
+  ASSERT_EQ(edge_times.size(), 3u);
+  EXPECT_EQ(edge_times[0], 10'000u);
+  EXPECT_EQ(edge_times[1], 20'000u);
+  EXPECT_EQ(edge_times[2], 30'000u);
+  EXPECT_EQ(clk.cycle_count(), 3u);
+}
+
+TEST(Clock, DisabledClockSchedulesNothing) {
+  Simulation sim;
+  Clock clk(sim, "clk", Frequency::mhz(100));
+  clk.on_rising([] { FAIL() << "disabled clock must not tick"; });
+  sim.run();  // queue drains immediately
+  EXPECT_EQ(clk.cycle_count(), 0u);
+}
+
+TEST(Clock, RetuneTakesEffectNextEdge) {
+  Simulation sim;
+  Clock clk(sim, "clk", Frequency::mhz(100));
+  std::vector<u64> edges;
+  clk.on_rising([&] {
+    edges.push_back(sim.now().ps());
+    if (edges.size() == 1) clk.set_frequency(Frequency::mhz(200));  // 5 ns
+    if (edges.size() == 3) clk.disable();
+  });
+  clk.enable();
+  sim.run();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], 10'000u);
+  EXPECT_EQ(edges[1], 15'000u);  // first edge at new 5 ns period
+  EXPECT_EQ(edges[2], 20'000u);
+}
+
+TEST(Clock, ActiveTimeIntegratesEnableWindows) {
+  Simulation sim;
+  Clock clk(sim, "clk", Frequency::mhz(100));
+  int edges = 0;
+  clk.on_rising([&] {
+    if (++edges == 5) clk.disable();
+  });
+  clk.enable();
+  sim.run();
+  EXPECT_EQ(clk.active_time().ps(), 50'000u);
+
+  // Re-enable later; the second window adds on top.
+  sim.schedule_in(TimePs(100'000), [&] { clk.enable(); });
+  edges = 0;
+  sim.run();
+  EXPECT_GT(clk.active_time().ps(), 50'000u);
+}
+
+TEST(Clock, TwoDomainsInterleaveDeterministically) {
+  Simulation sim;
+  Clock fast(sim, "fast", Frequency::mhz(200));
+  Clock slow(sim, "slow", Frequency::mhz(100));
+  int fast_edges = 0, slow_edges = 0;
+  fast.on_rising([&] {
+    if (++fast_edges == 20) fast.disable();
+  });
+  slow.on_rising([&] {
+    if (++slow_edges == 10) slow.disable();
+  });
+  fast.enable();
+  slow.enable();
+  sim.run();
+  EXPECT_EQ(fast_edges, 20);
+  EXPECT_EQ(slow_edges, 10);
+  EXPECT_EQ(sim.now().ps(), 100'000u);
+}
+
+TEST(Fifo, PushPopOrder) {
+  Fifo<u32> f("f", 4);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.pop(), 1u);
+  EXPECT_EQ(f.pop(), 2u);
+  EXPECT_EQ(f.pop(), 3u);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, OverflowAndUnderflowThrow) {
+  Fifo<u32> f("f", 2);
+  f.push(1);
+  f.push(2);
+  EXPECT_FALSE(f.can_push());
+  EXPECT_THROW(f.push(3), std::logic_error);
+  (void)f.pop();
+  (void)f.pop();
+  EXPECT_THROW((void)f.pop(), std::logic_error);
+}
+
+TEST(Fifo, ConservationAndHighWater) {
+  Fifo<u32> f("f", 8);
+  for (u32 i = 0; i < 6; ++i) f.push(i);
+  for (int i = 0; i < 4; ++i) (void)f.pop();
+  for (u32 i = 0; i < 3; ++i) f.push(i);
+  EXPECT_EQ(f.total_pushed(), 9u);
+  EXPECT_EQ(f.total_popped(), 4u);
+  EXPECT_EQ(f.size(), f.total_pushed() - f.total_popped());
+  EXPECT_EQ(f.max_occupancy(), 6u);
+  EXPECT_THROW(Fifo<u32>("zero", 0), std::invalid_argument);
+}
+
+TEST(Module, NameAndStats) {
+  Simulation sim;
+  struct Dummy : Module {
+    using Module::Module;
+  } m(sim, "dummy");
+  EXPECT_EQ(m.name(), "dummy");
+  m.stats().add("words", 41);
+  m.stats().add("words", 41);
+  EXPECT_DOUBLE_EQ(m.stats().get("words"), 82.0);
+  EXPECT_NE(m.stats().report().find("words = 82"), std::string::npos);
+}
+
+TEST(Vcd, RendersHeaderAndChanges) {
+  VcdWriter vcd("top");
+  auto clk = vcd.add_signal("clk", 1);
+  auto bus = vcd.add_signal("data", 8);
+  vcd.change(clk, TimePs(0), 0);
+  vcd.change(clk, TimePs(10), 1);
+  vcd.change(bus, TimePs(10), 0xA5);
+  vcd.change(clk, TimePs(20), 0);
+  std::string doc = vcd.render();
+  EXPECT_NE(doc.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(doc.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(doc.find("#10"), std::string::npos);
+  EXPECT_NE(doc.find("b10100101"), std::string::npos);
+}
+
+TEST(Vcd, DeduplicatesUnchangedValues) {
+  VcdWriter vcd;
+  auto s = vcd.add_signal("s", 1);
+  vcd.change(s, TimePs(0), 1);
+  vcd.change(s, TimePs(10), 1);  // no-op
+  vcd.change(s, TimePs(20), 0);
+  EXPECT_EQ(vcd.change_count(), 2u);
+}
+
+TEST(Vcd, RejectsBadSignals) {
+  VcdWriter vcd;
+  EXPECT_THROW((void)vcd.add_signal("w0", 0), std::invalid_argument);
+  EXPECT_THROW((void)vcd.add_signal("w65", 65), std::invalid_argument);
+  EXPECT_THROW(vcd.change(99, TimePs(0), 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace uparc::sim

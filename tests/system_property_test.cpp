@@ -1,0 +1,191 @@
+// System-level property sweeps (TEST_P): invariants that must hold across
+// the whole operating envelope, not just at the paper's anchor points.
+#include <gtest/gtest.h>
+
+#include "bitstream/relocate.hpp"
+#include "core/system.hpp"
+
+namespace uparc {
+namespace {
+
+using namespace uparc::literals;
+
+bits::PartialBitstream make_bs(std::size_t bytes, u64 seed,
+                               bits::FrameAddress start = {0, 0, 0, 10, 0}) {
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = bytes;
+  cfg.seed = seed;
+  cfg.start_address = start;
+  return bits::Generator(cfg).generate();
+}
+
+// ---------------------------------------------------------- bandwidth grid
+
+struct GridPoint {
+  std::size_t kb;
+  double mhz;
+};
+
+void PrintTo(const GridPoint& p, std::ostream* os) { *os << p.kb << "KB@" << p.mhz << "MHz"; }
+
+class BandwidthGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(BandwidthGrid, DeliversVerifiedAndBounded) {
+  const auto [kb, mhz] = GetParam();
+  core::System sys;
+  auto bs = make_bs(kb * 1024, 1);
+  (void)sys.set_frequency_blocking(Frequency::mhz(mhz));
+  ASSERT_TRUE(sys.stage(bs).ok());
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+
+  // 1. Data correctness at every operating point.
+  EXPECT_TRUE(sys.plane().contains(bs.frames));
+  // 2. Bandwidth strictly below the 4-bytes-per-cycle theoretical bound.
+  const double actual_mhz = sys.uparc().dyclogen().frequency(clocking::ClockId::kReconfig)
+                                .in_mhz();
+  EXPECT_LT(r.bandwidth().mb_per_sec(), actual_mhz * 4.0 + 1e-6);
+  // 3. ...but within 30% of it (the overhead is bounded).
+  EXPECT_GT(r.bandwidth().mb_per_sec(), actual_mhz * 4.0 * 0.70);
+  // 4. Energy is positive and consistent with the rail.
+  EXPECT_GT(r.energy_uj, 0.0);
+  EXPECT_NEAR(r.energy_uj, sys.rail()->energy_uj(r.start, r.end), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BandwidthGrid,
+    ::testing::Values(GridPoint{8, 50}, GridPoint{8, 150}, GridPoint{8, 362.5},
+                      GridPoint{64, 50}, GridPoint{64, 200}, GridPoint{64, 362.5},
+                      GridPoint{200, 100}, GridPoint{200, 250}, GridPoint{200, 362.5}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      return std::to_string(info.param.kb) + "KB_" +
+             std::to_string(static_cast<int>(info.param.mhz)) + "MHz";
+    });
+
+TEST(BandwidthMonotonicity, InFrequencyAndSize) {
+  // Bandwidth grows monotonically with frequency (fixed size) and with
+  // bitstream size (fixed frequency) — Fig. 5's surface shape.
+  auto bw_at = [](std::size_t kb, double mhz) {
+    core::System sys;
+    auto bs = make_bs(kb * 1024, 1);
+    (void)sys.set_frequency_blocking(Frequency::mhz(mhz));
+    EXPECT_TRUE(sys.stage(bs).ok());
+    auto r = sys.reconfigure_blocking();
+    EXPECT_TRUE(r.success);
+    return r.bandwidth().mb_per_sec();
+  };
+
+  double prev = 0;
+  for (double mhz : {50.0, 100.0, 200.0, 300.0, 362.5}) {
+    const double bw = bw_at(64, mhz);
+    EXPECT_GT(bw, prev) << mhz;
+    prev = bw;
+  }
+  prev = 0;
+  for (std::size_t kb : {6, 16, 49, 120, 247}) {
+    const double bw = bw_at(kb, 362.5);
+    EXPECT_GT(bw, prev) << kb;
+    prev = bw;
+  }
+}
+
+// ------------------------------------------------------- relocation sweep
+
+struct RelocCase {
+  u64 seed;
+  bits::FrameAddress target;
+};
+
+class RelocSweep : public ::testing::TestWithParam<RelocCase> {};
+
+TEST_P(RelocSweep, RelocateLoadVerify) {
+  const auto& c = GetParam();
+  core::System sys;
+  auto bs = make_bs(24_KiB, c.seed);
+  auto moved = bits::relocate(bs, c.target);
+  ASSERT_TRUE(moved.ok()) << moved.error().message;
+  ASSERT_TRUE(sys.stage(moved.value()).ok());
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(sys.plane().contains(moved.value().frames));
+  EXPECT_EQ(moved.value().frames.front().address, c.target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RelocSweep,
+    ::testing::Values(RelocCase{1, {0, 0, 0, 1, 0}}, RelocCase{2, {0, 1, 0, 1, 0}},
+                      RelocCase{3, {0, 0, 7, 200, 0}}, RelocCase{4, {0, 0, 3, 128, 64}},
+                      RelocCase{5, {0, 1, 31, 255, 0}}, RelocCase{6, {0, 0, 0, 0, 1}}),
+    [](const ::testing::TestParamInfo<RelocCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_idx" +
+             std::to_string(info.param.target.linear_index());
+    });
+
+// ----------------------------------------------------------- M/D synthesis
+
+class MdSynthesisSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdSynthesisSweep, NotAboveAndTight) {
+  const double target = GetParam();
+  auto c = clocking::closest_not_above(Frequency::mhz(100), Frequency::mhz(target));
+  ASSERT_TRUE(c.has_value());
+  // Invariant 1: never overshoot.
+  EXPECT_LE(c->f_out.in_mhz(), target + 1e-9);
+  // Invariant 2: exact ratio.
+  EXPECT_NEAR(c->f_out.in_mhz(), 100.0 * c->m / c->d, 1e-9);
+  // Invariant 3: within 4% of any target in the DCM's usable band.
+  EXPECT_GT(c->f_out.in_mhz(), target * 0.96);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, MdSynthesisSweep,
+                         ::testing::Range(40, 440, 23));  // 40..431 MHz
+
+// ----------------------------------------------------- adaptation coverage
+
+class DeadlineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeadlineSweep, MinPowerAlwaysMeetsFeasibleDeadlines) {
+  const double deadline_us = GetParam();
+  core::System sys;
+  auto bs = make_bs(100_KiB, 2);
+  ASSERT_TRUE(sys.stage(bs).ok());
+  auto plan = sys.adapt_blocking(manager::FrequencyPolicy::kMinPowerDeadline,
+                                 TimePs::from_us(deadline_us));
+  if (!plan.has_value()) {
+    // Infeasible: even max frequency misses. Verify that claim.
+    const double min_us = 1.25 + 100.0 * 1024 / (4.0 * 366.0);  // overhead + transfer
+    EXPECT_LT(deadline_us, min_us * 1.02);
+    return;
+  }
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_LE(r.duration().us(), deadline_us * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, DeadlineSweep,
+                         ::testing::Values(40, 75, 120, 200, 400, 800, 1600, 5000));
+
+// ------------------------------------------------- compressed-mode corpus
+
+class CompressedSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CompressedSweep, OversizedBitstreamsRoundTripThroughDecompressor) {
+  core::System sys;
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = 400_KiB + GetParam() * 50_KiB;
+  cfg.seed = GetParam() * 31 + 7;
+  cfg.complexity = 0.3 + 0.1 * static_cast<double>(GetParam() % 4);
+  auto bs = bits::Generator(cfg).generate();
+
+  auto st = sys.stage(bs);
+  ASSERT_TRUE(st.ok()) << st.error().message;
+  EXPECT_TRUE(sys.uparc().staged_compressed());
+  auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(sys.plane().contains(bs.frames));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CompressedSweep, ::testing::Range<u64>(0, 6));
+
+}  // namespace
+}  // namespace uparc

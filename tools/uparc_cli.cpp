@@ -1,0 +1,304 @@
+// uparc_cli — command-line front end to the library.
+//
+//   uparc_cli gen      --out f.bit [--size-kb N] [--seed S] [--util U]
+//                      [--complexity C] [--device v5|v6]
+//   uparc_cli inspect  f.bit
+//   uparc_cli compress f.bit out.uparc [--codec NAME]
+//   uparc_cli ratios   f.bit [more.bit ...]
+//   uparc_cli run      f.bit [--mhz F] [--csv trace.csv]
+//   uparc_cli sweep    f.bit
+//
+// Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bitstream/parser.hpp"
+#include "bitstream/writer.hpp"
+#include "common/io.hpp"
+#include "compress/registry.hpp"
+#include "compress/stats.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace uparc;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_num(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args a;
+  for (int i = start; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      std::string key = s.substr(2);
+      std::string value = "true";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      a.options[key] = value;
+    } else {
+      a.positional.push_back(std::move(s));
+    }
+  }
+  return a;
+}
+
+bits::Device device_from(const Args& a) {
+  return a.get("device", "v5") == "v6" ? bits::kVirtex6Lx240t : bits::kVirtex5Sx50t;
+}
+
+int cmd_gen(const Args& a) {
+  const std::string out = a.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen: --out is required\n");
+    return 2;
+  }
+  bits::GeneratorConfig cfg;
+  cfg.device = device_from(a);
+  cfg.target_body_bytes = static_cast<std::size_t>(a.get_num("size-kb", 64)) * 1024;
+  cfg.seed = static_cast<u64>(a.get_num("seed", 1));
+  cfg.utilization = a.get_num("util", 0.95);
+  cfg.complexity = a.get_num("complexity", 0.5);
+  cfg.design_name = a.get("name", "cli_module");
+
+  auto bs = bits::Generator(cfg).generate();
+  auto st = write_file(out, bits::to_file(bs));
+  if (!st.ok()) {
+    std::fprintf(stderr, "gen: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu body bytes, %zu frames, device %s\n", out.c_str(),
+              bs.body_bytes(), bs.frames.size(), std::string(cfg.device.name).c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "inspect: need a .bit file\n");
+    return 2;
+  }
+  auto data = read_file(a.positional[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", data.error().message.c_str());
+    return 1;
+  }
+  // Try both devices; the IDCODE check in the parser is lenient at this
+  // level (parse_body records, the ICAP enforces), so probe the header.
+  for (const auto& device : {bits::kVirtex5Sx50t, bits::kVirtex6Lx240t}) {
+    auto parsed = bits::parse_file(device, data.value());
+    if (!parsed.ok()) continue;
+    const auto& pf = parsed.value();
+    if (pf.body.idcode != device.idcode) continue;
+    std::printf("design:    %s\n", pf.header.design_name.c_str());
+    std::printf("part:      %s (%s)\n", pf.header.part_name.c_str(),
+                std::string(device.name).c_str());
+    std::printf("date/time: %s %s\n", pf.header.date.c_str(), pf.header.time.c_str());
+    std::printf("body:      %u bytes\n", pf.header.body_bytes);
+    std::printf("frames:    %zu (frame = %u words)\n", pf.body.frames.size(),
+                device.frame_words);
+    if (!pf.body.frames.empty()) {
+      const auto& s = pf.body.frames.front().address;
+      std::printf("region:    top=%u row=%u column=%u minor=%u\n", s.top, s.row, s.column,
+                  s.minor);
+    }
+    std::printf("crc:       %s\n", pf.body.crc_ok ? "ok" : "MISMATCH");
+    std::printf("desync:    %s\n", pf.body.desynced ? "yes" : "NO");
+    return pf.body.crc_ok ? 0 : 1;
+  }
+  std::fprintf(stderr, "inspect: not a recognizable bitstream\n");
+  return 1;
+}
+
+int cmd_compress(const Args& a) {
+  if (a.positional.size() < 2) {
+    std::fprintf(stderr, "compress: need input and output paths\n");
+    return 2;
+  }
+  auto codec = compress::make_codec(a.get("codec", "X-MatchPRO"));
+  if (codec == nullptr) {
+    std::fprintf(stderr, "compress: unknown codec\n");
+    return 2;
+  }
+  auto data = read_file(a.positional[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "compress: %s\n", data.error().message.c_str());
+    return 1;
+  }
+  auto sample = compress::measure_verified(*codec, data.value());
+  Bytes container = codec->compress(data.value());
+  auto st = write_file(a.positional[1], container);
+  if (!st.ok()) {
+    std::fprintf(stderr, "compress: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu -> %zu bytes (%.1f%% saved, round-trip verified)\n",
+              std::string(codec->name()).c_str(), sample.original_bytes,
+              sample.compressed_bytes, sample.ratio_percent());
+  return 0;
+}
+
+int cmd_ratios(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "ratios: need at least one file\n");
+    return 2;
+  }
+  auto codecs = compress::table1_codecs();
+  std::printf("%-14s", "file");
+  for (const auto& c : codecs) std::printf(" %11.11s", std::string(c->name()).c_str());
+  std::printf("\n");
+  for (const auto& path : a.positional) {
+    auto data = read_file(path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "ratios: %s\n", data.error().message.c_str());
+      return 1;
+    }
+    std::printf("%-14.14s", path.c_str());
+    for (const auto& c : codecs) {
+      auto sample = compress::measure_verified(*c, data.value());
+      std::printf(" %10.1f%%", sample.ratio_percent());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+Result<bits::PartialBitstream> load_bitstream(const std::string& path, bits::Device& device) {
+  auto data = read_file(path);
+  if (!data.ok()) return data.error();
+  for (const auto& d : {bits::kVirtex5Sx50t, bits::kVirtex6Lx240t}) {
+    auto parsed = bits::parse_file(d, data.value());
+    if (!parsed.ok() || parsed.value().body.idcode != d.idcode) continue;
+    device = d;
+    bits::PartialBitstream bs;
+    bs.header = parsed.value().header;
+    auto ph = bits::parse_header(data.value());
+    BytesView body_bytes =
+        BytesView(data.value()).subspan(ph.value().body_offset, bs.header.body_bytes);
+    bs.body = bytes_to_words(body_bytes);
+    bs.frames = parsed.value().body.frames;
+    return bs;
+  }
+  return make_error("'" + path + "' is not a recognizable bitstream");
+}
+
+int cmd_run(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "run: need a .bit file\n");
+    return 2;
+  }
+  bits::Device device = bits::kVirtex5Sx50t;
+  auto bs = load_bitstream(a.positional[0], device);
+  if (!bs.ok()) {
+    std::fprintf(stderr, "run: %s\n", bs.error().message.c_str());
+    return 1;
+  }
+
+  core::SystemConfig cfg;
+  cfg.uparc.device = device;
+  core::System sys(cfg);
+  const double mhz = a.get_num("mhz", 362.5);
+  auto md = sys.set_frequency_blocking(Frequency::mhz(mhz));
+  if (md) {
+    std::printf("CLK_2 = %.4g MHz (M=%u D=%u)\n", md->f_out.in_mhz(), md->m, md->d);
+  }
+  if (auto st = sys.stage(bs.value()); !st.ok()) {
+    std::fprintf(stderr, "run: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  auto r = sys.reconfigure_blocking();
+  if (!r.success) {
+    std::fprintf(stderr, "run: reconfiguration failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("mode:      %s\n", std::string(sys.uparc().kind()).c_str());
+  std::printf("time:      %s\n", to_string(r.duration()).c_str());
+  std::printf("bandwidth: %.1f MB/s\n", r.bandwidth().mb_per_sec());
+  std::printf("energy:    %.2f uJ\n", r.energy_uj);
+  std::printf("verified:  %s\n", sys.plane().contains(bs.value().frames) ? "yes" : "NO");
+
+  const std::string csv = a.get("csv", "");
+  if (!csv.empty()) {
+    power::VirtualScope scope(*sys.rail());
+    auto samples = scope.capture(TimePs(0), r.end + TimePs::from_us(10),
+                                 TimePs(std::max<u64>(r.duration().ps() / 500, 1000)));
+    auto st = write_text_file(csv, power::VirtualScope::to_csv(samples));
+    if (!st.ok()) {
+      std::fprintf(stderr, "run: %s\n", st.error().message.c_str());
+      return 1;
+    }
+    std::printf("trace:     %s (%zu samples)\n", csv.c_str(), samples.size());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "sweep: need a .bit file\n");
+    return 2;
+  }
+  bits::Device device = bits::kVirtex5Sx50t;
+  auto bs = load_bitstream(a.positional[0], device);
+  if (!bs.ok()) {
+    std::fprintf(stderr, "sweep: %s\n", bs.error().message.c_str());
+    return 1;
+  }
+  std::printf("%10s %12s %10s %10s\n", "CLK_2", "time", "MB/s", "uJ");
+  for (double mhz : {50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 362.5}) {
+    core::SystemConfig cfg;
+    cfg.uparc.device = device;
+    core::System sys(cfg);
+    (void)sys.set_frequency_blocking(Frequency::mhz(mhz));
+    if (!sys.stage(bs.value()).ok()) continue;
+    auto r = sys.reconfigure_blocking();
+    if (!r.success) continue;
+    std::printf("%7.1f MHz %12s %10.1f %10.2f\n", mhz, to_string(r.duration()).c_str(),
+                r.bandwidth().mb_per_sec(), r.energy_uj);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "uparc_cli <command> [args]\n"
+      "  gen      --out f.bit [--size-kb N] [--seed S] [--util U]\n"
+      "           [--complexity C] [--device v5|v6] [--name NAME]\n"
+      "  inspect  f.bit\n"
+      "  compress in out [--codec NAME]\n"
+      "  ratios   f.bit [more...]\n"
+      "  run      f.bit [--mhz F] [--csv trace.csv]\n"
+      "  sweep    f.bit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args = parse_args(argc, argv, 2);
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "compress") return cmd_compress(args);
+  if (cmd == "ratios") return cmd_ratios(args);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  usage();
+  return 2;
+}
