@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_area_power.dir/ablation_area_power.cpp.o"
+  "CMakeFiles/ablation_area_power.dir/ablation_area_power.cpp.o.d"
+  "ablation_area_power"
+  "ablation_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codec_choice.dir/ablation_codec_choice.cpp.o"
+  "CMakeFiles/ablation_codec_choice.dir/ablation_codec_choice.cpp.o.d"
+  "ablation_codec_choice"
+  "ablation_codec_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codec_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_manager_impl.dir/ablation_manager_impl.cpp.o"
+  "CMakeFiles/ablation_manager_impl.dir/ablation_manager_impl.cpp.o.d"
+  "ablation_manager_impl"
+  "ablation_manager_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_manager_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overclock.dir/ablation_overclock.cpp.o"
+  "CMakeFiles/ablation_overclock.dir/ablation_overclock.cpp.o.d"
+  "ablation_overclock"
+  "ablation_overclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wait_mode.dir/ablation_wait_mode.cpp.o"
+  "CMakeFiles/ablation_wait_mode.dir/ablation_wait_mode.cpp.o.d"
+  "ablation_wait_mode"
+  "ablation_wait_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wait_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_mode.dir/compressed_mode.cpp.o"
+  "CMakeFiles/compressed_mode.dir/compressed_mode.cpp.o.d"
+  "compressed_mode"
+  "compressed_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_efficiency.dir/energy_efficiency.cpp.o"
+  "CMakeFiles/energy_efficiency.dir/energy_efficiency.cpp.o.d"
+  "energy_efficiency"
+  "energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

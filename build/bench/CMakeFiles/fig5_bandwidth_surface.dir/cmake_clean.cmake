@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bandwidth_surface.dir/fig5_bandwidth_surface.cpp.o"
+  "CMakeFiles/fig5_bandwidth_surface.dir/fig5_bandwidth_surface.cpp.o.d"
+  "fig5_bandwidth_surface"
+  "fig5_bandwidth_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bandwidth_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

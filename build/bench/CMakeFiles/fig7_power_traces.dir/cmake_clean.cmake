@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_power_traces.dir/fig7_power_traces.cpp.o"
+  "CMakeFiles/fig7_power_traces.dir/fig7_power_traces.cpp.o.d"
+  "fig7_power_traces"
+  "fig7_power_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_power_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_controllers.dir/table3_controllers.cpp.o"
+  "CMakeFiles/table3_controllers.dir/table3_controllers.cpp.o.d"
+  "table3_controllers"
+  "table3_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

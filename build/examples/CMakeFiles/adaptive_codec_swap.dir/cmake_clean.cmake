@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_codec_swap.dir/adaptive_codec_swap.cpp.o"
+  "CMakeFiles/adaptive_codec_swap.dir/adaptive_codec_swap.cpp.o.d"
+  "adaptive_codec_swap"
+  "adaptive_codec_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_codec_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_scrubber.dir/fault_tolerant_scrubber.cpp.o"
+  "CMakeFiles/fault_tolerant_scrubber.dir/fault_tolerant_scrubber.cpp.o.d"
+  "fault_tolerant_scrubber"
+  "fault_tolerant_scrubber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_scrubber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_region_system.dir/multi_region_system.cpp.o"
+  "CMakeFiles/multi_region_system.dir/multi_region_system.cpp.o.d"
+  "multi_region_system"
+  "multi_region_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_region_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_pipeline.dir/power_aware_pipeline.cpp.o"
+  "CMakeFiles/power_aware_pipeline.dir/power_aware_pipeline.cpp.o.d"
+  "power_aware_pipeline"
+  "power_aware_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

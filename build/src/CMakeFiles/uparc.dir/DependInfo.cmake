@@ -1,0 +1,93 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/frame.cpp" "src/CMakeFiles/uparc.dir/bitstream/frame.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/frame.cpp.o.d"
+  "/root/repo/src/bitstream/generator.cpp" "src/CMakeFiles/uparc.dir/bitstream/generator.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/generator.cpp.o.d"
+  "/root/repo/src/bitstream/header.cpp" "src/CMakeFiles/uparc.dir/bitstream/header.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/header.cpp.o.d"
+  "/root/repo/src/bitstream/packet.cpp" "src/CMakeFiles/uparc.dir/bitstream/packet.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/packet.cpp.o.d"
+  "/root/repo/src/bitstream/parser.cpp" "src/CMakeFiles/uparc.dir/bitstream/parser.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/parser.cpp.o.d"
+  "/root/repo/src/bitstream/relocate.cpp" "src/CMakeFiles/uparc.dir/bitstream/relocate.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/relocate.cpp.o.d"
+  "/root/repo/src/bitstream/writer.cpp" "src/CMakeFiles/uparc.dir/bitstream/writer.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bitstream/writer.cpp.o.d"
+  "/root/repo/src/bus/hwicap_core.cpp" "src/CMakeFiles/uparc.dir/bus/hwicap_core.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bus/hwicap_core.cpp.o.d"
+  "/root/repo/src/bus/hwicap_driver.cpp" "src/CMakeFiles/uparc.dir/bus/hwicap_driver.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bus/hwicap_driver.cpp.o.d"
+  "/root/repo/src/bus/plb.cpp" "src/CMakeFiles/uparc.dir/bus/plb.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/bus/plb.cpp.o.d"
+  "/root/repo/src/clocking/dyclogen.cpp" "src/CMakeFiles/uparc.dir/clocking/dyclogen.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/clocking/dyclogen.cpp.o.d"
+  "/root/repo/src/clocking/md_search.cpp" "src/CMakeFiles/uparc.dir/clocking/md_search.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/clocking/md_search.cpp.o.d"
+  "/root/repo/src/common/bitio.cpp" "src/CMakeFiles/uparc.dir/common/bitio.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/bitio.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/CMakeFiles/uparc.dir/common/crc32.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/crc32.cpp.o.d"
+  "/root/repo/src/common/hexdump.cpp" "src/CMakeFiles/uparc.dir/common/hexdump.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/hexdump.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/CMakeFiles/uparc.dir/common/io.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/io.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/uparc.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/uparc.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/common/units.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/CMakeFiles/uparc.dir/compress/codec.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/codec.cpp.o.d"
+  "/root/repo/src/compress/deflate_lite.cpp" "src/CMakeFiles/uparc.dir/compress/deflate_lite.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/deflate_lite.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/CMakeFiles/uparc.dir/compress/huffman.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/huffman.cpp.o.d"
+  "/root/repo/src/compress/lz77.cpp" "src/CMakeFiles/uparc.dir/compress/lz77.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/lz77.cpp.o.d"
+  "/root/repo/src/compress/lz78.cpp" "src/CMakeFiles/uparc.dir/compress/lz78.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/lz78.cpp.o.d"
+  "/root/repo/src/compress/lzma_lite.cpp" "src/CMakeFiles/uparc.dir/compress/lzma_lite.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/lzma_lite.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/CMakeFiles/uparc.dir/compress/registry.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/registry.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/CMakeFiles/uparc.dir/compress/rle.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/rle.cpp.o.d"
+  "/root/repo/src/compress/stats.cpp" "src/CMakeFiles/uparc.dir/compress/stats.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/stats.cpp.o.d"
+  "/root/repo/src/compress/streaming.cpp" "src/CMakeFiles/uparc.dir/compress/streaming.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/streaming.cpp.o.d"
+  "/root/repo/src/compress/xmatchpro.cpp" "src/CMakeFiles/uparc.dir/compress/xmatchpro.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/compress/xmatchpro.cpp.o.d"
+  "/root/repo/src/controllers/bram_hwicap.cpp" "src/CMakeFiles/uparc.dir/controllers/bram_hwicap.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/bram_hwicap.cpp.o.d"
+  "/root/repo/src/controllers/controller.cpp" "src/CMakeFiles/uparc.dir/controllers/controller.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/controller.cpp.o.d"
+  "/root/repo/src/controllers/farm.cpp" "src/CMakeFiles/uparc.dir/controllers/farm.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/farm.cpp.o.d"
+  "/root/repo/src/controllers/flashcap.cpp" "src/CMakeFiles/uparc.dir/controllers/flashcap.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/flashcap.cpp.o.d"
+  "/root/repo/src/controllers/mst_icap.cpp" "src/CMakeFiles/uparc.dir/controllers/mst_icap.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/mst_icap.cpp.o.d"
+  "/root/repo/src/controllers/xps_hwicap.cpp" "src/CMakeFiles/uparc.dir/controllers/xps_hwicap.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/controllers/xps_hwicap.cpp.o.d"
+  "/root/repo/src/core/decompressor_unit.cpp" "src/CMakeFiles/uparc.dir/core/decompressor_unit.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/decompressor_unit.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/CMakeFiles/uparc.dir/core/resources.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/resources.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/uparc.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/timing_model.cpp" "src/CMakeFiles/uparc.dir/core/timing_model.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/timing_model.cpp.o.d"
+  "/root/repo/src/core/uparc.cpp" "src/CMakeFiles/uparc.dir/core/uparc.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/uparc.cpp.o.d"
+  "/root/repo/src/core/urec.cpp" "src/CMakeFiles/uparc.dir/core/urec.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/core/urec.cpp.o.d"
+  "/root/repo/src/icap/config_plane.cpp" "src/CMakeFiles/uparc.dir/icap/config_plane.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/icap/config_plane.cpp.o.d"
+  "/root/repo/src/icap/dcm.cpp" "src/CMakeFiles/uparc.dir/icap/dcm.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/icap/dcm.cpp.o.d"
+  "/root/repo/src/icap/drp.cpp" "src/CMakeFiles/uparc.dir/icap/drp.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/icap/drp.cpp.o.d"
+  "/root/repo/src/icap/icap.cpp" "src/CMakeFiles/uparc.dir/icap/icap.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/icap/icap.cpp.o.d"
+  "/root/repo/src/manager/adaptation.cpp" "src/CMakeFiles/uparc.dir/manager/adaptation.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/manager/adaptation.cpp.o.d"
+  "/root/repo/src/manager/control.cpp" "src/CMakeFiles/uparc.dir/manager/control.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/manager/control.cpp.o.d"
+  "/root/repo/src/manager/microblaze.cpp" "src/CMakeFiles/uparc.dir/manager/microblaze.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/manager/microblaze.cpp.o.d"
+  "/root/repo/src/manager/preloader.cpp" "src/CMakeFiles/uparc.dir/manager/preloader.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/manager/preloader.cpp.o.d"
+  "/root/repo/src/mem/bram.cpp" "src/CMakeFiles/uparc.dir/mem/bram.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/mem/bram.cpp.o.d"
+  "/root/repo/src/mem/compact_flash.cpp" "src/CMakeFiles/uparc.dir/mem/compact_flash.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/mem/compact_flash.cpp.o.d"
+  "/root/repo/src/mem/ddr2.cpp" "src/CMakeFiles/uparc.dir/mem/ddr2.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/mem/ddr2.cpp.o.d"
+  "/root/repo/src/power/breakdown.cpp" "src/CMakeFiles/uparc.dir/power/breakdown.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/power/breakdown.cpp.o.d"
+  "/root/repo/src/power/calibration.cpp" "src/CMakeFiles/uparc.dir/power/calibration.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/power/calibration.cpp.o.d"
+  "/root/repo/src/power/model.cpp" "src/CMakeFiles/uparc.dir/power/model.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/power/model.cpp.o.d"
+  "/root/repo/src/power/rail.cpp" "src/CMakeFiles/uparc.dir/power/rail.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/power/rail.cpp.o.d"
+  "/root/repo/src/power/scope.cpp" "src/CMakeFiles/uparc.dir/power/scope.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/power/scope.cpp.o.d"
+  "/root/repo/src/region/module_library.cpp" "src/CMakeFiles/uparc.dir/region/module_library.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/region/module_library.cpp.o.d"
+  "/root/repo/src/region/region.cpp" "src/CMakeFiles/uparc.dir/region/region.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/region/region.cpp.o.d"
+  "/root/repo/src/region/region_manager.cpp" "src/CMakeFiles/uparc.dir/region/region_manager.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/region/region_manager.cpp.o.d"
+  "/root/repo/src/sched/energy_policy.cpp" "src/CMakeFiles/uparc.dir/sched/energy_policy.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/energy_policy.cpp.o.d"
+  "/root/repo/src/sched/executor.cpp" "src/CMakeFiles/uparc.dir/sched/executor.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/executor.cpp.o.d"
+  "/root/repo/src/sched/online.cpp" "src/CMakeFiles/uparc.dir/sched/online.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/online.cpp.o.d"
+  "/root/repo/src/sched/prefetch.cpp" "src/CMakeFiles/uparc.dir/sched/prefetch.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/prefetch.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/uparc.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/CMakeFiles/uparc.dir/sched/task.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sched/task.cpp.o.d"
+  "/root/repo/src/scrub/readback.cpp" "src/CMakeFiles/uparc.dir/scrub/readback.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/scrub/readback.cpp.o.d"
+  "/root/repo/src/scrub/scrubber.cpp" "src/CMakeFiles/uparc.dir/scrub/scrubber.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/scrub/scrubber.cpp.o.d"
+  "/root/repo/src/scrub/seu.cpp" "src/CMakeFiles/uparc.dir/scrub/seu.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/scrub/seu.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/uparc.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/fifo.cpp" "src/CMakeFiles/uparc.dir/sim/fifo.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/fifo.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/uparc.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/module.cpp" "src/CMakeFiles/uparc.dir/sim/module.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/module.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/uparc.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/uparc.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/uparc.dir/sim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

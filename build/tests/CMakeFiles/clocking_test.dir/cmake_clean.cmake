@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocking_test.dir/clocking_test.cpp.o"
+  "CMakeFiles/clocking_test.dir/clocking_test.cpp.o.d"
+  "clocking_test"
+  "clocking_test.pdb"
+  "clocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_params_test.dir/codec_params_test.cpp.o"
+  "CMakeFiles/codec_params_test.dir/codec_params_test.cpp.o.d"
+  "codec_params_test"
+  "codec_params_test.pdb"
+  "codec_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

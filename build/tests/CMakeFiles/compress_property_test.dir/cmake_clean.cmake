@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_property_test.dir/compress_property_test.cpp.o"
+  "CMakeFiles/compress_property_test.dir/compress_property_test.cpp.o.d"
+  "compress_property_test"
+  "compress_property_test.pdb"
+  "compress_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_points_test.dir/paper_points_test.cpp.o"
+  "CMakeFiles/paper_points_test.dir/paper_points_test.cpp.o.d"
+  "paper_points_test"
+  "paper_points_test.pdb"
+  "paper_points_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_points_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

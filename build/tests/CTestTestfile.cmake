@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_property_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_params_test[1]_include.cmake")
+include("/root/repo/build/tests/icap_test[1]_include.cmake")
+include("/root/repo/build/tests/clocking_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/controllers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/online_test[1]_include.cmake")
+include("/root/repo/build/tests/profiles_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/system_property_test[1]_include.cmake")
+include("/root/repo/build/tests/scrub_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_points_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

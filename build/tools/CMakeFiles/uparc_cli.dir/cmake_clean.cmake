@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uparc_cli.dir/uparc_cli.cpp.o"
+  "CMakeFiles/uparc_cli.dir/uparc_cli.cpp.o.d"
+  "uparc_cli"
+  "uparc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uparc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen "/root/repo/build/tools/uparc_cli" "gen" "--out" "/root/repo/build/tools/cli_test.bit" "--size-kb" "32" "--name" "cli_smoke")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_inspect "/root/repo/build/tools/uparc_cli" "inspect" "/root/repo/build/tools/cli_test.bit")
+set_tests_properties(cli_inspect PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/uparc_cli" "run" "/root/repo/build/tools/cli_test.bit" "--mhz" "362.5")
+set_tests_properties(cli_run PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compress "/root/repo/build/tools/uparc_cli" "compress" "/root/repo/build/tools/cli_test.bit" "/root/repo/build/tools/cli_test.xm" "--codec" "X-MatchPRO")
+set_tests_properties(cli_compress PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/uparc_cli" "sweep" "/root/repo/build/tools/cli_test.bit")
+set_tests_properties(cli_sweep PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ratios "/root/repo/build/tools/uparc_cli" "ratios" "/root/repo/build/tools/cli_test.bit")
+set_tests_properties(cli_ratios PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/uparc_cli" "bogus_command")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
