@@ -9,12 +9,77 @@
 
 namespace uparc {
 
+/// Failure taxonomy threaded through Result<T>/Status and ReconfigResult.
+/// Classifying the *why* (not just a message) is what lets the recovery
+/// manager choose an action: re-preload, frequency step-down, codec
+/// fallback, or give up on non-recoverable causes.
+enum class ErrorCause {
+  kNone,                ///< success, or cause not applicable
+  kUnknown,             ///< unclassified failure (legacy make_error)
+  kBadInput,            ///< malformed bitstream / container / header
+  kCapacity,            ///< storage (BRAM, DDR2, flash) too small
+  kBusy,                ///< an operation is already in flight
+  kUnsupported,         ///< missing feature (no decompressor, unknown codec)
+  kNotStaged,           ///< reconfigure without a prior successful stage
+  kIcapProtocol,        ///< ICAP packet-FSM violation (malformed stream)
+  kIcapDeviceMismatch,  ///< IDCODE for a different part — not recoverable
+  kIcapAbort,           ///< the port aborted mid-stream (injected/hard fault)
+  kCrcMismatch,         ///< configuration CRC check failed
+  kNoDesync,            ///< stream ended without reaching DESYNC
+  kDecompressor,        ///< decoder failed on the compressed stream
+  kClockUnlocked,       ///< DCM failed to (re)lock or lost lock
+  kTruncated,           ///< preload delivered fewer words than promised
+  kTimeout,             ///< watchdog cycle budget exhausted
+  kStalled,             ///< simulation drained with the operation incomplete
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCause c) {
+  switch (c) {
+    case ErrorCause::kNone: return "none";
+    case ErrorCause::kUnknown: return "unknown";
+    case ErrorCause::kBadInput: return "bad-input";
+    case ErrorCause::kCapacity: return "capacity";
+    case ErrorCause::kBusy: return "busy";
+    case ErrorCause::kUnsupported: return "unsupported";
+    case ErrorCause::kNotStaged: return "not-staged";
+    case ErrorCause::kIcapProtocol: return "icap-protocol";
+    case ErrorCause::kIcapDeviceMismatch: return "icap-device-mismatch";
+    case ErrorCause::kIcapAbort: return "icap-abort";
+    case ErrorCause::kCrcMismatch: return "crc-mismatch";
+    case ErrorCause::kNoDesync: return "no-desync";
+    case ErrorCause::kDecompressor: return "decompressor";
+    case ErrorCause::kClockUnlocked: return "clock-unlocked";
+    case ErrorCause::kTruncated: return "truncated";
+    case ErrorCause::kTimeout: return "timeout";
+    case ErrorCause::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+/// A cause is recoverable when a retry with a changed plan (re-preload,
+/// lower frequency, different codec) can plausibly succeed.
+[[nodiscard]] constexpr bool is_recoverable(ErrorCause c) {
+  switch (c) {
+    case ErrorCause::kIcapDeviceMismatch:
+    case ErrorCause::kUnsupported:
+    case ErrorCause::kNotStaged:
+    case ErrorCause::kCapacity:
+      return false;
+    default:
+      return true;
+  }
+}
+
 /// Error payload carried by Result<T>.
 struct Error {
   std::string message;
+  ErrorCause cause = ErrorCause::kUnknown;
 };
 
-[[nodiscard]] inline Error make_error(std::string message) { return Error{std::move(message)}; }
+[[nodiscard]] inline Error make_error(std::string message,
+                                      ErrorCause cause = ErrorCause::kUnknown) {
+  return Error{std::move(message), cause};
+}
 
 /// Either a value or an Error. `value()` throws std::runtime_error when the
 /// caller did not check `ok()` first — a deliberate fail-fast for misuse.

@@ -29,19 +29,22 @@ Status BramHwicap::stage(const bits::PartialBitstream& bs) {
   if (bs.body.size() * 4 > bram_.size_bytes()) {
     return make_error("bitstream exceeds BRAM_HWICAP's on-chip storage (" +
                       std::to_string(bs.body.size() * 4) + " > " +
-                      std::to_string(bram_.size_bytes()) + " bytes)");
+                      std::to_string(bram_.size_bytes()) + " bytes)",
+                      ErrorCause::kCapacity);
   }
   bram_.load_words(bs.body, 0);
   total_words_ = bs.body.size();
   return Status::success();
 }
 
-void BramHwicap::finish(bool success, std::string error) {
+void BramHwicap::finish(bool success, std::string error, ErrorCause cause) {
   clock_.disable();
   if (dma_power_) dma_power_->set_active(false);
   ReconfigResult r;
   r.success = success;
   r.error = std::move(error);
+  r.cause = success ? ErrorCause::kNone
+                    : (cause == ErrorCause::kNone ? ErrorCause::kUnknown : cause);
   r.start = start_;
   r.end = sim_.now();
   r.payload_bytes = total_words_ * 4;
@@ -53,7 +56,7 @@ void BramHwicap::finish(bool success, std::string error) {
 
 void BramHwicap::on_edge() {
   if (port_.errored()) {
-    finish(false, "ICAP error: " + port_.error_message());
+    finish(false, "ICAP error: " + port_.error_message(), port_.error_cause());
     return;
   }
   if (stall_cycles_ > 0) {
@@ -61,7 +64,8 @@ void BramHwicap::on_edge() {
     return;
   }
   if (next_word_ >= total_words_) {
-    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    const StreamVerdict v = end_of_stream_verdict(port_);
+    finish(v.success, v.error, v.cause);
     return;
   }
   port_.write_word(bram_.read_word(next_word_++));
@@ -75,6 +79,7 @@ void BramHwicap::reconfigure(ReconfigCallback done) {
   if (total_words_ == 0) {
     ReconfigResult r;
     r.error = "BRAM_HWICAP: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }

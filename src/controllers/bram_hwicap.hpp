@@ -42,7 +42,7 @@ class BramHwicap final : public ReconfigController {
 
  private:
   void on_edge();
-  void finish(bool success, std::string error);
+  void finish(bool success, std::string error, ErrorCause cause = ErrorCause::kNone);
 
   BramHwicapParams params_;
   icap::Icap& port_;

@@ -32,6 +32,7 @@ enum class CapacityClass {
 struct ReconfigResult {
   bool success = false;
   std::string error;
+  ErrorCause cause = ErrorCause::kNone;  ///< classified failure (kNone on success)
   TimePs start{};
   TimePs end{};
   u64 payload_bytes = 0;  ///< configuration words delivered to ICAP * 4
@@ -60,6 +61,25 @@ class ReconfigController : public sim::Module {
 
   /// Performs the reconfiguration; must have been staged first.
   virtual void reconfigure(ReconfigCallback done) = 0;
+
+ protected:
+  /// End-of-stream verdict shared by the streaming controllers: DESYNC must
+  /// have landed and the running CRC (when the stream carried a checksum)
+  /// must have matched, so data-path corruption fails instead of passing.
+  struct StreamVerdict {
+    bool success;
+    const char* error;
+    ErrorCause cause;
+  };
+  [[nodiscard]] static StreamVerdict end_of_stream_verdict(const icap::Icap& port) {
+    if (!port.done()) {
+      return {false, "bitstream ended without DESYNC", ErrorCause::kNoDesync};
+    }
+    if (port.crc_checked() && !port.crc_ok()) {
+      return {false, "configuration CRC mismatch", ErrorCause::kCrcMismatch};
+    }
+    return {true, "", ErrorCause::kNone};
+  }
 };
 
 }  // namespace uparc::ctrl

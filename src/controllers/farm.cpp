@@ -25,12 +25,14 @@ Status Farm::stage(const bits::PartialBitstream& bs) {
     compressed_ = false;
   } else {
     if (!params_.allow_compression) {
-      return make_error("bitstream exceeds FaRM BRAM and compression is disabled");
+      return make_error("bitstream exceeds FaRM BRAM and compression is disabled",
+                        ErrorCause::kCapacity);
     }
     const Bytes packed = words_to_bytes(bs.body);
     const Bytes container = rle_.compress(packed);
     if (container.size() > bram_.size_bytes()) {
-      return make_error("bitstream exceeds FaRM BRAM even after RLE (ratio too low)");
+      return make_error("bitstream exceeds FaRM BRAM even after RLE (ratio too low)",
+                        ErrorCause::kCapacity);
     }
     bram_.load(container, 0);
     compressed_ = true;
@@ -40,12 +42,14 @@ Status Farm::stage(const bits::PartialBitstream& bs) {
   return Status::success();
 }
 
-void Farm::finish(bool success, std::string error) {
+void Farm::finish(bool success, std::string error, ErrorCause cause) {
   clock_.disable();
   if (path_power_) path_power_->set_active(false);
   ReconfigResult r;
   r.success = success;
   r.error = std::move(error);
+  r.cause = success ? ErrorCause::kNone
+                    : (cause == ErrorCause::kNone ? ErrorCause::kUnknown : cause);
   r.start = start_;
   r.end = sim_.now();
   r.payload_bytes = output_words_.size() * 4;
@@ -57,7 +61,7 @@ void Farm::finish(bool success, std::string error) {
 
 void Farm::on_edge() {
   if (port_.errored()) {
-    finish(false, "ICAP error: " + port_.error_message());
+    finish(false, "ICAP error: " + port_.error_message(), port_.error_cause());
     return;
   }
   if (setup_left_ > 0) {
@@ -65,7 +69,8 @@ void Farm::on_edge() {
     return;
   }
   if (next_word_ >= output_words_.size()) {
-    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    const StreamVerdict v = end_of_stream_verdict(port_);
+    finish(v.success, v.error, v.cause);
     return;
   }
   // FaRM's datapath (BRAM read or RLE decode) sustains one word per cycle.
@@ -76,6 +81,7 @@ void Farm::reconfigure(ReconfigCallback done) {
   if (output_words_.empty()) {
     ReconfigResult r;
     r.error = "FaRM: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }

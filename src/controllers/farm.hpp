@@ -37,7 +37,7 @@ class Farm final : public ReconfigController {
 
  private:
   void on_edge();
-  void finish(bool success, std::string error);
+  void finish(bool success, std::string error, ErrorCause cause = ErrorCause::kNone);
 
   FarmParams params_;
   icap::Icap& port_;

@@ -23,18 +23,22 @@ Status FlashCap::stage(const bits::PartialBitstream& bs) {
   // Verify the stored stream restores exactly (staging-time self check).
   auto back = codec_.decompress(flash_image_);
   if (!back.ok()) return back.error();
-  if (back.value() != packed) return make_error("FlashCAP: round-trip mismatch");
+  if (back.value() != packed) {
+    return make_error("FlashCAP: round-trip mismatch", ErrorCause::kBadInput);
+  }
   output_words_ = bs.body;
   next_word_ = 0;
   return Status::success();
 }
 
-void FlashCap::finish(bool success, std::string error) {
+void FlashCap::finish(bool success, std::string error, ErrorCause cause) {
   clock_.disable();
   if (path_power_) path_power_->set_active(false);
   ReconfigResult r;
   r.success = success;
   r.error = std::move(error);
+  r.cause = success ? ErrorCause::kNone
+                    : (cause == ErrorCause::kNone ? ErrorCause::kUnknown : cause);
   r.start = start_;
   r.end = sim_.now();
   r.payload_bytes = output_words_.size() * 4;
@@ -46,7 +50,7 @@ void FlashCap::finish(bool success, std::string error) {
 
 void FlashCap::on_edge() {
   if (port_.errored()) {
-    finish(false, "ICAP error: " + port_.error_message());
+    finish(false, "ICAP error: " + port_.error_message(), port_.error_cause());
     return;
   }
   if (setup_left_ > 0) {
@@ -54,7 +58,8 @@ void FlashCap::on_edge() {
     return;
   }
   if (next_word_ >= output_words_.size()) {
-    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    const StreamVerdict v = end_of_stream_verdict(port_);
+    finish(v.success, v.error, v.cause);
     return;
   }
   // Fractional-credit model of the decompressor's sustained output rate.
@@ -69,6 +74,7 @@ void FlashCap::reconfigure(ReconfigCallback done) {
   if (output_words_.empty()) {
     ReconfigResult r;
     r.error = "FlashCAP: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }

@@ -38,7 +38,7 @@ class FlashCap final : public ReconfigController {
 
  private:
   void on_edge();
-  void finish(bool success, std::string error);
+  void finish(bool success, std::string error, ErrorCause cause = ErrorCause::kNone);
 
   FlashCapParams params_;
   icap::Icap& port_;

@@ -20,18 +20,20 @@ MstIcap::MstIcap(sim::Simulation& sim, std::string name, icap::Icap& port, MstIc
 
 Status MstIcap::stage(const bits::PartialBitstream& bs) {
   if (bs.body.size() * 4 > ddr_.size_bytes()) {
-    return make_error("bitstream exceeds DDR2 capacity");
+    return make_error("bitstream exceeds DDR2 capacity", ErrorCause::kCapacity);
   }
   ddr_.load_words(bs.body, 0);
   total_words_ = bs.body.size();
   return Status::success();
 }
 
-void MstIcap::finish(bool success, std::string error) {
+void MstIcap::finish(bool success, std::string error, ErrorCause cause) {
   if (path_power_) path_power_->set_active(false);
   ReconfigResult r;
   r.success = success;
   r.error = std::move(error);
+  r.cause = success ? ErrorCause::kNone
+                    : (cause == ErrorCause::kNone ? ErrorCause::kUnknown : cause);
   r.start = start_;
   r.end = sim_.now();
   r.payload_bytes = total_words_ * 4;
@@ -43,11 +45,12 @@ void MstIcap::finish(bool success, std::string error) {
 
 void MstIcap::next_burst() {
   if (port_.errored()) {
-    finish(false, "ICAP error: " + port_.error_message());
+    finish(false, "ICAP error: " + port_.error_message(), port_.error_cause());
     return;
   }
   if (next_word_ >= total_words_) {
-    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    const StreamVerdict v = end_of_stream_verdict(port_);
+    finish(v.success, v.error, v.cause);
     return;
   }
   const std::size_t n =
@@ -65,6 +68,7 @@ void MstIcap::reconfigure(ReconfigCallback done) {
   if (total_words_ == 0) {
     ReconfigResult r;
     r.error = "MST_ICAP: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }

@@ -37,7 +37,7 @@ class MstIcap final : public ReconfigController {
 
  private:
   void next_burst();
-  void finish(bool success, std::string error);
+  void finish(bool success, std::string error, ErrorCause cause = ErrorCause::kNone);
 
   MstIcapParams params_;
   icap::Icap& port_;

@@ -36,11 +36,13 @@ Status XpsHwicap::stage(const bits::PartialBitstream& bs) {
   return Status::success();
 }
 
-void XpsHwicap::finish(bool success, std::string error) {
+void XpsHwicap::finish(bool success, std::string error, ErrorCause cause) {
   if (copy_power_) copy_power_->set_active(false);
   ReconfigResult r;
   r.success = success;
   r.error = std::move(error);
+  r.cause = success ? ErrorCause::kNone
+                    : (cause == ErrorCause::kNone ? ErrorCause::kUnknown : cause);
   r.start = start_;
   r.end = sim_.now();
   r.payload_bytes = payload_bytes_;
@@ -52,11 +54,12 @@ void XpsHwicap::finish(bool success, std::string error) {
 
 void XpsHwicap::pump() {
   if (port_.errored()) {
-    finish(false, "ICAP error: " + port_.error_message());
+    finish(false, "ICAP error: " + port_.error_message(), port_.error_cause());
     return;
   }
   if (next_word_ >= body_.size()) {
-    finish(port_.done(), port_.done() ? "" : "bitstream ended without DESYNC");
+    const StreamVerdict v = end_of_stream_verdict(port_);
+    finish(v.success, v.error, v.cause);
     return;
   }
 
@@ -79,12 +82,19 @@ void XpsHwicap::pump() {
       const TimePs cf_time = cf_->read_sector(lba, sector);
       // Model the CF access as stalled manager time.
       cycles += static_cast<u64>(cf_time.seconds() * mb_.frequency().in_hz());
+      // The words pushed to the ICAP come from the fetched sector, so a
+      // corrupted or short sector propagates downstream.
+      chunk_ = bytes_to_words(sector);
       break;
     }
   }
 
   mb_.execute(cycles, [this, n] {
-    for (std::size_t i = 0; i < n; ++i) port_.write_word(body_[next_word_ + i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      u32 w = body_[next_word_ + i];
+      if (source_ == XpsSource::kCompactFlash) w = i < chunk_.size() ? chunk_[i] : 0;
+      port_.write_word(w);
+    }
     next_word_ += n;
     pump();
   });
@@ -94,6 +104,7 @@ void XpsHwicap::reconfigure(ReconfigCallback done) {
   if (body_.empty()) {
     ReconfigResult r;
     r.error = "xps_hwicap: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }

@@ -34,10 +34,13 @@ class XpsHwicap final : public ReconfigController {
   void reconfigure(ReconfigCallback done) override;
 
   [[nodiscard]] XpsSource source() const noexcept { return source_; }
+  /// The CompactFlash card (kCompactFlash source only; null otherwise).
+  /// Exposed so fault injection can tap the sector read path.
+  [[nodiscard]] mem::CompactFlash* card() noexcept { return cf_.get(); }
 
  private:
   void pump();
-  void finish(bool success, std::string error);
+  void finish(bool success, std::string error, ErrorCause cause = ErrorCause::kNone);
 
   manager::MicroBlaze& mb_;
   icap::Icap& port_;
@@ -46,6 +49,7 @@ class XpsHwicap final : public ReconfigController {
   std::unique_ptr<mem::CompactFlash> cf_;
 
   Words body_;
+  Words chunk_;  // words of the last fetched CF sector
   std::size_t next_word_ = 0;
   u64 payload_bytes_ = 0;
   TimePs start_{};

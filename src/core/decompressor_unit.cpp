@@ -52,7 +52,9 @@ void DecompressorUnit::arm_streaming(std::unique_ptr<compress::StreamingDecoder>
   out_.clear();
 }
 
-void DecompressorUnit::push_input(u32 word) { in_.push(word); }
+void DecompressorUnit::push_input(u32 word) {
+  in_.push(input_tap_ ? input_tap_(word) : word);
+}
 
 bool DecompressorUnit::errored() const noexcept {
   return decoder_ != nullptr && decoder_->errored();

@@ -48,6 +48,11 @@ class DecompressorUnit : public sim::Module {
   [[nodiscard]] bool can_accept_input() const { return in_.can_push(); }
   void push_input(u32 word);
 
+  /// Fault hook: every word entering the input FIFO passes through the tap
+  /// (bit flips on the compressed stream ahead of the decoder).
+  using InputTap = std::function<u32(u32)>;
+  void set_input_tap(InputTap tap) { input_tap_ = std::move(tap); }
+
   /// Output side (UReC pops words toward the ICAP on CLK_2).
   [[nodiscard]] bool has_output() const { return out_.can_pop(); }
   [[nodiscard]] u32 pop_output() { return out_.pop(); }
@@ -73,6 +78,7 @@ class DecompressorUnit : public sim::Module {
   compress::HardwareProfile profile_;
   sim::Fifo<u32> in_;
   sim::Fifo<u32> out_;
+  InputTap input_tap_;
   unsigned pipeline_latency_;
 
   // Replay mode state.

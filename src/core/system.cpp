@@ -3,6 +3,23 @@
 #include <stdexcept>
 
 namespace uparc::core {
+namespace {
+
+/// The event queue drained but the completion callback never fired — a
+/// gated clock, an unlocked DCM, or a starved decompressor left the
+/// operation dangling. Classified instead of thrown so callers (and the
+/// RecoveryManager) can act on it.
+ctrl::ReconfigResult stalled_result(sim::Simulation& sim, std::string what) {
+  ctrl::ReconfigResult r;
+  r.success = false;
+  r.error = std::move(what);
+  r.cause = ErrorCause::kStalled;
+  r.start = sim.now();
+  r.end = sim.now();
+  return r;
+}
+
+}  // namespace
 
 System::System(SystemConfig config) : config_(config) {
   if (config_.with_power_rail) {
@@ -17,8 +34,31 @@ ctrl::ReconfigResult System::reconfigure_blocking() {
   std::optional<ctrl::ReconfigResult> result;
   uparc_->reconfigure([&](const ctrl::ReconfigResult& r) { result = r; });
   sim_.run();
-  if (!result) throw std::logic_error("System: reconfiguration never completed");
+  if (!result) {
+    return stalled_result(sim_, "System: simulation drained mid-reconfiguration");
+  }
   return *result;
+}
+
+manager::RecoveryOutcome System::run_recovery_blocking(const bits::PartialBitstream& bs,
+                                                       manager::RecoveryPolicy policy) {
+  if (recovery_ == nullptr) {
+    recovery_ = std::make_unique<manager::RecoveryManager>(sim_, "recovery", *uparc_,
+                                                           rail_.get());
+  }
+  recovery_->policy() = policy;
+  std::optional<manager::RecoveryOutcome> outcome;
+  recovery_->run(bs, [&](const manager::RecoveryOutcome& o) { outcome = o; });
+  sim_.run();
+  if (!outcome) {
+    // Cannot happen while the watchdog is armed, but fail closed anyway.
+    manager::RecoveryOutcome o;
+    o.final_result = stalled_result(sim_, "System: simulation drained mid-recovery");
+    o.start = o.final_result.start;
+    o.end = o.final_result.end;
+    return o;
+  }
+  return *outcome;
 }
 
 std::optional<clocking::MdChoice> System::set_frequency_blocking(Frequency target) {
@@ -38,7 +78,9 @@ ctrl::ReconfigResult System::swap_decompressor_blocking(compress::CodecId codec)
   std::optional<ctrl::ReconfigResult> result;
   uparc_->swap_decompressor(codec, [&](const ctrl::ReconfigResult& r) { result = r; });
   sim_.run();
-  if (!result) throw std::logic_error("System: decompressor swap never completed");
+  if (!result) {
+    return stalled_result(sim_, "System: simulation drained mid-decompressor-swap");
+  }
   return *result;
 }
 
@@ -83,12 +125,15 @@ ctrl::ReconfigResult System::run_controller_blocking(ctrl::ReconfigController& c
   Status st = c.stage(bs);
   if (!st.ok()) {
     result.error = st.error().message;
+    result.cause = st.error().cause;
     return result;
   }
   std::optional<ctrl::ReconfigResult> got;
   c.reconfigure([&](const ctrl::ReconfigResult& r) { got = r; });
   sim_.run();
-  if (!got) throw std::logic_error("System: controller run never completed");
+  if (!got) {
+    return stalled_result(sim_, "System: simulation drained mid-controller-run");
+  }
   return *got;
 }
 

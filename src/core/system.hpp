@@ -12,6 +12,7 @@
 #include "controllers/mst_icap.hpp"
 #include "controllers/xps_hwicap.hpp"
 #include "core/uparc.hpp"
+#include "manager/recovery.hpp"
 #include "power/scope.hpp"
 
 namespace uparc::core {
@@ -36,6 +37,14 @@ class System {
 
   /// Runs a full reconfiguration to completion and returns the result.
   [[nodiscard]] ctrl::ReconfigResult reconfigure_blocking();
+
+  /// Stages + reconfigures under the RecoveryManager (cycle-budget watchdog,
+  /// bounded retries) and runs the whole sequence to completion.
+  [[nodiscard]] manager::RecoveryOutcome run_recovery_blocking(
+      const bits::PartialBitstream& bs, manager::RecoveryPolicy policy = {});
+
+  /// The lazily created RecoveryManager (null until first used).
+  [[nodiscard]] manager::RecoveryManager* recovery() noexcept { return recovery_.get(); }
 
   /// Programs the reconfiguration clock and runs the relock to completion.
   /// Returns the synthesized choice (nullopt if unsynthesizable).
@@ -65,6 +74,7 @@ class System {
   std::unique_ptr<icap::Icap> icap_;
   std::unique_ptr<manager::MicroBlaze> baseline_mb_;  // shared by xps baselines
   std::unique_ptr<Uparc> uparc_;
+  std::unique_ptr<manager::RecoveryManager> recovery_;
 };
 
 }  // namespace uparc::core

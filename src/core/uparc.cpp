@@ -51,9 +51,25 @@ Frequency Uparc::max_frequency() const {
   return mode_compressed_ ? std::min(reliable, config_.compressed_mode_fmax) : reliable;
 }
 
+Status Uparc::set_codec(compress::CodecId codec) {
+  auto impl = compress::make_codec(codec);
+  if (impl == nullptr) {
+    return make_error("UPaRC: unknown codec", ErrorCause::kUnsupported);
+  }
+  codec_id_ = codec;
+  codec_impl_ = std::move(impl);
+  decomp_.set_profile(codec_impl_->hardware());
+  return Status::success();
+}
+
 Status Uparc::stage(const bits::PartialBitstream& bs) {
-  if (urec_.busy()) return make_error("UPaRC: stage while a reconfiguration is in flight");
-  if (control_.busy()) return make_error("UPaRC: stage while the manager is mid-launch");
+  if (urec_.busy()) {
+    return make_error("UPaRC: stage while a reconfiguration is in flight",
+                      ErrorCause::kBusy);
+  }
+  if (control_.busy()) {
+    return make_error("UPaRC: stage while the manager is mid-launch", ErrorCause::kBusy);
+  }
 
   staged_payload_bytes_ = bs.body.size() * 4;
   staging_done_ = false;
@@ -64,7 +80,8 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     // Preloading without compression (paper mode i).
     mode_compressed_ = false;
     stored_bytes_ = raw_needed;
-    st = preloader_.preload_body(bs.body, [this] { on_staged(); });
+    st = preloader_.preload_body(
+        bs.body, [this, e = ++staging_epoch_] { if (e == staging_epoch_) on_staged(); });
   } else {
     // Preloading with compression (paper mode ii): the container is built
     // offline ("compressed offline using PC-running software").
@@ -72,8 +89,9 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     const Bytes container = codec_impl_->compress(packed);
     if (4 + ((container.size() + 3) / 4) * 4 > bram_.size_bytes()) {
       return make_error("UPaRC: bitstream exceeds BRAM even compressed (" +
-                        std::to_string(container.size()) + " bytes with " +
-                        std::string(codec_impl_->name()) + ")");
+                            std::to_string(container.size()) + " bytes with " +
+                            std::string(codec_impl_->name()) + ")",
+                        ErrorCause::kCapacity);
     }
     mode_compressed_ = true;
     stored_bytes_ = container.size() + 4;
@@ -84,7 +102,8 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     // preload copy time.
     dyclogen_.request_frequency(clocking::ClockId::kDecompress,
                                 codec_impl_->hardware().fmax);
-    st = preloader_.preload_compressed(container, [this] { on_staged(); });
+    st = preloader_.preload_compressed(
+        container, [this, e = ++staging_epoch_] { if (e == staging_epoch_) on_staged(); });
   }
   return st;
 }
@@ -102,6 +121,7 @@ void Uparc::reconfigure(ctrl::ReconfigCallback done) {
   if (staged_payload_bytes_ == 0) {
     ctrl::ReconfigResult r;
     r.error = "UPaRC: reconfigure without stage";
+    r.cause = ErrorCause::kNotStaged;
     done(r);
     return;
   }
@@ -147,12 +167,16 @@ void Uparc::reconfigure(ctrl::ReconfigCallback done) {
         if (urec_.state() != UrecState::kFinished) {
           r.success = false;
           r.error = "UReC: " + urec_.error_message();
+          r.cause = urec_.error_cause() == ErrorCause::kNone ? ErrorCause::kUnknown
+                                                             : urec_.error_cause();
         } else if (!port_.done()) {
           r.success = false;
           r.error = "ICAP did not reach DESYNC";
+          r.cause = ErrorCause::kNoDesync;
         } else if (port_.crc_checked() && !port_.crc_ok()) {
           r.success = false;
           r.error = "configuration CRC mismatch";
+          r.cause = ErrorCause::kCrcMismatch;
         } else {
           r.success = true;
         }
@@ -184,6 +208,7 @@ void Uparc::swap_decompressor(compress::CodecId codec, ctrl::ReconfigCallback do
   if (impl == nullptr) {
     ctrl::ReconfigResult r;
     r.error = "UPaRC: unknown decompressor codec";
+    r.cause = ErrorCause::kUnsupported;
     done(r);
     return;
   }
@@ -203,6 +228,7 @@ void Uparc::swap_decompressor(compress::CodecId codec, ctrl::ReconfigCallback do
   if (!st.ok()) {
     ctrl::ReconfigResult r;
     r.error = "UPaRC: decompressor swap staging failed: " + st.error().message;
+    r.cause = st.error().cause;
     done(r);
     return;
   }

@@ -74,6 +74,13 @@ class Uparc final : public ctrl::ReconfigController {
   /// codec's F_max. `done` reports the swap result.
   void swap_decompressor(compress::CodecId codec, ctrl::ReconfigCallback done);
 
+  /// Manager-side codec re-provision *without* a hardware slot swap: the
+  /// next stage() builds its container with `codec` and the decompressor
+  /// timing profile follows. The RecoveryManager uses this as the
+  /// codec-fallback path after repeated decompressor failures (modeling
+  /// substitution: a real deployment keeps the fallback decoder resident).
+  [[nodiscard]] Status set_codec(compress::CodecId codec);
+
   [[nodiscard]] compress::CodecId codec() const noexcept { return codec_id_; }
   [[nodiscard]] bool staged_compressed() const noexcept { return mode_compressed_; }
   [[nodiscard]] std::size_t staged_stored_bytes() const noexcept { return stored_bytes_; }
@@ -113,6 +120,9 @@ class Uparc final : public ctrl::ReconfigController {
 
   bool mode_compressed_ = false;
   bool staging_done_ = false;
+  // Bumped by every stage(); a preload completion from a superseded staging
+  // (e.g. a recovery restage racing an in-flight copy) is dropped.
+  u64 staging_epoch_ = 0;
   std::function<void()> pending_reconfig_;
   Words decomp_output_;                 // ground-truth stream for the armed unit
   std::size_t decomp_input_words_ = 0;  // compressed container length in words

@@ -15,14 +15,16 @@ void UReC::start(std::function<void()> finish) {
   finish_cb_ = std::move(finish);
   state_ = UrecState::kReadHeader;
   error_.clear();
+  cause_ = ErrorCause::kNone;
   words_to_icap_ = 0;
   port_.reset();
   clk_.enable();  // EN: BRAM + ICAP access on
 }
 
-void UReC::finish_now(UrecState final_state, std::string error) {
+void UReC::finish_now(UrecState final_state, std::string error, ErrorCause cause) {
   state_ = final_state;
   error_ = std::move(error);
+  cause_ = cause;
   clk_.disable();  // EN off: BRAM and ICAP gated to save power
   if (finish_cb_) {
     auto cb = std::move(finish_cb_);
@@ -31,10 +33,16 @@ void UReC::finish_now(UrecState final_state, std::string error) {
   }
 }
 
+void UReC::abort(ErrorCause cause, std::string why) {
+  if (!busy()) return;
+  finish_now(UrecState::kError, std::move(why), cause);
+}
+
 void UReC::on_edge() {
   ++active_cycles_;
   if (port_.errored()) {
-    finish_now(UrecState::kError, "ICAP error: " + port_.error_message());
+    finish_now(UrecState::kError, "ICAP error: " + port_.error_message(),
+               port_.error_cause());
     return;
   }
 
@@ -44,16 +52,19 @@ void UReC::on_edge() {
       payload_words_ = manager::BramLayout::payload_words(header);
       next_addr_ = 1;
       if (payload_words_ == 0) {
-        finish_now(UrecState::kError, "empty payload in BRAM mode word");
+        finish_now(UrecState::kError, "empty payload in BRAM mode word",
+                   ErrorCause::kBadInput);
         return;
       }
       if (1 + payload_words_ > bram_.size_words()) {
-        finish_now(UrecState::kError, "mode word length exceeds BRAM");
+        finish_now(UrecState::kError, "mode word length exceeds BRAM",
+                   ErrorCause::kBadInput);
         return;
       }
       if (manager::BramLayout::is_compressed(header)) {
         if (decomp_ == nullptr) {
-          finish_now(UrecState::kError, "compressed payload but no decompressor present");
+          finish_now(UrecState::kError, "compressed payload but no decompressor present",
+                     ErrorCause::kUnsupported);
           return;
         }
         state_ = UrecState::kStreamDecompress;
@@ -75,7 +86,8 @@ void UReC::on_edge() {
 
     case UrecState::kStreamDecompress: {
       if (decomp_->errored()) {
-        finish_now(UrecState::kError, "decompressor: " + decomp_->error_message());
+        finish_now(UrecState::kError, "decompressor: " + decomp_->error_message(),
+                   ErrorCause::kDecompressor);
         return;
       }
       // Feed side: one compressed word per cycle while the FIFO accepts.

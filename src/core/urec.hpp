@@ -43,12 +43,21 @@ class UReC : public sim::Module {
            state_ != UrecState::kError;
   }
   [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+  /// Structured cause when state() == kError (kNone otherwise).
+  [[nodiscard]] ErrorCause error_cause() const noexcept { return cause_; }
+
+  /// Forcibly terminates an in-flight reconfiguration (the RecoveryManager's
+  /// watchdog drives this when the cycle budget runs out — e.g. the clock
+  /// lost its DCM or the decompressor starved). Fires Finish so the control
+  /// path unwinds; no-op when not busy.
+  void abort(ErrorCause cause, std::string why);
   [[nodiscard]] u64 words_to_icap() const noexcept { return words_to_icap_; }
   [[nodiscard]] u64 active_cycles() const noexcept { return active_cycles_; }
 
  private:
   void on_edge();
-  void finish_now(UrecState final_state, std::string error = {});
+  void finish_now(UrecState final_state, std::string error = {},
+                  ErrorCause cause = ErrorCause::kNone);
 
   sim::Clock& clk_;
   mem::Bram& bram_;
@@ -57,6 +66,7 @@ class UReC : public sim::Module {
 
   UrecState state_ = UrecState::kIdle;
   std::string error_;
+  ErrorCause cause_ = ErrorCause::kNone;
   std::function<void()> finish_cb_;
   std::size_t payload_words_ = 0;
   std::size_t next_addr_ = 0;

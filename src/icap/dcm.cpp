@@ -52,22 +52,30 @@ u16 Dcm::drp_read(u16 addr) const {
   }
 }
 
+void Dcm::drop_lock() {
+  if (!locked_) return;
+  locked_ = false;
+  output_.set_supplied(false);
+  stats().add("lock_losses");
+}
+
 void Dcm::start_relock() {
   // LOCKED drops; the output clock is not usable during relock.
-  if (locked_) {
-    output_was_enabled_ = output_.enabled();
-    if (output_was_enabled_) output_.disable();
-  }
   locked_ = false;
+  output_.set_supplied(false);
   const u64 epoch = ++relock_epoch_;
   sim_.schedule_in(lock_time_, [this, epoch] {
     if (epoch != relock_epoch_) return;  // superseded by a newer program()
+    if (lock_fault_ && lock_fault_()) {
+      stats().add("lock_faults");
+      return;  // LOCKED stays low; a fresh reset pulse is needed
+    }
     m_ = staged_m_;
     d_ = staged_d_;
     output_.set_frequency(f_out());
     locked_ = true;
     ++relocks_;
-    if (output_was_enabled_) output_.enable();
+    output_.set_supplied(true);
     if (locked_cb_) locked_cb_();
   });
 }

@@ -3,8 +3,9 @@
 // The CLKFX output produces F_out = F_in * M / D with M in [2,33] and
 // D in [1,32] (UG190). M and D live in DRP registers; reprogramming them
 // drops LOCKED, and after the lock time the output clock runs at the new
-// frequency. The model drives a sim::Clock: the clock is gated off while
-// unlocked, retuned and re-enabled (if it was enabled) when lock returns.
+// frequency. The model drives a sim::Clock through its supply gate: while
+// unlocked the supply is held low (consumers asserting EN stall rather than
+// run at a stale frequency); the supply returns with LOCKED.
 #pragma once
 
 #include <functional>
@@ -43,6 +44,17 @@ class Dcm : public sim::Module, public DrpPeripheral {
   /// Called when LOCKED reasserts (each relock).
   void on_locked(std::function<void()> cb) { locked_cb_ = std::move(cb); }
 
+  /// Fault hook: consulted when a relock would complete. Returning true
+  /// makes the lock attempt fail — LOCKED stays low, staged M/D are not
+  /// applied, the output stays supply-gated and on_locked never fires.
+  /// Recovery requires a fresh reset pulse (program()/DRP status write).
+  void set_lock_fault(std::function<bool()> fault) { lock_fault_ = std::move(fault); }
+
+  /// Spontaneous LOCKED loss (injected fault): the output is supply-gated
+  /// immediately; consumers stall until a relock is requested. No-op while
+  /// already unlocked.
+  void drop_lock();
+
   // DrpPeripheral: field writes stage values; writing kRegStatus bit1
   // applies them (models the required reset pulse after DRP changes).
   void drp_write(u16 addr, u16 value) override;
@@ -60,10 +72,10 @@ class Dcm : public sim::Module, public DrpPeripheral {
   unsigned m_ = 2, d_ = 2;
   unsigned staged_m_ = 2, staged_d_ = 2;
   bool locked_ = false;
-  bool output_was_enabled_ = false;
   u64 relock_epoch_ = 0;
   u64 relocks_ = 0;
   std::function<void()> locked_cb_;
+  std::function<bool()> lock_fault_;
 };
 
 }  // namespace uparc::icap

@@ -10,6 +10,7 @@ Icap::Icap(sim::Simulation& sim, std::string name, ConfigPlane& plane, Frequency
 void Icap::reset() {
   state_ = IcapState::kPreSync;
   error_.clear();
+  cause_ = ErrorCause::kNone;
   payload_left_ = 0;
   readout_left_ = 0;
   readout_buf_.clear();
@@ -23,10 +24,16 @@ void Icap::reset() {
   crc_ok_ = false;
 }
 
-void Icap::fail(std::string why) {
+void Icap::fail(std::string why, ErrorCause cause) {
   state_ = IcapState::kError;
   error_ = std::move(why);
+  cause_ = cause;
   stats().add("errors");
+}
+
+void Icap::inject_abort(std::string why) {
+  if (state_ == IcapState::kDesynced || state_ == IcapState::kError) return;
+  fail(std::move(why), ErrorCause::kIcapAbort);
 }
 
 void Icap::begin_payload(bits::ConfigReg reg, u32 count, IcapState next) {
@@ -84,7 +91,8 @@ void Icap::handle_payload_word(u32 word) {
     case bits::ConfigReg::kIdcode:
       idcode_ = word;
       if (word != plane_.device().idcode) {
-        fail("IDCODE mismatch: bitstream is for a different device");
+        fail("IDCODE mismatch: bitstream is for a different device",
+             ErrorCause::kIcapDeviceMismatch);
         return;
       }
       break;
@@ -134,6 +142,13 @@ void Icap::handle_payload_word(u32 word) {
 
 void Icap::write_word(u32 word) {
   ++words_;
+  if (write_tap_ && state_ != IcapState::kDesynced && state_ != IcapState::kError) {
+    if (write_tap_(word)) {
+      fail("injected ICAP abort after " + std::to_string(words_) + " words",
+           ErrorCause::kIcapAbort);
+      return;
+    }
+  }
   switch (state_) {
     case IcapState::kPreSync:
       if (word == bits::kSyncWord) state_ = IcapState::kIdle;

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "bitstream/packet.hpp"
+#include "common/result.hpp"
 #include "icap/config_plane.hpp"
 
 namespace uparc::icap {
@@ -52,6 +53,20 @@ class Icap : public sim::Module {
   [[nodiscard]] bool done() const noexcept { return state_ == IcapState::kDesynced; }
   [[nodiscard]] bool errored() const noexcept { return state_ == IcapState::kError; }
   [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+  /// Structured cause for the kError state (kNone while not errored), so
+  /// callers can distinguish a malformed stream from a device mismatch or
+  /// an injected abort instead of pattern-matching the message.
+  [[nodiscard]] ErrorCause error_cause() const noexcept { return cause_; }
+
+  /// Forces the port into its error state mid-stream, as a hard fault (or
+  /// the fault-injection framework) would. No-op once desynced or errored.
+  void inject_abort(std::string why);
+
+  /// Fault-injection tap, consulted on every write_word before the FSM
+  /// sees the word. The tap may mutate the word; returning true aborts the
+  /// port (kIcapAbort) instead of consuming it.
+  using WriteTap = std::function<bool(u32&)>;
+  void set_write_tap(WriteTap tap) { write_tap_ = std::move(tap); }
 
   [[nodiscard]] u64 words_consumed() const noexcept { return words_; }
   [[nodiscard]] u64 frames_committed() const noexcept { return frames_; }
@@ -68,7 +83,7 @@ class Icap : public sim::Module {
   void reset();
 
  private:
-  void fail(std::string why);
+  void fail(std::string why, ErrorCause cause = ErrorCause::kIcapProtocol);
   void handle_payload_word(u32 word);
   void begin_payload(bits::ConfigReg reg, u32 count, IcapState next);
   void begin_readout(u32 count);
@@ -78,6 +93,8 @@ class Icap : public sim::Module {
   Frequency rated_fmax_;
   IcapState state_ = IcapState::kPreSync;
   std::string error_;
+  ErrorCause cause_ = ErrorCause::kNone;
+  WriteTap write_tap_;
 
   bits::ConfigReg current_reg_ = bits::ConfigReg::kCrc;
   u32 payload_left_ = 0;

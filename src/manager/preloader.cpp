@@ -11,18 +11,27 @@ Preloader::Preloader(sim::Simulation& sim, std::string name, MicroBlaze& manager
 Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
                         std::function<void()> done) {
   if (payload.size() > BramLayout::kWordCountMask) {
-    return make_error("payload too large for the mode word's length field");
+    return make_error("payload too large for the mode word's length field",
+                      ErrorCause::kCapacity);
   }
   if (1 + payload.size() > bram_.size_words()) {
     return make_error("payload does not fit the bitstream BRAM (" +
-                      std::to_string((1 + payload.size()) * 4) + " > " +
-                      std::to_string(bram_.size_bytes()) + " bytes)");
+                          std::to_string((1 + payload.size()) * 4) + " > " +
+                          std::to_string(bram_.size_bytes()) + " bytes)",
+                      ErrorCause::kCapacity);
   }
+  std::size_t copied = payload.size();
+  if (truncate_tap_) {
+    copied = std::min(truncate_tap_(payload.size()), payload.size());
+    if (copied < payload.size()) stats().add("truncated_preloads");
+  }
+  // The header always advertises the full length — a truncated copy leaves
+  // the tail stale, exactly like a torn read from storage.
   bram_.write_word(0, BramLayout::make_header(compressed, static_cast<u32>(payload.size())));
-  bram_.load_words(payload, 1);
+  bram_.load_words(payload.first(copied), 1);
 
   const u64 cycles =
-      extra_cycles + static_cast<u64>(payload.size() + 1) * manager_.costs().copy_loop_word;
+      extra_cycles + static_cast<u64>(copied + 1) * manager_.costs().copy_loop_word;
   last_duration_ = manager_.cycles(cycles);
   ++preloads_;
   stats().add("words_preloaded", static_cast<double>(payload.size() + 1));

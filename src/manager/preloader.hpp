@@ -50,12 +50,21 @@ class Preloader : public sim::Module {
   [[nodiscard]] TimePs last_duration() const noexcept { return last_duration_; }
   [[nodiscard]] u64 preloads() const noexcept { return preloads_; }
 
+  /// Fault hook: consulted per preload with the full payload word count;
+  /// returns how many words actually land in the BRAM. A short count models
+  /// a truncated read from storage — the header still advertises the full
+  /// length, so UReC streams whatever stale words follow the copied prefix
+  /// (the classic torn-file failure).
+  using TruncateTap = std::function<std::size_t(std::size_t)>;
+  void set_truncate_tap(TruncateTap tap) { truncate_tap_ = std::move(tap); }
+
  private:
   [[nodiscard]] Status store(bool compressed, WordsView payload, u64 extra_cycles,
                              std::function<void()> done);
 
   MicroBlaze& manager_;
   mem::Bram& bram_;
+  TruncateTap truncate_tap_;
   TimePs last_duration_{};
   u64 preloads_ = 0;
 };

@@ -19,7 +19,8 @@ void Bram::write_word(std::size_t word_addr, u32 value) {
 u32 Bram::read_word(std::size_t word_addr) const {
   if (word_addr >= words_.size()) throw std::out_of_range("Bram read out of range: " + name());
   ++reads_;
-  return words_[word_addr];
+  const u32 value = words_[word_addr];
+  return read_tap_ ? read_tap_(word_addr, value) : value;
 }
 
 void Bram::load(BytesView data, std::size_t word_offset) {

@@ -7,6 +7,7 @@
 // model in core/timing_model.hpp decides whether a given overclock holds.
 #pragma once
 
+#include <functional>
 #include <stdexcept>
 
 #include "sim/module.hpp"
@@ -37,12 +38,19 @@ class Bram : public sim::Module {
   /// Fills the whole array with zeros.
   void clear();
 
+  /// Fault hook on port B: every read_word() result passes through the tap
+  /// (word address, stored value) -> observed value. The stored array is
+  /// untouched — the tap models a read-path upset, not a write.
+  using ReadTap = std::function<u32(std::size_t, u32)>;
+  void set_read_tap(ReadTap tap) { read_tap_ = std::move(tap); }
+
   [[nodiscard]] u64 reads() const noexcept { return reads_; }
   [[nodiscard]] u64 writes() const noexcept { return writes_; }
 
  private:
   Words words_;
   Frequency rated_fmax_;
+  mutable ReadTap read_tap_;
   mutable u64 reads_ = 0;
   u64 writes_ = 0;
 };

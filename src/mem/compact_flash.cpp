@@ -27,6 +27,12 @@ TimePs CompactFlash::read_sector(std::size_t lba, Bytes& out) {
   out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(start),
              data_.begin() + static_cast<std::ptrdiff_t>(start + n));
   ++sectors_read_;
+  if (sector_tap_) {
+    Bytes sector(out.end() - static_cast<std::ptrdiff_t>(n), out.end());
+    sector_tap_(lba, sector);
+    out.resize(out.size() - n);
+    out.insert(out.end(), sector.begin(), sector.end());
+  }
   return timing_.sector_command + timing_.byte_transfer * static_cast<u64>(n);
 }
 

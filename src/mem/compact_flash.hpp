@@ -7,6 +7,8 @@
 // to the FPGA fabric clocks).
 #pragma once
 
+#include <functional>
+
 #include "sim/module.hpp"
 
 namespace uparc::mem {
@@ -34,11 +36,20 @@ class CompactFlash : public sim::Module {
   /// Sustained sequential throughput implied by the timing parameters.
   [[nodiscard]] Bandwidth sequential_bandwidth() const;
 
+  /// Fault hook: each sector leaving read_sector() passes through the tap
+  /// (lba, sector bytes just appended to the caller's buffer) before the
+  /// access time is returned. The tap may corrupt or truncate those bytes
+  /// in place (media defect / aborted PIO transfer); card contents are
+  /// untouched.
+  using SectorTap = std::function<void(std::size_t, Bytes&)>;
+  void set_sector_tap(SectorTap tap) { sector_tap_ = std::move(tap); }
+
   [[nodiscard]] u64 sectors_read() const noexcept { return sectors_read_; }
 
  private:
   Bytes data_;
   CompactFlashTiming timing_;
+  SectorTap sector_tap_;
   u64 sectors_read_ = 0;
 };
 

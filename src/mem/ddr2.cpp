@@ -30,6 +30,13 @@ unsigned Ddr2::read_burst(std::size_t word_addr, std::size_t count, Words& out) 
     throw std::out_of_range("Ddr2 read out of range: " + name());
   }
   unsigned cycles = 0;
+  if (stall_tap_) {
+    const unsigned stall = stall_tap_();
+    if (stall > 0) {
+      cycles += stall;
+      stats().add("injected_stall_cycles", stall);
+    }
+  }
   std::size_t remaining = count;
   std::size_t addr = word_addr;
   while (remaining > 0) {
@@ -42,7 +49,10 @@ unsigned Ddr2::read_burst(std::size_t word_addr, std::size_t count, Words& out) 
       ++row_misses_;
     }
     cycles += static_cast<unsigned>(in_burst);
-    for (std::size_t i = 0; i < in_burst; ++i) out.push_back(words_[addr + i]);
+    for (std::size_t i = 0; i < in_burst; ++i) {
+      const u32 value = words_[addr + i];
+      out.push_back(read_tap_ ? read_tap_(addr + i, value) : value);
+    }
     addr += in_burst;
     remaining -= in_burst;
 

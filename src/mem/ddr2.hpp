@@ -8,6 +8,8 @@
 // controller clock.
 #pragma once
 
+#include <functional>
+
 #include "sim/module.hpp"
 
 namespace uparc::mem {
@@ -44,11 +46,25 @@ class Ddr2 : public sim::Module {
   /// timing parameters (used by tests to validate calibration).
   [[nodiscard]] double sequential_words_per_cycle() const noexcept;
 
+  /// Fault hook: every word leaving read_burst() passes through the tap
+  /// (word address, stored value) -> observed value (read-path upset; the
+  /// array is untouched).
+  using ReadTap = std::function<u32(std::size_t, u32)>;
+  void set_read_tap(ReadTap tap) { read_tap_ = std::move(tap); }
+
+  /// Fault hook: consulted once per read_burst() call; the returned cycle
+  /// count is added to the burst cost (controller back-pressure / retraining
+  /// stall). Return 0 for no stall.
+  using StallTap = std::function<unsigned()>;
+  void set_stall_tap(StallTap tap) { stall_tap_ = std::move(tap); }
+
   [[nodiscard]] u64 total_cycles() const noexcept { return total_cycles_; }
   [[nodiscard]] u64 row_misses() const noexcept { return row_misses_; }
 
  private:
   Words words_;
+  ReadTap read_tap_;
+  StallTap stall_tap_;
   Ddr2Timing timing_;
   Frequency rated_fmax_;
   i64 open_row_ = -1;

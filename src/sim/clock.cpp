@@ -21,26 +21,43 @@ void Clock::unsubscribe(SubscriptionId id) {
 void Clock::enable() {
   if (enabled_) return;
   enabled_ = true;
-  enabled_since_ = sim_.now();
-  schedule_tick();
+  update_running();
 }
 
 void Clock::disable() {
   if (!enabled_) return;
   enabled_ = false;
-  active_accum_ += sim_.now() - enabled_since_;
-  ++epoch_;  // invalidate any scheduled tick
-  tick_pending_ = false;
+  update_running();
+}
+
+void Clock::set_supplied(bool supplied) {
+  if (supplied_ == supplied) return;
+  supplied_ = supplied;
+  update_running();
+}
+
+void Clock::update_running() {
+  const bool run = enabled_ && supplied_;
+  if (run == running_) return;
+  running_ = run;
+  if (run) {
+    enabled_since_ = sim_.now();
+    schedule_tick();
+  } else {
+    active_accum_ += sim_.now() - enabled_since_;
+    ++epoch_;  // invalidate any scheduled tick
+    tick_pending_ = false;
+  }
 }
 
 TimePs Clock::active_time() const noexcept {
   TimePs t = active_accum_;
-  if (enabled_) t += sim_.now() - enabled_since_;
+  if (running_) t += sim_.now() - enabled_since_;
   return t;
 }
 
 void Clock::schedule_tick() {
-  if (!enabled_ || tick_pending_) return;
+  if (!running_ || tick_pending_) return;
   tick_pending_ = true;
   const u64 epoch = epoch_;
   sim_.schedule_in(period(), [this, epoch] {
@@ -56,7 +73,7 @@ void Clock::tick() {
   // mid-edge without invalidating the loop. Unsubscribing from inside a
   // handler of the same clock is not supported (see header).
   for (std::size_t i = 0; i < handlers_.size(); ++i) {
-    if (!enabled_) break;
+    if (!running_) break;
     handlers_[i].second();
   }
   schedule_tick();

@@ -45,6 +45,15 @@ class Clock {
   void disable();
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
+  /// Supply-side gate, orthogonal to enable(): the synthesizing DCM holds
+  /// this low while unlocked. Edges are delivered only when the clock is
+  /// both enabled (consumer EN) and supplied (DCM LOCKED), so a consumer
+  /// asserting EN during a relock — or after a failed lock — stalls instead
+  /// of silently running at a stale frequency.
+  void set_supplied(bool supplied);
+  [[nodiscard]] bool supplied() const noexcept { return supplied_; }
+  [[nodiscard]] bool running() const noexcept { return enabled_ && supplied_; }
+
   /// Rising edges delivered since construction.
   [[nodiscard]] u64 cycle_count() const noexcept { return cycles_; }
   /// Total enabled time integrated across enable/disable windows, including
@@ -54,11 +63,14 @@ class Clock {
  private:
   void schedule_tick();
   void tick();
+  void update_running();
 
   Simulation& sim_;
   std::string name_;
   Frequency freq_;
   bool enabled_ = false;
+  bool supplied_ = true;
+  bool running_ = false;
   bool tick_pending_ = false;
   u64 epoch_ = 0;  // bumped on disable so stale scheduled ticks cancel
   u64 cycles_ = 0;

@@ -252,9 +252,14 @@ TEST(DcmTest, GatesRunningClockDuringRelock) {
   });
   clk.enable();
   dcm.program(4, 2);
-  EXPECT_FALSE(clk.enabled());  // gated during relock
+  // Supply-gated during relock: the consumer's EN survives, but no edges
+  // are delivered until LOCKED returns.
+  EXPECT_TRUE(clk.enabled());
+  EXPECT_FALSE(clk.supplied());
+  EXPECT_FALSE(clk.running());
   sim.run();
-  // Relocked: the clock was re-enabled and ticked to its 5-edge stop.
+  // Relocked: the supply returned and the clock ticked to its 5-edge stop.
+  EXPECT_TRUE(clk.supplied());
   EXPECT_EQ(edges, 5);
   EXPECT_NEAR(clk.frequency().in_mhz(), 200.0, 1e-9);
 }

@@ -166,5 +166,71 @@ TEST(UrecRobustness, CompressedGarbageSurfacesDecoderError) {
   EXPECT_EQ(sys.uparc().urec().state(), core::UrecState::kError);
 }
 
+// ------------------------------------------------- supply-gated clocking
+
+namespace {
+// Drives the simulation until the ICAP has consumed `words` (the stream is
+// provably in flight), without overshooting the end of the run.
+void run_until_streaming(core::System& sys, u64 words) {
+  for (int i = 0; i < 1000 && sys.icap().words_consumed() < words; ++i) {
+    sys.sim().run_until(sys.sim().now() + TimePs::from_us(10));
+  }
+  ASSERT_GE(sys.icap().words_consumed(), words);
+}
+}  // namespace
+
+TEST(SupplyGate, LockLossStallsTheStreamAndRelockResumesIt) {
+  core::System sys;
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = 64_KiB;
+  auto bs = bits::Generator(cfg).generate();
+  ASSERT_TRUE(sys.stage(bs).ok());
+  std::optional<ctrl::ReconfigResult> got;
+  sys.uparc().reconfigure([&](const ctrl::ReconfigResult& r) { got = r; });
+  run_until_streaming(sys, 1000);
+
+  auto& dcm = sys.uparc().dyclogen().dcm(clocking::ClockId::kReconfig);
+  ASSERT_TRUE(dcm.locked());
+  dcm.drop_lock();
+  auto& clk = sys.uparc().dyclogen().clock(clocking::ClockId::kReconfig);
+  EXPECT_TRUE(clk.enabled());    // the consumer still wants edges...
+  EXPECT_FALSE(clk.running());   // ...but the supply is gated: no stale edges
+  const u64 words_at_stall = sys.icap().words_consumed();
+  sys.sim().run();  // queue drains with the stream frozen mid-flight
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(sys.icap().words_consumed(), words_at_stall);
+
+  // Re-locking at the same frequency re-supplies CLK_2 and the stream picks
+  // up exactly where it stalled.
+  (void)sys.uparc().set_frequency(sys.uparc().dyclogen().frequency(clocking::ClockId::kReconfig));
+  sys.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->success);
+  EXPECT_GT(sys.icap().words_consumed(), words_at_stall);
+}
+
+TEST(UrecRobustness, AbortUnsticksAClockGatedStream) {
+  core::System sys;
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = 64_KiB;
+  auto bs = bits::Generator(cfg).generate();
+  ASSERT_TRUE(sys.stage(bs).ok());
+  std::optional<ctrl::ReconfigResult> got;
+  sys.uparc().reconfigure([&](const ctrl::ReconfigResult& r) { got = r; });
+  run_until_streaming(sys, 1000);
+
+  sys.uparc().dyclogen().dcm(clocking::ClockId::kReconfig).drop_lock();
+  sys.sim().run();
+  ASSERT_FALSE(got.has_value());  // stalled: nothing left to execute
+
+  // What the RecoveryManager's watchdog does: abort the FSM to unwind the
+  // control path and deliver a classified failure.
+  sys.uparc().urec().abort(ErrorCause::kTimeout, "watchdog: cycle budget exhausted");
+  sys.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->success);
+  EXPECT_EQ(got->cause, ErrorCause::kTimeout);
+}
+
 }  // namespace
 }  // namespace uparc

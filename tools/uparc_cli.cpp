@@ -6,6 +6,8 @@
 //   uparc_cli compress f.bit out.uparc [--codec NAME]
 //   uparc_cli ratios   f.bit [more.bit ...]
 //   uparc_cli run      f.bit [--mhz F] [--csv trace.csv]
+//   uparc_cli inject   f.bit [--site NAME] [--rate R] [--after N] [--burst N]
+//                      [--max-fires N] [--param P] [--seed S] [--mhz F]
 //   uparc_cli sweep    f.bit
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
@@ -21,6 +23,7 @@
 #include "compress/registry.hpp"
 #include "compress/stats.hpp"
 #include "core/system.hpp"
+#include "fault/injector.hpp"
 
 namespace {
 
@@ -246,6 +249,74 @@ int cmd_run(const Args& a) {
   return 0;
 }
 
+int cmd_inject(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "inject: need a .bit file\n");
+    return 2;
+  }
+  bits::Device device = bits::kVirtex5Sx50t;
+  auto bs = load_bitstream(a.positional[0], device);
+  if (!bs.ok()) {
+    std::fprintf(stderr, "inject: %s\n", bs.error().message.c_str());
+    return 1;
+  }
+
+  const std::string site_name = a.get("site", "bram_read");
+  fault::FaultSite site = fault::FaultSite::kCount;
+  for (std::size_t i = 0; i < fault::kFaultSiteCount; ++i) {
+    if (site_name == fault::to_string(static_cast<fault::FaultSite>(i))) {
+      site = static_cast<fault::FaultSite>(i);
+    }
+  }
+  if (site == fault::FaultSite::kCount) {
+    std::fprintf(stderr, "inject: unknown site '%s'; sites:", site_name.c_str());
+    for (std::size_t i = 0; i < fault::kFaultSiteCount; ++i) {
+      std::fprintf(stderr, " %s", fault::to_string(static_cast<fault::FaultSite>(i)));
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  fault::FaultPlan plan;
+  plan.seed = static_cast<u64>(a.get_num("seed", 1));
+  fault::SiteConfig cfg;
+  cfg.rate = a.get_num("rate", 1e-3);
+  cfg.after = static_cast<u64>(a.get_num("after", 0));
+  cfg.burst = static_cast<u64>(a.get_num("burst", 1));
+  if (a.options.count("max-fires") != 0) {
+    cfg.max_fires = static_cast<u64>(a.get_num("max-fires", 0));
+  }
+  cfg.param = a.get_num("param", 0);
+  plan.arm(site, cfg);
+
+  core::SystemConfig sys_cfg;
+  sys_cfg.uparc.device = device;
+  core::System sys(sys_cfg);
+  // Arm before the retune so lock faults can hit the initial relock too.
+  fault::FaultInjector inj(sys.sim(), "inject", plan);
+  inj.arm(sys.uparc(), sys.icap());
+  (void)sys.set_frequency_blocking(Frequency::mhz(a.get_num("mhz", 362.5)));
+
+  auto out = sys.run_recovery_blocking(bs.value());
+  std::printf("site:      %s (rate %g, seed %llu)\n", fault::to_string(site), cfg.rate,
+              static_cast<unsigned long long>(plan.seed));
+  for (const auto& rec : out.history) {
+    std::printf("attempt %u: %-12s @ %.4g MHz -> %s%s%s\n", rec.attempt,
+                to_string(rec.result.cause), rec.frequency.in_mhz(),
+                to_string(rec.action), rec.result.error.empty() ? "" : "  # ",
+                rec.result.error.c_str());
+  }
+  std::printf("outcome:   %s after %u attempt(s), %llu watchdog fire(s)\n",
+              out.success ? "recovered" : "FAILED", out.attempts,
+              static_cast<unsigned long long>(out.watchdog_fires));
+  std::printf("faults:    %llu injected at %s\n",
+              static_cast<unsigned long long>(inj.fires(site)), fault::to_string(site));
+  std::printf("latency:   %s\n", to_string(out.end - out.start).c_str());
+  std::printf("energy:    %.2f uJ total, %.2f uJ spent on recovery\n", out.energy_uj,
+              out.recovery_energy_uj);
+  return out.success ? 0 : 1;
+}
+
 int cmd_sweep(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "sweep: need a .bit file\n");
@@ -281,6 +352,8 @@ void usage() {
       "  compress in out [--codec NAME]\n"
       "  ratios   f.bit [more...]\n"
       "  run      f.bit [--mhz F] [--csv trace.csv]\n"
+      "  inject   f.bit [--site NAME] [--rate R] [--after N] [--burst N]\n"
+      "           [--max-fires N] [--param P] [--seed S] [--mhz F]\n"
       "  sweep    f.bit\n");
 }
 
@@ -298,6 +371,7 @@ int main(int argc, char** argv) {
   if (cmd == "compress") return cmd_compress(args);
   if (cmd == "ratios") return cmd_ratios(args);
   if (cmd == "run") return cmd_run(args);
+  if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
   usage();
   return 2;
