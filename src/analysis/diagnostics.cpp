@@ -1,0 +1,96 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uparc::analysis {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Location::describe() const {
+  switch (kind) {
+    case Kind::kNone: return "-";
+    case Kind::kWord: return "word " + std::to_string(offset);
+    case Kind::kByte: return "byte " + std::to_string(offset);
+    case Kind::kModule: return "module " + path;
+  }
+  return "-";
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(std::count_if(
+      diags_.begin(), diags_.end(), [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+const Diagnostic* Report::find(std::string_view rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+std::string Report::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += to_string(d.severity);
+    out += ' ';
+    out += d.rule;
+    out += " @ ";
+    out += d.location.describe();
+    out += ": ";
+    out += d.message;
+    if (!d.hint.empty()) {
+      out += "  [hint: ";
+      out += d.hint;
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Report::render_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"severity\": ";
+    append_json_string(out, to_string(d.severity));
+    out += ", \"rule\": ";
+    append_json_string(out, d.rule);
+    out += ", \"location\": ";
+    append_json_string(out, d.location.describe());
+    out += ", \"message\": ";
+    append_json_string(out, d.message);
+    out += ", \"hint\": ";
+    append_json_string(out, d.hint);
+    out += '}';
+  }
+  out += diags_.empty() ? "]" : "\n]";
+  out += '\n';
+  return out;
+}
+
+}  // namespace uparc::analysis

@@ -1,0 +1,103 @@
+// Structured diagnostics shared by the pre-flight static analyzers.
+//
+// Every lint rule emits Diagnostics: a severity, a stable rule id
+// ("bs.crc.mismatch", "md.cdc.no-fifo", ...), a location (word/byte offset
+// into the image, or a module path in the elaborated model), a message and a
+// fix hint. A Report collects them and renders as human text or JSON; the
+// Manager's lint_gate and `uparc_cli lint` both consume Reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uparc::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// Where a diagnostic points: an offset into the linted image (32-bit word
+/// offset for bitstream bodies, byte offset for containers and file
+/// headers), a module/clock path in an elaborated model, or nothing.
+struct Location {
+  enum class Kind { kNone, kWord, kByte, kModule };
+
+  Kind kind = Kind::kNone;
+  std::size_t offset = 0;   ///< for kWord / kByte
+  std::string path;         ///< for kModule
+
+  [[nodiscard]] static Location none() { return {}; }
+  [[nodiscard]] static Location word(std::size_t off) {
+    return Location{Kind::kWord, off, {}};
+  }
+  [[nodiscard]] static Location byte(std::size_t off) {
+    return Location{Kind::kByte, off, {}};
+  }
+  [[nodiscard]] static Location module(std::string path) {
+    return Location{Kind::kModule, 0, std::move(path)};
+  }
+
+  /// "word 12", "byte 6", "module uparc.urec", or "-".
+  [[nodiscard]] std::string describe() const;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;  ///< stable rule id from the catalog (DESIGN.md §9)
+  Location location;
+  std::string message;
+  std::string hint;  ///< how to fix; may be empty
+};
+
+/// An ordered collection of diagnostics from one lint pass.
+class Report {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void error(std::string rule, Location loc, std::string message, std::string hint = {}) {
+    add({Severity::kError, std::move(rule), std::move(loc), std::move(message),
+         std::move(hint)});
+  }
+  void warning(std::string rule, Location loc, std::string message, std::string hint = {}) {
+    add({Severity::kWarning, std::move(rule), std::move(loc), std::move(message),
+         std::move(hint)});
+  }
+  void info(std::string rule, Location loc, std::string message, std::string hint = {}) {
+    add({Severity::kInfo, std::move(rule), std::move(loc), std::move(message),
+         std::move(hint)});
+  }
+  void merge(const Report& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diags_.empty(); }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t error_count() const { return count(Severity::kError); }
+  /// No errors (warnings and infos allowed).
+  [[nodiscard]] bool clean() const { return error_count() == 0; }
+  /// First diagnostic matching `rule`, or nullptr.
+  [[nodiscard]] const Diagnostic* find(std::string_view rule) const;
+  [[nodiscard]] bool has(std::string_view rule) const { return find(rule) != nullptr; }
+
+  /// One line per diagnostic: "error bs.crc.mismatch @ word 1693: ...".
+  [[nodiscard]] std::string render_text() const;
+  /// A JSON array of diagnostic objects (machine-readable output).
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace uparc::analysis

@@ -1,0 +1,83 @@
+#include "analysis/model_lint.hpp"
+
+#include "sim/clock.hpp"
+#include "sim/module.hpp"
+#include "sim/topology.hpp"
+
+namespace uparc::analysis {
+namespace {
+
+using sim::Topology;
+
+[[nodiscard]] std::string endpoint_path(const Topology::Channel& ch) {
+  std::string p = ch.producer ? ch.producer->name() : "?";
+  p += " -> ";
+  p += ch.consumer ? ch.consumer->name() : "?";
+  return p;
+}
+
+void lint_channels(const Topology& topo, Report& r) {
+  for (const Topology::Channel& ch : topo.channels()) {
+    const Location at = Location::module(endpoint_path(ch));
+    if (ch.has_fifo) {
+      if (ch.producer_clock == nullptr || ch.consumer_clock == nullptr) {
+        r.error("md.fifo.unclocked-endpoint", at,
+                "FIFO '" + ch.fifo + "' has an endpoint with no clock domain",
+                "bind both endpoints to clocks so the FIFO's domain pair is defined");
+      } else if (ch.producer_clock == ch.consumer_clock) {
+        r.warning("md.fifo.same-domain", at,
+                  "FIFO '" + ch.fifo + "' synchronizes a path that stays in domain '" +
+                      ch.producer_clock->name() + "'",
+                  "a same-domain FIFO adds latency without a CDC to justify it");
+      }
+      continue;
+    }
+    if (ch.producer_clock != nullptr && ch.consumer_clock != nullptr &&
+        ch.producer_clock != ch.consumer_clock) {
+      r.error("md.cdc.no-fifo", at,
+              "direct path crosses from domain '" + ch.producer_clock->name() +
+                  "' to '" + ch.consumer_clock->name() + "' with no synchronizing FIFO",
+              "insert an async FIFO (or bring both endpoints into one domain)");
+    }
+  }
+}
+
+void lint_modules(const Topology& topo, Report& r) {
+  for (const sim::Module* m : topo.clock_required()) {
+    if (topo.clock_of(m) == nullptr) {
+      r.error("md.module.unclocked", Location::module(m->name()),
+              "module declares it needs a clock but none is bound",
+              "bind the driving clock during elaboration");
+    }
+  }
+}
+
+void lint_clocks(const Topology& topo, Report& r) {
+  for (const sim::Clock* c : topo.clocks()) {
+    if (c->enabled() && !c->supplied() && c->subscriber_count() > 0) {
+      r.warning("md.gate.dead", Location::module(c->name()),
+                "clock is EN-enabled with subscribers but its supply is held low; "
+                "the gate can never fire",
+                "the synthesizing DCM never locked — check the DCM programming path");
+    }
+    if (c->running() && c->subscriber_count() == 0) {
+      r.warning("md.clock.free-running", Location::module(c->name()),
+                "clock is running with no subscribers; it burns dynamic power "
+                "driving nothing",
+                "gate the clock off (EN=0) until a consumer subscribes");
+    }
+  }
+}
+
+}  // namespace
+
+Report lint_model(const sim::Simulation& sim) {
+  Report r;
+  const Topology& topo = sim.topology();
+  lint_modules(topo, r);
+  lint_channels(topo, r);
+  lint_clocks(topo, r);
+  return r;
+}
+
+}  // namespace uparc::analysis

@@ -1,0 +1,18 @@
+// Model linter (rules md.*) for an elaborated simulation graph.
+//
+// Walks the sim::Topology registry of a constructed System — modules,
+// clocks, clock bindings and inter-module channels — and flags structural
+// hazards before any event runs: clock-domain crossings with no
+// synchronizing FIFO, FIFOs whose endpoints have no valid domain
+// relationship, clocked modules never bound to a clock, EN gates that can
+// never fire, and clocks running with nobody listening.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "sim/kernel.hpp"
+
+namespace uparc::analysis {
+
+[[nodiscard]] Report lint_model(const sim::Simulation& sim);
+
+}  // namespace uparc::analysis

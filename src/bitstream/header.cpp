@@ -58,8 +58,9 @@ class Cursor {
 
 Bytes serialize_header(const BitstreamHeader& h) {
   Bytes out;
+  out.reserve(64 + h.design_name.size() + h.part_name.size() + h.date.size() + h.time.size());
   put_u16(out, static_cast<u16>(kMagic.size()));
-  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  for (u8 m : kMagic) out.push_back(m);
   put_u16(out, 0x0001);
   put_field(out, 'a', h.design_name);
   put_field(out, 'b', h.part_name);

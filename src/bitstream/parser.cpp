@@ -10,7 +10,7 @@ Result<ParsedBody> parse_body(const Device& device, WordsView body) {
 
   // Hunt for the sync word; everything before it must be pad/bus-width words.
   while (i < body.size() && body[i] != kSyncWord) ++i;
-  if (i == body.size()) return make_error("no sync word in body");
+  if (i == body.size()) return make_error("no sync word in body", ErrorCause::kBadInput);
   ++i;
   out.saw_sync = true;
 
@@ -61,10 +61,20 @@ Result<ParsedBody> parse_body(const Device& device, WordsView body) {
     if (type == 1) {
       const Opcode op = packet_opcode(header);
       const u32 count = type1_count(header);
-      if (op == Opcode::kNop) continue;
-      if (op == Opcode::kRead) return make_error("read packets unsupported in partial bitstream");
+      if (op == Opcode::kNop) {
+        // A NOP with a declared payload would leave the parser misreading
+        // payload words as packet headers — reject rather than desync.
+        if (count != 0) {
+          return make_error("NOP packet declares a payload", ErrorCause::kBadInput);
+        }
+        continue;
+      }
+      if (op == Opcode::kRead) {
+        return make_error("read packets unsupported in partial bitstream",
+                          ErrorCause::kBadInput);
+      }
       const ConfigReg reg = packet_reg(header);
-      if (i + count > body.size()) return make_error("type-1 payload overruns body");
+      if (i + count > body.size()) return make_error("type-1 payload overruns body", ErrorCause::kBadInput);
       if (count > 0) {
         if (reg == ConfigReg::kCrc) {
           // Compare before the CRC word perturbs the running value.
@@ -76,24 +86,24 @@ Result<ParsedBody> parse_body(const Device& device, WordsView body) {
         // Zero count: register selected; a type-2 packet with the payload
         // must follow (possibly after NOOPs).
         while (i < body.size() && body[i] == kNoopWord) ++i;
-        if (i >= body.size()) return make_error("type-1 select with no type-2 payload");
+        if (i >= body.size()) return make_error("type-1 select with no type-2 payload", ErrorCause::kBadInput);
         const u32 t2 = body[i++];
-        if (packet_type(t2) != 2) return make_error("expected type-2 packet after select");
+        if (packet_type(t2) != 2) return make_error("expected type-2 packet after select", ErrorCause::kBadInput);
         const u32 n = type2_count(t2);
-        if (i + n > body.size()) return make_error("type-2 payload overruns body");
+        if (i + n > body.size()) return make_error("type-2 payload overruns body", ErrorCause::kBadInput);
         handle_write(reg, body.subspan(i, n));
         i += n;
       }
     } else if (type == 2) {
-      return make_error("type-2 packet without preceding type-1 select");
+      return make_error("type-2 packet without preceding type-1 select", ErrorCause::kBadInput);
     } else {
-      return make_error("unknown packet type");
+      return make_error("unknown packet type", ErrorCause::kBadInput);
     }
   }
 
   if (!fdri_accum.empty()) {
     if (fdri_accum.size() % device.frame_words != 0) {
-      return make_error("FDRI payload is not a whole number of frames");
+      return make_error("FDRI payload is not a whole number of frames", ErrorCause::kBadInput);
     }
     out.frames = split_frames(device, out.start_address, fdri_accum);
   }
@@ -105,7 +115,7 @@ Result<ParsedFile> parse_file(const Device& device, BytesView file) {
   if (!ph.ok()) return ph.error();
   const auto& parsed = ph.value();
   BytesView body_bytes = file.subspan(parsed.body_offset, parsed.header.body_bytes);
-  if (body_bytes.size() % 4 != 0) return make_error("body is not word aligned");
+  if (body_bytes.size() % 4 != 0) return make_error("body is not word aligned", ErrorCause::kBadInput);
   Words body = bytes_to_words(body_bytes);
   auto pb = parse_body(device, body);
   if (!pb.ok()) return pb.error();

@@ -8,7 +8,7 @@ namespace uparc {
 std::string hexdump(BytesView data, std::size_t max_bytes) {
   std::string out;
   const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
-  char line[8];
+  char line[24];
   for (std::size_t off = 0; off < n; off += 16) {
     std::snprintf(line, sizeof line, "%06zx ", off);
     out += line;

@@ -15,6 +15,7 @@ DecompressorUnit::DecompressorUnit(sim::Simulation& sim, std::string name, sim::
       out_(this->name() + ".out", fifo_depth),
       pipeline_latency_(pipeline_latency) {
   clk_.on_rising([this] { on_edge(); });
+  bind_clock(clk_);
 }
 
 void DecompressorUnit::set_profile(compress::HardwareProfile profile) { profile_ = profile; }

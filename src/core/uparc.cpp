@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/bitstream_lint.hpp"
 #include "bitstream/generator.hpp"
 #include "core/resources.hpp"
 #include "power/calibration.hpp"
@@ -69,6 +70,15 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
   }
   if (control_.busy()) {
     return make_error("UPaRC: stage while the manager is mid-launch", ErrorCause::kBusy);
+  }
+  if (config_.lint_gate) {
+    const analysis::Report report = analysis::lint_body(config_.device, bs.body);
+    for (const analysis::Diagnostic& d : report.diagnostics()) {
+      if (d.severity != analysis::Severity::kError) continue;
+      return make_error("UPaRC: lint_gate rejected image: " + d.rule + " @ " +
+                            d.location.describe() + ": " + d.message,
+                        ErrorCause::kBadInput);
+    }
   }
 
   staged_payload_bytes_ = bs.body.size() * 4;

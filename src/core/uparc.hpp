@@ -37,6 +37,10 @@ struct UparcConfig {
   TimePs dcm_lock_time = TimePs::from_us(50);
   /// Compressed-mode UReC/ICAP ceiling (paper: 255 MHz).
   Frequency compressed_mode_fmax = Frequency::mhz(255);
+  /// Pre-flight static analysis: stage() lints the image and rejects it
+  /// (ErrorCause::kBadInput, naming the first violated rule) before a
+  /// single word is copied into the bitstream BRAM.
+  bool lint_gate = true;
 };
 
 class Uparc final : public ctrl::ReconfigController {

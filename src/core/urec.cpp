@@ -8,6 +8,16 @@ UReC::UReC(sim::Simulation& sim, std::string name, sim::Clock& clk2, mem::Bram& 
            icap::Icap& port, DecompressorUnit* decomp)
     : Module(sim, std::move(name)), clk_(clk2), bram_(bram), port_(port), decomp_(decomp) {
   clk_.on_rising([this] { on_edge(); });
+  bind_clock(clk_);
+  if (decomp_ != nullptr) {
+    // The controller feeds compressed words into the decompressor's input
+    // FIFO and drains decoded words from its output FIFO; both crossings
+    // are FIFO-synchronized in the topology model.
+    sim_.topology().declare_channel({this, &clk_, decomp_, &decomp_->clock(),
+                                     decomp_->name() + ".in", true});
+    sim_.topology().declare_channel({decomp_, &decomp_->clock(), this, &clk_,
+                                     decomp_->name() + ".out", true});
+  }
 }
 
 void UReC::start(std::function<void()> finish) {

@@ -5,7 +5,11 @@
 namespace uparc::sim {
 
 Clock::Clock(Simulation& sim, std::string name, Frequency f)
-    : sim_(sim), name_(std::move(name)), freq_(f) {}
+    : sim_(sim), name_(std::move(name)), freq_(f) {
+  sim_.topology().add_clock(this);
+}
+
+Clock::~Clock() { sim_.topology().remove_clock(this); }
 
 void Clock::set_frequency(Frequency f) { freq_ = f; }
 

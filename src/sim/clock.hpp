@@ -21,6 +21,7 @@ class Clock {
   using SubscriptionId = std::size_t;
 
   Clock(Simulation& sim, std::string name, Frequency f);
+  ~Clock();
   Clock(const Clock&) = delete;
   Clock& operator=(const Clock&) = delete;
 
@@ -38,6 +39,8 @@ class Clock {
   /// not call unsubscribe() from inside a tick of the same clock.
   SubscriptionId on_rising(Handler h);
   void unsubscribe(SubscriptionId id);
+  /// Currently registered rising-edge handlers (model-lint introspection).
+  [[nodiscard]] std::size_t subscriber_count() const noexcept { return handlers_.size(); }
 
   /// Enables the clock; the first edge fires one period from now.
   void enable();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/topology.hpp"
 
 namespace uparc::sim {
 
@@ -48,6 +49,12 @@ class Simulation {
   [[nodiscard]] u64 events_executed() const noexcept { return executed_; }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  /// Structural registry of the elaborated model (modules, clocks, channel
+  /// declarations). Populated as components construct; read by the model
+  /// linter in src/analysis/model_lint.hpp.
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
   static constexpr u64 kDefaultEventBudget = 500'000'000ULL;
 
  private:
@@ -64,6 +71,7 @@ class Simulation {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Topology topology_;
   TimePs now_{};
   u64 seq_ = 0;
   u64 executed_ = 0;

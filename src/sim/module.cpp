@@ -2,6 +2,14 @@
 
 namespace uparc::sim {
 
-Module::Module(Simulation& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+Module::Module(Simulation& sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  sim_.topology().add_module(this);
+}
+
+Module::~Module() { sim_.topology().remove_module(this); }
+
+void Module::bind_clock(const Clock& c) { sim_.topology().bind_clock(this, &c); }
+
+void Module::require_clock() { sim_.topology().require_clock(this); }
 
 }  // namespace uparc::sim

@@ -13,7 +13,7 @@ namespace uparc::sim {
 class Module {
  public:
   Module(Simulation& sim, std::string name);
-  virtual ~Module() = default;
+  virtual ~Module();
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
@@ -23,6 +23,13 @@ class Module {
   [[nodiscard]] Stats& stats() noexcept { return stats_; }
 
  protected:
+  /// Declares the clock driving this module in the topology registry (also
+  /// marks the module as one that requires a clock).
+  void bind_clock(const Clock& c);
+  /// Marks this module as clocked without naming the clock yet; a module
+  /// that requires a clock but never binds one is a model-lint error.
+  void require_clock();
+
   Simulation& sim_;
 
  private:

@@ -1,0 +1,37 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+namespace uparc::sim {
+
+void Topology::remove_module(const Module* m) {
+  std::erase(modules_, m);
+  std::erase(required_, m);
+  std::erase_if(bindings_, [m](const ClockBinding& b) { return b.module == m; });
+  std::erase_if(channels_,
+                [m](const Channel& c) { return c.producer == m || c.consumer == m; });
+}
+
+void Topology::remove_clock(const Clock* c) {
+  std::erase(clocks_, c);
+  std::erase_if(bindings_, [c](const ClockBinding& b) { return b.clock == c; });
+  std::erase_if(channels_, [c](const Channel& ch) {
+    return ch.producer_clock == c || ch.consumer_clock == c;
+  });
+}
+
+void Topology::bind_clock(const Module* m, const Clock* c) {
+  bindings_.push_back(ClockBinding{m, c});
+  if (std::find(required_.begin(), required_.end(), m) == required_.end()) {
+    required_.push_back(m);
+  }
+}
+
+const Clock* Topology::clock_of(const Module* m) const {
+  for (const ClockBinding& b : bindings_) {
+    if (b.module == m) return b.clock;
+  }
+  return nullptr;
+}
+
+}  // namespace uparc::sim

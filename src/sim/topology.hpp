@@ -1,0 +1,76 @@
+// Structural introspection registry for an elaborated simulation.
+//
+// Modules and clocks register themselves on construction; clocked modules
+// additionally declare which clock drives them, and the datapath declares
+// the channels (wires or synchronizing FIFOs) that cross module boundaries.
+// The registry carries no behaviour — it exists so the model linter
+// (src/analysis/model_lint.hpp) can walk a constructed System and flag
+// structural hazards (unsynchronized clock-domain crossings, dead EN gates,
+// free-running clocks) before any event runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uparc::sim {
+
+class Module;
+class Clock;
+
+class Topology {
+ public:
+  /// A module driven by a clock (one entry per bind_clock call).
+  struct ClockBinding {
+    const Module* module;
+    const Clock* clock;
+  };
+
+  /// A data path between two modules. `producer_clock`/`consumer_clock` are
+  /// the domains of the endpoints (null = endpoint is unclocked); `fifo`
+  /// names the synchronizing FIFO when `has_fifo` is set, and is empty for
+  /// a direct (wire) connection.
+  struct Channel {
+    const Module* producer = nullptr;
+    const Clock* producer_clock = nullptr;
+    const Module* consumer = nullptr;
+    const Clock* consumer_clock = nullptr;
+    std::string fifo;
+    bool has_fifo = false;
+  };
+
+  void add_module(const Module* m) { modules_.push_back(m); }
+  void remove_module(const Module* m);
+  void add_clock(const Clock* c) { clocks_.push_back(c); }
+  void remove_clock(const Clock* c);
+
+  /// Records that `m` is driven by `c` (also implies `m` requires a clock).
+  void bind_clock(const Module* m, const Clock* c);
+  /// Marks `m` as a module that must be driven by some clock; a module that
+  /// declares this but never binds one is a lint error.
+  void require_clock(const Module* m) { required_.push_back(m); }
+  void declare_channel(Channel ch) { channels_.push_back(std::move(ch)); }
+
+  [[nodiscard]] const std::vector<const Module*>& modules() const noexcept {
+    return modules_;
+  }
+  [[nodiscard]] const std::vector<const Clock*>& clocks() const noexcept { return clocks_; }
+  [[nodiscard]] const std::vector<ClockBinding>& bindings() const noexcept {
+    return bindings_;
+  }
+  [[nodiscard]] const std::vector<const Module*>& clock_required() const noexcept {
+    return required_;
+  }
+  [[nodiscard]] const std::vector<Channel>& channels() const noexcept { return channels_; }
+
+  /// First clock bound to `m`, or nullptr when unbound.
+  [[nodiscard]] const Clock* clock_of(const Module* m) const;
+
+ private:
+  std::vector<const Module*> modules_;
+  std::vector<const Clock*> clocks_;
+  std::vector<ClockBinding> bindings_;
+  std::vector<const Module*> required_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace uparc::sim

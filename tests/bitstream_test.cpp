@@ -205,6 +205,48 @@ TEST(Parser, RejectsOverrunningPacket) {
   EXPECT_FALSE(parse_body(kVirtex5Sx50t, body).ok());
 }
 
+TEST(Parser, RejectsOrphanType2AsBadInput) {
+  // A type-2 packet is only legal directly after a zero-count type-1 select;
+  // with no register selected its payload cannot be attributed.
+  PacketWriter pw;
+  pw.prologue();
+  Words body = pw.take();
+  body.push_back(type2(Opcode::kWrite, 4));
+  body.insert(body.end(), 4, 0u);
+  auto r = parse_body(kVirtex5Sx50t, body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause, ErrorCause::kBadInput);
+}
+
+TEST(Parser, ClassifiesWordCountOverrunAsBadInput) {
+  // Declared payload longer than the remaining file: the count field is
+  // corrupt or the image is truncated.
+  PacketWriter pw;
+  pw.prologue();
+  pw.write_reg(ConfigReg::kIdcode, kVirtex5Sx50t.idcode);
+  Words body = pw.take();
+  body.push_back(type1(Opcode::kWrite, ConfigReg::kFdri, 0));
+  body.push_back(type2(Opcode::kWrite, 1u << 20));  // far beyond the body
+  body.push_back(0u);
+  auto r = parse_body(kVirtex5Sx50t, body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause, ErrorCause::kBadInput);
+}
+
+TEST(Parser, RejectsNopWithDeclaredPayload) {
+  // A NOP carrying a count would make the parser misread its "payload" as
+  // packet headers; the hardened parser rejects instead of desyncing.
+  PacketWriter pw;
+  pw.prologue();
+  Words body = pw.take();
+  body.push_back(type1(Opcode::kNop, ConfigReg::kCmd, 2));
+  body.push_back(0u);
+  body.push_back(0u);
+  auto r = parse_body(kVirtex5Sx50t, body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause, ErrorCause::kBadInput);
+}
+
 TEST(Writer, FileRoundTrip) {
   GeneratorConfig cfg;
   cfg.target_body_bytes = 8_KiB;

@@ -117,7 +117,9 @@ TEST(XMatchDepths, StreamsAreDepthSpecific) {
   XMatchProCodec shallow(16);
   Bytes c = deep.compress(input);
   auto d = shallow.decompress(c);
-  if (d.ok()) EXPECT_NE(d.value(), input);
+  if (d.ok()) {
+    EXPECT_NE(d.value(), input);
+  }
 }
 
 // ------------------------------------------------- Huffman length limits

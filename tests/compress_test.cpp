@@ -164,7 +164,9 @@ TEST(CanonicalCodeTest, KraftInequalityHolds) {
   EXPECT_LE(kraft, 1.0 + 1e-12);
   // Non-zero freq symbols must all have codes.
   for (std::size_t s = 0; s < 256; ++s) {
-    if (freqs[s] > 0) EXPECT_GT(lengths[s], 0u);
+    if (freqs[s] > 0) {
+      EXPECT_GT(lengths[s], 0u);
+    }
   }
 }
 

@@ -77,7 +77,9 @@ TEST(Integration, FrequencyRetuneBetweenReconfigurations) {
     ASSERT_TRUE(sys.stage(bs).ok());
     auto r = sys.reconfigure_blocking();
     ASSERT_TRUE(r.success) << r.error;
-    if (last_us > 0) EXPECT_LT(r.duration().us(), last_us);  // faster each step
+    if (last_us > 0) {
+      EXPECT_LT(r.duration().us(), last_us);  // faster each step
+    }
     last_us = r.duration().us();
   }
 }

@@ -9,6 +9,7 @@
 //   uparc_cli inject   f.bit [--site NAME] [--rate R] [--after N] [--burst N]
 //                      [--max-fires N] [--param P] [--seed S] [--mhz F]
 //   uparc_cli sweep    f.bit
+//   uparc_cli lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
 #include <cstdio>
@@ -17,9 +18,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bitstream_lint.hpp"
+#include "analysis/model_lint.hpp"
 #include "bitstream/parser.hpp"
 #include "bitstream/writer.hpp"
 #include "common/io.hpp"
+#include "compress/codec.hpp"
 #include "compress/registry.hpp"
 #include "compress/stats.hpp"
 #include "core/system.hpp"
@@ -317,6 +321,60 @@ int cmd_inject(const Args& a) {
   return out.success ? 0 : 1;
 }
 
+int cmd_lint(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "lint: need a .bit or .uparc file\n");
+    return 2;
+  }
+  auto data = read_file(a.positional[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "lint: %s\n", data.error().message.c_str());
+    return 1;
+  }
+  const BytesView file = data.value();
+  const bool container = !file.empty() && file[0] == compress::wire::kMagic;
+
+  auto lint_with = [&](const bits::Device& device) {
+    return container ? analysis::lint_container(device, file)
+                     : analysis::lint_file(device, file);
+  };
+  // Pick the device: --device wins; otherwise sniff via the IDCODE packet
+  // (lint against V5 and fall back to V6 when only the part mismatches).
+  analysis::Report report;
+  bits::Device device = bits::kVirtex5Sx50t;
+  if (a.options.count("device") != 0) {
+    device = device_from(a);
+    report = lint_with(device);
+  } else {
+    report = lint_with(bits::kVirtex5Sx50t);
+    if (report.has("bs.idcode.mismatch")) {
+      analysis::Report v6 = lint_with(bits::kVirtex6Lx240t);
+      if (!v6.has("bs.idcode.mismatch")) {
+        device = bits::kVirtex6Lx240t;
+        report = std::move(v6);
+      }
+    }
+  }
+
+  if (a.get("model", "") == "true") {
+    // Also lint the elaborated model a run of this image would execute on.
+    core::SystemConfig cfg;
+    cfg.uparc.device = device;
+    core::System sys(cfg);
+    report.merge(analysis::lint_model(sys.sim()));
+  }
+
+  if (a.get("json", "") == "true") {
+    std::printf("%s", report.render_json().c_str());
+  } else {
+    std::printf("%s", report.render_text().c_str());
+    std::printf("%s: %zu error(s), %zu warning(s) [%s]\n", a.positional[0].c_str(),
+                report.error_count(), report.count(analysis::Severity::kWarning),
+                std::string(device.name).c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_sweep(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "sweep: need a .bit file\n");
@@ -354,7 +412,8 @@ void usage() {
       "  run      f.bit [--mhz F] [--csv trace.csv]\n"
       "  inject   f.bit [--site NAME] [--rate R] [--after N] [--burst N]\n"
       "           [--max-fires N] [--param P] [--seed S] [--mhz F]\n"
-      "  sweep    f.bit\n");
+      "  sweep    f.bit\n"
+      "  lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]\n");
 }
 
 }  // namespace
@@ -373,6 +432,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "lint") return cmd_lint(args);
   usage();
   return 2;
 }
