@@ -3,10 +3,13 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bitstream/generator.hpp"
+#include "common/io.hpp"
+#include "core/system.hpp"
 
 namespace uparc::bench {
 
@@ -49,6 +52,46 @@ inline bits::PartialBitstream one_bitstream(std::size_t bytes = 216 * 1024 + 512
   cfg.target_body_bytes = bytes;
   cfg.seed = seed;
   return bits::Generator(cfg).generate();
+}
+
+/// Re-runs one reconfiguration of `bs` at `mhz` with tracing on and writes
+/// the per-phase breakdown (busy time and energy per span category) to
+/// results/BENCH_<id>_phases.json. Returns false when the run fails or the
+/// file cannot be written — benches report but don't gate on it.
+inline bool write_phase_report(const std::string& id, const bits::PartialBitstream& bs,
+                               double mhz) {
+  core::SystemConfig cfg;
+  cfg.trace = true;
+  core::System sys(cfg);
+  (void)sys.set_frequency_blocking(Frequency::mhz(mhz));
+  if (!sys.stage(bs).ok()) return false;
+  auto r = sys.reconfigure_blocking();
+  if (!r.success) return false;
+
+  obs::Tracer& tr = *sys.tracer();
+  tr.end_all();
+  char buf[160];
+  std::string json = "{\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"bench\": \"%s\",\n  \"clk2_mhz\": %.4g,\n"
+                "  \"payload_bytes\": %zu,\n  \"total_us\": %.6f,\n"
+                "  \"energy_uj\": %.6f,\n  \"phases\": {\n",
+                id.c_str(), mhz, bs.body_bytes(), r.duration().us(), r.energy_uj);
+  json += buf;
+  const auto cats = tr.categories();
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "    \"%s\": {\"busy_us\": %.6f, \"energy_uj\": %.6f}%s\n",
+                  cats[i].c_str(), tr.category_total(cats[i]).us(),
+                  tr.category_energy_uj(cats[i]), i + 1 < cats.size() ? "," : "");
+    json += buf;
+  }
+  json += "  }\n}\n";
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/BENCH_" + id + "_phases.json";
+  if (!write_text_file(path, json).ok()) return false;
+  std::printf("  wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace uparc::bench

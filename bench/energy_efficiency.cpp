@@ -67,6 +67,9 @@ int main() {
   std::printf("  energy decreases with frequency (paper's §V observation): %s\n",
               monotone ? "REPRODUCED" : "OFF");
 
+  // Per-phase breakdown of the headline UPaRC run (trace-derived).
+  (void)bench::write_phase_report("energy_efficiency", bs, 100.0);
+
   const bool ok = std::abs(ratio - 45.0) < 5.0 && monotone;
   return ok ? 0 : 1;
 }

@@ -65,6 +65,9 @@ int main() {
     std::printf("  wrote results/fig5.csv (+ gnuplot recipe)\n");
   }
 
+  // Per-phase breakdown of the 247 KB / 362.5 MHz corner (trace-derived).
+  (void)bench::write_phase_report("fig5", bench::one_bitstream(247 * 1024, 1), 362.5);
+
   const bool ok = std::abs(bw_small_at_max / theoretical - 0.788) < 0.03 &&
                   std::abs(bw_big_at_max / theoretical - 0.99) < 0.01;
   std::printf("  anchor points: %s\n", ok ? "REPRODUCED" : "OFF");

@@ -21,13 +21,20 @@ std::optional<MdChoice> DyCloGen::request_frequency(ClockId id, Frequency target
   if (!choice) return std::nullopt;
 
   icap::Dcm& dcm = *dcms_[index(id)];
+  const std::string gauge_name =
+      name() + ".clk" + std::to_string(index(id) + 1) + "_mhz";
   if (dcm.locked() && dcm.m() == choice->m && dcm.d() == choice->d) {
     stats().add("retunes_skipped");
+    metrics().counter(name() + ".retunes_skipped").add();
+    metrics().gauge(gauge_name).set(frequency(id).in_mhz());
     if (done) done();
     return choice;
   }
 
-  dcm.on_locked(std::move(done));
+  dcm.on_locked([this, id, gauge_name, done = std::move(done)] {
+    metrics().gauge(gauge_name).set(frequency(id).in_mhz());
+    if (done) done();
+  });
   // Program through the DRP the way the real DyCloGen does: stage M and D,
   // then pulse reset via the status register to apply.
   drp_->attach(dcm);
@@ -35,6 +42,7 @@ std::optional<MdChoice> DyCloGen::request_frequency(ClockId id, Frequency target
   (void)drp_->write(icap::Dcm::kRegD, static_cast<u16>(choice->d - 1));
   (void)drp_->write(icap::Dcm::kRegStatus, 0x2);
   stats().add("retunes");
+  metrics().counter(name() + ".retunes").add();
   return choice;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace uparc::core {
 
 DecompressorUnit::DecompressorUnit(sim::Simulation& sim, std::string name, sim::Clock& clk3,
@@ -33,6 +35,7 @@ void DecompressorUnit::arm(Words output, std::size_t input_words) {
   warmup_left_ = pipeline_latency_;
   in_.clear();
   out_.clear();
+  begin_stream_span("replay");
 }
 
 void DecompressorUnit::arm_streaming(std::unique_ptr<compress::StreamingDecoder> decoder,
@@ -51,6 +54,37 @@ void DecompressorUnit::arm_streaming(std::unique_ptr<compress::StreamingDecoder>
   warmup_left_ = pipeline_latency_;
   in_.clear();
   out_.clear();
+  begin_stream_span("streaming");
+}
+
+void DecompressorUnit::begin_stream_span(const char* mode) {
+  stalls_at_arm_ = stalls_;
+  armed_cycle_count_ = clk_.cycle_count();
+  if (obs::Tracer* tr = tracer()) {
+    tr->end(stream_span_);  // a re-arm supersedes an unfinished stream
+    stream_span_ = tr->begin("decompress.stream", "decompress");
+    tr->arg(stream_span_, "mode", mode);
+    tr->arg(stream_span_, "output_words", static_cast<double>(total_output_));
+    tr->arg(stream_span_, "input_words", static_cast<double>(input_expected_));
+  }
+}
+
+void DecompressorUnit::finish_stream_span() {
+  const u64 cycles = stream_cycles();
+  const u64 stalls = stalls_ - stalls_at_arm_;
+  metrics().counter(name() + ".words_out").add(static_cast<double>(produced_));
+  metrics().counter(name() + ".words_in").add(static_cast<double>(input_taken_));
+  metrics().histogram(name() + ".stall_cycles").observe(static_cast<double>(stalls));
+  if (cycles > 0) {
+    metrics().gauge(name() + ".words_per_cycle")
+        .set(static_cast<double>(produced_) / static_cast<double>(cycles));
+  }
+  if (obs::Tracer* tr = tracer()) {
+    tr->arg(stream_span_, "stall_cycles", static_cast<double>(stalls));
+    tr->arg(stream_span_, "clk3_cycles", static_cast<double>(cycles));
+    tr->arg(stream_span_, "input_taken", static_cast<double>(input_taken_));
+    tr->end(stream_span_);
+  }
 }
 
 void DecompressorUnit::push_input(u32 word) {
@@ -74,6 +108,7 @@ bool DecompressorUnit::produce_one() {
     out_.push(output_[produced_]);
   }
   ++produced_;
+  if (produced_ == total_output_) finish_stream_span();
   return true;
 }
 

@@ -63,6 +63,10 @@ class DecompressorUnit : public sim::Module {
   }
   [[nodiscard]] std::size_t produced() const noexcept { return produced_; }
   [[nodiscard]] u64 stall_cycles() const noexcept { return stalls_; }
+  /// CLK_3 cycles spent on the current/last stream (arm → last word out).
+  [[nodiscard]] u64 stream_cycles() const noexcept {
+    return clk_.cycle_count() - armed_cycle_count_;
+  }
 
   /// Streaming-decoder failure (corrupt compressed stream).
   [[nodiscard]] bool errored() const noexcept;
@@ -73,6 +77,8 @@ class DecompressorUnit : public sim::Module {
  private:
   void on_edge();
   bool produce_one();
+  void begin_stream_span(const char* mode);
+  void finish_stream_span();
 
   sim::Clock& clk_;
   compress::HardwareProfile profile_;
@@ -94,6 +100,9 @@ class DecompressorUnit : public sim::Module {
   double output_credit_ = 0.0;
   unsigned warmup_left_ = 0;
   u64 stalls_ = 0;
+  u64 stalls_at_arm_ = 0;
+  u64 armed_cycle_count_ = 0;
+  std::size_t stream_span_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace uparc::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/chrome_trace.hpp"
+
 namespace uparc::core {
 namespace {
 
@@ -25,9 +27,32 @@ System::System(SystemConfig config) : config_(config) {
   if (config_.with_power_rail) {
     rail_ = std::make_unique<power::Rail>(sim_, "vccint");
   }
+  if (config_.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(sim_);
+    if (rail_ != nullptr) {
+      tracer_->set_energy_probe(
+          [this](TimePs t0, TimePs t1) { return rail_->energy_uj(t0, t1); });
+    }
+    sim_.set_tracer(tracer_.get());
+  }
   plane_ = std::make_unique<icap::ConfigPlane>(sim_, "config_plane", config_.uparc.device);
   icap_ = std::make_unique<icap::Icap>(sim_, "icap", *plane_);
   uparc_ = std::make_unique<Uparc>(sim_, "uparc", *icap_, config_.uparc, rail_.get());
+}
+
+std::string System::trace_json() {
+  if (tracer_ == nullptr) return "{}";
+  tracer_->end_all();
+  std::vector<obs::CounterTrack> extra;
+  if (rail_ != nullptr && !rail_->steps().empty()) {
+    obs::CounterTrack track;
+    track.name = "vccint_mw";
+    for (const power::RailStep& s : rail_->steps()) {
+      track.samples.push_back({s.time, s.total_mw});
+    }
+    extra.push_back(std::move(track));
+  }
+  return obs::to_chrome_trace(*tracer_, extra);
 }
 
 ctrl::ReconfigResult System::reconfigure_blocking() {

@@ -13,6 +13,7 @@
 #include "controllers/xps_hwicap.hpp"
 #include "core/uparc.hpp"
 #include "manager/recovery.hpp"
+#include "obs/trace.hpp"
 #include "power/scope.hpp"
 
 namespace uparc::core {
@@ -20,6 +21,11 @@ namespace uparc::core {
 struct SystemConfig {
   UparcConfig uparc{};
   bool with_power_rail = true;
+  /// Attaches an obs::Tracer to the kernel: every module on the
+  /// reconfiguration path emits spans, and trace_json() exports them as
+  /// Chrome trace_event JSON. Off by default — when off, the only cost on
+  /// the hot path is one null-pointer load per instrumentation site.
+  bool trace = false;
 };
 
 class System {
@@ -31,6 +37,17 @@ class System {
   [[nodiscard]] icap::ConfigPlane& plane() noexcept { return *plane_; }
   [[nodiscard]] icap::Icap& icap() noexcept { return *icap_; }
   [[nodiscard]] Uparc& uparc() noexcept { return *uparc_; }
+
+  /// Null unless SystemConfig::trace was set.
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+  /// The kernel-wide metrics registry (always on).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return sim_.metrics(); }
+
+  /// Renders the collected spans as Chrome trace_event JSON (open spans are
+  /// closed at the current simulated time first; the power rail's step
+  /// history rides along as a "vccint_mw" counter track). Returns "{}" when
+  /// tracing is off.
+  [[nodiscard]] std::string trace_json();
 
   /// Stages a bitstream into UPaRC (see Uparc::stage).
   [[nodiscard]] Status stage(const bits::PartialBitstream& bs) { return uparc_->stage(bs); }
@@ -73,6 +90,7 @@ class System {
   std::unique_ptr<icap::ConfigPlane> plane_;
   std::unique_ptr<icap::Icap> icap_;
   std::unique_ptr<manager::MicroBlaze> baseline_mb_;  // shared by xps baselines
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<Uparc> uparc_;
   std::unique_ptr<manager::RecoveryManager> recovery_;
 };

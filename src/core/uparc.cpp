@@ -6,6 +6,7 @@
 #include "analysis/bitstream_lint.hpp"
 #include "bitstream/generator.hpp"
 #include "core/resources.hpp"
+#include "obs/trace.hpp"
 #include "power/calibration.hpp"
 
 namespace uparc::core {
@@ -71,18 +72,39 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
   if (control_.busy()) {
     return make_error("UPaRC: stage while the manager is mid-launch", ErrorCause::kBusy);
   }
+  obs::Tracer* tr = tracer();
   if (config_.lint_gate) {
+    const obs::SpanId lint_span =
+        tr != nullptr ? tr->begin("lint.check", "lint") : obs::kNoSpan;
     const analysis::Report report = analysis::lint_body(config_.device, bs.body);
+    const analysis::Diagnostic* first_error = nullptr;
     for (const analysis::Diagnostic& d : report.diagnostics()) {
       if (d.severity != analysis::Severity::kError) continue;
-      return make_error("UPaRC: lint_gate rejected image: " + d.rule + " @ " +
-                            d.location.describe() + ": " + d.message,
+      first_error = &d;
+      break;
+    }
+    if (tr != nullptr) {
+      tr->arg(lint_span, "diagnostics", static_cast<double>(report.diagnostics().size()));
+      tr->arg(lint_span, "passed", first_error == nullptr);
+      if (first_error != nullptr) tr->arg(lint_span, "rule", first_error->rule);
+      tr->end(lint_span);
+    }
+    if (first_error != nullptr) {
+      metrics().counter(name() + ".lint_rejects").add();
+      return make_error("UPaRC: lint_gate rejected image: " + first_error->rule + " @ " +
+                            first_error->location.describe() + ": " + first_error->message,
                         ErrorCause::kBadInput);
     }
   }
 
   staged_payload_bytes_ = bs.body.size() * 4;
   staging_done_ = false;
+  metrics().counter(name() + ".stages").add();
+  if (tr != nullptr) {
+    tr->end(stage_span_);  // a restage supersedes an unfinished staging
+    stage_span_ = tr->begin("uparc.stage", "stage");
+    tr->arg(stage_span_, "payload_bytes", static_cast<double>(staged_payload_bytes_));
+  }
 
   const std::size_t raw_needed = (1 + bs.body.size()) * 4;
   Status st = Status::success();
@@ -90,14 +112,26 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     // Preloading without compression (paper mode i).
     mode_compressed_ = false;
     stored_bytes_ = raw_needed;
+    if (tr != nullptr) tr->arg(stage_span_, "mode", "uncompressed");
     st = preloader_.preload_body(
         bs.body, [this, e = ++staging_epoch_] { if (e == staging_epoch_) on_staged(); });
   } else {
     // Preloading with compression (paper mode ii): the container is built
     // offline ("compressed offline using PC-running software").
+    const obs::SpanId compress_span =
+        tr != nullptr ? tr->begin("stage.compress_offline", "stage") : obs::kNoSpan;
     const Bytes packed = words_to_bytes(bs.body);
     const Bytes container = codec_impl_->compress(packed);
+    if (tr != nullptr) {
+      tr->arg(compress_span, "codec", std::string(codec_impl_->name()));
+      tr->arg(compress_span, "container_bytes", static_cast<double>(container.size()));
+      tr->end(compress_span);
+    }
     if (4 + ((container.size() + 3) / 4) * 4 > bram_.size_bytes()) {
+      if (tr != nullptr) {
+        tr->arg(stage_span_, "outcome", "capacity_exceeded");
+        tr->end(stage_span_);
+      }
       return make_error("UPaRC: bitstream exceeds BRAM even compressed (" +
                             std::to_string(container.size()) + " bytes with " +
                             std::string(codec_impl_->name()) + ")",
@@ -107,6 +141,14 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     stored_bytes_ = container.size() + 4;
     decomp_output_ = bs.body;
     decomp_input_words_ = (container.size() + 3) / 4;
+    metrics().gauge(name() + ".compression_ratio")
+        .set(static_cast<double>(staged_payload_bytes_) /
+             static_cast<double>(stored_bytes_));
+    if (tr != nullptr) {
+      tr->arg(stage_span_, "mode", "compressed");
+      tr->arg(stage_span_, "codec", std::string(codec_impl_->name()));
+      tr->arg(stage_span_, "stored_bytes", static_cast<double>(stored_bytes_));
+    }
     // Run the decompressor at its own F_max (CLK_3 is independent of the
     // reconfiguration clock — paper §IV). Relock completes well inside the
     // preload copy time.
@@ -120,6 +162,8 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
 
 void Uparc::on_staged() {
   staging_done_ = true;
+  metrics().gauge(name() + ".staged_bytes").set(static_cast<double>(stored_bytes_));
+  if (obs::Tracer* tr = tracer()) tr->end(stage_span_);
   if (pending_reconfig_) {
     auto go = std::move(pending_reconfig_);
     pending_reconfig_ = nullptr;
@@ -144,6 +188,16 @@ void Uparc::reconfigure(ctrl::ReconfigCallback done) {
   }
 
   const TimePs start_time = sim_.now();
+  metrics().counter(name() + ".reconfigures").add();
+  metrics().gauge(name() + ".clk2_mhz")
+      .set(dyclogen_.frequency(clocking::ClockId::kReconfig).in_mhz());
+  if (obs::Tracer* tr = tracer()) {
+    reconfig_span_ = tr->begin("uparc.reconfigure", "reconfig");
+    tr->arg(reconfig_span_, "mode", mode_compressed_ ? "compressed" : "uncompressed");
+    tr->arg(reconfig_span_, "payload_bytes", static_cast<double>(staged_payload_bytes_));
+    tr->arg(reconfig_span_, "clk2_mhz",
+            dyclogen_.frequency(clocking::ClockId::kReconfig).in_mhz());
+  }
   control_.launch(
       [this](std::function<void()> finish) {
         if (mode_compressed_) {
@@ -191,6 +245,16 @@ void Uparc::reconfigure(ctrl::ReconfigCallback done) {
           r.success = true;
         }
         if (rail_ != nullptr) r.energy_uj = rail_->energy_uj(r.start, r.end);
+        metrics().counter(name() + (r.success ? ".reconfig_success" : ".reconfig_failures"))
+            .add();
+        metrics().histogram(name() + ".reconfig_us").observe((r.end - r.start).us());
+        metrics().meter(name() + ".payload_bytes")
+            .add(static_cast<double>(r.payload_bytes), r.end);
+        if (obs::Tracer* tr = tracer()) {
+          tr->arg(reconfig_span_, "success", r.success);
+          if (!r.success) tr->arg(reconfig_span_, "cause", to_string(r.cause));
+          tr->end(reconfig_span_);
+        }
         done(r);
       });
 }

@@ -132,6 +132,8 @@ class Uparc final : public ctrl::ReconfigController {
   std::size_t decomp_input_words_ = 0;  // compressed container length in words
   std::size_t stored_bytes_ = 0;
   u64 staged_payload_bytes_ = 0;
+  std::size_t stage_span_ = static_cast<std::size_t>(-1);
+  std::size_t reconfig_span_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace uparc::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace uparc::core {
 
 UReC::UReC(sim::Simulation& sim, std::string name, sim::Clock& clk2, mem::Bram& bram,
@@ -9,6 +11,10 @@ UReC::UReC(sim::Simulation& sim, std::string name, sim::Clock& clk2, mem::Bram& 
     : Module(sim, std::move(name)), clk_(clk2), bram_(bram), port_(port), decomp_(decomp) {
   clk_.on_rising([this] { on_edge(); });
   bind_clock(clk_);
+  for (std::size_t i = 0; i < state_cycle_counters_.size(); ++i) {
+    state_cycle_counters_[i] = &metrics().counter(
+        this->name() + ".cycles." + to_string(static_cast<UrecState>(i)));
+  }
   if (decomp_ != nullptr) {
     // The controller feeds compressed words into the decompressor's input
     // FIFO and drains decoded words from its output FIFO; both crossings
@@ -27,8 +33,20 @@ void UReC::start(std::function<void()> finish) {
   error_.clear();
   cause_ = ErrorCause::kNone;
   words_to_icap_ = 0;
+  if (obs::Tracer* tr = tracer()) {
+    stream_span_ = tr->begin("urec.stream", "urec");
+    state_span_ = tr->begin("urec.read_header", "urec");
+  }
   port_.reset();
   clk_.enable();  // EN: BRAM + ICAP access on
+}
+
+void UReC::enter_state(UrecState next) {
+  state_ = next;
+  if (obs::Tracer* tr = tracer()) {
+    tr->end(state_span_);
+    state_span_ = tr->begin(std::string("urec.") + to_string(next), "urec");
+  }
 }
 
 void UReC::finish_now(UrecState final_state, std::string error, ErrorCause cause) {
@@ -36,6 +54,17 @@ void UReC::finish_now(UrecState final_state, std::string error, ErrorCause cause
   error_ = std::move(error);
   cause_ = cause;
   clk_.disable();  // EN off: BRAM and ICAP gated to save power
+  metrics().counter(name() + (final_state == UrecState::kFinished ? ".finished" : ".errors"))
+      .add();
+  metrics().counter(name() + ".words_to_icap").add(static_cast<double>(words_to_icap_));
+  if (obs::Tracer* tr = tracer()) {
+    tr->end(state_span_);
+    tr->arg(stream_span_, "state", to_string(final_state));
+    tr->arg(stream_span_, "words_to_icap", static_cast<double>(words_to_icap_));
+    tr->arg(stream_span_, "active_cycles", static_cast<double>(active_cycles_));
+    if (!error_.empty()) tr->arg(stream_span_, "error", error_);
+    tr->end(stream_span_);
+  }
   if (finish_cb_) {
     auto cb = std::move(finish_cb_);
     finish_cb_ = nullptr;
@@ -50,6 +79,7 @@ void UReC::abort(ErrorCause cause, std::string why) {
 
 void UReC::on_edge() {
   ++active_cycles_;
+  state_cycle_counters_[static_cast<std::size_t>(state_)]->add();
   if (port_.errored()) {
     finish_now(UrecState::kError, "ICAP error: " + port_.error_message(),
                port_.error_cause());
@@ -77,9 +107,9 @@ void UReC::on_edge() {
                      ErrorCause::kUnsupported);
           return;
         }
-        state_ = UrecState::kStreamDecompress;
+        enter_state(UrecState::kStreamDecompress);
       } else {
-        state_ = UrecState::kStreamDirect;
+        enter_state(UrecState::kStreamDirect);
       }
       return;
     }

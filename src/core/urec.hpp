@@ -11,6 +11,8 @@
 //      power.
 #pragma once
 
+#include <array>
+
 #include "core/decompressor_unit.hpp"
 #include "icap/icap.hpp"
 #include "manager/preloader.hpp"
@@ -26,6 +28,18 @@ enum class UrecState {
   kFinished,
   kError,
 };
+
+[[nodiscard]] constexpr const char* to_string(UrecState s) {
+  switch (s) {
+    case UrecState::kIdle: return "idle";
+    case UrecState::kReadHeader: return "read_header";
+    case UrecState::kStreamDirect: return "stream_direct";
+    case UrecState::kStreamDecompress: return "stream_decompress";
+    case UrecState::kFinished: return "finished";
+    case UrecState::kError: return "error";
+  }
+  return "?";
+}
 
 class UReC : public sim::Module {
  public:
@@ -58,6 +72,7 @@ class UReC : public sim::Module {
   void on_edge();
   void finish_now(UrecState final_state, std::string error = {},
                   ErrorCause cause = ErrorCause::kNone);
+  void enter_state(UrecState next);
 
   sim::Clock& clk_;
   mem::Bram& bram_;
@@ -72,6 +87,12 @@ class UReC : public sim::Module {
   std::size_t next_addr_ = 0;
   u64 words_to_icap_ = 0;
   u64 active_cycles_ = 0;
+
+  // Observability: the whole Start→Finish window plus one sub-span per FSM
+  // state (residency), and cached per-state cycle counters.
+  std::size_t stream_span_ = static_cast<std::size_t>(-1);
+  std::size_t state_span_ = static_cast<std::size_t>(-1);
+  std::array<obs::Counter*, 6> state_cycle_counters_{};
 };
 
 }  // namespace uparc::core

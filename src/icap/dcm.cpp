@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace uparc::icap {
 
 Dcm::Dcm(sim::Simulation& sim, std::string name, Frequency f_in, sim::Clock& output,
@@ -57,17 +59,31 @@ void Dcm::drop_lock() {
   locked_ = false;
   output_.set_supplied(false);
   stats().add("lock_losses");
+  metrics().counter(name() + ".lock_losses").add();
+  if (obs::Tracer* tr = tracer()) tr->instant("dcm.lock_lost", "clocking");
 }
 
 void Dcm::start_relock() {
   // LOCKED drops; the output clock is not usable during relock.
   locked_ = false;
   output_.set_supplied(false);
+  if (obs::Tracer* tr = tracer()) {
+    tr->end(relock_span_);  // a newer program() supersedes a pending relock
+    relock_span_ = tr->begin("dcm.relock", "clocking");
+    tr->arg(relock_span_, "m", static_cast<double>(staged_m_));
+    tr->arg(relock_span_, "d", static_cast<double>(staged_d_));
+  }
   const u64 epoch = ++relock_epoch_;
   sim_.schedule_in(lock_time_, [this, epoch] {
     if (epoch != relock_epoch_) return;  // superseded by a newer program()
+    obs::Tracer* tr = tracer();
     if (lock_fault_ && lock_fault_()) {
       stats().add("lock_faults");
+      metrics().counter(name() + ".lock_faults").add();
+      if (tr != nullptr) {
+        tr->arg(relock_span_, "outcome", "fault");
+        tr->end(relock_span_);
+      }
       return;  // LOCKED stays low; a fresh reset pulse is needed
     }
     m_ = staged_m_;
@@ -75,7 +91,13 @@ void Dcm::start_relock() {
     output_.set_frequency(f_out());
     locked_ = true;
     ++relocks_;
+    metrics().counter(name() + ".relocks").add();
     output_.set_supplied(true);
+    if (tr != nullptr) {
+      tr->arg(relock_span_, "outcome", "locked");
+      tr->arg(relock_span_, "f_out_mhz", f_out().in_mhz());
+      tr->end(relock_span_);
+    }
     if (locked_cb_) locked_cb_();
   });
 }

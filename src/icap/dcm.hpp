@@ -74,6 +74,7 @@ class Dcm : public sim::Module, public DrpPeripheral {
   bool locked_ = false;
   u64 relock_epoch_ = 0;
   u64 relocks_ = 0;
+  std::size_t relock_span_ = static_cast<std::size_t>(-1);
   std::function<void()> locked_cb_;
   std::function<bool()> lock_fault_;
 };

@@ -1,13 +1,38 @@
 #include "icap/icap.hpp"
 
+#include "obs/trace.hpp"
+
 namespace uparc::icap {
 
 Icap::Icap(sim::Simulation& sim, std::string name, ConfigPlane& plane, Frequency rated_fmax)
     : Module(sim, std::move(name)), plane_(plane), rated_fmax_(rated_fmax) {
   frame_buf_.reserve(plane_.device().frame_words);
+  words_counter_ = &metrics().counter(this->name() + ".words");
+  frames_counter_ = &metrics().counter(this->name() + ".frames");
+}
+
+void Icap::open_burst_span() {
+  obs::Tracer* tr = tracer();
+  if (tr == nullptr || burst_open_) return;
+  burst_span_ = tr->begin("icap.burst", "icap");
+  burst_open_ = true;
+  burst_start_words_ = words_;
+  burst_start_frames_ = frames_;
+}
+
+void Icap::close_burst_span(const char* outcome) {
+  obs::Tracer* tr = tracer();
+  if (tr == nullptr || !burst_open_) return;
+  burst_open_ = false;
+  tr->arg(burst_span_, "outcome", outcome);
+  tr->arg(burst_span_, "words", static_cast<double>(words_ - burst_start_words_));
+  tr->arg(burst_span_, "frames", static_cast<double>(frames_ - burst_start_frames_));
+  if (crc_checked_) tr->arg(burst_span_, "crc_ok", crc_ok_);
+  tr->end(burst_span_);
 }
 
 void Icap::reset() {
+  close_burst_span("reset");  // a reset mid-burst abandons the stream
   state_ = IcapState::kPreSync;
   error_.clear();
   cause_ = ErrorCause::kNone;
@@ -29,6 +54,8 @@ void Icap::fail(std::string why, ErrorCause cause) {
   error_ = std::move(why);
   cause_ = cause;
   stats().add("errors");
+  metrics().counter(name() + ".errors").add();
+  close_burst_span("error");
 }
 
 void Icap::inject_abort(std::string why) {
@@ -113,6 +140,7 @@ void Icap::handle_payload_word(u32 word) {
           return;
         }
         state_ = IcapState::kDesynced;
+        close_burst_span("desync");
         if (done_cb_) done_cb_();
         return;
       }
@@ -129,6 +157,7 @@ void Icap::handle_payload_word(u32 word) {
         far_ = bits::next_frame_address(far_);
         frame_buf_.clear();
         ++frames_;
+        frames_counter_->add();
       }
       break;
     default:
@@ -141,7 +170,9 @@ void Icap::handle_payload_word(u32 word) {
 }
 
 void Icap::write_word(u32 word) {
+  if (state_ != IcapState::kDesynced && state_ != IcapState::kError) open_burst_span();
   ++words_;
+  words_counter_->add();
   if (write_tap_ && state_ != IcapState::kDesynced && state_ != IcapState::kError) {
     if (write_tap_(word)) {
       fail("injected ICAP abort after " + std::to_string(words_) + " words",

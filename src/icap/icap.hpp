@@ -115,6 +115,17 @@ class Icap : public sim::Module {
   bool crc_ok_ = false;
   u32 idcode_ = 0;
   std::function<void()> done_cb_;
+
+  // Observability: one span per write burst (first word → DESYNC/error/
+  // reset) plus cached hot-path counters (one add per word/frame).
+  void open_burst_span();
+  void close_burst_span(const char* outcome);
+  std::size_t burst_span_ = static_cast<std::size_t>(-1);
+  bool burst_open_ = false;
+  u64 burst_start_words_ = 0;
+  u64 burst_start_frames_ = 0;
+  obs::Counter* words_counter_ = nullptr;
+  obs::Counter* frames_counter_ = nullptr;
 };
 
 }  // namespace uparc::icap

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace uparc::manager {
 
 ReconfigControl::ReconfigControl(sim::Simulation& sim, std::string name, MicroBlaze& manager,
@@ -25,20 +27,29 @@ void ReconfigControl::launch(std::function<void(std::function<void()> finish)> s
   if (busy_) throw std::logic_error("ReconfigControl: launch while busy: " + name());
   busy_ = true;
   ++launches_;
+  metrics().counter(name() + ".launches").add();
+  if (obs::Tracer* tr = tracer()) {
+    launch_span_ = tr->begin("control.launch", "control");
+    tr->arg(launch_span_, "mode",
+            mode_ == WaitMode::kActiveWait ? "active_wait" : "interrupt");
+  }
   if (burst_power_) burst_power_->set_active(true);
 
   manager_.execute(manager_.costs().control_launch, [this, start = std::move(start),
                                                      done = std::move(done)]() mutable {
     if (burst_power_) burst_power_->set_active(false);
     if (mode_ == WaitMode::kActiveWait && wait_power_) wait_power_->set_active(true);
+    if (obs::Tracer* tr = tracer()) wait_span_ = tr->begin("control.wait", "control");
 
     auto finish = [this, done = std::move(done)]() mutable {
       const u64 tail_cycles = mode_ == WaitMode::kActiveWait
                                   ? manager_.costs().poll_iteration
                                   : manager_.costs().irq_entry;
       if (wait_power_) wait_power_->set_active(false);
+      if (obs::Tracer* tr = tracer()) tr->end(wait_span_);
       manager_.execute(tail_cycles, [this, done = std::move(done)]() mutable {
         busy_ = false;
+        if (obs::Tracer* tr = tracer()) tr->end(launch_span_);
         done();
       });
     };

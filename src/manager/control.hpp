@@ -44,6 +44,8 @@ class ReconfigControl : public sim::Module {
   std::unique_ptr<power::ConstantPower> wait_power_;
   bool busy_ = false;
   u64 launches_ = 0;
+  std::size_t launch_span_ = static_cast<std::size_t>(-1);
+  std::size_t wait_span_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace uparc::manager

@@ -1,6 +1,7 @@
 #include "manager/preloader.hpp"
 
 #include "bitstream/header.hpp"
+#include "obs/trace.hpp"
 
 namespace uparc::manager {
 
@@ -23,7 +24,10 @@ Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
   std::size_t copied = payload.size();
   if (truncate_tap_) {
     copied = std::min(truncate_tap_(payload.size()), payload.size());
-    if (copied < payload.size()) stats().add("truncated_preloads");
+    if (copied < payload.size()) {
+      stats().add("truncated_preloads");
+      metrics().counter(name() + ".truncated").add();
+    }
   }
   // The header always advertises the full length — a truncated copy leaves
   // the tail stale, exactly like a torn read from storage.
@@ -35,7 +39,25 @@ Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
   last_duration_ = manager_.cycles(cycles);
   ++preloads_;
   stats().add("words_preloaded", static_cast<double>(payload.size() + 1));
-  manager_.execute(cycles, std::move(done));
+  metrics().counter(name() + ".preloads").add();
+  metrics().counter(name() + ".words").add(static_cast<double>(payload.size() + 1));
+  metrics().histogram(name() + ".cycles").observe(static_cast<double>(cycles));
+  metrics().meter(name() + ".bytes").add(static_cast<double>((copied + 1) * 4), sim_.now());
+
+  // The DMA burst into BRAM port A is one measured span: opened here,
+  // closed when the manager's copy loop lands.
+  obs::SpanId span = obs::kNoSpan;
+  if (obs::Tracer* tr = tracer()) {
+    span = tr->begin("preload.dma", "preload");
+    tr->arg(span, "words", static_cast<double>(payload.size() + 1));
+    tr->arg(span, "copied_words", static_cast<double>(copied + 1));
+    tr->arg(span, "compressed", compressed);
+    tr->arg(span, "manager_cycles", static_cast<double>(cycles));
+  }
+  manager_.execute(cycles, [this, span, done = std::move(done)]() mutable {
+    if (obs::Tracer* tr = tracer()) tr->end(span);
+    done();
+  });
   return Status::success();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace uparc::manager {
 
 RecoveryManager::RecoveryManager(sim::Simulation& sim, std::string name, core::Uparc& uparc,
@@ -19,6 +21,11 @@ void RecoveryManager::run(const bits::PartialBitstream& bs,
   outcome_.start = sim_.now();
   attempt_ = 0;
   last_cause_ = ErrorCause::kNone;
+  metrics().counter(name() + ".runs").add();
+  if (obs::Tracer* tr = tracer()) {
+    run_span_ = tr->begin("recovery.run", "recovery");
+    tr->arg(run_span_, "payload_bytes", static_cast<double>(payload_.body.size() * 4));
+  }
 
   Status st = uparc_.stage(payload_);
   if (!st.ok()) {
@@ -37,7 +44,13 @@ void RecoveryManager::run(const bits::PartialBitstream& bs,
 void RecoveryManager::begin_attempt() {
   ++attempt_;
   stats().add("attempts");
+  metrics().counter(name() + ".attempts").add();
   attempt_freq_ = uparc_.dyclogen().frequency(clocking::ClockId::kReconfig);
+  if (obs::Tracer* tr = tracer()) {
+    attempt_span_ = tr->begin("recovery.attempt", "recovery");
+    tr->arg(attempt_span_, "attempt", static_cast<double>(attempt_));
+    tr->arg(attempt_span_, "clk2_mhz", attempt_freq_.in_mhz());
+  }
   arm_watchdog(attempt_budget());
   const unsigned token = attempt_;
   uparc_.reconfigure([this, token](const ctrl::ReconfigResult& r) {
@@ -97,6 +110,8 @@ void RecoveryManager::arm_watchdog(TimePs budget) {
 void RecoveryManager::on_watchdog() {
   ++outcome_.watchdog_fires;
   stats().add("watchdog_fires");
+  metrics().counter(name() + ".watchdog_fires").add();
+  if (obs::Tracer* tr = tracer()) tr->instant("recovery.watchdog", "recovery");
   if (uparc_.urec().busy()) {
     // Unwinds through Finish: the pending reconfigure callback delivers a
     // kTimeout result and classification proceeds normally.
@@ -147,6 +162,16 @@ void RecoveryManager::on_result(const ctrl::ReconfigResult& r) {
                               attempt_freq_});
   if (action != RecoveryAction::kNone) {
     stats().add(std::string("action_") + to_string(action));
+    metrics().counter(name() + ".action." + to_string(action)).add();
+  }
+  if (!r.success) {
+    metrics().counter(name() + ".cause." + to_string(r.cause)).add();
+  }
+  if (obs::Tracer* tr = tracer()) {
+    tr->arg(attempt_span_, "success", r.success);
+    if (!r.success) tr->arg(attempt_span_, "cause", to_string(r.cause));
+    tr->arg(attempt_span_, "action", to_string(action));
+    tr->end(attempt_span_);
   }
   last_cause_ = r.cause;
   if (action == RecoveryAction::kNone || action == RecoveryAction::kGiveUp) {
@@ -223,6 +248,19 @@ void RecoveryManager::finish(const ctrl::ReconfigResult& last) {
                                     : 0.0;
   }
   stats().set("last_attempts", static_cast<double>(outcome_.attempts));
+  metrics().counter(name() + (outcome_.success ? ".successes" : ".giveups")).add();
+  metrics().histogram(name() + ".attempts_per_run", {1, 2, 3, 4, 6, 8})
+      .observe(static_cast<double>(outcome_.attempts));
+  if (obs::Tracer* tr = tracer()) {
+    tr->end(attempt_span_);  // staging-failure paths never saw on_result
+    tr->arg(run_span_, "success", outcome_.success);
+    tr->arg(run_span_, "attempts", static_cast<double>(outcome_.attempts));
+    tr->arg(run_span_, "watchdog_fires", static_cast<double>(outcome_.watchdog_fires));
+    if (outcome_.recovery_energy_uj > 0.0) {
+      tr->arg(run_span_, "recovery_energy_uj", outcome_.recovery_energy_uj);
+    }
+    tr->end(run_span_);
+  }
   busy_ = false;
   auto done = std::move(done_);
   done_ = nullptr;

@@ -122,6 +122,8 @@ class RecoveryManager : public sim::Module {
   unsigned action_token_ = 0;
   u64 watchdog_epoch_ = 0;
   bool busy_ = false;
+  std::size_t run_span_ = static_cast<std::size_t>(-1);
+  std::size_t attempt_span_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace uparc::manager

@@ -1,0 +1,95 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "obs/metrics.hpp"
+
+namespace uparc::obs {
+namespace {
+
+std::string fmt_us(TimePs t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", t.us());
+  return buf;
+}
+
+std::string fmt_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string render_args(const SpanRecord& s) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : s.args) {
+    out += std::string(first ? "" : ", ") + "\"" + json_escape(key) + "\": ";
+    switch (value.kind) {
+      case ArgValue::Kind::kString: out += "\"" + json_escape(value.str) + "\""; break;
+      case ArgValue::Kind::kNumber: out += fmt_num(value.num); break;
+      case ArgValue::Kind::kBool: out += value.num != 0.0 ? "true" : "false"; break;
+    }
+    first = false;
+  }
+  if (s.energy_uj != 0.0) {
+    out += std::string(first ? "" : ", ") + "\"energy_uj\": " + fmt_num(s.energy_uj);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer, const std::vector<CounterTrack>& extra) {
+  // One thread row per category, in order of first appearance.
+  std::map<std::string, int> tids;
+  for (const SpanRecord& s : tracer.spans()) {
+    tids.emplace(s.category, static_cast<int>(tids.size()) + 1);
+  }
+  for (const InstantRecord& i : tracer.instants()) {
+    tids.emplace(i.category, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    out += std::string(first ? "" : ",\n") + "  " + event;
+    first = false;
+  };
+
+  for (const auto& [category, tid] : tids) {
+    emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" + json_escape(category) +
+         "\"}}");
+  }
+
+  for (const SpanRecord& s : tracer.spans()) {
+    const TimePs end = s.open ? tracer.now() : s.end;
+    emit("{\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(tids[s.category]) +
+         ", \"name\": \"" + json_escape(s.name) + "\", \"cat\": \"" + json_escape(s.category) +
+         "\", \"ts\": " + fmt_us(s.start) + ", \"dur\": " + fmt_us(end - s.start) +
+         ", \"args\": " + render_args(s) + "}");
+  }
+
+  for (const InstantRecord& i : tracer.instants()) {
+    emit("{\"ph\": \"i\", \"pid\": 1, \"tid\": " + std::to_string(tids[i.category]) +
+         ", \"name\": \"" + json_escape(i.name) + "\", \"cat\": \"" + json_escape(i.category) +
+         "\", \"ts\": " + fmt_us(i.time) + ", \"s\": \"t\"}");
+  }
+
+  auto emit_track = [&](const CounterTrack& track) {
+    for (const CounterSample& sample : track.samples) {
+      emit("{\"ph\": \"C\", \"pid\": 1, \"name\": \"" + json_escape(track.name) +
+           "\", \"ts\": " + fmt_us(sample.time) + ", \"args\": {\"" +
+           json_escape(track.name) + "\": " + fmt_num(sample.value) + "}}");
+    }
+  };
+  for (const CounterTrack& track : tracer.counters()) emit_track(track);
+  for (const CounterTrack& track : extra) emit_track(track);
+
+  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+}  // namespace uparc::obs

@@ -1,0 +1,24 @@
+// Chrome trace_event JSON exporter (loadable in Perfetto / chrome://tracing).
+//
+// Spans export as complete ("X") events with microsecond timestamps; each
+// category gets its own named thread row so concurrent phases (decompress
+// feeding ICAP) render side by side while same-category spans nest by time
+// containment. Counter tracks (power rails) export as "C" events, instants
+// as "i".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace uparc::obs {
+
+/// Renders the tracer's spans/instants/counters as a Chrome trace_event
+/// JSON document. `extra_counters` lets callers append tracks sampled
+/// outside the tracer (System adds the power rail's step function). Spans
+/// still open are closed at the tracer's current simulated time.
+[[nodiscard]] std::string to_chrome_trace(const Tracer& tracer,
+                                          const std::vector<CounterTrack>& extra_counters = {});
+
+}  // namespace uparc::obs

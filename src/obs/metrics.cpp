@@ -1,0 +1,179 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace uparc::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> b;
+  for (double v = 1.0; v <= 1048576.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based, fractional).
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const u64 next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within bucket i: lower/upper edges clamped to the
+      // observed range so sparse or overflow buckets stay truthful.
+      const double lo = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
+      const double hi = std::min(i < bounds_.size() ? bounds_[i] : max_, max_);
+      if (hi <= lo || counts_[i] == 0) return std::clamp(lo, min_, max_);
+      const double into =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts_[i]);
+      return std::clamp(lo + (hi - lo) * into, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void Meter::add(double amount, TimePs at) {
+  total_ += amount;
+  if (!seen_) {
+    first_ = at;
+    seen_ = true;
+  }
+  last_ = std::max(last_, at);
+}
+
+double Meter::per_second() const {
+  const TimePs window = last_ - first_;
+  if (!seen_ || window.ps() == 0) return 0.0;
+  return total_ / window.seconds();
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+double Registry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+std::string Registry::render_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " = " + fmt_double(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " = " + fmt_double(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + ": count=" + std::to_string(h.count()) + " mean=" + fmt_double(h.mean()) +
+           " p50=" + fmt_double(h.p50()) + " p95=" + fmt_double(h.p95()) +
+           " p99=" + fmt_double(h.p99()) + " max=" + fmt_double(h.max()) + "\n";
+  }
+  for (const auto& [name, m] : meters_) {
+    out += name + ": total=" + fmt_double(m.total()) +
+           " rate=" + fmt_double(m.per_second()) + "/s\n";
+  }
+  return out;
+}
+
+std::string Registry::render_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": " + fmt_double(c.value());
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": " + fmt_double(g.value());
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": {\"count\": " + std::to_string(h.count()) + ", \"sum\": " + fmt_double(h.sum()) +
+           ", \"mean\": " + fmt_double(h.mean()) + ", \"min\": " + fmt_double(h.min()) +
+           ", \"max\": " + fmt_double(h.max()) + ", \"p50\": " + fmt_double(h.p50()) +
+           ", \"p95\": " + fmt_double(h.p95()) + ", \"p99\": " + fmt_double(h.p99()) + "}";
+    first = false;
+  }
+  out += "\n  },\n  \"meters\": {";
+  first = true;
+  for (const auto& [name, m] : meters_) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": {\"total\": " + fmt_double(m.total()) +
+           ", \"per_second\": " + fmt_double(m.per_second()) + "}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace uparc::obs

@@ -1,0 +1,82 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace uparc::obs {
+
+SpanId Tracer::begin(std::string name, std::string category) {
+  SpanRecord rec;
+  rec.id = spans_.size();
+  rec.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  rec.name = std::move(name);
+  rec.category = std::move(category);
+  rec.start = sim_.now();
+  rec.end = rec.start;
+  spans_.push_back(std::move(rec));
+  open_stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id >= spans_.size() || !spans_[id].open) return;
+  SpanRecord& rec = spans_[id];
+  rec.end = sim_.now();
+  rec.open = false;
+  if (energy_probe_) rec.energy_uj = energy_probe_(rec.start, rec.end);
+  // Usually the innermost open span; erase from the back either way so
+  // overlapping (non-nested) closes stay correct.
+  const auto it = std::find(open_stack_.rbegin(), open_stack_.rend(), id);
+  if (it != open_stack_.rend()) open_stack_.erase(std::next(it).base());
+}
+
+void Tracer::end_all() {
+  while (!open_stack_.empty()) end(open_stack_.back());
+}
+
+void Tracer::arg(SpanId id, const std::string& key, ArgValue value) {
+  if (id >= spans_.size()) return;
+  spans_[id].args.emplace_back(key, std::move(value));
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  instants_.push_back({std::move(name), std::move(category), sim_.now()});
+}
+
+void Tracer::counter(const std::string& track, TimePs t, double value) {
+  for (auto& ct : counter_tracks_) {
+    if (ct.name == track) {
+      ct.samples.push_back({t, value});
+      return;
+    }
+  }
+  counter_tracks_.push_back({track, {{t, value}}});
+}
+
+TimePs Tracer::category_total(const std::string& category) const {
+  TimePs total{};
+  for (const SpanRecord& s : spans_) {
+    if (s.category != category) continue;
+    if (s.parent != kNoSpan && spans_[s.parent].category == category) continue;
+    total += (s.open ? sim_.now() : s.end) - s.start;
+  }
+  return total;
+}
+
+double Tracer::category_energy_uj(const std::string& category) const {
+  double total = 0.0;
+  for (const SpanRecord& s : spans_) {
+    if (s.category != category || s.open) continue;
+    if (s.parent != kNoSpan && spans_[s.parent].category == category) continue;
+    total += s.energy_uj;
+  }
+  return total;
+}
+
+std::vector<std::string> Tracer::categories() const {
+  std::set<std::string> seen;
+  for (const SpanRecord& s : spans_) seen.insert(s.category);
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace uparc::obs

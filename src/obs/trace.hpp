@@ -1,0 +1,171 @@
+// Cycle-accurate span tracer stamped from the simulation kernel clock.
+//
+// A Span covers an interval of *simulated* time: begin() stamps sim.now(),
+// end() stamps the close. Spans carry a name, a category (one per
+// subsystem: preload, lint, stage, control, urec, decompress, icap,
+// clocking, recovery), structured args, and parent/child nesting — the
+// parent is the innermost span still open at begin() time, which matches
+// the reconfiguration path's hierarchy (reconfigure ⊃ urec ⊃ icap burst).
+//
+// Because the path is event-driven, most spans open and close from
+// different callbacks; those use the explicit SpanId begin/end API. The
+// RAII ScopedSpan covers the synchronous sections (lint, offline
+// compression). Counter tracks (power rails) ride along as timestamped
+// samples and export as Chrome trace counter events.
+//
+// Attach a Tracer to a Simulation (sim.set_tracer) to enable tracing;
+// instrumented models fetch it per event and skip all work when detached,
+// so the off path costs one pointer load.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace uparc::obs {
+
+using SpanId = std::size_t;
+inline constexpr SpanId kNoSpan = std::numeric_limits<SpanId>::max();
+
+/// One structured span argument (string, number, or bool).
+struct ArgValue {
+  enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+  std::string str;
+  double num = 0.0;
+
+  [[nodiscard]] static ArgValue string(std::string s) {
+    return {Kind::kString, std::move(s), 0.0};
+  }
+  [[nodiscard]] static ArgValue number(double v) { return {Kind::kNumber, {}, v}; }
+  [[nodiscard]] static ArgValue boolean(bool v) { return {Kind::kBool, {}, v ? 1.0 : 0.0}; }
+};
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  std::string category;
+  TimePs start{};
+  TimePs end{};
+  bool open = true;
+  double energy_uj = 0.0;  ///< rail energy attributed over [start, end]
+  std::vector<std::pair<std::string, ArgValue>> args;
+
+  [[nodiscard]] TimePs duration() const { return end - start; }
+};
+
+struct InstantRecord {
+  std::string name;
+  std::string category;
+  TimePs time{};
+};
+
+struct CounterSample {
+  TimePs time{};
+  double value = 0.0;
+};
+
+/// A named counter track (e.g. a power rail) for the trace viewer.
+struct CounterTrack {
+  std::string name;
+  std::vector<CounterSample> samples;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const sim::Simulation& sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Energy attribution probe (rail integration); invoked at span end.
+  void set_energy_probe(std::function<double(TimePs, TimePs)> probe) {
+    energy_probe_ = std::move(probe);
+  }
+
+  /// Opens a span at sim.now(); the parent is the innermost open span.
+  SpanId begin(std::string name, std::string category);
+  /// Closes `id` at sim.now() and attributes energy. Idempotent.
+  void end(SpanId id);
+  /// Closes every span still open (export-time safety net).
+  void end_all();
+
+  void arg(SpanId id, const std::string& key, ArgValue value);
+  void arg(SpanId id, const std::string& key, double value) {
+    arg(id, key, ArgValue::number(value));
+  }
+  void arg(SpanId id, const std::string& key, const std::string& value) {
+    arg(id, key, ArgValue::string(value));
+  }
+  void arg(SpanId id, const std::string& key, const char* value) {
+    arg(id, key, ArgValue::string(value));
+  }
+  void arg(SpanId id, const std::string& key, bool value) {
+    arg(id, key, ArgValue::boolean(value));
+  }
+
+  /// Zero-duration marker event.
+  void instant(std::string name, std::string category);
+  /// Appends a sample to a named counter track.
+  void counter(const std::string& track, TimePs t, double value);
+
+  /// RAII span for synchronous sections. Move-only; ends on destruction.
+  class ScopedSpan {
+   public:
+    ScopedSpan(Tracer* tracer, SpanId id) : tracer_(tracer), id_(id) {}
+    ScopedSpan(ScopedSpan&& o) noexcept : tracer_(o.tracer_), id_(o.id_) {
+      o.tracer_ = nullptr;
+    }
+    ScopedSpan& operator=(ScopedSpan&&) = delete;
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    ~ScopedSpan() {
+      if (tracer_ != nullptr) tracer_->end(id_);
+    }
+
+    [[nodiscard]] SpanId id() const noexcept { return id_; }
+    template <typename V>
+    void arg(const std::string& key, V&& value) {
+      if (tracer_ != nullptr) tracer_->arg(id_, key, std::forward<V>(value));
+    }
+
+   private:
+    Tracer* tracer_;
+    SpanId id_;
+  };
+  [[nodiscard]] ScopedSpan scoped(std::string name, std::string category) {
+    return ScopedSpan(this, begin(std::move(name), std::move(category)));
+  }
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  [[nodiscard]] const std::vector<InstantRecord>& instants() const noexcept {
+    return instants_;
+  }
+  [[nodiscard]] const std::vector<CounterTrack>& counters() const noexcept {
+    return counter_tracks_;
+  }
+  [[nodiscard]] TimePs now() const noexcept { return sim_.now(); }
+  [[nodiscard]] SpanId current() const noexcept {
+    return open_stack_.empty() ? kNoSpan : open_stack_.back();
+  }
+
+  /// Total simulated time spent in spans of `category`. Spans nested under
+  /// a same-category parent are skipped so residency is not double-counted.
+  [[nodiscard]] TimePs category_total(const std::string& category) const;
+  /// Same accounting for attributed energy.
+  [[nodiscard]] double category_energy_uj(const std::string& category) const;
+  /// Sorted list of distinct categories seen.
+  [[nodiscard]] std::vector<std::string> categories() const;
+
+ private:
+  const sim::Simulation& sim_;
+  std::function<double(TimePs, TimePs)> energy_probe_;
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+  std::vector<CounterTrack> counter_tracks_;
+  std::vector<SpanId> open_stack_;
+};
+
+}  // namespace uparc::obs

@@ -17,7 +17,12 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sim/topology.hpp"
+
+namespace uparc::obs {
+class Tracer;
+}  // namespace uparc::obs
 
 namespace uparc::sim {
 
@@ -55,6 +60,18 @@ class Simulation {
   [[nodiscard]] Topology& topology() noexcept { return topology_; }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
+  /// Simulation-wide metrics registry (counters/gauges/histograms/meters).
+  /// Always present; instrumented models cache instrument references at
+  /// construction. Supersedes the per-module ad-hoc sim::Stats maps for
+  /// anything a report or exporter should see.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
+
+  /// Optional span tracer. Null (the default) disables tracing; models
+  /// check the pointer per event, so the off path costs one load.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   static constexpr u64 kDefaultEventBudget = 500'000'000ULL;
 
  private:
@@ -72,6 +89,8 @@ class Simulation {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Topology topology_;
+  obs::Registry metrics_;
+  obs::Tracer* tracer_ = nullptr;
   TimePs now_{};
   u64 seq_ = 0;
   u64 executed_ = 0;

@@ -30,6 +30,12 @@ class Module {
   /// that requires a clock but never binds one is a model-lint error.
   void require_clock();
 
+  /// The simulation-wide metrics registry (see Simulation::metrics()).
+  /// Instrument names should be prefixed with the module name.
+  [[nodiscard]] obs::Registry& metrics() const noexcept { return sim_.metrics(); }
+  /// The attached span tracer, or null when tracing is off.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return sim_.tracer(); }
+
   Simulation& sim_;
 
  private:

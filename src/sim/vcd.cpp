@@ -1,5 +1,6 @@
 #include "sim/vcd.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -47,8 +48,15 @@ std::string VcdWriter::render() const {
   }
   out += "$upscope $end\n$enddefinitions $end\n";
 
+  // Changes may be recorded out of time order (independent modules flush at
+  // their own cadence); VCD requires monotonic #timestamps, so order by time
+  // here. The sort is stable: same-time changes keep recording order.
+  std::vector<Change> ordered(changes_);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Change& a, const Change& b) { return a.time_ps < b.time_ps; });
+
   u64 last_time = ~u64{0};
-  for (const auto& c : changes_) {
+  for (const auto& c : ordered) {
     u64 t = c.time_ps / timescale_ps_;
     if (t != last_time) {
       out += "#" + std::to_string(t) + "\n";

@@ -21,10 +21,12 @@ class VcdWriter {
   [[nodiscard]] SignalId add_signal(const std::string& name, unsigned width = 1);
 
   /// Records a value change at simulated time `t`. Identical consecutive
-  /// values are deduplicated.
+  /// values (in recording order) are deduplicated. Calls need not arrive in
+  /// time order; render() sorts stably by time.
   void change(SignalId id, TimePs t, u64 value);
 
-  /// Renders the full VCD document.
+  /// Renders the full VCD document (changes stably sorted by time, so the
+  /// #timestamps are monotonic as IEEE 1364 requires).
   [[nodiscard]] std::string render() const;
   /// Writes the document to a file; returns false on I/O failure.
   bool write_file(const std::string& path) const;

@@ -1,0 +1,307 @@
+// Observability layer: metrics registry (histogram percentiles in
+// particular), span tracer nesting, Chrome trace export (golden), and the
+// end-to-end traced reconfiguration (category coverage + cycle
+// reconciliation against the reported reconfiguration time).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bitstream/generator.hpp"
+#include "core/system.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace uparc::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, SaturatedOverflowBucketStaysInObservedRange) {
+  // Every sample lands past the last bound; the estimate must stay inside
+  // the observed range instead of inventing mass beyond it.
+  Histogram h({1.0, 2.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  h.observe(9.0);
+  EXPECT_GE(h.p50(), 5.0);
+  EXPECT_LE(h.p50(), 9.0);
+  EXPECT_GE(h.p99(), 5.0);
+  EXPECT_LE(h.p99(), 9.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 9.0);  // exact observed max
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[2], 3u);  // all in overflow
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBucketAccurate) {
+  Histogram h;  // default bounds: 1, 2, 4, ..., 2^20
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  // The 50th sample sits in the (32, 64] bucket.
+  EXPECT_GE(h.p50(), 32.0);
+  EXPECT_LE(h.p50(), 64.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, InstrumentReferencesAreStable) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  // Creating many more instruments must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) (void)reg.counter("c" + std::to_string(i));
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("a"), 3.0);
+  EXPECT_TRUE(reg.has_counter("a"));
+  EXPECT_FALSE(reg.has_counter("missing"));
+  EXPECT_DOUBLE_EQ(reg.counter_value("missing"), 0.0);
+}
+
+TEST(Registry, MeterRatesUseTheSimulatedWindow) {
+  Registry reg;
+  Meter& m = reg.meter("bytes");
+  m.add(100.0, TimePs::from_us(1));
+  EXPECT_DOUBLE_EQ(m.per_second(), 0.0);  // single point: no window yet
+  m.add(300.0, TimePs::from_us(3));
+  EXPECT_DOUBLE_EQ(m.total(), 400.0);
+  EXPECT_NEAR(m.per_second(), 400.0 / 2e-6, 1.0);
+}
+
+TEST(Registry, RendersTextAndJson) {
+  Registry reg;
+  reg.counter("icap.words").add(12290);
+  reg.gauge("clk2_mhz").set(362.5);
+  reg.histogram("lat", {10.0, 100.0}).observe(42.0);
+  reg.meter("bytes").add(4096.0, TimePs::from_us(2));
+
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("icap.words = 12290"), std::string::npos);
+  EXPECT_NE(text.find("clk2_mhz = 362.5"), std::string::npos);
+  EXPECT_NE(text.find("lat: count=1"), std::string::npos);
+
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"icap.words\": 12290"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"meters\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, ParentIsInnermostOpenSpan) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  const SpanId outer = tr.begin("outer", "a");
+  const SpanId mid = tr.begin("mid", "b");
+  const SpanId inner = tr.begin("inner", "c");
+  ASSERT_EQ(tr.spans().size(), 3u);
+  EXPECT_EQ(tr.spans()[0].parent, kNoSpan);
+  EXPECT_EQ(tr.spans()[1].parent, outer);
+  EXPECT_EQ(tr.spans()[2].parent, mid);
+  EXPECT_EQ(tr.current(), inner);
+  tr.end(inner);
+  tr.end(mid);
+  tr.end(outer);
+  EXPECT_EQ(tr.current(), kNoSpan);
+}
+
+TEST(Tracer, EndToleratesOutOfOrderAndStaleIds) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  const SpanId a = tr.begin("a", "x");
+  const SpanId b = tr.begin("b", "x");
+  tr.end(a);  // close the *outer* one first (async phases overlap like this)
+  const SpanId c = tr.begin("c", "x");
+  EXPECT_EQ(tr.spans()[2].parent, b);  // a is no longer on the open stack
+  tr.end(kNoSpan);                     // no-op
+  tr.end(a);                           // idempotent
+  tr.end(999999);                      // unknown: no-op
+  tr.end_all();
+  for (const SpanRecord& s : tr.spans()) EXPECT_FALSE(s.open);
+  (void)c;
+}
+
+TEST(Tracer, CategoryTotalSkipsSameCategoryNesting) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  SpanId outer = tr.begin("outer", "x");
+  SpanId inner = kNoSpan;
+  SpanId other = kNoSpan;
+  sim.schedule_at(TimePs::from_us(2), [&] {
+    inner = tr.begin("inner", "x");   // same category: residency not doubled
+    other = tr.begin("other", "y");
+  });
+  sim.schedule_at(TimePs::from_us(5), [&] {
+    tr.end(other);
+    tr.end(inner);
+  });
+  sim.schedule_at(TimePs::from_us(10), [&] { tr.end(outer); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(tr.category_total("x").us(), 10.0);
+  EXPECT_DOUBLE_EQ(tr.category_total("y").us(), 3.0);
+  EXPECT_EQ(tr.categories(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Tracer, EnergyProbeAttributesAtSpanEnd) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  tr.set_energy_probe([](TimePs t0, TimePs t1) { return (t1 - t0).us() * 2.0; });
+  SpanId s = tr.begin("s", "x");
+  sim.schedule_at(TimePs::from_us(4), [&] { tr.end(s); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(tr.spans()[0].energy_uj, 8.0);
+  EXPECT_DOUBLE_EQ(tr.category_energy_uj("x"), 8.0);
+}
+
+TEST(Tracer, ScopedSpanEndsOnDestruction) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  {
+    auto sp = tr.scoped("sync", "lint");
+    sp.arg("ok", true);
+  }
+  ASSERT_EQ(tr.spans().size(), 1u);
+  EXPECT_FALSE(tr.spans()[0].open);
+  EXPECT_EQ(tr.spans()[0].name, "sync");
+}
+
+// ----------------------------------------------------- chrome trace export
+
+TEST(ChromeTrace, GoldenExport) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  const SpanId outer = tr.begin("outer", "alpha");
+  SpanId inner = kNoSpan;
+  sim.schedule_at(TimePs::from_us(2), [&] {
+    inner = tr.begin("inner", "beta");
+    tr.arg(inner, "words", 12.0);
+    tr.arg(inner, "mode", "direct");
+    tr.arg(inner, "ok", true);
+  });
+  sim.schedule_at(TimePs::from_us(5), [&] { tr.end(inner); });
+  sim.schedule_at(TimePs::from_us(9), [&] {
+    tr.end(outer);
+    tr.instant("mark", "beta");
+    tr.counter("mw", sim.now(), 5.5);
+  });
+  sim.run();
+
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"name\": \"thread_name\", "
+      "\"args\": {\"name\": \"alpha\"}},\n"
+      "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 2, \"name\": \"thread_name\", "
+      "\"args\": {\"name\": \"beta\"}},\n"
+      "  {\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": \"outer\", \"cat\": \"alpha\", "
+      "\"ts\": 0.000000, \"dur\": 9.000000, \"args\": {}},\n"
+      "  {\"ph\": \"X\", \"pid\": 1, \"tid\": 2, \"name\": \"inner\", \"cat\": \"beta\", "
+      "\"ts\": 2.000000, \"dur\": 3.000000, \"args\": {\"words\": 12, \"mode\": \"direct\", "
+      "\"ok\": true}},\n"
+      "  {\"ph\": \"i\", \"pid\": 1, \"tid\": 2, \"name\": \"mark\", \"cat\": \"beta\", "
+      "\"ts\": 9.000000, \"s\": \"t\"},\n"
+      "  {\"ph\": \"C\", \"pid\": 1, \"name\": \"mw\", \"ts\": 9.000000, "
+      "\"args\": {\"mw\": 5.5}}\n"
+      "], \"displayTimeUnit\": \"ns\"}\n";
+  EXPECT_EQ(to_chrome_trace(tr), expected);
+}
+
+TEST(ChromeTrace, OpenSpansCloseAtNowAndExtraTracksRide) {
+  sim::Simulation sim;
+  Tracer tr(sim);
+  (void)tr.begin("dangling", "a");
+  sim.schedule_at(TimePs::from_us(3), [] {});
+  sim.run();
+  CounterTrack track;
+  track.name = "vccint_mw";
+  track.samples.push_back({TimePs::from_us(1), 120.0});
+  const std::string json = to_chrome_trace(tr, {track});
+  EXPECT_NE(json.find("\"dur\": 3.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"vccint_mw\": 120"), std::string::npos);
+}
+
+// ------------------------------------------------- end-to-end traced run
+
+TEST(TracedSystem, CompressedRunCoversTheWholePathAndReconciles) {
+  // A body larger than the 256 KB BRAM forces compressed mode, so the trace
+  // must cover preloading, lint, staging (offline compression), control,
+  // UReC, the decompressor, the ICAP and the clocking subsystem.
+  bits::GeneratorConfig gen;
+  gen.target_body_bytes = 300 * 1024;
+  gen.seed = 7;
+  const bits::PartialBitstream bs = bits::Generator(gen).generate();
+
+  core::SystemConfig cfg;
+  cfg.trace = true;
+  core::System sys(cfg);
+  ASSERT_NE(sys.tracer(), nullptr);
+  (void)sys.set_frequency_blocking(Frequency::mhz(200));
+  ASSERT_TRUE(sys.stage(bs).ok());
+  const auto r = sys.reconfigure_blocking();
+  ASSERT_TRUE(r.success) << r.error;
+
+  const Tracer& tr = *sys.tracer();
+  const std::vector<std::string> cats = tr.categories();
+  for (const char* expect :
+       {"preload", "lint", "stage", "control", "urec", "decompress", "icap", "clocking"}) {
+    EXPECT_NE(std::find(cats.begin(), cats.end(), expect), cats.end())
+        << "missing category " << expect;
+  }
+  EXPECT_GE(cats.size(), 6u);
+
+  // Reconciliation: the control span wraps the whole reconfiguration, so
+  // its residency must match the reported end-to-end time within 1%.
+  const double total_us = r.duration().us();
+  ASSERT_GT(total_us, 0.0);
+  EXPECT_NEAR(tr.category_total("control").us(), total_us, total_us * 0.01);
+  // And the streaming phases are contained in it.
+  EXPECT_LE(tr.category_total("urec").us(), total_us);
+  EXPECT_LE(tr.category_total("icap").us(), total_us * 1.01);
+
+  // The exported JSON carries the power rail as a counter track.
+  const std::string json = sys.trace_json();
+  EXPECT_NE(json.find("\"vccint_mw\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  // Metrics absorbed the word-level accounting.
+  EXPECT_DOUBLE_EQ(sys.metrics().counter_value("uparc.urec.words_to_icap"),
+                   static_cast<double>(bs.body.size()));
+  EXPECT_GT(sys.metrics().counter_value("icap.frames"), 0.0);
+  EXPECT_GT(sys.metrics().counter_value("uparc.decomp.words_out"), 0.0);
+}
+
+TEST(TracedSystem, TracingOffMeansNoTracerAndEmptyExport) {
+  core::System sys;  // default: trace off
+  EXPECT_EQ(sys.tracer(), nullptr);
+  EXPECT_EQ(sys.trace_json(), "{}");
+}
+
+}  // namespace
+}  // namespace uparc::obs

@@ -10,6 +10,8 @@
 //                      [--max-fires N] [--param P] [--seed S] [--mhz F]
 //   uparc_cli sweep    f.bit
 //   uparc_cli lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]
+//   uparc_cli trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]
+//   uparc_cli help
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
 #include <cstdio>
@@ -375,6 +377,56 @@ int cmd_lint(const Args& a) {
   return report.clean() ? 0 : 1;
 }
 
+int cmd_trace(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "trace: need a .bit file\n");
+    return 2;
+  }
+  bits::Device device = bits::kVirtex5Sx50t;
+  auto bs = load_bitstream(a.positional[0], device);
+  if (!bs.ok()) {
+    std::fprintf(stderr, "trace: %s\n", bs.error().message.c_str());
+    return 1;
+  }
+
+  core::SystemConfig cfg;
+  cfg.uparc.device = device;
+  cfg.trace = true;
+  core::System sys(cfg);
+  (void)sys.set_frequency_blocking(Frequency::mhz(a.get_num("mhz", 362.5)));
+  if (auto st = sys.stage(bs.value()); !st.ok()) {
+    std::fprintf(stderr, "trace: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  auto r = sys.reconfigure_blocking();
+
+  const std::string out = a.get("out", "trace.json");
+  if (auto st = write_text_file(out, sys.trace_json()); !st.ok()) {
+    std::fprintf(stderr, "trace: %s\n", st.error().message.c_str());
+    return 1;
+  }
+
+  const obs::Tracer& tr = *sys.tracer();
+  std::printf("trace:     %s (%zu spans, %zu categories) — open in ui.perfetto.dev\n",
+              out.c_str(), tr.spans().size(), tr.categories().size());
+  std::printf("result:    %s, %s, %.2f uJ\n", r.success ? "ok" : "FAILED",
+              to_string(r.duration()).c_str(), r.energy_uj);
+  std::printf("%-12s %12s %12s\n", "category", "busy us", "energy uJ");
+  for (const std::string& cat : tr.categories()) {
+    std::printf("%-12s %12.3f %12.2f\n", cat.c_str(), tr.category_total(cat).us(),
+                tr.category_energy_uj(cat));
+  }
+
+  if (a.get("metrics", "") == "true") {
+    const std::string metrics = a.get("json", "") == "true"
+                                    ? sys.metrics().render_json()
+                                    : sys.metrics().render_text();
+    std::printf("%s", metrics.c_str());
+    if (!metrics.empty() && metrics.back() != '\n') std::printf("\n");
+  }
+  return r.success ? 0 : 1;
+}
+
 int cmd_sweep(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "sweep: need a .bit file\n");
@@ -401,30 +453,43 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
-void usage() {
-  std::printf(
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
       "uparc_cli <command> [args]\n"
-      "  gen      --out f.bit [--size-kb N] [--seed S] [--util U]\n"
+      "  gen      generate a synthetic partial bitstream\n"
+      "           --out f.bit [--size-kb N] [--seed S] [--util U]\n"
       "           [--complexity C] [--device v5|v6] [--name NAME]\n"
-      "  inspect  f.bit\n"
-      "  compress in out [--codec NAME]\n"
-      "  ratios   f.bit [more...]\n"
-      "  run      f.bit [--mhz F] [--csv trace.csv]\n"
-      "  inject   f.bit [--site NAME] [--rate R] [--after N] [--burst N]\n"
+      "  inspect  f.bit — parse and describe a bitstream\n"
+      "  compress in out [--codec NAME] — build a compressed container\n"
+      "  ratios   f.bit [more...] — Table I compression-ratio matrix\n"
+      "  run      f.bit [--mhz F] [--csv trace.csv] — one reconfiguration\n"
+      "  inject   f.bit — reconfigure under injected faults with recovery\n"
+      "           [--site NAME] [--rate R] [--after N] [--burst N]\n"
       "           [--max-fires N] [--param P] [--seed S] [--mhz F]\n"
-      "  sweep    f.bit\n"
-      "  lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]\n");
+      "  sweep    f.bit — bandwidth/energy across CLK_2 frequencies\n"
+      "  lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]\n"
+      "  trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]\n"
+      "           — traced reconfiguration: Chrome trace_event JSON\n"
+      "           (load in ui.perfetto.dev or chrome://tracing) plus\n"
+      "           per-category busy time/energy; --metrics dumps the\n"
+      "           metrics registry (text, or JSON with --json)\n"
+      "  help     show this message\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   const std::string cmd = argv[1];
   Args args = parse_args(argc, argv, 2);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage(stdout);
+    return 0;
+  }
   if (cmd == "gen") return cmd_gen(args);
   if (cmd == "inspect") return cmd_inspect(args);
   if (cmd == "compress") return cmd_compress(args);
@@ -433,6 +498,8 @@ int main(int argc, char** argv) {
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "lint") return cmd_lint(args);
-  usage();
+  if (cmd == "trace") return cmd_trace(args);
+  std::fprintf(stderr, "uparc_cli: unknown command '%s'\n", cmd.c_str());
+  usage(stderr);
   return 2;
 }
