@@ -86,6 +86,33 @@ manager::RecoveryOutcome System::run_recovery_blocking(const bits::PartialBitstr
   return *outcome;
 }
 
+txn::TxnOutcome System::run_transaction_blocking(const std::string& region,
+                                                 const std::string& module,
+                                                 const bits::PartialBitstream& image,
+                                                 txn::TxnPolicy policy) {
+  if (txn_ == nullptr) {
+    txn_ = std::make_unique<txn::TxnManager>(sim_, "txn", *uparc_, *icap_, rail_.get(),
+                                             policy);
+  }
+  txn_->policy() = policy;
+  std::optional<txn::TxnOutcome> outcome;
+  txn_->execute(region, module, image, [&](const txn::TxnOutcome& o) { outcome = o; });
+  sim_.run();
+  if (!outcome) {
+    // The recovery watchdog bounds every phase, so a drained queue without
+    // a terminal transaction should be unreachable; fail closed regardless.
+    txn::TxnOutcome o;
+    o.terminal = txn::TxnPhase::kFailed;
+    o.region = region;
+    o.module = module;
+    o.error = "System: simulation drained mid-transaction";
+    o.start = sim_.now();
+    o.end = sim_.now();
+    return o;
+  }
+  return *outcome;
+}
+
 std::optional<clocking::MdChoice> System::set_frequency_blocking(Frequency target) {
   auto choice = uparc_->set_frequency(target);
   sim_.run();  // drain the relock event

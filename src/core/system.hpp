@@ -15,6 +15,7 @@
 #include "manager/recovery.hpp"
 #include "obs/trace.hpp"
 #include "power/scope.hpp"
+#include "txn/transaction.hpp"
 
 namespace uparc::core {
 
@@ -63,6 +64,16 @@ class System {
   /// The lazily created RecoveryManager (null until first used).
   [[nodiscard]] manager::RecoveryManager* recovery() noexcept { return recovery_.get(); }
 
+  /// Runs a full journaled transaction (forward + verify + rollback ladder)
+  /// to completion through the lazily created TxnManager.
+  [[nodiscard]] txn::TxnOutcome run_transaction_blocking(const std::string& region,
+                                                         const std::string& module,
+                                                         const bits::PartialBitstream& image,
+                                                         txn::TxnPolicy policy = {});
+
+  /// The lazily created TxnManager (null until first used).
+  [[nodiscard]] txn::TxnManager* transactions() noexcept { return txn_.get(); }
+
   /// Programs the reconfiguration clock and runs the relock to completion.
   /// Returns the synthesized choice (nullopt if unsynthesizable).
   std::optional<clocking::MdChoice> set_frequency_blocking(Frequency target);
@@ -93,6 +104,7 @@ class System {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<Uparc> uparc_;
   std::unique_ptr<manager::RecoveryManager> recovery_;
+  std::unique_ptr<txn::TxnManager> txn_;
 };
 
 }  // namespace uparc::core

@@ -42,6 +42,7 @@ bool FaultInjector::should_fire(FaultSite site) {
     --st.burst_left;
     ++st.fires;
     stats().add(to_string(site));
+    metrics().counter(name() + ".fires." + to_string(site)).add();
     return true;
   }
   if (st.fires >= cfg.max_fires) return false;
@@ -50,6 +51,7 @@ bool FaultInjector::should_fire(FaultSite site) {
   ++st.fires;
   st.burst_left = cfg.burst > 0 ? cfg.burst - 1 : 0;
   stats().add(to_string(site));
+  metrics().counter(name() + ".fires." + to_string(site)).add();
   return true;
 }
 

@@ -53,6 +53,19 @@ void Icap::fail(std::string why, ErrorCause cause) {
   state_ = IcapState::kError;
   error_ = std::move(why);
   cause_ = cause;
+  // Drop all in-flight stream state: a torn FDRI frame must never be
+  // committed to the plane nor survive into the next burst, and a stale
+  // payload/readout count would skew the per-burst word/frame deltas the
+  // obs layer reports. The FAR and write/read mode flags die with the
+  // stream too — the next burst re-syncs from scratch.
+  frame_buf_.clear();
+  payload_left_ = 0;
+  readout_left_ = 0;
+  readout_buf_.clear();
+  readout_pos_ = 0;
+  rcfg_active_ = false;
+  wcfg_active_ = false;
+  reading_fdro_ = false;
   stats().add("errors");
   metrics().counter(name() + ".errors").add();
   close_burst_span("error");

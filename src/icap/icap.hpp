@@ -70,6 +70,14 @@ class Icap : public sim::Module {
 
   [[nodiscard]] u64 words_consumed() const noexcept { return words_; }
   [[nodiscard]] u64 frames_committed() const noexcept { return frames_; }
+  /// Words of a partially assembled FDRI frame still buffered (0 outside an
+  /// FDRI payload). An abort clears this: a dead stream must never leave a
+  /// torn frame that could leak into the next burst's accounting.
+  [[nodiscard]] std::size_t in_flight_frame_words() const noexcept {
+    return frame_buf_.size();
+  }
+  /// Payload words the current packet still expects (0 when idle/aborted).
+  [[nodiscard]] u32 payload_words_left() const noexcept { return payload_left_; }
   [[nodiscard]] bool crc_checked() const noexcept { return crc_checked_; }
   [[nodiscard]] bool crc_ok() const noexcept { return crc_ok_; }
   [[nodiscard]] u32 idcode_seen() const noexcept { return idcode_; }

@@ -99,6 +99,47 @@ TimePs RecoveryManager::relock_budget() const {
   return std::max(policy_.watchdog_floor, 3 * uparc_.dyclogen().lock_time());
 }
 
+TimePs RecoveryManager::backoff_delay(ErrorCause cause, unsigned retry) const {
+  if (policy_.backoff_base.ps() == 0 || retry == 0) return TimePs{};
+  double us = policy_.backoff_base.us() * backoff_weight(cause);
+  for (unsigned i = 1; i < retry; ++i) us *= policy_.backoff_factor;
+  TimePs delay = TimePs::from_us(us);
+  delay = std::min(delay, policy_.backoff_cap);
+  // Cycle-budget aware: never wait longer than one attempt is allowed to
+  // run — past that point waiting dominates the very budget that bounds a
+  // retry, and total recovery latency stops being schedulable.
+  return std::min(delay, attempt_budget());
+}
+
+void RecoveryManager::perform_after_backoff(RecoveryAction action, ErrorCause cause) {
+  // retry index = number of failed results already recorded (1-based for
+  // the first retry), so the schedule replays identically run after run.
+  const unsigned retry = static_cast<unsigned>(outcome_.history.size());
+  const TimePs delay = backoff_delay(cause, retry);
+  if (delay.ps() == 0) {
+    perform(action);
+    return;
+  }
+  ++outcome_.backoffs;
+  outcome_.backoff_total = outcome_.backoff_total + delay;
+  stats().add("backoffs");
+  metrics().counter(name() + ".backoffs").add();
+  metrics().counter(name() + ".backoff_us").add(delay.us());
+  obs::SpanId span = obs::kNoSpan;
+  if (obs::Tracer* tr = tracer()) {
+    span = tr->begin("recovery.backoff", "recovery");
+    tr->arg(span, "retry", static_cast<double>(retry));
+    tr->arg(span, "cause", to_string(cause));
+    tr->arg(span, "delay_us", delay.us());
+  }
+  const unsigned token = ++backoff_token_;
+  sim_.schedule_in(delay, [this, token, action, span] {
+    if (obs::Tracer* tr = tracer()) tr->end(span);
+    if (!busy_ || token != backoff_token_) return;
+    perform(action);
+  });
+}
+
 void RecoveryManager::arm_watchdog(TimePs budget) {
   const u64 epoch = ++watchdog_epoch_;
   sim_.schedule_in(budget, [this, epoch] {
@@ -156,6 +197,10 @@ RecoveryAction RecoveryManager::classify(const ctrl::ReconfigResult& r) const {
 
 void RecoveryManager::on_result(const ctrl::ReconfigResult& r) {
   ++watchdog_epoch_;  // disarm
+  // Invalidate any in-flight action completion (e.g. a relock that resolves
+  // after its watchdog already synthesized a failure): letting it land later
+  // would disarm the next attempt's watchdog and start an overlapping one.
+  ++action_token_;
   if (outcome_.history.empty()) first_attempt_end_ = sim_.now();
   const RecoveryAction action = classify(r);
   outcome_.history.push_back({static_cast<unsigned>(outcome_.history.size() + 1), r, action,
@@ -178,7 +223,7 @@ void RecoveryManager::on_result(const ctrl::ReconfigResult& r) {
     finish(r);
     return;
   }
-  perform(action);
+  perform_after_backoff(action, r.cause);
 }
 
 void RecoveryManager::perform(RecoveryAction action) {
@@ -237,6 +282,7 @@ void RecoveryManager::perform(RecoveryAction action) {
 
 void RecoveryManager::finish(const ctrl::ReconfigResult& last) {
   ++watchdog_epoch_;
+  ++action_token_;  // a late action completion must not leak into the next run
   outcome_.success = last.success;
   outcome_.final_result = last;
   outcome_.attempts = static_cast<unsigned>(outcome_.history.size());

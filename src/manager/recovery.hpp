@@ -59,7 +59,27 @@ struct RecoveryPolicy {
   Frequency min_frequency = Frequency::mhz(50);
   /// Codec installed by kCodecFallback (simple, streaming-capable decoder).
   compress::CodecId fallback_codec = compress::CodecId::kRle;
+  /// Deterministic backoff inserted before each recovery action: the n-th
+  /// retry waits cause_weight x backoff_base x backoff_factor^(n-1), capped
+  /// at backoff_cap and at the attempt's own cycle budget (a wait longer
+  /// than the watchdog budget would be indistinguishable from a hang).
+  /// Zero base disables backoff entirely (PR-1 behaviour).
+  TimePs backoff_base = TimePs::from_us(20);
+  double backoff_factor = 2.0;
+  TimePs backoff_cap = TimePs::from_us(2000);
 };
+
+/// Cause-class weight for the retry backoff: clock faults need the DCM's
+/// analog loop to settle (longest), stalls suggest contention worth real
+/// spacing, data-path corruption is transient and retries cheaply.
+[[nodiscard]] constexpr double backoff_weight(ErrorCause cause) {
+  switch (cause) {
+    case ErrorCause::kClockUnlocked: return 2.0;
+    case ErrorCause::kTimeout:
+    case ErrorCause::kStalled: return 1.5;
+    default: return 1.0;
+  }
+}
 
 struct AttemptRecord {
   unsigned attempt = 0;          ///< 1-based
@@ -72,6 +92,8 @@ struct RecoveryOutcome {
   bool success = false;
   unsigned attempts = 0;
   u64 watchdog_fires = 0;
+  u64 backoffs = 0;                 ///< retries that waited before acting
+  TimePs backoff_total{};           ///< summed deterministic retry delay
   std::vector<AttemptRecord> history;
   ctrl::ReconfigResult final_result;
   TimePs start{};
@@ -107,6 +129,8 @@ class RecoveryManager : public sim::Module {
   [[nodiscard]] RecoveryAction classify(const ctrl::ReconfigResult& r) const;
   [[nodiscard]] TimePs attempt_budget() const;
   [[nodiscard]] TimePs relock_budget() const;
+  [[nodiscard]] TimePs backoff_delay(ErrorCause cause, unsigned retry) const;
+  void perform_after_backoff(RecoveryAction action, ErrorCause cause);
 
   core::Uparc& uparc_;
   power::Rail* rail_;
@@ -120,6 +144,7 @@ class RecoveryManager : public sim::Module {
   ErrorCause last_cause_ = ErrorCause::kNone;
   unsigned attempt_ = 0;
   unsigned action_token_ = 0;
+  unsigned backoff_token_ = 0;
   u64 watchdog_epoch_ = 0;
   bool busy_ = false;
   std::size_t run_span_ = static_cast<std::size_t>(-1);

@@ -30,6 +30,19 @@ void RegionManager::load(const std::string& module, const std::string& region_na
   pump();
 }
 
+void RegionManager::load_any(const std::string& module, LoadCallback done) {
+  // Empty region = route when the load reaches the head of the queue, so
+  // the decision sees the freshest occupancy and health state.
+  queue_.push_back(PendingLoad{module, "", sim_.now(), std::move(done)});
+  stats().add("loads_requested");
+  pump();
+}
+
+void RegionManager::set_transaction_manager(txn::TxnManager* txn) {
+  txn_ = txn;
+  router_.set_health(txn == nullptr ? nullptr : &txn->health());
+}
+
 void RegionManager::finish(PendingLoad job, LoadResult result) {
   result.module = job.module;
   result.region = job.region;
@@ -54,17 +67,50 @@ void RegionManager::pump() {
   LoadResult result;
   result.started_at = sim_.now();
 
-  Region* region = floorplan_.find(job.region);
-  if (region == nullptr) {
-    result.error = "unknown region: " + job.region;
-    finish(std::move(job), std::move(result));
-    return;
+  Region* region = nullptr;
+  if (job.region.empty()) {
+    // Routed load: the router only returns schedulable regions; with every
+    // region quarantined the load degrades to software fallback rather
+    // than touching unhealthy fabric.
+    const sched::RouteChoice choice = router_.pick(floorplan_, job.module);
+    if (choice.region == nullptr) {
+      result.software_fallback = true;
+      result.error = choice.reason;
+      ++software_fallbacks_;
+      stats().add("software_fallbacks");
+      metrics().counter(name() + ".software_fallbacks").add();
+      finish(std::move(job), std::move(result));
+      return;
+    }
+    job.region = choice.region->name;
+    region = floorplan_.find(job.region);
+  } else {
+    region = floorplan_.find(job.region);
+    if (region == nullptr) {
+      result.error = "unknown region: " + job.region;
+      finish(std::move(job), std::move(result));
+      return;
+    }
+    if (txn_ != nullptr && !txn_->health().schedulable(region->name)) {
+      result.error = "region quarantined: " + region->name;
+      metrics().counter(name() + ".placements_refused").add();
+      finish(std::move(job), std::move(result));
+      return;
+    }
   }
+  result.placement_schedulable =
+      txn_ == nullptr || txn_->health().schedulable(region->name);
 
   auto instance = library_.instantiate(job.module, floorplan_, *region);
   if (!instance.ok()) {
     result.error = instance.error().message;
     finish(std::move(job), std::move(result));
+    return;
+  }
+
+  if (txn_ != nullptr) {
+    dispatch_txn(std::move(job), std::move(result), region,
+                 std::move(instance.value()));
     return;
   }
 
@@ -88,6 +134,40 @@ void RegionManager::pump() {
       result.success = true;
       region->occupant = job.module;
       ++region->reconfigurations;
+    }
+    finish(std::move(job), std::move(result));
+  });
+}
+
+void RegionManager::dispatch_txn(PendingLoad job, LoadResult result, Region* region,
+                                 bits::PartialBitstream instance) {
+  txn_->execute(region->name, job.module, instance,
+                [this, job = std::move(job), result = std::move(result),
+                 region](const txn::TxnOutcome& o) mutable {
+    result.transactional = true;
+    result.txn_id = o.txn_id;
+    result.terminal = o.terminal;
+    result.reconfig = o.forward.final_result;
+    switch (o.terminal) {
+      case txn::TxnPhase::kCommitted:
+        result.success = true;
+        region->occupant = job.module;
+        ++region->reconfigurations;
+        break;
+      case txn::TxnPhase::kRolledBackLastGood:
+        // Prior module verified back in place: occupancy stands.
+        result.rolled_back = true;
+        result.error = o.error;
+        break;
+      case txn::TxnPhase::kRolledBackBlank:
+        result.rolled_back = true;
+        result.error = o.error;
+        region->occupant.clear();
+        break;
+      default:  // kFailed: region condemned, nothing schedulable remains
+        result.error = o.error;
+        region->occupant.clear();
+        break;
     }
     finish(std::move(job), std::move(result));
   });

@@ -3,6 +3,13 @@
 // module image to the target region, stages it, reconfigures, verifies the
 // configuration plane, and updates occupancy. Loads are queued: one
 // reconfiguration port, one in-flight load.
+//
+// With a TxnManager attached (set_transaction_manager), every load runs as
+// a journaled transaction: commit updates occupancy, a rollback restores
+// the previous occupant (or blanks the region), and quarantined regions
+// refuse placements. `load_any()` adds health-aware routing: the
+// sched::Router picks a schedulable region, or the load degrades to
+// software fallback when every region is quarantined.
 #pragma once
 
 #include <deque>
@@ -10,6 +17,8 @@
 
 #include "core/uparc.hpp"
 #include "region/module_library.hpp"
+#include "sched/router.hpp"
+#include "txn/transaction.hpp"
 
 namespace uparc::region {
 
@@ -22,6 +31,14 @@ struct LoadResult {
   TimePs started_at{};
   TimePs finished_at{};
   ctrl::ReconfigResult reconfig;  ///< underlying controller result
+
+  // Transactional-path fields (meaningful when a TxnManager is attached).
+  bool transactional = false;
+  u64 txn_id = 0;
+  txn::TxnPhase terminal = txn::TxnPhase::kBegun;
+  bool rolled_back = false;        ///< region verified back to last-good/blank
+  bool software_fallback = false;  ///< no schedulable region: ran in software
+  bool placement_schedulable = false;  ///< health verdict at placement time
 
   [[nodiscard]] TimePs queue_latency() const { return started_at - queued_at; }
   [[nodiscard]] TimePs total_latency() const { return finished_at - queued_at; }
@@ -39,6 +56,18 @@ class RegionManager : public sim::Module {
   /// reported through the callback as well, synchronously.
   void load(const std::string& module, const std::string& region_name, LoadCallback done);
 
+  /// Queues a module load with the target region chosen at dispatch time by
+  /// the health-aware router (affinity > blank > healthy > least-worn).
+  /// When every region is quarantined the load degrades to software
+  /// fallback: the callback reports software_fallback=true and no fabric is
+  /// touched.
+  void load_any(const std::string& module, LoadCallback done);
+
+  /// Routes every subsequent load through `txn` as a journaled transaction
+  /// (verified commit, rollback to last-good/blank, health gating).
+  void set_transaction_manager(txn::TxnManager* txn);
+  [[nodiscard]] txn::TxnManager* transaction_manager() const noexcept { return txn_; }
+
   /// Marks a region blank (bookkeeping only; the fabric keeps the old
   /// configuration until something overwrites it, as in real hardware).
   [[nodiscard]] Status evict(const std::string& region_name);
@@ -50,27 +79,33 @@ class RegionManager : public sim::Module {
 
   [[nodiscard]] u64 loads_completed() const noexcept { return loads_completed_; }
   [[nodiscard]] u64 loads_failed() const noexcept { return loads_failed_; }
+  [[nodiscard]] u64 software_fallbacks() const noexcept { return software_fallbacks_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
 
  private:
   struct PendingLoad {
     std::string module;
-    std::string region;
+    std::string region;  ///< empty = route at dispatch time (load_any)
     TimePs queued_at;
     LoadCallback done;
   };
 
   void pump();
+  void dispatch_txn(PendingLoad job, LoadResult result, Region* region,
+                    bits::PartialBitstream instance);
   void finish(PendingLoad job, LoadResult result);
 
   Floorplan floorplan_;
   ModuleLibrary& library_;
   core::Uparc& controller_;
   icap::ConfigPlane& plane_;
+  txn::TxnManager* txn_ = nullptr;
+  sched::Router router_;
   std::deque<PendingLoad> queue_;
   bool in_flight_ = false;
   u64 loads_completed_ = 0;
   u64 loads_failed_ = 0;
+  u64 software_fallbacks_ = 0;
 };
 
 }  // namespace uparc::region

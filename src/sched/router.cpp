@@ -1,0 +1,36 @@
+#include "sched/router.hpp"
+
+#include <tuple>
+
+namespace uparc::sched {
+
+RouteChoice Router::pick(const region::Floorplan& floorplan,
+                         const std::string& module) const {
+  const region::Region* best = nullptr;
+  auto rank = [&](const region::Region& r) {
+    const bool affinity = r.occupant == module;
+    const bool blank = r.occupant.empty();
+    const bool healthy =
+        health_ == nullptr || health_->state(r.name) == txn::HealthState::kHealthy;
+    // Lower tuple = better candidate.
+    return std::make_tuple(!affinity, !blank, !healthy, r.reconfigurations, r.name);
+  };
+  for (const region::Region& r : floorplan.regions()) {
+    if (health_ != nullptr && !health_->schedulable(r.name)) continue;
+    if (best == nullptr || rank(r) < rank(*best)) best = &r;
+  }
+  RouteChoice choice;
+  choice.region = best;
+  if (best == nullptr) {
+    choice.reason = "all regions quarantined: software fallback";
+  } else if (best->occupant == module) {
+    choice.reason = "module already resident";
+  } else if (best->occupant.empty()) {
+    choice.reason = "blank region";
+  } else {
+    choice.reason = "evicting " + best->occupant;
+  }
+  return choice;
+}
+
+}  // namespace uparc::sched

@@ -1,0 +1,40 @@
+// Region router: deterministic, health-aware placement for module loads.
+//
+// Given a floorplan and the txn layer's HealthTracker, picks the region a
+// module load should target. Quarantined regions are never candidates (the
+// degraded-mode guarantee); among schedulable regions the ranking is
+// deterministic so runs replay identically:
+//   1. affinity     — the module is already resident (cheapest placement);
+//   2. blank        — displacing nothing beats evicting a warm module;
+//   3. full health  — healthy regions beat probation trials;
+//   4. wear         — fewest reconfigurations (levels fabric wear);
+//   5. name         — lexicographic tiebreak.
+// Returns no region when everything is quarantined: the caller degrades to
+// software fallback instead of touching unhealthy fabric.
+#pragma once
+
+#include "region/region.hpp"
+#include "txn/health.hpp"
+
+namespace uparc::sched {
+
+struct RouteChoice {
+  const region::Region* region = nullptr;  ///< null = software fallback
+  std::string reason;                      ///< why this target (or why none)
+};
+
+class Router {
+ public:
+  /// `health` may be null: every region is then considered healthy.
+  explicit Router(const txn::HealthTracker* health = nullptr) : health_(health) {}
+
+  void set_health(const txn::HealthTracker* health) noexcept { health_ = health; }
+
+  [[nodiscard]] RouteChoice pick(const region::Floorplan& floorplan,
+                                 const std::string& module) const;
+
+ private:
+  const txn::HealthTracker* health_;
+};
+
+}  // namespace uparc::sched

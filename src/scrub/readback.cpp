@@ -54,6 +54,7 @@ void Readback::verify_region(const GoldenSignature& golden,
   command_pos_ = 0;
   frame_in_run_ = 0;
   word_in_frame_ = 0;
+  bubble_cycles_ = 0;
   frame_crc_.reset();
 
   // The port may be desynced from a previous configuration: start clean.
@@ -87,6 +88,12 @@ void Readback::finish() {
   auto done = std::move(done_);
   done_ = nullptr;
   stats().add("words_read", static_cast<double>(report_.words_read));
+  metrics().counter(name() + ".scans").add();
+  metrics().counter(name() + ".words_read").add(static_cast<double>(report_.words_read));
+  if (!report_.mismatches.empty()) {
+    metrics().counter(name() + ".mismatched_frames")
+        .add(static_cast<double>(report_.mismatches.size()));
+  }
   // Report delivery is event-ordered (never synchronous from the edge).
   sim_.schedule_in(TimePs(0), [report = report_, done = std::move(done)]() mutable {
     if (done) done(report);
@@ -109,12 +116,30 @@ void Readback::on_edge() {
   if (command_pos_ < command_queue_.size()) {
     port_.write_word(command_queue_[command_pos_++]);
     ++report_.command_words;
+    bubble_cycles_ = 0;
     return;
   }
 
   // Readout phase: one data word per cycle.
   u32 word = 0;
-  if (!port_.read_word(word)) return;  // command latency bubble
+  if (!port_.read_word(word)) {
+    // Command latency bubble — but only up to a point. A corrupted read
+    // command can leave the port idle without an error flag; treat a stall
+    // past the pipe latency like an errored pass: every unread frame of the
+    // run is suspect, and the verify terminates instead of clocking forever.
+    if (++bubble_cycles_ >= kStallCycles) {
+      report_.stalled = true;
+      metrics().counter(name() + ".stalls").add();
+      const Run& run = plan_[run_index_];
+      report_.mismatches.insert(
+          report_.mismatches.end(),
+          run.frames.begin() + static_cast<std::ptrdiff_t>(frame_in_run_),
+          run.frames.end());
+      finish();
+    }
+    return;
+  }
+  bubble_cycles_ = 0;
   ++report_.words_read;
   frame_crc_.update_word(word);
 

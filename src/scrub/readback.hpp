@@ -36,6 +36,7 @@ struct ReadbackReport {
   TimePs duration{};
   u64 words_read = 0;
   u64 command_words = 0;
+  bool stalled = false;  // port stopped producing readout data mid-run
   std::vector<bits::FrameAddress> mismatches;  // corrupted or missing frames
   [[nodiscard]] bool clean() const noexcept { return mismatches.empty(); }
 };
@@ -68,8 +69,15 @@ class Readback : public sim::Module {
     std::vector<bits::FrameAddress> frames;  // in order
   };
 
+  // Consecutive readout-phase cycles with no data word. The real FDRO pipe
+  // has a latency of a few cycles; anything past this bound means the read
+  // command itself was lost or corrupted (a faulted port can swallow it
+  // without raising an error) and waiting longer would hang forever.
+  static constexpr u32 kStallCycles = 4096;
+
   bool busy_ = false;
   u64 runs_ = 0;
+  u32 bubble_cycles_ = 0;
   std::vector<Run> plan_;
   std::size_t run_index_ = 0;
   Words command_queue_;

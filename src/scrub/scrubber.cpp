@@ -32,6 +32,7 @@ void Scrubber::schedule_next() {
     if (epoch != epoch_ || !running_) return;
     if (round_in_flight_) {  // previous round overran the period: skip
       stats().add("rounds_skipped");
+      metrics().counter(name() + ".rounds_skipped").add();
       schedule_next();
       return;
     }
@@ -78,7 +79,12 @@ void Scrubber::repair(std::function<void(bool)> done) {
   const TimePs t0 = sim_.now();
   repair_.reconfigure([this, t0, done = std::move(done)](const ctrl::ReconfigResult& r) {
     stats_.repair_time += sim_.now() - t0;
-    if (r.success) ++stats_.repairs;
+    if (r.success) {
+      ++stats_.repairs;
+      metrics().counter(name() + ".repairs").add();
+    } else {
+      metrics().counter(name() + ".uncorrectable").add();
+    }
     round_in_flight_ = false;
     done(r.success);
   });
@@ -97,6 +103,7 @@ void Scrubber::repair_frames(std::vector<bits::FrameAddress> damaged, std::size_
     if (f.address == damaged[index]) frame = &f;
   }
   if (frame == nullptr) {  // outside the golden region: cannot repair
+    metrics().counter(name() + ".uncorrectable").add();
     round_in_flight_ = false;
     done(false);
     return;
@@ -123,11 +130,13 @@ void Scrubber::repair_frames(std::vector<bits::FrameAddress> damaged, std::size_
                       done = std::move(done)](const ctrl::ReconfigResult& r) mutable {
     stats_.repair_time += sim_.now() - t0;
     if (!r.success) {
+      metrics().counter(name() + ".uncorrectable").add();
       round_in_flight_ = false;
       done(false);
       return;
     }
     ++stats_.repairs;
+    metrics().counter(name() + ".repairs").add();
     repair_frames(std::move(damaged), index + 1, std::move(done));
   });
 }
@@ -135,6 +144,7 @@ void Scrubber::repair_frames(std::vector<bits::FrameAddress> damaged, std::size_
 void Scrubber::scrub_once(std::function<void(bool repaired)> done) {
   round_in_flight_ = true;
   ++stats_.rounds;
+  metrics().counter(name() + ".rounds").add();
 
   if (config_.mode == ScrubMode::kBlind) {
     repair(std::move(done));
@@ -151,6 +161,8 @@ void Scrubber::scrub_once(std::function<void(bool repaired)> done) {
       return;
     }
     stats_.mismatched_frames += report.mismatches.size();
+    metrics().counter(name() + ".mismatched_frames")
+        .add(static_cast<double>(report.mismatches.size()));
     if (config_.mode == ScrubMode::kFrameRepair) {
       repair_frames(report.mismatches, 0, std::move(done));
     } else {

@@ -42,6 +42,7 @@ SeuEvent SeuInjector::inject_now() {
   plane_.write_frame(addr, data);
   log_.push_back(ev);
   stats().add("upsets");
+  metrics().counter(name() + ".injected").add();
   return ev;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/kernel.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace uparc::sim {
@@ -27,7 +28,9 @@ bool Simulation::step() {
 void Simulation::run(u64 max_events) {
   u64 budget = max_events;
   while (step()) {
-    if (--budget == 0) throw std::runtime_error("Simulation::run exceeded event budget");
+    if (--budget == 0)
+      throw std::runtime_error("Simulation::run exceeded event budget at t=" +
+                               std::to_string(now_.ps()) + " ps");
   }
 }
 

@@ -1,0 +1,88 @@
+#include "txn/health.hpp"
+
+#include <algorithm>
+
+namespace uparc::txn {
+
+HealthTracker::HealthTracker(sim::Simulation& sim, std::string name, HealthPolicy policy)
+    : sim_(sim), name_(std::move(name)), policy_(policy) {}
+
+TimePs HealthTracker::backoff_for(u64 entries) const {
+  double us = policy_.base_backoff.us();
+  for (u64 i = 1; i < entries; ++i) us *= policy_.backoff_factor;
+  return std::min(TimePs::from_us(us), policy_.max_backoff);
+}
+
+void HealthTracker::quarantine(const std::string& region, Entry& e, bool permanent) {
+  ++e.quarantine_entries;
+  e.quarantined = true;
+  e.permanent = permanent;
+  e.until = permanent ? TimePs(~u64{0}) : sim_.now() + backoff_for(e.quarantine_entries);
+  sim_.metrics().counter(name_ + ".quarantines").add();
+  sim_.metrics().gauge(name_ + "." + region + ".quarantined").set(1.0);
+}
+
+void HealthTracker::on_commit(const std::string& region) {
+  Entry& e = entries_[region];
+  e.consecutive_rollbacks = 0;
+  if (e.quarantined && !e.permanent) {
+    // A committed probation trial restores full health. The entry count is
+    // kept: a region with a quarantine history re-enters with a longer
+    // backoff, so a flapping region converges to long exclusions.
+    e.quarantined = false;
+    e.until = TimePs{};
+    sim_.metrics().counter(name_ + ".probation_exits").add();
+    sim_.metrics().gauge(name_ + "." + region + ".quarantined").set(0.0);
+  }
+}
+
+void HealthTracker::on_rollback(const std::string& region) {
+  Entry& e = entries_[region];
+  ++e.consecutive_rollbacks;
+  sim_.metrics().counter(name_ + ".rollbacks").add();
+  if (e.quarantined && !e.permanent && sim_.now() >= e.until) {
+    // Failed probation trial: straight back in, with a doubled backoff.
+    quarantine(region, e, false);
+    return;
+  }
+  if (!e.quarantined && e.consecutive_rollbacks >= policy_.rollbacks_to_quarantine) {
+    quarantine(region, e, false);
+  }
+}
+
+void HealthTracker::on_failure(const std::string& region) {
+  Entry& e = entries_[region];
+  ++e.consecutive_rollbacks;
+  quarantine(region, e, true);
+  sim_.metrics().counter(name_ + ".permanent_quarantines").add();
+}
+
+HealthState HealthTracker::state(const std::string& region) const {
+  auto it = entries_.find(region);
+  if (it == entries_.end() || !it->second.quarantined) return HealthState::kHealthy;
+  if (it->second.permanent) return HealthState::kQuarantined;
+  return sim_.now() >= it->second.until ? HealthState::kProbation
+                                        : HealthState::kQuarantined;
+}
+
+bool HealthTracker::schedulable(const std::string& region) const {
+  return state(region) != HealthState::kQuarantined;
+}
+
+TimePs HealthTracker::quarantined_until(const std::string& region) const {
+  auto it = entries_.find(region);
+  if (it == entries_.end() || !it->second.quarantined) return TimePs{};
+  return it->second.until;
+}
+
+unsigned HealthTracker::consecutive_rollbacks(const std::string& region) const {
+  auto it = entries_.find(region);
+  return it == entries_.end() ? 0 : it->second.consecutive_rollbacks;
+}
+
+u64 HealthTracker::quarantine_entries(const std::string& region) const {
+  auto it = entries_.find(region);
+  return it == entries_.end() ? 0 : it->second.quarantine_entries;
+}
+
+}  // namespace uparc::txn

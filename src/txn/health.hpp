@@ -1,0 +1,90 @@
+// Per-region health scoring: quarantine after repeated rollbacks, with
+// deterministic backoff-governed probation re-entry.
+//
+// A region that keeps rolling back is likely damaged (persistent SEU,
+// marginal routing at the current clock) — spending reconfiguration
+// bandwidth on it starves healthy regions. The tracker counts consecutive
+// rollbacks per region; past the threshold the region is quarantined and
+// the scheduler must route placements elsewhere (or to software fallback).
+// Quarantine expires after a deterministic exponential backoff, at which
+// point the region enters probation: it may receive exactly one trial
+// placement. A committed trial restores full health; another rollback
+// re-quarantines with a doubled (capped) backoff. A transaction that
+// exhausts its rollback budget (TxnPhase::kFailed) quarantines the region
+// permanently — the fabric there can no longer be trusted at all.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/kernel.hpp"
+
+namespace uparc::txn {
+
+enum class HealthState {
+  kHealthy,      ///< schedulable
+  kQuarantined,  ///< not schedulable until the backoff expires
+  kProbation,    ///< backoff expired: schedulable for one trial placement
+};
+
+[[nodiscard]] constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kQuarantined: return "quarantined";
+    case HealthState::kProbation: return "probation";
+  }
+  return "unknown";
+}
+
+struct HealthPolicy {
+  /// Consecutive rollbacks that trip quarantine.
+  unsigned rollbacks_to_quarantine = 2;
+  /// First quarantine lasts base_backoff; each subsequent entry doubles it
+  /// (times backoff_factor), capped at max_backoff. Fully deterministic.
+  TimePs base_backoff = TimePs::from_us(500);
+  double backoff_factor = 2.0;
+  TimePs max_backoff = TimePs::from_ms(50);
+};
+
+class HealthTracker {
+ public:
+  HealthTracker(sim::Simulation& sim, std::string name, HealthPolicy policy = {});
+
+  /// A transaction committed on `region` (including a probation trial).
+  void on_commit(const std::string& region);
+  /// A transaction rolled back on `region` (to last-good or blank).
+  void on_rollback(const std::string& region);
+  /// A transaction failed terminally on `region`: permanent quarantine.
+  void on_failure(const std::string& region);
+
+  /// State at the current simulated time (expired quarantine = probation).
+  [[nodiscard]] HealthState state(const std::string& region) const;
+  /// Healthy or on probation — quarantined regions must not be placed.
+  [[nodiscard]] bool schedulable(const std::string& region) const;
+  /// When the current quarantine expires (TimePs{} if not quarantined;
+  /// never expires for a permanent quarantine).
+  [[nodiscard]] TimePs quarantined_until(const std::string& region) const;
+  [[nodiscard]] unsigned consecutive_rollbacks(const std::string& region) const;
+  [[nodiscard]] u64 quarantine_entries(const std::string& region) const;
+
+  [[nodiscard]] const HealthPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct Entry {
+    unsigned consecutive_rollbacks = 0;
+    u64 quarantine_entries = 0;  ///< backoff memory: doubles per entry
+    bool quarantined = false;
+    bool permanent = false;
+    TimePs until{};
+  };
+
+  void quarantine(const std::string& region, Entry& e, bool permanent);
+  [[nodiscard]] TimePs backoff_for(u64 entries) const;
+
+  sim::Simulation& sim_;
+  std::string name_;
+  HealthPolicy policy_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace uparc::txn

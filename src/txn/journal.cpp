@@ -1,0 +1,86 @@
+#include "txn/journal.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace uparc::txn {
+
+u64 Journal::begin(std::string region, std::string module) {
+  TxnRecord rec;
+  rec.id = records_.size() + 1;
+  rec.region = std::move(region);
+  rec.module = std::move(module);
+  rec.opened_at = sim_.now();
+  rec.events.push_back({TxnPhase::kBegun, sim_.now(), ""});
+  records_.push_back(std::move(rec));
+  ++open_;
+  return records_.back().id;
+}
+
+void Journal::advance(u64 id, TxnPhase phase, std::string note) {
+  if (id == 0 || id > records_.size()) {
+    throw std::logic_error("Journal: advance on unknown txn " + std::to_string(id));
+  }
+  TxnRecord& rec = records_[id - 1];
+  if (rec.terminal()) {
+    throw std::logic_error("Journal: advance on terminal txn " + std::to_string(id));
+  }
+  rec.phase = phase;
+  rec.events.push_back({phase, sim_.now(), std::move(note)});
+  if (rec.terminal()) {
+    rec.closed_at = sim_.now();
+    --open_;
+  }
+}
+
+const TxnRecord* Journal::find(u64 id) const {
+  if (id == 0 || id > records_.size()) return nullptr;
+  return &records_[id - 1];
+}
+
+std::string Journal::render_text() const {
+  std::ostringstream out;
+  for (const TxnRecord& rec : records_) {
+    out << "txn " << rec.id << "  " << rec.module << " -> " << rec.region << "  [";
+    for (std::size_t i = 0; i < rec.events.size(); ++i) {
+      if (i != 0) out << " ";
+      out << to_string(rec.events[i].phase);
+    }
+    out << "]";
+    if (rec.terminal()) {
+      out << "  " << (rec.closed_at - rec.opened_at).us() << " us";
+    } else {
+      out << "  OPEN";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Journal::render_json() const {
+  std::ostringstream out;
+  out << "{\n  \"transactions\": [";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    const TxnRecord& rec = records_[r];
+    out << (r == 0 ? "" : ",") << "\n    {\"id\": " << rec.id << ", \"region\": \""
+        << obs::json_escape(rec.region) << "\", \"module\": \""
+        << obs::json_escape(rec.module) << "\", \"phase\": \"" << to_string(rec.phase)
+        << "\", \"terminal\": " << (rec.terminal() ? "true" : "false")
+        << ", \"opened_ps\": " << rec.opened_at.ps()
+        << ", \"closed_ps\": " << rec.closed_at.ps() << ", \"events\": [";
+    for (std::size_t e = 0; e < rec.events.size(); ++e) {
+      const TxnEvent& ev = rec.events[e];
+      out << (e == 0 ? "" : ", ") << "{\"phase\": \"" << to_string(ev.phase)
+          << "\", \"at_ps\": " << ev.at.ps();
+      if (!ev.note.empty()) out << ", \"note\": \"" << obs::json_escape(ev.note) << "\"";
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"open\": " << open_ << "\n}\n";
+  return out.str();
+}
+
+}  // namespace uparc::txn

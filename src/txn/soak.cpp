@@ -1,0 +1,236 @@
+#include "txn/soak.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "core/system.hpp"
+#include "fault/injector.hpp"
+#include "region/region_manager.hpp"
+
+namespace uparc::txn {
+namespace {
+
+/// The full-rate chaos plan: every site on the reconfiguration path armed
+/// at rates high enough that most soaks exercise every recovery and
+/// rollback ladder rung, scaled by `scale` (0 disables).
+fault::FaultPlan chaos_plan(u64 seed, double scale) {
+  fault::FaultPlan plan;
+  plan.seed = seed ^ 0xC4A05C4A05ULL;
+  if (scale <= 0.0) return plan;
+  plan.arm(fault::FaultSite::kBramRead, {.rate = 1e-4 * scale});
+  plan.arm(fault::FaultSite::kDecompInput, {.rate = 1e-4 * scale});
+  plan.arm(fault::FaultSite::kPreloadTruncate, {.rate = 0.01 * scale, .param = 0.5});
+  plan.arm(fault::FaultSite::kDcmLockFail, {.rate = 0.05 * scale});
+  plan.arm(fault::FaultSite::kIcapCorrupt, {.rate = 2e-4 * scale});
+  plan.arm(fault::FaultSite::kIcapAbort, {.rate = 5e-5 * scale});
+  return plan;
+}
+
+}  // namespace
+
+std::string SoakReport::summary() const {
+  std::ostringstream out;
+  out << "chaos soak: " << transactions << " transactions\n"
+      << "  commits " << commits << "  rollbacks(last-good " << rollbacks_last_good
+      << ", blank " << rollbacks_blank << ")  failures " << failures << "\n"
+      << "  software fallbacks " << software_fallbacks << "  quarantines "
+      << quarantines << "  fault fires " << fault_fires << "\n"
+      << "  sim time " << sim_ms << " ms  energy " << energy_uj << " uJ\n"
+      << "  invariants: "
+      << (ok() ? "OK (0 violations)"
+               : ("VIOLATED (" + std::to_string(violations.size()) + ")"))
+      << "\n";
+  for (const SoakViolation& v : violations) {
+    out << "    txn " << v.txn << ": " << v.what << "\n";
+  }
+  return out.str();
+}
+
+SoakReport run_soak(const SoakConfig& config) {
+  SoakReport report;
+  auto violate = [&](u64 at, std::string what) {
+    report.violations.push_back({at, std::move(what)});
+  };
+
+  core::SystemConfig sys_cfg;
+  sys_cfg.trace = config.trace;
+  core::System system(sys_cfg);
+  sim::Simulation& sim = system.sim();
+  const bits::Device& device = system.uparc().config().device;
+
+  // Generate the module set. Identical sizing means every module fits every
+  // region window exactly (Floorplan::check_fits requires it).
+  const unsigned module_count = std::max(1u, config.modules);
+  std::vector<bits::PartialBitstream> images;
+  for (unsigned m = 0; m < module_count; ++m) {
+    bits::GeneratorConfig gen_cfg;
+    gen_cfg.device = device;
+    gen_cfg.target_body_bytes = std::max<std::size_t>(1, config.module_kb) * 1024;
+    gen_cfg.seed = config.seed * 1000 + m + 1;
+    gen_cfg.design_name = "m" + std::to_string(m);
+    images.push_back(bits::Generator(gen_cfg).generate());
+  }
+  const std::size_t frames_per_module = images.front().frames.size();
+
+  region::ModuleLibrary library;
+  for (unsigned m = 0; m < module_count; ++m) {
+    if (images[m].frames.size() != frames_per_module) {
+      violate(0, "module set is not uniformly sized");
+      return report;
+    }
+    Status st = library.add_module("m" + std::to_string(m), images[m]);
+    if (!st.ok()) {
+      violate(0, "add_module: " + st.error().message);
+      return report;
+    }
+  }
+
+  // Floorplan: one window per region, spaced a whole column apart so FDRI
+  // auto-increment never walks from one region into the next.
+  region::Floorplan floorplan(device);
+  const u32 column_stride = static_cast<u32>(frames_per_module / 128 + 1);
+  for (unsigned r = 0; r < std::max(1u, config.regions); ++r) {
+    region::RegionGeometry geom;
+    geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * column_stride, 0};
+    geom.frame_count = static_cast<u32>(frames_per_module);
+    Status st = floorplan.add_region("r" + std::to_string(r), geom);
+    if (!st.ok()) {
+      violate(0, "add_region: " + st.error().message);
+      return report;
+    }
+  }
+
+  TxnManager txn(sim, "txn", system.uparc(), system.icap(), system.rail(),
+                 config.policy);
+  region::RegionManager manager(sim, "region_mgr", std::move(floorplan), library,
+                                system.uparc(), system.plane());
+  manager.set_transaction_manager(&txn);
+
+  fault::FaultInjector injector(sim, "chaos", chaos_plan(config.seed, config.fault_scale));
+  injector.arm(system.uparc(), system.icap());
+
+  Prng workload(config.seed ^ 0x50A4ULL);
+  std::map<std::string, std::string> shadow_occupant;
+  TimePs last_now{};
+  double last_energy = 0.0;
+
+  auto check_all_regions = [&](u64 at) {
+    for (const region::Region& r : manager.floorplan().regions()) {
+      if (!txn.region_consistent(r.name, system.plane())) {
+        violate(at, "region " + r.name +
+                        " inconsistent: plane matches neither last-good nor blank");
+      }
+    }
+  };
+
+  for (unsigned i = 1; i <= config.transactions; ++i) {
+    const std::string module = "m" + std::to_string(workload.below(module_count));
+    std::optional<region::LoadResult> got;
+    const TimePs dispatched_at = sim.now();
+    manager.load_any(module, [&](const region::LoadResult& r) { got = r; });
+    try {
+      sim.run();
+    } catch (const std::exception& e) {
+      // An escaping kernel exception (e.g. the event budget) is itself an
+      // invariant violation: a transaction must terminate, not livelock.
+      violate(i, std::string("simulation aborted mid-transaction (") + e.what() +
+                     ") loading " + module + ", dispatched at t=" +
+                     std::to_string(dispatched_at.ps()) + " ps");
+      break;
+    }
+    ++report.transactions;
+
+    if (!got) {
+      violate(i, "load never completed: simulation drained mid-transaction");
+      break;
+    }
+    const region::LoadResult& r = *got;
+
+    if (r.software_fallback) {
+      // Degraded mode is only legitimate when no region was schedulable.
+      for (const region::Region& reg : manager.floorplan().regions()) {
+        if (txn.health().schedulable(reg.name)) {
+          violate(i, "software fallback while region " + reg.name + " was schedulable");
+        }
+      }
+      continue;
+    }
+
+    if (!r.transactional) {
+      violate(i, "load bypassed the transaction layer");
+      continue;
+    }
+    const TxnRecord* rec = txn.journal().find(r.txn_id);
+    if (rec == nullptr || !rec->terminal()) {
+      violate(i, "transaction journal did not reach a terminal state");
+    }
+    if (!r.placement_schedulable) {
+      violate(i, "placement on a quarantined region: " + r.region);
+    }
+
+    switch (r.terminal) {
+      case TxnPhase::kCommitted:
+        ++report.commits;
+        if (manager.occupant(r.region) != r.module) {
+          violate(i, "commit but occupant is '" + manager.occupant(r.region) + "'");
+        }
+        shadow_occupant[r.region] = r.module;
+        break;
+      case TxnPhase::kRolledBackLastGood:
+        ++report.rollbacks_last_good;
+        if (manager.occupant(r.region) != shadow_occupant[r.region]) {
+          violate(i, "last-good rollback but occupant changed to '" +
+                         manager.occupant(r.region) + "'");
+        }
+        break;
+      case TxnPhase::kRolledBackBlank:
+        ++report.rollbacks_blank;
+        if (!manager.occupant(r.region).empty()) {
+          violate(i, "blank rollback but occupant is '" + manager.occupant(r.region) + "'");
+        }
+        shadow_occupant[r.region] = "";
+        break;
+      default:
+        ++report.failures;
+        violate(i, "transaction failed terminally (rollback ladder exhausted) on " +
+                       r.region);
+        shadow_occupant[r.region] = "";
+        break;
+    }
+
+    check_all_regions(i);
+
+    // Accounting must be monotone: simulated time and rail energy only grow.
+    if (sim.now() < last_now || r.finished_at < r.started_at) {
+      violate(i, "time accounting went backwards");
+    }
+    last_now = sim.now();
+    if (system.rail() != nullptr) {
+      const double energy = system.rail()->energy_uj(TimePs{}, sim.now());
+      if (energy + 1e-9 < last_energy) {
+        violate(i, "rail energy accounting went backwards");
+      }
+      last_energy = energy;
+    }
+  }
+
+  if (!txn.journal().all_terminal()) {
+    violate(0, "journal left " + std::to_string(txn.journal().open_count()) +
+                   " transactions open");
+  }
+  check_all_regions(0);
+
+  report.software_fallbacks = static_cast<unsigned>(manager.software_fallbacks());
+  report.quarantines =
+      static_cast<u64>(system.metrics().counter_value("txn.health.quarantines"));
+  report.fault_fires = injector.total_fires();
+  report.sim_ms = sim.now().ms();
+  report.energy_uj = last_energy;
+  report.journal_json = txn.journal().render_json();
+  report.metrics_json = system.metrics().render_json();
+  report.trace_json = system.trace_json();
+  return report;
+}
+
+}  // namespace uparc::txn

@@ -1,0 +1,252 @@
+#include "txn/transaction.hpp"
+
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace uparc::txn {
+
+TxnManager::TxnManager(sim::Simulation& sim, std::string name, core::Uparc& uparc,
+                       icap::Icap& port, power::Rail* rail, TxnPolicy policy)
+    : Module(sim, std::move(name)),
+      uparc_(uparc),
+      rail_(rail),
+      policy_(policy),
+      recovery_(sim, this->name() + ".recovery", uparc, rail),
+      readback_(sim, this->name() + ".readback", port),
+      journal_(sim),
+      health_(sim, this->name() + ".health", policy.health) {}
+
+const bits::PartialBitstream* TxnManager::last_good(const std::string& region) const {
+  auto it = last_good_.find(region);
+  return it == last_good_.end() ? nullptr : &it->second;
+}
+
+bits::PartialBitstream TxnManager::make_blank_bitstream(const bits::Device& device,
+                                                        bits::FrameAddress origin,
+                                                        std::size_t frame_count) {
+  bits::PacketWriter pw;
+  pw.prologue();
+  bits::ConfigCrc crc;
+  auto tracked = [&](bits::ConfigReg reg, u32 value) {
+    pw.write_reg(reg, value);
+    crc.write(reg, value);
+  };
+  tracked(bits::ConfigReg::kCmd, static_cast<u32>(bits::Command::kRcrc));
+  crc.reset();
+  tracked(bits::ConfigReg::kIdcode, device.idcode);
+  tracked(bits::ConfigReg::kFar, origin.pack());
+  tracked(bits::ConfigReg::kCmd, static_cast<u32>(bits::Command::kWcfg));
+
+  const Words payload(frame_count * device.frame_words, 0);
+  const std::size_t fdri_offset = pw.words().size() + 2;
+  pw.write_fdri(payload);
+  for (u32 w : payload) crc.write(bits::ConfigReg::kFdri, w);
+  pw.write_crc(crc.value());
+  pw.command(bits::Command::kDesync);
+  pw.noop(1);
+
+  bits::PartialBitstream out;
+  out.body = pw.take();
+  out.fdri_offset = fdri_offset;
+  out.fdri_words = payload.size();
+  out.frames = bits::split_frames(device, origin, payload);
+  out.header.design_name = "safe_blank";
+  out.header.part_name = std::string(device.name);
+  out.header.body_bytes = static_cast<u32>(out.body.size() * 4);
+  return out;
+}
+
+void TxnManager::execute(const std::string& region, const std::string& module,
+                         const bits::PartialBitstream& image, TxnCallback done) {
+  if (busy_) throw std::logic_error("TxnManager: execute while busy: " + name());
+  if (image.frames.empty()) {
+    throw std::invalid_argument("TxnManager: image has no ground-truth frames");
+  }
+  busy_ = true;
+  region_ = region;
+  module_ = module;
+  image_ = image;
+  blank_built_ = false;
+  done_ = std::move(done);
+  out_ = TxnOutcome{};
+  out_.region = region;
+  out_.module = module;
+  out_.start = sim_.now();
+  txn_id_ = journal_.begin(region, module);
+  out_.txn_id = txn_id_;
+
+  // The image covers the whole region window; remember it so a later blank
+  // rollback (and the consistency invariant) knows the region's extent.
+  auto& window = windows_[region_];
+  window.clear();
+  window.reserve(image_.frames.size());
+  for (const bits::Frame& f : image_.frames) window.push_back(f.address);
+
+  stats().add("txns");
+  metrics().counter(name() + ".txns").add();
+  if (obs::Tracer* tr = tracer()) {
+    txn_span_ = tr->begin("txn.run", "txn");
+    tr->arg(txn_span_, "region", region_);
+    tr->arg(txn_span_, "module", module_);
+  }
+  start_forward();
+}
+
+void TxnManager::start_forward() {
+  journal_.advance(txn_id_, TxnPhase::kForward);
+  recovery_.policy() = policy_.forward;
+  recovery_.run(image_, [this](const manager::RecoveryOutcome& o) { on_forward(o); });
+}
+
+void TxnManager::on_forward(const manager::RecoveryOutcome& o) {
+  out_.forward = o;
+  out_.forward_attempts = o.attempts;
+  if (!o.success) {
+    out_.error = "forward failed: " + o.final_result.error;
+    rollback_round(out_.error);
+    return;
+  }
+  if (!policy_.verify_commit) {
+    commit();
+    return;
+  }
+  start_verify(VerifyTarget::kCommit, image_.frames);
+}
+
+void TxnManager::start_verify(VerifyTarget target, const std::vector<bits::Frame>& frames) {
+  journal_.advance(txn_id_, TxnPhase::kVerify);
+  ++out_.verify_runs;
+  metrics().counter(name() + ".verifies").add();
+  golden_ = std::make_unique<scrub::GoldenSignature>(frames);
+  readback_.verify_region(*golden_, [this, target](const scrub::ReadbackReport& report) {
+    on_verify(target, report);
+  });
+}
+
+void TxnManager::on_verify(VerifyTarget target, const scrub::ReadbackReport& report) {
+  if (!report.clean()) {
+    metrics().counter(name() + ".verify_dirty").add();
+    const std::string why = "readback-verify found " +
+                            std::to_string(report.mismatches.size()) +
+                            " mismatched frames";
+    if (target == VerifyTarget::kCommit && out_.error.empty()) out_.error = why;
+    rollback_round(why);
+    return;
+  }
+  if (target == VerifyTarget::kCommit) {
+    commit();
+    return;
+  }
+  finish_rolled_back(target);
+}
+
+void TxnManager::commit() {
+  last_good_[region_] = image_;
+  health_.on_commit(region_);
+  out_.committed = true;
+  stats().add("commits");
+  metrics().counter(name() + ".commits").add();
+  finish(TxnPhase::kCommitted);
+}
+
+void TxnManager::rollback_round(std::string reason) {
+  if (out_.rollback_rounds >= policy_.max_rollback_rounds) {
+    fail("rollback budget exhausted after " + std::to_string(out_.rollback_rounds) +
+         " rounds; last: " + reason);
+    return;
+  }
+  ++out_.rollback_rounds;
+  journal_.advance(txn_id_, TxnPhase::kRollback, reason);
+  metrics().counter(name() + ".rollback_rounds").add();
+  if (obs::Tracer* tr = tracer()) {
+    tr->instant("txn.rollback_round", "txn");
+  }
+
+  // Restore the retained golden copy while we still trust it; past
+  // blank_after_rounds (or with nothing to restore) escalate to the safe
+  // blank stub — smaller, so each round exposes fewer fault opportunities.
+  const bits::PartialBitstream* good = last_good(region_);
+  const bool use_blank =
+      good == nullptr || out_.rollback_rounds > policy_.blank_after_rounds;
+  if (use_blank && !blank_built_) {
+    blank_ = make_blank_bitstream(uparc_.config().device, image_.frames.front().address,
+                                  image_.frames.size());
+    blank_built_ = true;
+  }
+  const bits::PartialBitstream& target = use_blank ? blank_ : *good;
+  recovery_.policy() = policy_.rollback;
+  recovery_.run(target, [this, use_blank](const manager::RecoveryOutcome& o) {
+    if (!o.success) {
+      rollback_round("rollback re-program failed: " + o.final_result.error);
+      return;
+    }
+    // Never trust an unverified rollback: the invariant is that a rolled-
+    // back region *readback-verifies* as last-good or blank.
+    start_verify(use_blank ? VerifyTarget::kBlank : VerifyTarget::kLastGood,
+                 use_blank ? blank_.frames : last_good_.at(region_).frames);
+  });
+}
+
+void TxnManager::finish_rolled_back(VerifyTarget target) {
+  health_.on_rollback(region_);
+  if (target == VerifyTarget::kBlank) {
+    // The fabric is verified blank; the old golden copy no longer describes
+    // it, so future rollbacks of this region must blank again, not resurrect
+    // a module the journal says is gone.
+    last_good_.erase(region_);
+    stats().add("rollbacks_blank");
+    metrics().counter(name() + ".rollbacks_blank").add();
+    finish(TxnPhase::kRolledBackBlank);
+    return;
+  }
+  stats().add("rollbacks_last_good");
+  metrics().counter(name() + ".rollbacks_last_good").add();
+  finish(TxnPhase::kRolledBackLastGood);
+}
+
+void TxnManager::fail(std::string why) {
+  if (out_.error.empty()) out_.error = why;
+  health_.on_failure(region_);
+  stats().add("failures");
+  metrics().counter(name() + ".failures").add();
+  journal_.advance(txn_id_, TxnPhase::kFailed, std::move(why));
+  finish(TxnPhase::kFailed);
+}
+
+void TxnManager::finish(TxnPhase terminal) {
+  if (terminal != TxnPhase::kFailed) {
+    journal_.advance(txn_id_, terminal);
+  }
+  out_.terminal = terminal;
+  out_.end = sim_.now();
+  if (rail_ != nullptr) out_.energy_uj = rail_->energy_uj(out_.start, out_.end);
+  if (obs::Tracer* tr = tracer()) {
+    tr->arg(txn_span_, "terminal", to_string(terminal));
+    tr->arg(txn_span_, "rollback_rounds", static_cast<double>(out_.rollback_rounds));
+    tr->end(txn_span_);
+  }
+  golden_.reset();
+  busy_ = false;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  if (done) done(out_);
+}
+
+bool TxnManager::region_consistent(const std::string& region,
+                                   const icap::ConfigPlane& plane) const {
+  auto good = last_good_.find(region);
+  if (good != last_good_.end()) return plane.contains(good->second.frames);
+  auto window = windows_.find(region);
+  if (window == windows_.end()) return true;  // never transacted
+  for (const bits::FrameAddress& addr : window->second) {
+    const Words* frame = plane.read_frame(addr);
+    if (frame == nullptr) continue;  // never written reads back as zeros
+    for (u32 w : *frame) {
+      if (w != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace uparc::txn

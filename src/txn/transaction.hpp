@@ -1,0 +1,152 @@
+// TxnManager — transactional reconfiguration with verified commit and
+// rollback (the tentpole of the robustness layer).
+//
+// Every reconfiguration becomes a journaled transaction with a
+// begin/commit/abort protocol over the ICAP config plane:
+//
+//   begin ── forward (RecoveryManager: watchdog + bounded retries + backoff)
+//     │          │ success
+//     │          ▼
+//     │        verify (scrub readback: per-frame CRC against staged image)
+//     │          │ clean                      │ dirty
+//     │          ▼                            ▼
+//     │      COMMITTED ◄─ golden copy     rollback loop (bounded rounds):
+//     │                   retained          re-program last-known-good from
+//     │ forward failed                      the retained golden copy; after
+//     └──────────────────────────────────►  blank_after_rounds rounds (or
+//                                           with no prior module) escalate
+//                                           to a synthesized safe blank stub
+//                                           — every round readback-verified
+//            │ verified                              │ budget exhausted
+//            ▼                                       ▼
+//   ROLLED_BACK_LAST_GOOD / ROLLED_BACK_BLANK      FAILED (permanent
+//                                                   region quarantine)
+//
+// The guarantee RegionManager builds on: a region is only ever observed in
+// one of {empty, last-good module, new-good module} — never half-programmed
+// — because every terminal state is readback-verified against ground truth.
+// Region health feeds the HealthTracker so schedulers can route around
+// quarantined fabric.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "manager/recovery.hpp"
+#include "scrub/readback.hpp"
+#include "txn/health.hpp"
+#include "txn/journal.hpp"
+
+namespace uparc::txn {
+
+struct TxnPolicy {
+  /// Recovery envelope for the forward (new module) attempt.
+  manager::RecoveryPolicy forward{};
+  /// Recovery envelope for each rollback round (per re-program).
+  manager::RecoveryPolicy rollback{};
+  /// Total rollback rounds (each = one recovery run + readback-verify)
+  /// before the transaction is declared failed and the region condemned.
+  unsigned max_rollback_rounds = 12;
+  /// Rounds spent restoring last-good before escalating to the blank stub
+  /// (a blank is smaller, so it exposes fewer fault opportunities).
+  unsigned blank_after_rounds = 4;
+  /// Readback-verify the new image before committing. Rollbacks are always
+  /// verified regardless — an unverified rollback is no rollback at all.
+  bool verify_commit = true;
+  HealthPolicy health{};
+};
+
+struct TxnOutcome {
+  u64 txn_id = 0;
+  bool committed = false;
+  TxnPhase terminal = TxnPhase::kFailed;
+  std::string region;
+  std::string module;
+  std::string error;              ///< first failure on a non-committed path
+  unsigned forward_attempts = 0;  ///< attempts inside the forward recovery run
+  unsigned rollback_rounds = 0;
+  u64 verify_runs = 0;
+  TimePs start{};
+  TimePs end{};
+  double energy_uj = 0.0;  ///< whole transaction (rail present)
+  manager::RecoveryOutcome forward;  ///< full forward recovery history
+};
+
+using TxnCallback = std::function<void(const TxnOutcome&)>;
+
+class TxnManager : public sim::Module {
+ public:
+  /// `rail` may be null (no energy accounting). Owns its own
+  /// RecoveryManager and Readback engine over the shared ICAP port.
+  TxnManager(sim::Simulation& sim, std::string name, core::Uparc& uparc,
+             icap::Icap& port, power::Rail* rail = nullptr, TxnPolicy policy = {});
+
+  /// Runs one transaction: program `image` (which must cover the region's
+  /// whole frame window) into `region` as module `module`. One transaction
+  /// at a time; throws if busy.
+  void execute(const std::string& region, const std::string& module,
+               const bits::PartialBitstream& image, TxnCallback done);
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] Journal& journal() noexcept { return journal_; }
+  [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+  [[nodiscard]] HealthTracker& health() noexcept { return health_; }
+  [[nodiscard]] const HealthTracker& health() const noexcept { return health_; }
+  [[nodiscard]] TxnPolicy& policy() noexcept { return policy_; }
+  [[nodiscard]] const TxnPolicy& policy() const noexcept { return policy_; }
+
+  /// Retained golden copy of the region's committed module (null if the
+  /// region is blank or was never committed).
+  [[nodiscard]] const bits::PartialBitstream* last_good(const std::string& region) const;
+
+  /// Ground-truth invariant for the soak harness: the plane window of
+  /// `region` matches the retained last-good image, or is blank (all-zero /
+  /// never-written frames), or the region was never transacted.
+  [[nodiscard]] bool region_consistent(const std::string& region,
+                                       const icap::ConfigPlane& plane) const;
+
+  /// Synthesizes the safe empty stub: `frame_count` all-zero frames from
+  /// `origin`, as a lint-clean partial bitstream (FAR + one FDRI write +
+  /// CRC + DESYNC). Exposed for tests.
+  [[nodiscard]] static bits::PartialBitstream make_blank_bitstream(
+      const bits::Device& device, bits::FrameAddress origin, std::size_t frame_count);
+
+ private:
+  enum class VerifyTarget { kCommit, kLastGood, kBlank };
+
+  void start_forward();
+  void on_forward(const manager::RecoveryOutcome& o);
+  void start_verify(VerifyTarget target, const std::vector<bits::Frame>& frames);
+  void on_verify(VerifyTarget target, const scrub::ReadbackReport& report);
+  void rollback_round(std::string reason);
+  void commit();
+  void finish_rolled_back(VerifyTarget target);
+  void fail(std::string why);
+  void finish(TxnPhase terminal);
+
+  core::Uparc& uparc_;
+  power::Rail* rail_;
+  TxnPolicy policy_;
+  manager::RecoveryManager recovery_;
+  scrub::Readback readback_;
+  Journal journal_;
+  HealthTracker health_;
+
+  std::map<std::string, bits::PartialBitstream> last_good_;
+  std::map<std::string, std::vector<bits::FrameAddress>> windows_;
+
+  // In-flight transaction.
+  bool busy_ = false;
+  u64 txn_id_ = 0;
+  std::string region_;
+  std::string module_;
+  bits::PartialBitstream image_;
+  bits::PartialBitstream blank_;  ///< built lazily, once per transaction
+  bool blank_built_ = false;
+  TxnOutcome out_;
+  TxnCallback done_;
+  std::unique_ptr<scrub::GoldenSignature> golden_;  ///< outlives the verify
+  std::size_t txn_span_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace uparc::txn

@@ -153,6 +153,76 @@ TEST(Recovery, MidFrameIcapAbortRecoversViaRepreload) {
   EXPECT_EQ(out.history[0].action, RecoveryAction::kRepreload);
 }
 
+TEST(Recovery, RetriesWaitOutTheDeterministicBackoffSchedule) {
+  core::System sys;
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.arm(FaultSite::kPreloadTruncate, {.rate = 1.0, .max_fires = 2, .param = 0.5});
+  fault::FaultInjector inj(sys.sim(), "inj", plan);
+  inj.arm_preloader(sys.uparc().preloader());
+
+  auto out = sys.run_recovery_blocking(make_bs(64_KiB));
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.attempts, 3u);
+  // Two retries: 20us * weight(1.0), then doubled — exactly reproducible
+  // from the policy, no randomness involved.
+  EXPECT_EQ(out.backoffs, 2u);
+  const manager::RecoveryPolicy policy;
+  EXPECT_EQ(out.backoff_total,
+            TimePs(policy.backoff_base.ps() +
+                   static_cast<u64>(static_cast<double>(policy.backoff_base.ps()) *
+                                    policy.backoff_factor)));
+  EXPECT_EQ(sys.metrics().counter_value("recovery.backoffs"), 2.0);
+  EXPECT_GE(out.end - out.start, out.backoff_total);
+}
+
+TEST(Recovery, BackoffReplaysBitIdenticallyAndZeroBaseDisablesIt) {
+  auto run_once = [](TimePs base) {
+    core::System sys;
+    FaultPlan plan;
+    plan.seed = 4;
+    plan.arm(FaultSite::kPreloadTruncate, {.rate = 1.0, .max_fires = 2, .param = 0.5});
+    fault::FaultInjector inj(sys.sim(), "inj", plan);
+    inj.arm_preloader(sys.uparc().preloader());
+    manager::RecoveryPolicy policy;
+    policy.backoff_base = base;
+    auto out = sys.run_recovery_blocking(make_bs(64_KiB), policy);
+    return std::tuple{out.success, out.attempts, out.backoffs, out.backoff_total.ps(),
+                      (out.end - out.start).ps()};
+  };
+  const auto a = run_once(TimePs::from_us(20));
+  const auto b = run_once(TimePs::from_us(20));
+  EXPECT_EQ(a, b);
+
+  const auto off = run_once(TimePs{});
+  EXPECT_TRUE(std::get<0>(off));
+  EXPECT_EQ(std::get<2>(off), 0u);           // no backoffs taken
+  EXPECT_EQ(std::get<3>(off), 0u);
+  EXPECT_LT(std::get<4>(off), std::get<4>(a));  // and the run is faster
+}
+
+TEST(Recovery, BackoffIsCappedByPolicyAndBudget) {
+  core::System sys;
+  manager::RecoveryPolicy policy;
+  policy.backoff_base = TimePs::from_us(900);
+  policy.backoff_factor = 10.0;
+  policy.backoff_cap = TimePs::from_us(1500);
+  policy.max_attempts = 4;
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.arm(FaultSite::kPreloadTruncate, {.rate = 1.0, .max_fires = 3, .param = 0.5});
+  fault::FaultInjector inj(sys.sim(), "inj", plan);
+  inj.arm_preloader(sys.uparc().preloader());
+
+  auto out = sys.run_recovery_blocking(make_bs(64_KiB), policy);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.backoffs, 3u);
+  // Retries 2 and 3 would wait 9ms/90ms uncapped; the cap (and the attempt
+  // cycle budget, whichever is tighter) bounds the whole schedule.
+  EXPECT_GT(out.backoff_total.ps(), 0u);
+  EXPECT_LE(out.backoff_total, TimePs::from_us(900 + 1500 + 1500));
+}
+
 TEST(Recovery, WatchdogBoundsEveryAttemptAndStepsDownBeforeGivingUp) {
   core::System sys;
   // A pathologically tight cycle budget: every attempt times out while the

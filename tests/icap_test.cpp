@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "bitstream/generator.hpp"
+#include "fault/injector.hpp"
 #include "icap/dcm.hpp"
 #include "icap/icap.hpp"
 
@@ -100,6 +101,43 @@ TEST_F(IcapFixture, ResetAllowsSecondBitstream) {
   EXPECT_TRUE(port.done());
   EXPECT_TRUE(plane.contains(bs1.frames));
   EXPECT_TRUE(plane.contains(bs2.frames));
+}
+
+TEST_F(IcapFixture, AbortMidBurstClearsInFlightFrameState) {
+  bits::GeneratorConfig cfg;
+  cfg.target_body_bytes = 8_KiB;
+  auto bs = bits::Generator(cfg).generate();
+
+  // Abort via the injector fault path, mid-FDRI so a frame is half-buffered.
+  const u64 abort_at = static_cast<u64>(bs.fdri_offset) + 20;  // < one frame
+  fault::FaultPlan plan;
+  plan.seed = 2;
+  plan.arm(fault::FaultSite::kIcapAbort, {.rate = 1.0, .after = abort_at, .max_fires = 1});
+  fault::FaultInjector inj(sim, "inj", plan);
+  inj.arm_icap(port);
+
+  std::size_t streamed = 0;
+  for (u32 w : bs.body) {
+    port.write_word(w);
+    ++streamed;
+    if (port.errored()) break;
+  }
+  ASSERT_TRUE(port.errored());
+  EXPECT_EQ(port.error_cause(), ErrorCause::kIcapAbort);
+  EXPECT_LT(streamed, bs.body.size());
+
+  // Regression: the abort must drop the torn frame and the packet's word
+  // budget, or they would bleed into the next burst's accounting.
+  EXPECT_EQ(port.in_flight_frame_words(), 0u);
+  EXPECT_EQ(port.payload_words_left(), 0u);
+
+  // A reset-and-restream (the recovery path) completes cleanly.
+  port.reset();
+  for (u32 w : bs.body) port.write_word(w);
+  EXPECT_TRUE(port.done());
+  EXPECT_TRUE(port.crc_ok());
+  EXPECT_EQ(port.frames_committed(), bs.frames.size());
+  EXPECT_TRUE(plane.contains(bs.frames));
 }
 
 TEST_F(IcapFixture, TrailingWordsAfterDesyncIgnored) {

@@ -5,6 +5,7 @@
 #include "bitstream/parser.hpp"
 #include "bitstream/relocate.hpp"
 #include "core/system.hpp"
+#include "fault/injector.hpp"
 #include "scrub/scrubber.hpp"
 #include "scrub/seu.hpp"
 
@@ -195,6 +196,39 @@ TEST(ReadbackTest, DetectsCorruptAndMissingFrames) {
   // The ghost frame is a separate run: two runs => extra FAR/RCFG/read
   // commands for the second (6 more command words).
   EXPECT_EQ(report->command_words, 13u);
+}
+
+TEST(ReadbackTest, SwallowedReadCommandStallsOutInsteadOfHanging) {
+  // A faulted port can corrupt the readback's own command words (here: the
+  // sync word, so every subsequent write is silently ignored) without ever
+  // raising an error. The readout phase then never produces a word; the
+  // stall guard must terminate the pass conservatively instead of letting
+  // the readback clock tick forever.
+  sim::Simulation sim;
+  icap::ConfigPlane plane(sim, "plane", bits::kVirtex5Sx50t);
+  icap::Icap port(sim, "icap", plane);
+  auto bs = make_bs(16_KiB, 3);
+  for (const auto& f : bs.frames) plane.write_frame(f.address, f.data);
+
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.arm(fault::FaultSite::kIcapCorrupt, {.rate = 1.0});
+  fault::FaultInjector inj(sim, "inj", plan);
+  inj.arm_icap(port);
+
+  scrub::Readback rb(sim, "rb", port);
+  scrub::GoldenSignature golden(bs.frames);
+  std::optional<scrub::ReadbackReport> report;
+  rb.verify_region(golden, [&](const scrub::ReadbackReport& r) { report = r; });
+  sim.run();
+
+  ASSERT_TRUE(report.has_value()) << "readback never terminated";
+  EXPECT_TRUE(report->stalled);
+  EXPECT_FALSE(report->clean());
+  // Every frame of the (single) run is suspect.
+  EXPECT_EQ(report->mismatches.size(), bs.frames.size());
+  EXPECT_EQ(report->words_read, 0u);
+  EXPECT_FALSE(rb.busy());
 }
 
 TEST(ReadbackTest, BusyGuardAndIdempotentReuse) {

@@ -1,0 +1,61 @@
+// Chaos-soak harness tests: bounded randomized transactional
+// reconfiguration under fault injection must hold every invariant. The CI
+// job and `uparc_cli soak` run longer versions of exactly this.
+#include <gtest/gtest.h>
+
+#include "txn/soak.hpp"
+
+namespace uparc::txn {
+namespace {
+
+TEST(SoakTest, ZeroFaultSoakCommitsEverything) {
+  SoakConfig cfg;
+  cfg.transactions = 60;
+  cfg.fault_scale = 0.0;
+  auto report = run_soak(cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.commits, cfg.transactions);
+  EXPECT_EQ(report.rollbacks_last_good + report.rollbacks_blank, 0u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.software_fallbacks, 0u);
+  EXPECT_EQ(report.fault_fires, 0u);
+}
+
+TEST(SoakTest, FullRateChaosHoldsEveryInvariant) {
+  SoakConfig cfg;
+  cfg.transactions = 150;
+  cfg.seed = 11;
+  auto report = run_soak(cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.transactions, cfg.transactions);
+  EXPECT_GT(report.fault_fires, 0u);  // chaos actually ran
+  EXPECT_GT(report.commits, 0u);      // and the system survived it
+  EXPECT_FALSE(report.journal_json.empty());
+  EXPECT_FALSE(report.metrics_json.empty());
+}
+
+TEST(SoakTest, DeterministicAcrossRuns) {
+  SoakConfig cfg;
+  cfg.transactions = 40;
+  cfg.seed = 5;
+  auto a = run_soak(cfg);
+  auto b = run_soak(cfg);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.rollbacks_last_good, b.rollbacks_last_good);
+  EXPECT_EQ(a.rollbacks_blank, b.rollbacks_blank);
+  EXPECT_EQ(a.fault_fires, b.fault_fires);
+  EXPECT_EQ(a.journal_json, b.journal_json);
+}
+
+TEST(SoakTest, SummaryMentionsViolationsWhenClean) {
+  SoakConfig cfg;
+  cfg.transactions = 10;
+  cfg.fault_scale = 0.0;
+  auto report = run_soak(cfg);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("violations"), std::string::npos);
+  EXPECT_NE(s.find("commits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uparc::txn

@@ -11,6 +11,10 @@
 //   uparc_cli sweep    f.bit
 //   uparc_cli lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]
 //   uparc_cli trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]
+//                      [--scrub-rounds N]
+//   uparc_cli soak     [--txns N] [--seed S] [--regions N] [--modules N]
+//                      [--module-kb N] [--rate-scale X] [--trace f.json]
+//                      [--journal f.json] [--metrics f.json] [--json]
 //   uparc_cli help
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
@@ -30,6 +34,10 @@
 #include "compress/stats.hpp"
 #include "core/system.hpp"
 #include "fault/injector.hpp"
+#include "scrub/readback.hpp"
+#include "scrub/scrubber.hpp"
+#include "scrub/seu.hpp"
+#include "txn/soak.hpp"
 
 namespace {
 
@@ -406,6 +414,33 @@ int cmd_trace(const Args& a) {
     return 1;
   }
 
+  // Optionally exercise the scrub loop so its registry counters (scans,
+  // mismatched frames, repairs, injected upsets) show up under --metrics.
+  const auto scrub_rounds = static_cast<unsigned>(a.get_num("scrub-rounds", 0));
+  if (scrub_rounds > 0 && r.success) {
+    if (auto st = sys.stage(bs.value()); !st.ok()) {
+      std::fprintf(stderr, "trace: restage for scrub: %s\n", st.error().message.c_str());
+      return 1;
+    }
+    std::vector<bits::FrameAddress> window;
+    for (const auto& f : bs.value().frames) window.push_back(f.address);
+    scrub::SeuInjector seu(sys.sim(), "seu", sys.plane(), window, TimePs::from_us(100),
+                           static_cast<u64>(a.get_num("seed", 1)));
+    scrub::Readback readback(sys.sim(), "readback", sys.icap());
+    scrub::Scrubber scrubber(sys.sim(), "scrubber", sys.uparc(), readback,
+                             bs.value().frames,
+                             scrub::ScrubberConfig{scrub::ScrubMode::kFrameRepair});
+    for (unsigned i = 0; i < scrub_rounds; ++i) {
+      (void)seu.inject_now();
+      scrubber.scrub_once([](bool) {});
+      sys.sim().run();
+    }
+    std::printf("scrub:     %u round(s), %llu frame(s) repaired, %llu upset(s)\n",
+                scrub_rounds,
+                static_cast<unsigned long long>(scrubber.scrub_stats().repairs),
+                static_cast<unsigned long long>(seu.log().size()));
+  }
+
   const obs::Tracer& tr = *sys.tracer();
   std::printf("trace:     %s (%zu spans, %zu categories) — open in ui.perfetto.dev\n",
               out.c_str(), tr.spans().size(), tr.categories().size());
@@ -425,6 +460,49 @@ int cmd_trace(const Args& a) {
     if (!metrics.empty() && metrics.back() != '\n') std::printf("\n");
   }
   return r.success ? 0 : 1;
+}
+
+int cmd_soak(const Args& a) {
+  txn::SoakConfig cfg;
+  cfg.transactions = static_cast<unsigned>(a.get_num("txns", 2000));
+  cfg.seed = static_cast<u64>(a.get_num("seed", 1));
+  cfg.regions = static_cast<unsigned>(a.get_num("regions", 4));
+  cfg.modules = static_cast<unsigned>(a.get_num("modules", 6));
+  cfg.module_kb = static_cast<std::size_t>(a.get_num("module-kb", 8));
+  cfg.fault_scale = a.get_num("rate-scale", 1.0);
+  const std::string trace_out = a.get("trace", "");
+  cfg.trace = !trace_out.empty();
+
+  auto report = txn::run_soak(cfg);
+
+  auto dump = [](const std::string& path, const std::string& what,
+                 const std::string& body) {
+    if (path.empty()) return true;
+    if (auto st = write_text_file(path, body); !st.ok()) {
+      std::fprintf(stderr, "soak: %s: %s\n", what.c_str(), st.error().message.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!dump(trace_out, "trace", report.trace_json)) return 1;
+  if (!dump(a.get("journal", ""), "journal", report.journal_json)) return 1;
+  if (!dump(a.get("metrics", ""), "metrics", report.metrics_json)) return 1;
+
+  if (a.get("json", "") == "true") {
+    std::printf(
+        "{\"transactions\": %u, \"commits\": %u, \"rollbacks_last_good\": %u, "
+        "\"rollbacks_blank\": %u, \"failures\": %u, \"software_fallbacks\": %u, "
+        "\"quarantines\": %llu, \"fault_fires\": %llu, \"violations\": %zu, "
+        "\"ok\": %s}\n",
+        report.transactions, report.commits, report.rollbacks_last_good,
+        report.rollbacks_blank, report.failures, report.software_fallbacks,
+        static_cast<unsigned long long>(report.quarantines),
+        static_cast<unsigned long long>(report.fault_fires), report.violations.size(),
+        report.ok() ? "true" : "false");
+  } else {
+    std::printf("%s", report.summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_sweep(const Args& a) {
@@ -470,10 +548,18 @@ void usage(std::FILE* to) {
       "  sweep    f.bit — bandwidth/energy across CLK_2 frequencies\n"
       "  lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]\n"
       "  trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]\n"
+      "           [--scrub-rounds N] [--seed S]\n"
       "           — traced reconfiguration: Chrome trace_event JSON\n"
       "           (load in ui.perfetto.dev or chrome://tracing) plus\n"
       "           per-category busy time/energy; --metrics dumps the\n"
-      "           metrics registry (text, or JSON with --json)\n"
+      "           metrics registry (text, or JSON with --json);\n"
+      "           --scrub-rounds injects SEUs and scrubs between dumps\n"
+      "  soak     chaos soak: randomized transactional reconfigurations\n"
+      "           under full-rate fault injection with invariant checks\n"
+      "           [--txns N] [--seed S] [--regions N] [--modules N]\n"
+      "           [--module-kb N] [--rate-scale X] [--trace f.json]\n"
+      "           [--journal f.json] [--metrics f.json] [--json]\n"
+      "           exits non-zero on any invariant violation\n"
       "  help     show this message\n");
 }
 
@@ -497,6 +583,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "soak") return cmd_soak(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "trace") return cmd_trace(args);
   std::fprintf(stderr, "uparc_cli: unknown command '%s'\n", cmd.c_str());
