@@ -1,0 +1,42 @@
+#include "cache/prefetch_engine.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace uparc::cache {
+
+PrefetchEngine::PrefetchEngine(sim::Simulation& sim, std::string name, core::Uparc& uparc)
+    : Module(sim, std::move(name)), uparc_(uparc) {}
+
+void PrefetchEngine::arm(const sched::TaskSet& set, const sched::Schedule& schedule,
+                         std::vector<bits::PartialBitstream> images,
+                         sched::PrefetchParams params) {
+  params.origin = std::max(params.origin, sim_.now());
+  plan_ = sched::analyze_prefetch(set, schedule, params);
+  images_ = std::move(images);
+
+  for (const sched::PrefetchSlot& slot : plan_.slots) {
+    const std::size_t task = schedule.slots[slot.activation_index].activation.task_index;
+    if (task >= images_.size() || images_[task].body.empty()) continue;
+    ++armed_;
+    metrics().counter(name() + ".armed").add();
+    const TimePs at = std::max(slot.preload_start, sim_.now());
+    sim_.schedule_at(at, [this, task] { fire(task); });
+  }
+}
+
+void PrefetchEngine::fire(std::size_t image_index) {
+  if (obs::Tracer* tr = tracer()) tr->instant("prefetch.fire", "cache");
+  const Status st = uparc_.stage_speculative(images_[image_index]);
+  if (st.ok()) {
+    ++issued_;
+    metrics().counter(name() + ".issued").add();
+  } else {
+    ++suppressed_;
+    metrics().counter(name() + ".suppressed").add();
+  }
+  metrics().gauge(name() + ".accuracy").set(accuracy());
+}
+
+}  // namespace uparc::cache

@@ -1,0 +1,56 @@
+// Runtime prefetch engine: turns the offline prefetch analysis
+// (sched::analyze_prefetch) into actual speculative preloads.
+//
+// arm() takes a planned schedule plus the per-task bitstream images and
+// schedules one simulation callback per slot at its computed
+// preload_start; each firing issues Uparc::stage_speculative() so the
+// predicted image lands in the staging window (cache-accelerated) before
+// the demand stage arrives. A speculation never disturbs demand work —
+// the controller refuses it while busy and the engine counts the slot as
+// suppressed. Accuracy accounting lives where the truth is known: the
+// controller scores the next demand stage as a prefetch hit (same image)
+// or mispredict, and counts speculative copies overwritten mid-DMA.
+#pragma once
+
+#include "core/uparc.hpp"
+#include "sched/prefetch.hpp"
+
+namespace uparc::cache {
+
+class PrefetchEngine : public sim::Module {
+ public:
+  PrefetchEngine(sim::Simulation& sim, std::string name, core::Uparc& uparc);
+
+  /// Arms one speculative preload per schedule slot. `images[t]` is the
+  /// bitstream of task `t` (indexed by Activation::task_index); slots whose
+  /// task has no image are skipped. `params.origin` is clamped to now() —
+  /// the engine cannot preload into the past. Re-arming adds to any slots
+  /// still pending.
+  void arm(const sched::TaskSet& set, const sched::Schedule& schedule,
+           std::vector<bits::PartialBitstream> images, sched::PrefetchParams params = {});
+
+  /// The analysis the last arm() ran on (timing plan per slot).
+  [[nodiscard]] const sched::PrefetchReport& plan() const noexcept { return plan_; }
+
+  [[nodiscard]] u64 armed() const noexcept { return armed_; }
+  [[nodiscard]] u64 issued() const noexcept { return issued_; }
+  [[nodiscard]] u64 suppressed() const noexcept { return suppressed_; }
+  /// Fraction of issued speculations the next demand stage actually hit.
+  [[nodiscard]] double accuracy() const noexcept {
+    return issued_ == 0 ? 0.0
+                        : static_cast<double>(uparc_.prefetch_hits()) /
+                              static_cast<double>(issued_);
+  }
+
+ private:
+  void fire(std::size_t image_index);
+
+  core::Uparc& uparc_;
+  sched::PrefetchReport plan_;
+  std::vector<bits::PartialBitstream> images_;
+  u64 armed_ = 0;
+  u64 issued_ = 0;
+  u64 suppressed_ = 0;
+};
+
+}  // namespace uparc::cache

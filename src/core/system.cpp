@@ -38,6 +38,15 @@ System::System(SystemConfig config) : config_(config) {
   plane_ = std::make_unique<icap::ConfigPlane>(sim_, "config_plane", config_.uparc.device);
   icap_ = std::make_unique<icap::Icap>(sim_, "icap", *plane_);
   uparc_ = std::make_unique<Uparc>(sim_, "uparc", *icap_, config_.uparc, rail_.get());
+  if (config_.with_cache) {
+    auto policy = cache::make_eviction_policy(config_.cache_policy);
+    if (policy == nullptr) {
+      throw std::invalid_argument("System: unknown cache_policy: " + config_.cache_policy);
+    }
+    cache_ = std::make_unique<cache::BitstreamCache>(sim_, "cache", config_.cache,
+                                                     std::move(policy));
+    uparc_->set_cache(cache_.get());
+  }
 }
 
 std::string System::trace_json() {

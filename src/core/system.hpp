@@ -22,6 +22,13 @@ namespace uparc::core {
 struct SystemConfig {
   UparcConfig uparc{};
   bool with_power_rail = true;
+  /// Attaches a bitstream cache (hot BRAM slots + DDR2 staging tier) to the
+  /// controller: repeated stages of the same content skip the external-
+  /// storage preload. Off by default to keep the seed timing unchanged.
+  bool with_cache = false;
+  cache::BitstreamCache::Config cache{};
+  /// Eviction policy for the cache: "lru" or "energy".
+  std::string cache_policy = "lru";
   /// Attaches an obs::Tracer to the kernel: every module on the
   /// reconfiguration path emits spans, and trace_json() exports them as
   /// Chrome trace_event JSON. Off by default — when off, the only cost on
@@ -38,6 +45,8 @@ class System {
   [[nodiscard]] icap::ConfigPlane& plane() noexcept { return *plane_; }
   [[nodiscard]] icap::Icap& icap() noexcept { return *icap_; }
   [[nodiscard]] Uparc& uparc() noexcept { return *uparc_; }
+  /// Null unless SystemConfig::with_cache was set.
+  [[nodiscard]] cache::BitstreamCache* cache() noexcept { return cache_.get(); }
 
   /// Null unless SystemConfig::trace was set.
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
@@ -102,6 +111,7 @@ class System {
   std::unique_ptr<icap::Icap> icap_;
   std::unique_ptr<manager::MicroBlaze> baseline_mb_;  // shared by xps baselines
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<cache::BitstreamCache> cache_;
   std::unique_ptr<Uparc> uparc_;
   std::unique_ptr<manager::RecoveryManager> recovery_;
   std::unique_ptr<txn::TxnManager> txn_;

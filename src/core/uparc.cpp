@@ -64,7 +64,32 @@ Status Uparc::set_codec(compress::CodecId codec) {
   return Status::success();
 }
 
+void Uparc::set_cache(cache::BitstreamCache* cache) {
+  cache_ = cache;
+  resident_.reset();
+  resident_spec_ = false;
+  last_stage_tier_ = cache::CacheTier::kBypass;
+}
+
 Status Uparc::stage(const bits::PartialBitstream& bs) {
+  return stage_internal(bs, /*speculative=*/false);
+}
+
+Status Uparc::stage_speculative(const bits::PartialBitstream& bs) {
+  if (cache_ == nullptr) {
+    return make_error("UPaRC: speculative stage needs an attached cache",
+                      ErrorCause::kUnsupported);
+  }
+  // Never disturb demand work: an unfinished staging, a queued launch or a
+  // running reconfiguration all suppress the speculation.
+  if (pending_reconfig_ || (!staging_done_ && staged_payload_bytes_ != 0)) {
+    return make_error("UPaRC: speculative stage while demand work is in flight",
+                      ErrorCause::kBusy);
+  }
+  return stage_internal(bs, /*speculative=*/true);
+}
+
+Status Uparc::stage_internal(const bits::PartialBitstream& bs, bool speculative) {
   if (urec_.busy()) {
     return make_error("UPaRC: stage while a reconfiguration is in flight",
                       ErrorCause::kBusy);
@@ -97,6 +122,35 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     }
   }
 
+  const std::size_t raw_needed = (1 + bs.body.size()) * 4;
+  const bool raw_fits = raw_needed <= bram_.size_bytes();
+
+  // --- cache and prefetch bookkeeping --------------------------------------
+  std::optional<cache::CacheKey> key;
+  if (cache_ != nullptr) {
+    key = raw_fits ? cache::key_of(bs)
+                   : cache::key_of_compressed(bs, static_cast<u8>(codec_id_));
+    if (!speculative) {
+      if (!staging_done_ && staged_payload_bytes_ != 0 && inflight_spec_) {
+        // A demand load lands while a speculative copy is still in the DMA:
+        // the epoch guard below drops the speculative completion.
+        ++prefetch_overwritten_;
+        metrics().counter(name() + ".prefetch_overwritten").add();
+      }
+      if (resident_ && resident_spec_) {
+        if (*resident_ == *key) {
+          ++prefetch_hits_;
+          metrics().counter(name() + ".prefetch_hits").add();
+        } else {
+          ++prefetch_mispredicts_;
+          metrics().counter(name() + ".prefetch_mispredicts").add();
+        }
+        resident_spec_ = false;  // prediction consumed either way
+      }
+    }
+  }
+  last_stage_tier_ = cache_ == nullptr ? cache::CacheTier::kBypass : cache::CacheTier::kMiss;
+
   staged_payload_bytes_ = bs.body.size() * 4;
   staging_done_ = false;
   metrics().counter(name() + ".stages").add();
@@ -104,64 +158,183 @@ Status Uparc::stage(const bits::PartialBitstream& bs) {
     tr->end(stage_span_);  // a restage supersedes an unfinished staging
     stage_span_ = tr->begin("uparc.stage", "stage");
     tr->arg(stage_span_, "payload_bytes", static_cast<double>(staged_payload_bytes_));
+    tr->arg(stage_span_, "speculative", speculative);
   }
 
-  const std::size_t raw_needed = (1 + bs.body.size()) * 4;
+  inflight_key_ = key;
+  inflight_spec_ = speculative;
+  const auto staged_cb = [this, e = ++staging_epoch_] {
+    if (e == staging_epoch_) on_staged();
+  };
+
   Status st = Status::success();
-  if (raw_needed <= bram_.size_bytes()) {
+  if (raw_fits) {
     // Preloading without compression (paper mode i).
     mode_compressed_ = false;
     stored_bytes_ = raw_needed;
     if (tr != nullptr) tr->arg(stage_span_, "mode", "uncompressed");
-    st = preloader_.preload_body(
-        bs.body, [this, e = ++staging_epoch_] { if (e == staging_epoch_) on_staged(); });
-  } else {
-    // Preloading with compression (paper mode ii): the container is built
-    // offline ("compressed offline using PC-running software").
-    const obs::SpanId compress_span =
-        tr != nullptr ? tr->begin("stage.compress_offline", "stage") : obs::kNoSpan;
-    const Bytes packed = words_to_bytes(bs.body);
-    const Bytes container = codec_impl_->compress(packed);
-    if (tr != nullptr) {
-      tr->arg(compress_span, "codec", std::string(codec_impl_->name()));
-      tr->arg(compress_span, "container_bytes", static_cast<double>(container.size()));
-      tr->end(compress_span);
-    }
-    if (4 + ((container.size() + 3) / 4) * 4 > bram_.size_bytes()) {
-      if (tr != nullptr) {
-        tr->arg(stage_span_, "outcome", "capacity_exceeded");
-        tr->end(stage_span_);
+
+    bool served_from_cache = false;
+    if (cache_ != nullptr) {
+      if (resident_ && *resident_ == *key && preloader_.last_copy_complete()) {
+        // L0: the staging window already holds this image; only the tag
+        // check is charged (the re-store rewrites identical content).
+        last_stage_tier_ = cache::CacheTier::kResident;
+        metrics().counter(name() + ".cache_resident_hits").add();
+        st = preloader_.preload_cached(false, bs.body, cache_->config().lookup_cycles,
+                                       staged_cb);
+        served_from_cache = st.ok();
+      } else {
+        const bits::FrameAddress* origin =
+            bs.frames.empty() ? nullptr : &bs.frames.front().address;
+        auto served = cache_->lookup(*key, origin);
+        if (served && served->words == bs.body) {
+          last_stage_tier_ = served->tier;
+          resident_.reset();
+          st = preloader_.preload_cached(
+              false, served->words, cache_->config().lookup_cycles + served->copy_cycles,
+              staged_cb);
+          served_from_cache = st.ok();
+        } else if (served) {
+          // Content-addressed entry disagreeing with the host image should
+          // be impossible; purge it and fall through to a real preload.
+          cache_->invalidate(*key);
+          metrics().counter(name() + ".cache_false_hits").add();
+        }
       }
-      return make_error("UPaRC: bitstream exceeds BRAM even compressed (" +
-                            std::to_string(container.size()) + " bytes with " +
-                            std::string(codec_impl_->name()) + ")",
-                        ErrorCause::kCapacity);
     }
-    mode_compressed_ = true;
-    stored_bytes_ = container.size() + 4;
-    decomp_output_ = bs.body;
-    decomp_input_words_ = (container.size() + 3) / 4;
-    metrics().gauge(name() + ".compression_ratio")
-        .set(static_cast<double>(staged_payload_bytes_) /
-             static_cast<double>(stored_bytes_));
-    if (tr != nullptr) {
-      tr->arg(stage_span_, "mode", "compressed");
-      tr->arg(stage_span_, "codec", std::string(codec_impl_->name()));
-      tr->arg(stage_span_, "stored_bytes", static_cast<double>(stored_bytes_));
+    if (!served_from_cache) {
+      resident_.reset();
+      st = preloader_.preload_body(bs.body, staged_cb);
+      if (cache_ != nullptr && st.ok()) {
+        cache_->admit(*key, bs.body, bs.body.size() * 4,
+                      bs.frames.empty() ? bits::FrameAddress{} : bs.frames.front().address,
+                      /*relocatable=*/!bs.frames.empty());
+      }
     }
-    // Run the decompressor at its own F_max (CLK_3 is independent of the
-    // reconfiguration clock — paper §IV). Relock completes well inside the
-    // preload copy time.
-    dyclogen_.request_frequency(clocking::ClockId::kDecompress,
-                                codec_impl_->hardware().fmax);
-    st = preloader_.preload_compressed(
-        container, [this, e = ++staging_epoch_] { if (e == staging_epoch_) on_staged(); });
+    if (tr != nullptr && cache_ != nullptr) {
+      tr->arg(stage_span_, "cache_tier", std::string(cache::to_string(last_stage_tier_)));
+    }
+    return st;
+  }
+
+  {
+    // Preloading with compression (paper mode ii). A cache hit serves the
+    // already-built container, skipping even the offline compression.
+    bool served_from_cache = false;
+    if (cache_ != nullptr && resident_ && *resident_ == *key &&
+        preloader_.last_copy_complete() && !staged_container_.empty()) {
+      // L0: the container of this very image is still in the staging
+      // window; stored_bytes_/decomp_input_words_ from the previous stage
+      // remain valid.
+      mode_compressed_ = true;
+      last_stage_tier_ = cache::CacheTier::kResident;
+      metrics().counter(name() + ".cache_resident_hits").add();
+      decomp_output_ = bs.body;
+      if (tr != nullptr) {
+        tr->arg(stage_span_, "mode", "compressed");
+        tr->arg(stage_span_, "stored_bytes", static_cast<double>(stored_bytes_));
+      }
+      dyclogen_.request_frequency(clocking::ClockId::kDecompress,
+                                  codec_impl_->hardware().fmax);
+      st = preloader_.preload_cached(true, staged_container_,
+                                     cache_->config().lookup_cycles, staged_cb);
+      served_from_cache = st.ok();
+    } else if (cache_ != nullptr) {
+      // Containers are pinned to their origin FAR, so no relocation here.
+      auto served = cache_->lookup(*key, nullptr);
+      if (served) {
+        mode_compressed_ = true;
+        last_stage_tier_ = served->tier;
+        resident_.reset();
+        stored_bytes_ = served->exact_bytes + 4;
+        decomp_output_ = bs.body;
+        decomp_input_words_ = served->words.size();
+        staged_container_ = std::move(served->words);
+        metrics().gauge(name() + ".compression_ratio")
+            .set(static_cast<double>(staged_payload_bytes_) /
+                 static_cast<double>(stored_bytes_));
+        if (tr != nullptr) {
+          tr->arg(stage_span_, "mode", "compressed");
+          tr->arg(stage_span_, "stored_bytes", static_cast<double>(stored_bytes_));
+        }
+        dyclogen_.request_frequency(clocking::ClockId::kDecompress,
+                                    codec_impl_->hardware().fmax);
+        st = preloader_.preload_cached(true, staged_container_,
+                                       cache_->config().lookup_cycles + served->copy_cycles,
+                                       staged_cb);
+        served_from_cache = st.ok();
+      }
+    }
+
+    if (!served_from_cache) {
+      // The container is built offline ("compressed offline using
+      // PC-running software").
+      const obs::SpanId compress_span =
+          tr != nullptr ? tr->begin("stage.compress_offline", "stage") : obs::kNoSpan;
+      const Bytes packed = words_to_bytes(bs.body);
+      const Bytes container = codec_impl_->compress(packed);
+      if (tr != nullptr) {
+        tr->arg(compress_span, "codec", std::string(codec_impl_->name()));
+        tr->arg(compress_span, "container_bytes", static_cast<double>(container.size()));
+        tr->end(compress_span);
+      }
+      if (4 + ((container.size() + 3) / 4) * 4 > bram_.size_bytes()) {
+        if (tr != nullptr) {
+          tr->arg(stage_span_, "outcome", "capacity_exceeded");
+          tr->end(stage_span_);
+        }
+        return make_error("UPaRC: bitstream exceeds BRAM even compressed (" +
+                              std::to_string(container.size()) + " bytes with " +
+                              std::string(codec_impl_->name()) + ")",
+                          ErrorCause::kCapacity);
+      }
+      mode_compressed_ = true;
+      stored_bytes_ = container.size() + 4;
+      decomp_output_ = bs.body;
+      decomp_input_words_ = (container.size() + 3) / 4;
+      staged_container_ = bytes_to_words(container);
+      resident_.reset();
+      metrics().gauge(name() + ".compression_ratio")
+          .set(static_cast<double>(staged_payload_bytes_) /
+               static_cast<double>(stored_bytes_));
+      if (tr != nullptr) {
+        tr->arg(stage_span_, "mode", "compressed");
+        tr->arg(stage_span_, "codec", std::string(codec_impl_->name()));
+        tr->arg(stage_span_, "stored_bytes", static_cast<double>(stored_bytes_));
+      }
+      // Run the decompressor at its own F_max (CLK_3 is independent of the
+      // reconfiguration clock — paper §IV). Relock completes well inside
+      // the preload copy time.
+      dyclogen_.request_frequency(clocking::ClockId::kDecompress,
+                                  codec_impl_->hardware().fmax);
+      st = preloader_.preload_compressed(container, staged_cb);
+      if (cache_ != nullptr && st.ok()) {
+        cache_->admit(*key, staged_container_, container.size(),
+                      bs.frames.empty() ? bits::FrameAddress{} : bs.frames.front().address,
+                      /*relocatable=*/false);
+      }
+    }
+    if (tr != nullptr && cache_ != nullptr) {
+      tr->arg(stage_span_, "cache_tier", std::string(cache::to_string(last_stage_tier_)));
+    }
   }
   return st;
 }
 
 void Uparc::on_staged() {
   staging_done_ = true;
+  if (cache_ != nullptr) {
+    // The staging window only becomes a trustworthy L0 entry when every
+    // word landed — a truncated copy leaves a stale tail.
+    if (inflight_key_ && preloader_.last_copy_complete()) {
+      resident_ = inflight_key_;
+      resident_spec_ = inflight_spec_;
+    } else {
+      resident_.reset();
+      resident_spec_ = false;
+    }
+  }
   metrics().gauge(name() + ".staged_bytes").set(static_cast<double>(stored_bytes_));
   if (obs::Tracer* tr = tracer()) tr->end(stage_span_);
   if (pending_reconfig_) {
@@ -257,6 +430,36 @@ void Uparc::reconfigure(ctrl::ReconfigCallback done) {
         }
         done(r);
       });
+}
+
+void Uparc::cache_promote(const bits::PartialBitstream& bs) {
+  if (cache_ == nullptr) return;
+  const std::size_t raw_needed = (1 + bs.body.size()) * 4;
+  if (raw_needed <= bram_.size_bytes()) {
+    const cache::CacheKey key = cache::key_of(bs);
+    if (!cache_->contains(key)) {
+      // A committed image is known good — cache it even if the original
+      // stage predated the cache attachment.
+      cache_->admit(key, bs.body, bs.body.size() * 4,
+                    bs.frames.empty() ? bits::FrameAddress{} : bs.frames.front().address,
+                    /*relocatable=*/!bs.frames.empty());
+    }
+    cache_->promote(key);
+  } else {
+    cache_->promote(cache::key_of_compressed(bs, static_cast<u8>(codec_id_)));
+  }
+}
+
+void Uparc::cache_invalidate(const bits::PartialBitstream& bs) {
+  if (cache_ == nullptr) return;
+  const cache::CacheKey raw = cache::key_of(bs);
+  const cache::CacheKey comp = cache::key_of_compressed(bs, static_cast<u8>(codec_id_));
+  cache_->invalidate(raw);
+  cache_->invalidate(comp);
+  if (resident_ && (*resident_ == raw || *resident_ == comp)) {
+    resident_.reset();
+    resident_spec_ = false;
+  }
 }
 
 std::optional<manager::AdaptationPlan> Uparc::adapt(manager::FrequencyPolicy policy,

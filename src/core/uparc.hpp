@@ -10,6 +10,7 @@
 // future-work feature).
 #pragma once
 
+#include "cache/bitstream_cache.hpp"
 #include "clocking/dyclogen.hpp"
 #include "compress/registry.hpp"
 #include "controllers/controller.hpp"
@@ -62,6 +63,36 @@ class Uparc final : public ctrl::ReconfigController {
   [[nodiscard]] Status stage(const bits::PartialBitstream& bs) override;
   void reconfigure(ctrl::ReconfigCallback done) override;
 
+  // ----- Bitstream cache ----------------------------------------------------
+  /// Attaches a bitstream cache: stage() then checks the staging window
+  /// (resident), the hot BRAM slots, and the DDR2 staging tier before
+  /// paying the full external-storage preload, and admits every miss.
+  /// Pass nullptr to detach. Without a cache the stage path is byte-for-
+  /// byte the original (no key computation, no resident tracking).
+  void set_cache(cache::BitstreamCache* cache);
+  [[nodiscard]] cache::BitstreamCache* cache() const noexcept { return cache_; }
+  /// Which tier served the most recent stage() (kBypass without a cache).
+  [[nodiscard]] cache::CacheTier last_stage_tier() const noexcept {
+    return last_stage_tier_;
+  }
+
+  /// Speculative stage issued by the prefetch engine: identical to stage()
+  /// but refuses (kBusy) instead of disturbing demand work in flight, and
+  /// tags the staged image so the next demand stage() is scored as a
+  /// prefetch hit (same image) or mispredict (different image).
+  [[nodiscard]] Status stage_speculative(const bits::PartialBitstream& bs);
+
+  /// Cache coherence hooks for the transaction layer: commit promotes the
+  /// image (admitting it first if needed), rollback purges every key that
+  /// could serve it — raw and current-codec compressed — and drops the
+  /// resident tag so a poisoned staging window is never trusted.
+  void cache_promote(const bits::PartialBitstream& bs);
+  void cache_invalidate(const bits::PartialBitstream& bs);
+
+  [[nodiscard]] u64 prefetch_hits() const noexcept { return prefetch_hits_; }
+  [[nodiscard]] u64 prefetch_mispredicts() const noexcept { return prefetch_mispredicts_; }
+  [[nodiscard]] u64 prefetch_overwritten() const noexcept { return prefetch_overwritten_; }
+
   // ----- UPaRC-specific API ------------------------------------------------
   /// Chooses and programs the reconfiguration frequency per policy before
   /// the next reconfigure() (relock happens asynchronously).
@@ -102,6 +133,7 @@ class Uparc final : public ctrl::ReconfigController {
  private:
   void bind_power(power::Rail* rail);
   void on_staged();
+  [[nodiscard]] Status stage_internal(const bits::PartialBitstream& bs, bool speculative);
 
   UparcConfig config_;
   icap::Icap& port_;
@@ -134,6 +166,20 @@ class Uparc final : public ctrl::ReconfigController {
   u64 staged_payload_bytes_ = 0;
   std::size_t stage_span_ = static_cast<std::size_t>(-1);
   std::size_t reconfig_span_ = static_cast<std::size_t>(-1);
+
+  // ----- cache state --------------------------------------------------------
+  cache::BitstreamCache* cache_ = nullptr;
+  cache::CacheTier last_stage_tier_ = cache::CacheTier::kBypass;
+  Words staged_container_;  // compressed container of the staged image
+  // Key of the image currently (or about to be) occupying the staging
+  // window; resident_ is only trusted when the copy landed complete.
+  std::optional<cache::CacheKey> resident_;
+  bool resident_spec_ = false;  // resident image came from a prefetch
+  std::optional<cache::CacheKey> inflight_key_;
+  bool inflight_spec_ = false;
+  u64 prefetch_hits_ = 0;
+  u64 prefetch_mispredicts_ = 0;
+  u64 prefetch_overwritten_ = 0;
 };
 
 }  // namespace uparc::core

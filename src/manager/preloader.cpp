@@ -9,8 +9,8 @@ Preloader::Preloader(sim::Simulation& sim, std::string name, MicroBlaze& manager
                      mem::Bram& bram)
     : Module(sim, std::move(name)), manager_(manager), bram_(bram) {}
 
-Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
-                        std::function<void()> done) {
+Status Preloader::store_impl(bool compressed, WordsView payload, u64 extra_cycles,
+                             i64 cycles_override, std::function<void()> done) {
   if (payload.size() > BramLayout::kWordCountMask) {
     return make_error("payload too large for the mode word's length field",
                       ErrorCause::kCapacity);
@@ -29,18 +29,25 @@ Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
       metrics().counter(name() + ".truncated").add();
     }
   }
+  last_complete_ = copied == payload.size();
   // The header always advertises the full length — a truncated copy leaves
   // the tail stale, exactly like a torn read from storage.
   bram_.write_word(0, BramLayout::make_header(compressed, static_cast<u32>(payload.size())));
   bram_.load_words(payload.first(copied), 1);
 
   const u64 cycles =
-      extra_cycles + static_cast<u64>(copied + 1) * manager_.costs().copy_loop_word;
+      cycles_override >= 0
+          ? extra_cycles + static_cast<u64>(cycles_override)
+          : extra_cycles + static_cast<u64>(copied + 1) * manager_.costs().copy_loop_word;
   last_duration_ = manager_.cycles(cycles);
   ++preloads_;
-  stats().add("words_preloaded", static_cast<double>(payload.size() + 1));
+  // Post-truncation accounting reports what actually landed; the advertised
+  // length is tracked separately so a torn copy shows up as the gap between
+  // .requested_words and .words.
+  stats().add("words_preloaded", static_cast<double>(copied + 1));
   metrics().counter(name() + ".preloads").add();
-  metrics().counter(name() + ".words").add(static_cast<double>(payload.size() + 1));
+  metrics().counter(name() + ".words").add(static_cast<double>(copied + 1));
+  metrics().counter(name() + ".requested_words").add(static_cast<double>(payload.size() + 1));
   metrics().histogram(name() + ".cycles").observe(static_cast<double>(cycles));
   metrics().meter(name() + ".bytes").add(static_cast<double>((copied + 1) * 4), sim_.now());
 
@@ -52,6 +59,7 @@ Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
     tr->arg(span, "words", static_cast<double>(payload.size() + 1));
     tr->arg(span, "copied_words", static_cast<double>(copied + 1));
     tr->arg(span, "compressed", compressed);
+    tr->arg(span, "cached", cycles_override >= 0);
     tr->arg(span, "manager_cycles", static_cast<double>(cycles));
   }
   manager_.execute(cycles, [this, span, done = std::move(done)]() mutable {
@@ -59,6 +67,22 @@ Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
     done();
   });
   return Status::success();
+}
+
+Status Preloader::store(bool compressed, WordsView payload, u64 extra_cycles,
+                        std::function<void()> done) {
+  return store_impl(compressed, payload, extra_cycles, -1, std::move(done));
+}
+
+Status Preloader::preload_cached(bool compressed, WordsView payload, u64 copy_cycles,
+                                 std::function<void()> done) {
+  Status st = store_impl(compressed, payload, 0, static_cast<i64>(copy_cycles),
+                         std::move(done));
+  if (st.ok()) {
+    stats().add("cached_preloads");
+    metrics().counter(name() + ".cached_preloads").add();
+  }
+  return st;
 }
 
 Status Preloader::preload_file(BytesView bit_file, std::function<void()> done) {

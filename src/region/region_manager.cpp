@@ -115,6 +115,10 @@ void RegionManager::pump() {
   }
 
   Status staged = controller_.stage(instance.value());
+  result.cache_tier = controller_.last_stage_tier();
+  if (cache::is_hit(result.cache_tier)) {
+    metrics().counter(name() + ".cache_hits").add();
+  }
   if (!staged.ok()) {
     result.error = staged.error().message;
     finish(std::move(job), std::move(result));
@@ -148,6 +152,10 @@ void RegionManager::dispatch_txn(PendingLoad job, LoadResult result, Region* reg
     result.txn_id = o.txn_id;
     result.terminal = o.terminal;
     result.reconfig = o.forward.final_result;
+    result.cache_tier = o.stage_cache_tier;
+    if (cache::is_hit(result.cache_tier)) {
+      metrics().counter(name() + ".cache_hits").add();
+    }
     switch (o.terminal) {
       case txn::TxnPhase::kCommitted:
         result.success = true;

@@ -31,6 +31,8 @@ struct LoadResult {
   TimePs started_at{};
   TimePs finished_at{};
   ctrl::ReconfigResult reconfig;  ///< underlying controller result
+  /// Bitstream-cache tier that served the stage (kBypass without a cache).
+  cache::CacheTier cache_tier = cache::CacheTier::kBypass;
 
   // Transactional-path fields (meaningful when a TxnManager is attached).
   bool transactional = false;

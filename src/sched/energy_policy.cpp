@@ -56,4 +56,10 @@ PolicyComparison compare_policies(const TaskSet& set, const OfflineScheduler& sc
   return cmp;
 }
 
+double EnergyPolicy::refetch_cost_uj(std::size_t bytes) const {
+  if (preload_bandwidth.bytes_per_sec() <= 0.0) return 0.0;
+  const double seconds = static_cast<double>(bytes) / preload_bandwidth.bytes_per_sec();
+  return seconds * manager_active_mw * 1e3;  // mW * s = mJ; report uJ
+}
+
 }  // namespace uparc::sched

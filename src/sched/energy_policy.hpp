@@ -33,4 +33,18 @@ struct PolicyComparison {
 [[nodiscard]] PolicyComparison compare_policies(const TaskSet& set,
                                                 const OfflineScheduler& scheduler);
 
+/// Calibrated cost of re-fetching a bitstream through the manager's
+/// external-storage preload path: copy time at the preload bandwidth times
+/// the manager's active draw. The cache's energy-weighted eviction policy
+/// uses it to keep the entries that are most expensive to restore.
+struct EnergyPolicy {
+  /// Manager copy-loop throughput (8 cycles/word at 100 MHz => 50 MB/s).
+  Bandwidth preload_bandwidth = Bandwidth(50e6);
+  /// Manager draw while the copy loop runs (see power/calibration.hpp).
+  double manager_active_mw = power::kManagerActiveWaitMw;
+
+  /// Energy (uJ) a full re-preload of `bytes` would burn.
+  [[nodiscard]] double refetch_cost_uj(std::size_t bytes) const;
+};
+
 }  // namespace uparc::sched

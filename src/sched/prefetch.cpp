@@ -20,9 +20,14 @@ PrefetchReport analyze_prefetch(const TaskSet& set, const Schedule& schedule,
     // The preload may run while the *previous* activation computes (dual-
     // port BRAM: port A preloads while port B is idle or serving the
     // previous stream — the paper's design point). Earliest start: the
-    // previous reconfiguration's end; latest useful end: this reconfig
-    // start.
-    const TimePs window_start = i == 0 ? TimePs(0) : schedule.slots[i - 1].reconfig_end;
+    // previous reconfiguration's end — or, for the first slot, the
+    // schedule's actual origin (the activation's ready time; the manager
+    // has nothing to preload before the workload exists). Either way the
+    // window never opens before params.origin. Latest useful end: this
+    // reconfig start.
+    const TimePs earliest =
+        i == 0 ? schedule.slots[0].activation.ready_time : schedule.slots[i - 1].reconfig_end;
+    const TimePs window_start = std::max(earliest, params.origin);
     const TimePs window_end = slot.reconfig_start;
 
     if (window_start + preload <= window_end) {
@@ -40,6 +45,7 @@ PrefetchReport analyze_prefetch(const TaskSet& set, const Schedule& schedule,
     report.total_preload += preload;
     report.total_exposed += p.exposed;
     report.serial_penalty += preload;
+    report.total_reconfig += slot.reconfig_end - slot.reconfig_start;
     report.slots.push_back(p);
   }
   return report;

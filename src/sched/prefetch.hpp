@@ -7,7 +7,8 @@
 // Given a Schedule, the analyzer places each activation's BRAM preload as
 // late as possible inside the region's busy/idle timeline and reports how
 // much of it hides under compute — and what the serial (no-prefetch)
-// timeline would have cost instead.
+// timeline would have cost instead. The runtime counterpart that turns these
+// slots into actual speculative preloads lives in cache/prefetch_engine.hpp.
 #pragma once
 
 #include "sched/scheduler.hpp"
@@ -27,11 +28,15 @@ struct PrefetchReport {
   TimePs total_preload{};
   TimePs total_exposed{};  ///< with prefetch: preload time that still serializes
   TimePs serial_penalty{}; ///< without prefetch: every preload serializes
+  TimePs total_reconfig{}; ///< programming time itself (prefetch cannot hide it)
   /// Effective end-to-end bandwidth gain of prefetching: serialized time
-  /// avoided as a fraction of the no-prefetch reconfiguration cost.
+  /// avoided as a fraction of the no-prefetch reconfiguration cost (serial
+  /// preloads plus the programming time itself). An empty schedule hides
+  /// everything there is to hide, so the degenerate value is 1.0.
   [[nodiscard]] double hidden_fraction() const {
-    if (total_preload.ps() == 0) return 0.0;
-    return 1.0 - static_cast<double>(total_exposed.ps()) / total_preload.ps();
+    const double denom = static_cast<double>((serial_penalty + total_reconfig).ps());
+    if (denom <= 0.0) return 1.0;
+    return static_cast<double>((serial_penalty - total_exposed).ps()) / denom;
   }
 };
 
@@ -39,9 +44,15 @@ struct PrefetchParams {
   /// Manager preload throughput (copy loop at 100 MHz, 8 cycles/word
   /// => 50 MB/s by default).
   Bandwidth preload_bandwidth = Bandwidth(50e6);
+  /// Earliest instant the manager may begin preloading at all — a lint gate,
+  /// recovery delay, or late harness start pushes this past zero. Every
+  /// slot's window opens no earlier than this.
+  TimePs origin{};
 };
 
-/// Analyzes prefetch opportunities in `schedule`.
+/// Analyzes prefetch opportunities in `schedule`. The first slot's window
+/// opens at the schedule's actual origin (the first activation's ready time,
+/// or `params.origin` if later), not at time zero.
 [[nodiscard]] PrefetchReport analyze_prefetch(const TaskSet& set, const Schedule& schedule,
                                               PrefetchParams params = {});
 

@@ -36,6 +36,8 @@ std::string SoakReport::summary() const {
       << ", blank " << rollbacks_blank << ")  failures " << failures << "\n"
       << "  software fallbacks " << software_fallbacks << "  quarantines "
       << quarantines << "  fault fires " << fault_fires << "\n"
+      << "  cache hits " << cache_hits << "  poisoned rejects "
+      << cache_poisoned_rejects << "\n"
       << "  sim time " << sim_ms << " ms  energy " << energy_uj << " uJ\n"
       << "  invariants: "
       << (ok() ? "OK (0 violations)"
@@ -55,6 +57,7 @@ SoakReport run_soak(const SoakConfig& config) {
 
   core::SystemConfig sys_cfg;
   sys_cfg.trace = config.trace;
+  sys_cfg.with_cache = config.cache;
   core::System system(sys_cfg);
   sim::Simulation& sim = system.sim();
   const bits::Device& device = system.uparc().config().device;
@@ -125,7 +128,8 @@ SoakReport run_soak(const SoakConfig& config) {
   };
 
   for (unsigned i = 1; i <= config.transactions; ++i) {
-    const std::string module = "m" + std::to_string(workload.below(module_count));
+    const unsigned module_index = static_cast<unsigned>(workload.below(module_count));
+    const std::string module = "m" + std::to_string(module_index);
     std::optional<region::LoadResult> got;
     const TimePs dispatched_at = sim.now();
     manager.load_any(module, [&](const region::LoadResult& r) { got = r; });
@@ -146,6 +150,7 @@ SoakReport run_soak(const SoakConfig& config) {
       break;
     }
     const region::LoadResult& r = *got;
+    const std::string prev_occupant = shadow_occupant[r.region];
 
     if (r.software_fallback) {
       // Degraded mode is only legitimate when no region was schedulable.
@@ -199,6 +204,21 @@ SoakReport run_soak(const SoakConfig& config) {
         break;
     }
 
+    // Cache coherence: a transaction that rolled back (or failed terminally)
+    // proved its image bad — no tier may still hold it. Content keys
+    // exclude frame addresses, so the pre-relocation master image hashes
+    // identically to the staged instance. One exception: a last-good
+    // rollback of the *same module* restores (and readback-verifies)
+    // identical content, so the restage legitimately re-admits it.
+    const bool same_as_last_good =
+        r.terminal == TxnPhase::kRolledBackLastGood && prev_occupant == r.module;
+    if (r.terminal != TxnPhase::kCommitted && !same_as_last_good &&
+        system.uparc().cache() != nullptr) {
+      if (system.uparc().cache()->contains(cache::key_of(images[module_index]))) {
+        violate(i, "rollback left a poisoned cache entry for " + module);
+      }
+    }
+
     check_all_regions(i);
 
     // Accounting must be monotone: simulated time and rail energy only grow.
@@ -225,6 +245,11 @@ SoakReport run_soak(const SoakConfig& config) {
   report.quarantines =
       static_cast<u64>(system.metrics().counter_value("txn.health.quarantines"));
   report.fault_fires = injector.total_fires();
+  report.cache_hits =
+      static_cast<u64>(system.metrics().counter_value("region_mgr.cache_hits"));
+  if (system.uparc().cache() != nullptr) {
+    report.cache_poisoned_rejects = system.uparc().cache()->poisoned_rejects();
+  }
   report.sim_ms = sim.now().ms();
   report.energy_uj = last_energy;
   report.journal_json = txn.journal().render_json();

@@ -34,6 +34,10 @@ struct SoakConfig {
   /// disables injection entirely (every transaction must then commit).
   double fault_scale = 1.0;
   bool trace = false;
+  /// Attaches the bitstream cache to the controller. On by default so the
+  /// soak chaos-tests cache coherence too: the harness additionally asserts
+  /// that no rolled-back transaction leaves its image behind in the cache.
+  bool cache = true;
   TxnPolicy policy{};
 };
 
@@ -51,6 +55,8 @@ struct SoakReport {
   unsigned software_fallbacks = 0;
   u64 quarantines = 0;
   u64 fault_fires = 0;
+  u64 cache_hits = 0;
+  u64 cache_poisoned_rejects = 0;
   double sim_ms = 0.0;
   double energy_uj = 0.0;
   std::vector<SoakViolation> violations;

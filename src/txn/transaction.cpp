@@ -102,6 +102,7 @@ void TxnManager::start_forward() {
 void TxnManager::on_forward(const manager::RecoveryOutcome& o) {
   out_.forward = o;
   out_.forward_attempts = o.attempts;
+  out_.stage_cache_tier = uparc_.last_stage_tier();
   if (!o.success) {
     out_.error = "forward failed: " + o.final_result.error;
     rollback_round(out_.error);
@@ -143,6 +144,9 @@ void TxnManager::on_verify(VerifyTarget target, const scrub::ReadbackReport& rep
 
 void TxnManager::commit() {
   last_good_[region_] = image_;
+  // A verified commit is the strongest freshness signal the cache can get:
+  // admit (if the stage predated the cache) and pin the image hot.
+  uparc_.cache_promote(image_);
   health_.on_commit(region_);
   out_.committed = true;
   stats().add("commits");
@@ -151,6 +155,10 @@ void TxnManager::commit() {
 }
 
 void TxnManager::rollback_round(std::string reason) {
+  // The image failed to program or verify — whatever copy the cache holds
+  // must never serve a later stage. Purge before anything else so even a
+  // budget-exhausted failure leaves no poisoned entry behind.
+  uparc_.cache_invalidate(image_);
   if (out_.rollback_rounds >= policy_.max_rollback_rounds) {
     fail("rollback budget exhausted after " + std::to_string(out_.rollback_rounds) +
          " rounds; last: " + reason);

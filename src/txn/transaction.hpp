@@ -69,6 +69,9 @@ struct TxnOutcome {
   TimePs start{};
   TimePs end{};
   double energy_uj = 0.0;  ///< whole transaction (rail present)
+  /// Which bitstream-cache tier served the forward stage (kBypass when the
+  /// controller has no cache attached).
+  cache::CacheTier stage_cache_tier = cache::CacheTier::kBypass;
   manager::RecoveryOutcome forward;  ///< full forward recovery history
 };
 

@@ -13,8 +13,12 @@
 //   uparc_cli trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]
 //                      [--scrub-rounds N]
 //   uparc_cli soak     [--txns N] [--seed S] [--regions N] [--modules N]
-//                      [--module-kb N] [--rate-scale X] [--trace f.json]
-//                      [--journal f.json] [--metrics f.json] [--json]
+//                      [--module-kb N] [--rate-scale X] [--cache 0|1]
+//                      [--trace f.json] [--journal f.json] [--metrics f.json]
+//                      [--json]
+//   uparc_cli cache-stats [--loads N] [--modules N] [--regions N]
+//                      [--module-kb N] [--hot-slots N] [--policy lru|energy]
+//                      [--seed S] [--json]
 //   uparc_cli help
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
@@ -34,6 +38,7 @@
 #include "compress/stats.hpp"
 #include "core/system.hpp"
 #include "fault/injector.hpp"
+#include "region/region_manager.hpp"
 #include "scrub/readback.hpp"
 #include "scrub/scrubber.hpp"
 #include "scrub/seu.hpp"
@@ -470,6 +475,7 @@ int cmd_soak(const Args& a) {
   cfg.modules = static_cast<unsigned>(a.get_num("modules", 6));
   cfg.module_kb = static_cast<std::size_t>(a.get_num("module-kb", 8));
   cfg.fault_scale = a.get_num("rate-scale", 1.0);
+  cfg.cache = a.get_num("cache", 1) != 0;
   const std::string trace_out = a.get("trace", "");
   cfg.trace = !trace_out.empty();
 
@@ -531,6 +537,155 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+// Canned repeated-load workload for cache-stats: round-robin over a small
+// module set across the regions, so every module is loaded many times and
+// relocation sharing (same content, different origin) gets exercised.
+struct CacheStatsRun {
+  unsigned completed = 0;
+  unsigned failed = 0;
+  double total_us = 0;
+  double hit_us = 0;
+  double miss_us = 0;
+  unsigned hit_loads = 0;
+  unsigned miss_loads = 0;
+};
+
+CacheStatsRun run_cache_workload(core::System& sys, unsigned loads, unsigned modules,
+                                 unsigned regions, std::size_t module_kb, u64 seed) {
+  CacheStatsRun out;
+  sim::Simulation& sim = sys.sim();
+  const bits::Device& device = sys.uparc().config().device;
+
+  std::vector<bits::PartialBitstream> images;
+  region::ModuleLibrary library;
+  std::size_t frames_per_module = 0;
+  for (unsigned m = 0; m < modules; ++m) {
+    bits::GeneratorConfig gen;
+    gen.device = device;
+    gen.target_body_bytes = module_kb * 1024;
+    gen.seed = seed * 1000 + m + 1;
+    gen.design_name = "m" + std::to_string(m);
+    images.push_back(bits::Generator(gen).generate());
+    frames_per_module = images.back().frames.size();
+    if (!library.add_module(gen.design_name, images.back()).ok()) return out;
+  }
+
+  region::Floorplan floorplan(device);
+  const u32 column_stride = static_cast<u32>(frames_per_module / 128 + 1);
+  for (unsigned r = 0; r < regions; ++r) {
+    region::RegionGeometry geom;
+    geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * column_stride, 0};
+    geom.frame_count = static_cast<u32>(frames_per_module);
+    if (!floorplan.add_region("r" + std::to_string(r), geom).ok()) return out;
+  }
+  region::RegionManager manager(sim, "region_mgr", std::move(floorplan), library,
+                                sys.uparc(), sys.plane());
+
+  for (unsigned i = 0; i < loads; ++i) {
+    const std::string module = "m" + std::to_string(i % modules);
+    const std::string region = "r" + std::to_string(i % regions);
+    std::map<std::string, std::string> unused;
+    std::optional<region::LoadResult> got;
+    manager.load(module, region, [&](const region::LoadResult& r) { got = r; });
+    sim.run();
+    if (!got || !got->success) {
+      ++out.failed;
+      continue;
+    }
+    ++out.completed;
+    const double us = got->total_latency().us();
+    out.total_us += us;
+    if (cache::is_hit(got->cache_tier)) {
+      ++out.hit_loads;
+      out.hit_us += us;
+    } else {
+      ++out.miss_loads;
+      out.miss_us += us;
+    }
+  }
+  return out;
+}
+
+int cmd_cache_stats(const Args& a) {
+  const unsigned loads = static_cast<unsigned>(a.get_num("loads", 64));
+  const unsigned modules = std::max(1u, static_cast<unsigned>(a.get_num("modules", 3)));
+  const unsigned regions = std::max(1u, static_cast<unsigned>(a.get_num("regions", 2)));
+  const std::size_t module_kb =
+      std::max<std::size_t>(1, static_cast<std::size_t>(a.get_num("module-kb", 64)));
+  const u64 seed = static_cast<u64>(a.get_num("seed", 1));
+
+  core::SystemConfig cfg;
+  cfg.with_cache = true;
+  cfg.cache_policy = a.get("policy", "lru");
+  cfg.cache.hot_slots = static_cast<std::size_t>(a.get_num("hot-slots", 2));
+  cfg.cache.hot_slot_bytes = module_kb * 1024 + 4096;
+  core::System sys(cfg);
+  if (sys.cache() == nullptr) {
+    std::fprintf(stderr, "cache-stats: unknown --policy (use lru or energy)\n");
+    return 2;
+  }
+  CacheStatsRun cached = run_cache_workload(sys, loads, modules, regions, module_kb, seed);
+
+  // Identical workload with the cache detached: the baseline every load
+  // pays the full external-storage preload against.
+  core::SystemConfig base_cfg;
+  core::System base(base_cfg);
+  CacheStatsRun uncached =
+      run_cache_workload(base, loads, modules, regions, module_kb, seed);
+
+  const cache::BitstreamCache& c = *sys.cache();
+  const auto resident = static_cast<u64>(
+      sys.metrics().counter_value("uparc.cache_resident_hits"));
+  const double mean = [](double us, unsigned n) {
+    return n == 0 ? 0.0 : us / n;
+  }(cached.total_us, cached.completed);
+  const double base_mean = uncached.completed == 0
+                               ? 0.0
+                               : uncached.total_us / uncached.completed;
+  const double speedup = mean > 0 ? base_mean / mean : 0.0;
+  const u64 lookups = c.hits() + resident + c.misses();
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(c.hits() + resident) / static_cast<double>(lookups);
+
+  if (a.get("json", "") == "true") {
+    std::printf(
+        "{\"loads\": %u, \"completed\": %u, \"failed\": %u, "
+        "\"hits_resident\": %llu, \"hits_hot\": %llu, \"hits_staging\": %llu, "
+        "\"misses\": %llu, \"hit_rate\": %.4f, \"evictions\": %llu, "
+        "\"relocations\": %llu, \"poisoned_rejects\": %llu, "
+        "\"mean_load_us\": %.2f, \"mean_load_us_uncached\": %.2f, "
+        "\"speedup\": %.2f, \"policy\": \"%s\"}\n",
+        loads, cached.completed, cached.failed,
+        static_cast<unsigned long long>(resident),
+        static_cast<unsigned long long>(c.hits_hot()),
+        static_cast<unsigned long long>(c.hits_staging()),
+        static_cast<unsigned long long>(c.misses()), hit_rate,
+        static_cast<unsigned long long>(c.evictions()),
+        static_cast<unsigned long long>(c.relocations()),
+        static_cast<unsigned long long>(c.poisoned_rejects()), mean, base_mean, speedup,
+        std::string(c.policy().name()).c_str());
+    return cached.failed == 0 ? 0 : 1;
+  }
+
+  std::printf("bitstream cache: %u loads, %u modules x %zu KB over %u regions (%s)\n",
+              loads, modules, module_kb, regions, std::string(c.policy().name()).c_str());
+  std::printf("  hits      resident %llu  hot %llu  staging %llu   (rate %.1f%%)\n",
+              static_cast<unsigned long long>(resident),
+              static_cast<unsigned long long>(c.hits_hot()),
+              static_cast<unsigned long long>(c.hits_staging()), hit_rate * 100.0);
+  std::printf("  misses    %llu   evictions %llu   relocation shares %llu   poisoned %llu\n",
+              static_cast<unsigned long long>(c.misses()),
+              static_cast<unsigned long long>(c.evictions()),
+              static_cast<unsigned long long>(c.relocations()),
+              static_cast<unsigned long long>(c.poisoned_rejects()));
+  std::printf("  occupancy %zu entries (%zu hot), %zu KB staged\n", c.entry_count(),
+              c.hot_count(), c.staging_bytes_used() / 1024);
+  std::printf("  latency   mean load %.1f us cached vs %.1f us uncached  (%.1fx)\n", mean,
+              base_mean, speedup);
+  return cached.failed == 0 ? 0 : 1;
+}
+
 void usage(std::FILE* to) {
   std::fprintf(
       to,
@@ -557,9 +712,14 @@ void usage(std::FILE* to) {
       "  soak     chaos soak: randomized transactional reconfigurations\n"
       "           under full-rate fault injection with invariant checks\n"
       "           [--txns N] [--seed S] [--regions N] [--modules N]\n"
-      "           [--module-kb N] [--rate-scale X] [--trace f.json]\n"
-      "           [--journal f.json] [--metrics f.json] [--json]\n"
-      "           exits non-zero on any invariant violation\n"
+      "           [--module-kb N] [--rate-scale X] [--cache 0|1]\n"
+      "           [--trace f.json] [--journal f.json] [--metrics f.json]\n"
+      "           [--json] — exits non-zero on any invariant violation\n"
+      "  cache-stats  repeated-load workload through the bitstream cache:\n"
+      "           hit/miss/eviction/relocation counts per tier and the\n"
+      "           latency comparison against a cache-less controller\n"
+      "           [--loads N] [--modules N] [--regions N] [--module-kb N]\n"
+      "           [--hot-slots N] [--policy lru|energy] [--seed S] [--json]\n"
       "  help     show this message\n");
 }
 
@@ -584,6 +744,7 @@ int main(int argc, char** argv) {
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "soak") return cmd_soak(args);
+  if (cmd == "cache-stats") return cmd_cache_stats(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "trace") return cmd_trace(args);
   std::fprintf(stderr, "uparc_cli: unknown command '%s'\n", cmd.c_str());
