@@ -54,6 +54,17 @@ std::vector<double> Histogram::default_bounds() {
   return b;
 }
 
+std::vector<double> Histogram::latency_bounds_us() {
+  std::vector<double> b;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(decade * 2.0);
+    b.push_back(decade * 5.0);
+  }
+  b.push_back(1e7);  // 10 s overflow boundary
+  return b;
+}
+
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];

@@ -74,6 +74,9 @@ class Histogram {
 
   /// 1, 2, 4, ... 2^20 — a decade-spanning default for cycle/word counts.
   [[nodiscard]] static std::vector<double> default_bounds();
+  /// 1-2-5 ladder from 1 µs to 10 s — for request latencies observed in
+  /// microseconds, dense enough for meaningful p99 interpolation.
+  [[nodiscard]] static std::vector<double> latency_bounds_us();
 
  private:
   std::vector<double> bounds_;

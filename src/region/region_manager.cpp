@@ -9,7 +9,9 @@ RegionManager::RegionManager(sim::Simulation& sim, std::string name, Floorplan f
       floorplan_(std::move(floorplan)),
       library_(library),
       controller_(controller),
-      plane_(plane) {}
+      plane_(plane) {
+  router_.set_metrics(&metrics());
+}
 
 std::string RegionManager::occupant(const std::string& region_name) const {
   const Region* r = floorplan_.find(region_name);
@@ -53,9 +55,44 @@ void RegionManager::finish(PendingLoad job, LoadResult result) {
   } else {
     ++loads_failed_;
   }
+  observe_cost(job.module, result);
   in_flight_ = false;
   if (job.done) job.done(result);
   pump();
+}
+
+void RegionManager::observe_cost(const std::string& module, const LoadResult& result) {
+  if (!result.success || result.software_fallback) return;
+  constexpr double kAlpha = 0.3;  // EMA weight of the newest sample
+  const double us = (result.finished_at - result.started_at).us();
+  auto blend = [&](double& ema) { ema = ema < 0.0 ? us : ema + kAlpha * (us - ema); };
+  CostModel& m = cost_models_[module];
+  if (cache::is_hit(result.cache_tier)) {
+    blend(m.warm_us);
+    blend(global_warm_us_);
+  } else {
+    blend(m.cold_us);
+    blend(global_cold_us_);
+  }
+  // Every successful stage admits the image, so the next load is warm.
+  m.likely_cached = true;
+}
+
+TimePs RegionManager::estimate_load_cost(const std::string& module,
+                                         TimePs default_cost) const {
+  auto it = cost_models_.find(module);
+  const CostModel* m = it == cost_models_.end() ? nullptr : &it->second;
+  auto pick = [&](double own, double global) {
+    if (own > 0.0) return TimePs::from_us(own);
+    if (global > 0.0) return TimePs::from_us(global);
+    return TimePs{};
+  };
+  if (m != nullptr && m->likely_cached) {
+    const TimePs warm = pick(m->warm_us, global_warm_us_);
+    if (warm != TimePs{}) return warm;
+  }
+  const TimePs cold = pick(m != nullptr ? m->cold_us : -1.0, global_cold_us_);
+  return cold != TimePs{} ? cold : default_cost;
 }
 
 void RegionManager::pump() {

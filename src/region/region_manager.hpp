@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 
 #include "core/uparc.hpp"
 #include "region/module_library.hpp"
@@ -84,6 +85,15 @@ class RegionManager : public sim::Module {
   [[nodiscard]] u64 software_fallbacks() const noexcept { return software_fallbacks_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
 
+  /// Cache-aware service-time estimate for a routed load of `module`: an
+  /// EMA of measured dispatch-to-finish latencies, split warm/cold by the
+  /// bitstream-cache tier that served each load. Once a module has loaded
+  /// successfully it is predicted warm (the cache admits every miss).
+  /// Returns `default_cost` before any measurement. The admission layer's
+  /// deadline-feasibility check is the consumer.
+  [[nodiscard]] TimePs estimate_load_cost(const std::string& module,
+                                          TimePs default_cost = TimePs::from_us(200)) const;
+
  private:
   struct PendingLoad {
     std::string module;
@@ -96,6 +106,7 @@ class RegionManager : public sim::Module {
   void dispatch_txn(PendingLoad job, LoadResult result, Region* region,
                     bits::PartialBitstream instance);
   void finish(PendingLoad job, LoadResult result);
+  void observe_cost(const std::string& module, const LoadResult& result);
 
   Floorplan floorplan_;
   ModuleLibrary& library_;
@@ -108,6 +119,16 @@ class RegionManager : public sim::Module {
   u64 loads_completed_ = 0;
   u64 loads_failed_ = 0;
   u64 software_fallbacks_ = 0;
+
+  // Per-module measured-cost model for estimate_load_cost().
+  struct CostModel {
+    double warm_us = -1.0;  ///< EMA of cache-hit loads (-1 = no sample)
+    double cold_us = -1.0;  ///< EMA of miss/bypass loads
+    bool likely_cached = false;
+  };
+  std::map<std::string, CostModel> cost_models_;
+  double global_warm_us_ = -1.0;
+  double global_cold_us_ = -1.0;
 };
 
 }  // namespace uparc::region

@@ -16,13 +16,20 @@ RouteChoice Router::pick(const region::Floorplan& floorplan,
     return std::make_tuple(!affinity, !blank, !healthy, r.reconfigurations, r.name);
   };
   for (const region::Region& r : floorplan.regions()) {
-    if (health_ != nullptr && !health_->schedulable(r.name)) continue;
+    if (health_ != nullptr) {
+      // Permanent failure is a hard exclusion in its own right: even if the
+      // quarantine-expiry arithmetic ever misbehaved, a region that failed
+      // terminally must not come back as a candidate.
+      if (health_->permanently_failed(r.name)) continue;
+      if (!health_->schedulable(r.name)) continue;
+    }
     if (best == nullptr || rank(r) < rank(*best)) best = &r;
   }
   RouteChoice choice;
   choice.region = best;
   if (best == nullptr) {
     choice.reason = "all regions quarantined: software fallback";
+    if (metrics_ != nullptr) metrics_->counter("route.unschedulable").add();
   } else if (best->occupant == module) {
     choice.reason = "module already resident";
   } else if (best->occupant.empty()) {

@@ -10,9 +10,14 @@
 //   4. wear         — fewest reconfigurations (levels fabric wear);
 //   5. name         — lexicographic tiebreak.
 // Returns no region when everything is quarantined: the caller degrades to
-// software fallback instead of touching unhealthy fabric.
+// software fallback instead of touching unhealthy fabric. That path
+// increments `route.unschedulable` when a metrics registry is attached, so
+// a fleet that has silently fallen off the fabric is visible. Permanently
+// failed regions are guarded explicitly, independent of quarantine-expiry
+// arithmetic: they can never be selected.
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "region/region.hpp"
 #include "txn/health.hpp"
 
@@ -26,15 +31,20 @@ struct RouteChoice {
 class Router {
  public:
   /// `health` may be null: every region is then considered healthy.
-  explicit Router(const txn::HealthTracker* health = nullptr) : health_(health) {}
+  /// `metrics` may be null: routing decisions are then not counted.
+  explicit Router(const txn::HealthTracker* health = nullptr,
+                  obs::Registry* metrics = nullptr)
+      : health_(health), metrics_(metrics) {}
 
   void set_health(const txn::HealthTracker* health) noexcept { health_ = health; }
+  void set_metrics(obs::Registry* metrics) noexcept { metrics_ = metrics; }
 
   [[nodiscard]] RouteChoice pick(const region::Floorplan& floorplan,
                                  const std::string& module) const;
 
  private:
   const txn::HealthTracker* health_;
+  obs::Registry* metrics_;
 };
 
 }  // namespace uparc::sched

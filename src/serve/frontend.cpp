@@ -1,0 +1,532 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bitstream/generator.hpp"
+
+namespace uparc::serve {
+namespace {
+
+/// Same chaos plan shape as the txn soak, scaled.
+fault::FaultPlan chaos_plan(u64 seed, double scale) {
+  fault::FaultPlan plan;
+  plan.seed = seed ^ 0x5EA7E5EA7EULL;
+  if (scale <= 0.0) return plan;
+  plan.arm(fault::FaultSite::kBramRead, {.rate = 1e-4 * scale});
+  plan.arm(fault::FaultSite::kDecompInput, {.rate = 1e-4 * scale});
+  plan.arm(fault::FaultSite::kPreloadTruncate, {.rate = 0.01 * scale, .param = 0.5});
+  plan.arm(fault::FaultSite::kDcmLockFail, {.rate = 0.05 * scale});
+  plan.arm(fault::FaultSite::kIcapCorrupt, {.rate = 2e-4 * scale});
+  plan.arm(fault::FaultSite::kIcapAbort, {.rate = 5e-5 * scale});
+  return plan;
+}
+
+[[nodiscard]] std::string class_suffix(QosClass c) {
+  return std::string(".") + to_string(c);
+}
+
+}  // namespace
+
+FrontEnd::FrontEnd(FrontEndConfig config)
+    : config_(config),
+      jitter_(config.seed ^ 0xF0E1D2C3B4A59687ULL),
+      queues_(config.queue_capacity) {
+  if (config_.devices == 0) throw std::invalid_argument("FrontEnd: need >= 1 device");
+  build_devices();
+  calibrate();
+}
+
+FrontEnd::~FrontEnd() = default;
+
+void FrontEnd::build_devices() {
+  // One module image set shared by every device's library (identical
+  // sizing so every module fits every region window).
+  const unsigned module_count = std::max(1u, config_.modules);
+  core::SystemConfig probe_cfg;
+  const bits::Device& device_kind = probe_cfg.uparc.device;
+  for (unsigned m = 0; m < module_count; ++m) {
+    bits::GeneratorConfig gen_cfg;
+    gen_cfg.device = device_kind;
+    gen_cfg.target_body_bytes = std::max<std::size_t>(1, config_.module_kb) * 1024;
+    gen_cfg.seed = config_.seed * 1000 + m + 1;
+    gen_cfg.design_name = "m" + std::to_string(m);
+    images_.push_back(bits::Generator(gen_cfg).generate());
+  }
+  const std::size_t frames_per_module = images_.front().frames.size();
+  const u32 column_stride = static_cast<u32>(frames_per_module / 128 + 1);
+
+  for (unsigned di = 0; di < config_.devices; ++di) {
+    auto dev = std::make_unique<Device>();
+    core::SystemConfig sys_cfg;
+    sys_cfg.with_cache = true;
+    dev->system = std::make_unique<core::System>(sys_cfg);
+
+    for (unsigned m = 0; m < module_count; ++m) {
+      Status st = dev->library.add_module("m" + std::to_string(m), images_[m]);
+      if (!st.ok()) throw std::runtime_error("FrontEnd add_module: " + st.error().message);
+    }
+
+    region::Floorplan floorplan(device_kind);
+    for (unsigned r = 0; r < std::max(1u, config_.regions_per_device); ++r) {
+      region::RegionGeometry geom;
+      geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * column_stride, 0};
+      geom.frame_count = static_cast<u32>(frames_per_module);
+      Status st = floorplan.add_region("r" + std::to_string(r), geom);
+      if (!st.ok()) throw std::runtime_error("FrontEnd add_region: " + st.error().message);
+    }
+
+    sim::Simulation& sim = dev->system->sim();
+    dev->txn = std::make_unique<txn::TxnManager>(sim, "txn", dev->system->uparc(),
+                                                 dev->system->icap(), dev->system->rail(),
+                                                 config_.policy);
+    dev->manager = std::make_unique<region::RegionManager>(
+        sim, "region_mgr", std::move(floorplan), dev->library, dev->system->uparc(),
+        dev->system->plane());
+    dev->manager->set_transaction_manager(dev->txn.get());
+    // Per-device fault stream; armed after calibration (see calibrate()).
+    dev->injector = std::make_unique<fault::FaultInjector>(
+        sim, "chaos", chaos_plan(config_.seed + di, config_.fault_scale));
+    devices_.push_back(std::move(dev));
+  }
+}
+
+void FrontEnd::calibrate() {
+  // Two passes per device: pass 1 pays the cold preload and populates the
+  // caches and cost model, pass 2 measures the warm service time that
+  // defines rated capacity. Faults are off during calibration.
+  double warm_us_sum = 0.0;
+  u64 warm_samples = 0;
+  for (auto& dev : devices_) {
+    sim::Simulation& sim = dev->system->sim();
+    for (unsigned pass = 0; pass < 2; ++pass) {
+      for (unsigned m = 0; m < std::max(1u, config_.modules); ++m) {
+        const std::string module = "m" + std::to_string(m);
+        std::optional<region::LoadResult> got;
+        dev->manager->load_any(module, [&](const region::LoadResult& r) { got = r; });
+        sim.run();
+        if (!got || !got->success) {
+          throw std::runtime_error("FrontEnd calibration load failed for " + module);
+        }
+        // Service time is the load's own latency, not the full drain: the
+        // kernel keeps processing unrelated background events (rail
+        // sampling, clock tails) after the result fires, and the device is
+        // free to accept the next load the moment the manager finishes.
+        if (pass == 1) {
+          warm_us_sum += got->total_latency().us();
+          ++warm_samples;
+        }
+      }
+    }
+    dev->base = sim.now();  // global t=0 anchors here
+    if (config_.fault_scale > 0.0) {
+      dev->injector->arm(dev->system->uparc(), dev->system->icap());
+    }
+  }
+  warm_cost_ = TimePs::from_us(warm_us_sum / static_cast<double>(warm_samples));
+  rated_rps_ =
+      static_cast<double>(devices_.size()) * 1e6 / std::max(warm_cost_.us(), 1e-3);
+  metrics_.gauge("serve.rated_rps").set(rated_rps_);
+  metrics_.gauge("serve.warm_cost_us").set(warm_cost_.us());
+}
+
+void FrontEnd::schedule(TimePs at, std::function<void()> fn) {
+  events_.push(Event{std::max(at, now_), event_seq_++, std::move(fn)});
+}
+
+void FrontEnd::sync_device(Device& d) {
+  const TimePs dev_t = d.base + now_;
+  if (dev_t > d.system->sim().now()) d.system->sim().run_until(dev_t);
+}
+
+TimePs FrontEnd::estimate_cost(const std::string& module) const {
+  // Devices are identical, so device 0's learned model speaks for all.
+  return devices_.front()->manager->estimate_load_cost(module, warm_cost_);
+}
+
+bool FrontEnd::device_usable(Device& d) {
+  if (d.breaker.open) {
+    if (now_ < d.breaker.open_until) return false;
+    // Backoff elapsed: half-open. One more failure re-opens with a doubled
+    // interval (opens count drives the exponent).
+    d.breaker.open = false;
+    d.breaker.consecutive_failures =
+        config_.breaker_threshold == 0 ? 0 : config_.breaker_threshold - 1;
+  }
+  sync_device(d);
+  for (const region::Region& r : d.manager->floorplan().regions()) {
+    if (d.txn->health().schedulable(r.name)) return true;
+  }
+  return false;  // every region quarantined: the device is off-fleet
+}
+
+int FrontEnd::pick_device(int exclude) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
+    if (i == exclude && devices_.size() > 1) continue;
+    Device& d = *devices_[i];
+    if (d.busy_until > now_) continue;
+    if (!device_usable(d)) continue;
+    // Deterministic preference: fewest breaker failures, then least loaded.
+    if (best < 0 ||
+        std::make_tuple(d.breaker.consecutive_failures, d.loads, i) <
+            std::make_tuple(devices_[best]->breaker.consecutive_failures,
+                            devices_[best]->loads, best)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void FrontEnd::terminal(const Request& r, Outcome outcome, bool software) {
+  RequestRecord& rec = records_[r.id];
+  ++rec.terminal_events;
+  if (rec.terminal_events > 1) {
+    violations_.push_back("request " + std::to_string(r.id) +
+                          " terminated more than once (" + to_string(rec.outcome) +
+                          " then " + to_string(outcome) + ")");
+    return;
+  }
+  rec.req = r;
+  rec.outcome = outcome;
+  rec.finished = now_;
+  rec.software = software;
+  ++terminals_;
+
+  const std::string cls = class_suffix(r.qos);
+  switch (outcome) {
+    case Outcome::kCompleted: {
+      rec.deadline_miss = now_ > r.deadline;
+      metrics_.counter("serve.completed" + cls).add();
+      if (rec.deadline_miss) {
+        metrics_.counter("serve.deadline_miss" + cls).add();
+      } else {
+        metrics_.meter("serve.goodput").add(1.0, now_);
+      }
+      metrics_.histogram("serve.latency_us" + cls, obs::Histogram::latency_bounds_us())
+          .observe((now_ - r.arrival).us());
+      if (software) metrics_.counter("serve.software_fallbacks").add();
+      break;
+    }
+    case Outcome::kRejected:
+      metrics_.counter("serve.rejected" + cls).add();
+      break;
+    case Outcome::kShed:
+      metrics_.counter("serve.shed" + cls).add();
+      break;
+    case Outcome::kTimedOut:
+      metrics_.counter("serve.timeout" + cls).add();
+      break;
+    case Outcome::kPending:
+      violations_.push_back("request " + std::to_string(r.id) +
+                            " terminalized as pending");
+      break;
+  }
+
+  // Closed-loop client: its next request is released one think time after
+  // this terminal (however it ended — the client got its answer).
+  if (gen_ != nullptr && gen_->tenants()[r.tenant].mode == ArrivalMode::kClosedLoop &&
+      gen_->issued() < max_requests_) {
+    Request next = gen_->next_closed(r.tenant, now_);
+    WorkloadGenerator* gen = gen_;
+    const u64 budget = max_requests_;
+    schedule(next.arrival, [this, next, gen, budget]() mutable {
+      on_arrival(std::move(next), *gen, budget);
+    });
+  }
+}
+
+void FrontEnd::check_shed_order(const Request& shed) {
+  // Strictly lowest-class-first: a shed of class C while some class below
+  // C still holds admitted requests breaks the QoS ordering contract.
+  for (std::size_t c = static_cast<std::size_t>(shed.qos) + 1; c < kQosClassCount; ++c) {
+    if (queues_.size(static_cast<QosClass>(c)) > 0) {
+      violations_.push_back("request " + std::to_string(shed.id) + " (" +
+                            to_string(shed.qos) + ") shed while " +
+                            to_string(static_cast<QosClass>(c)) +
+                            " requests were still queued");
+    }
+  }
+}
+
+void FrontEnd::on_arrival(Request r, WorkloadGenerator& gen, u64 max_requests) {
+  metrics_.counter("serve.issued").add();
+
+  // Open-loop tenants keep the pipeline primed: generate the next arrival
+  // of this tenant's stream as soon as this one lands.
+  if (gen.tenants()[r.tenant].mode != ArrivalMode::kClosedLoop &&
+      gen.issued() < max_requests) {
+    if (auto next = gen.next_open(r.tenant)) {
+      Request n = std::move(*next);
+      schedule(n.arrival, [this, n, &gen, max_requests]() mutable {
+        on_arrival(std::move(n), gen, max_requests);
+      });
+    }
+  }
+
+  if (r.id >= records_.size()) records_.resize(r.id + 1);
+  records_[r.id].req = r;
+
+  const TimePs est = estimate_cost(r.module);
+  r.est_cost = est;
+  const TimePs backlog = queues_.backlog_ahead(r.qos, r.deadline);
+  const AdmitVerdict verdict =
+      admission_->admit(r, now_, backlog, static_cast<unsigned>(devices_.size()), est);
+  if (verdict != AdmitVerdict::kAdmit) {
+    terminal(r, Outcome::kRejected, false);
+    return;
+  }
+  r.admitted = now_;
+  metrics_.counter("serve.admitted").add();
+  enqueue(std::move(r));
+  try_dispatch();
+}
+
+void FrontEnd::enqueue(Request r) {
+  // Closed-loop backpressure: when the queue would shed the incoming
+  // request, the client is told to back off and re-submits later instead
+  // of losing the request outright — up to max_backpressure times.
+  const bool closed_loop =
+      gen_ != nullptr && gen_->tenants()[r.tenant].mode == ArrivalMode::kClosedLoop;
+  if (closed_loop && queues_.full() && r.backpressure < config_.max_backpressure) {
+    Request retry = r;
+    ++retry.backpressure;
+    metrics_.counter("serve.backpressure").add();
+    const double jit = 1.0 + 0.5 * jitter_.uniform();
+    const TimePs delay = TimePs::from_us(config_.backpressure_delay.us() *
+                                         static_cast<double>(retry.backpressure) * jit);
+    schedule(now_ + delay, [this, retry]() mutable {
+      if (retry.deadline < now_) {
+        terminal(retry, Outcome::kTimedOut, false);
+        return;
+      }
+      enqueue(std::move(retry));
+      try_dispatch();
+    });
+    return;
+  }
+
+  ClassQueues::PushResult pushed = queues_.push(std::move(r));
+  for (Request& victim : pushed.shed) {
+    check_shed_order(victim);
+    terminal(victim, Outcome::kShed, false);
+  }
+}
+
+void FrontEnd::try_dispatch() {
+  while (!queues_.empty()) {
+    // Peek-free loop: find a device first so a popped request is always
+    // dispatchable (or deliberately sent to software).
+    bool any_busy = false;
+    for (auto& d : devices_) {
+      if (d->busy_until > now_) any_busy = true;
+    }
+    std::vector<Request> expired;
+    const int device_index = pick_device(-1);
+    if (device_index < 0) {
+      if (any_busy) break;  // a DeviceDone event will re-kick dispatch
+      // Nothing schedulable and nothing in flight: the whole fleet is
+      // broken (breakers open / regions quarantined). Degrade to the
+      // software-execution path rather than letting the queue rot.
+      auto r = queues_.pop(now_, expired);
+      for (Request& e : expired) terminal(e, Outcome::kTimedOut, false);
+      if (!r) break;
+      run_software(std::move(*r));
+      continue;
+    }
+    auto r = queues_.pop(now_, expired);
+    for (Request& e : expired) terminal(e, Outcome::kTimedOut, false);
+    if (!r) break;
+    // The retry contract pins the second attempt to a different device.
+    if (r->attempts > 0 && r->last_device == device_index && devices_.size() > 1) {
+      const int other = pick_device(device_index);
+      if (other >= 0) {
+        dispatch(std::move(*r), *devices_[other], other);
+        continue;
+      }
+      if (any_busy) {
+        // Another device will free up: park the retry back in its queue.
+        ClassQueues::PushResult pushed = queues_.push(std::move(*r));
+        for (Request& victim : pushed.shed) {
+          check_shed_order(victim);
+          terminal(victim, Outcome::kShed, false);
+        }
+        break;
+      }
+      // Every other device is broken: honor the different-device contract
+      // by finishing in software instead of re-touching the failed device.
+      run_software(std::move(*r));
+      continue;
+    }
+    dispatch(std::move(*r), *devices_[device_index], device_index);
+  }
+}
+
+void FrontEnd::dispatch(Request r, Device& d, int device_index) {
+  sync_device(d);
+  sim::Simulation& sim = d.system->sim();
+  const TimePs t0 = sim.now();
+  metrics_.histogram("serve.queue_wait_us" + class_suffix(r.qos),
+                     obs::Histogram::latency_bounds_us())
+      .observe((now_ - r.admitted).us());
+
+  ++r.attempts;
+  r.last_device = device_index;
+  ++d.loads;
+
+  std::optional<region::LoadResult> got;
+  d.manager->load_any(r.module, [&](const region::LoadResult& res) { got = res; });
+  bool aborted = false;
+  std::string abort_why;
+  try {
+    sim.run();
+  } catch (const std::exception& e) {
+    aborted = true;
+    abort_why = e.what();
+  }
+  // The device is busy until the manager finishes the load (its own
+  // finished_at stamp), not until the kernel drains the background tail
+  // the run also processed (rail sampling, clock settle events).
+  const TimePs service = got ? std::max(got->finished_at - t0, TimePs{1})
+                             : sim.now() - t0;
+  d.busy_until = now_ + service;
+
+  const TimePs timeout = std::max(
+      TimePs::from_us(r.est_cost.us() * config_.timeout_factor), config_.timeout_floor);
+
+  if (aborted || !got) {
+    // Kernel abort (event budget) — treat as a failed attempt at the
+    // timeout horizon; the device clock may be inconsistent, so the
+    // breaker pressure is the important part.
+    schedule(now_ + std::min(service, timeout), [this, r, device_index, abort_why]() {
+      attempt_failed(r, device_index, abort_why.empty() ? "load never completed" : abort_why);
+    });
+    return;
+  }
+
+  const region::LoadResult res = *got;
+  const bool ok = res.success && !res.software_fallback;
+  if (ok && service <= timeout) {
+    schedule(now_ + service, [this, r, device_index]() {
+      devices_[device_index]->breaker.consecutive_failures = 0;
+      terminal(r, Outcome::kCompleted, false);
+      try_dispatch();
+    });
+    return;
+  }
+
+  // The caller gives up at the timeout even though the device keeps
+  // grinding until `busy_until` — work on fabric is not preemptible.
+  const TimePs fail_at = now_ + std::min(service, timeout);
+  const std::string why = service > timeout ? "attempt timeout"
+                          : res.error.empty() ? "load failed"
+                                              : res.error;
+  schedule(fail_at, [this, r, device_index, why]() {
+    attempt_failed(r, device_index, why);
+  });
+}
+
+void FrontEnd::breaker_failure(Device& d) {
+  ++d.breaker.consecutive_failures;
+  if (d.breaker.consecutive_failures >= config_.breaker_threshold &&
+      config_.breaker_threshold > 0) {
+    d.breaker.open = true;
+    const unsigned exp = std::min(d.breaker.opens, 10u);
+    d.breaker.open_until = now_ + config_.breaker_backoff * (u64{1} << exp);
+    ++d.breaker.opens;
+    metrics_.counter("serve.breaker.opens").add();
+  }
+}
+
+void FrontEnd::attempt_failed(Request r, int device_index, const std::string& why) {
+  breaker_failure(*devices_[device_index]);
+  metrics_.counter("serve.attempt_failures").add();
+  metrics_.counter("serve.fail_reason." + why).add();
+
+  if (r.attempts < config_.max_attempts) {
+    // One retry, jittered backoff, pinned away from the failed device.
+    const double jit = 1.0 + 0.5 * jitter_.uniform();
+    const TimePs delay = TimePs::from_us(
+        config_.retry_backoff.us() * static_cast<double>(u64{1} << (r.attempts - 1)) * jit);
+    const TimePs retry_at = now_ + delay;
+    if (retry_at + r.est_cost <= r.deadline) {
+      metrics_.counter("serve.retries").add();
+      schedule(retry_at, [this, r]() mutable {
+        ClassQueues::PushResult pushed = queues_.push(std::move(r));
+        for (Request& victim : pushed.shed) {
+          check_shed_order(victim);
+          terminal(victim, Outcome::kShed, false);
+        }
+        try_dispatch();
+      });
+      try_dispatch();
+      return;
+    }
+  }
+  terminal(r, Outcome::kTimedOut, false);
+  try_dispatch();
+}
+
+void FrontEnd::run_software(Request r) {
+  // Serialized software executor: correct but slow, the last resort when
+  // the entire fleet is unschedulable.
+  const TimePs start = std::max(now_, sw_free_);
+  const TimePs done_at = start + config_.software_cost;
+  sw_free_ = done_at;
+  schedule(done_at, [this, r]() {
+    terminal(r, Outcome::kCompleted, true);
+    try_dispatch();
+  });
+}
+
+void FrontEnd::run(WorkloadGenerator& gen, u64 max_requests) {
+  gen_ = &gen;
+  max_requests_ = max_requests;
+  admission_ = std::make_unique<AdmissionController>(gen.tenants(), metrics_,
+                                                     config_.admission);
+  for (Request& r : gen.initial_arrivals()) {
+    Request req = std::move(r);
+    schedule(req.arrival, [this, req, &gen, max_requests]() mutable {
+      on_arrival(std::move(req), gen, max_requests);
+    });
+  }
+
+  TimePs last = now_;
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    if (ev.t < last) {
+      violations_.push_back("event time went backwards");
+    }
+    now_ = std::max(now_, ev.t);
+    last = now_;
+    ev.fn();
+  }
+  gen_ = nullptr;
+
+  // Anything still queued when the arrival streams dried up is shed: it
+  // must still terminate exactly once.
+  for (Request& r : queues_.drain()) {
+    terminal(r, Outcome::kShed, false);
+  }
+}
+
+u64 FrontEnd::fault_fires() const {
+  u64 total = 0;
+  for (const auto& d : devices_) total += d->injector->total_fires();
+  return total;
+}
+
+std::string FrontEnd::health_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (i != 0) os << ",";
+    os << devices_[i]->txn->health().render_json();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace uparc::serve

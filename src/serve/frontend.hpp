@@ -1,0 +1,212 @@
+// Multi-tenant serving front end over the reconfiguration stack.
+//
+// The front end owns a fleet of simulated devices — each a full System
+// (UPaRC + cache + power rail) with its own floorplan, module library,
+// transaction manager and fault injector — and serves timed module-load
+// requests against them under a single global virtual clock:
+//
+//   arrival ── admission (token bucket + deadline feasibility)
+//      │            │ reject (bucket / infeasible)
+//      ▼            ▼
+//   class queues (bounded, EDF per class, strict priority across classes,
+//      │          shed strictly lowest-class-first under saturation;
+//      │          closed-loop clients get backpressure: bounded re-arrival
+//      │          instead of immediate rejection)
+//      ▼
+//   dispatch ── pick device (circuit breaker closed, regions schedulable,
+//      │         not busy, different device for retries)
+//      │        ── none usable & none busy → software-execution fallback
+//      ▼
+//   attempt ── runs the load on the device's own simulation; the measured
+//              service time schedules the completion back on the global
+//              clock. Timeout or rollback → one jittered-backoff retry on
+//              a *different* device, then the request times out. Failures
+//              feed the per-device circuit breaker; the breaker and the
+//              HealthTracker quarantine state together decide usability.
+//
+// Every request terminates exactly once as completed / rejected / shed /
+// timed-out — serve::run_soak asserts this (and the shed-ordering and
+// deadline-accounting invariants) over the record table kept here.
+//
+// Device simulations run on their own clocks; `Device::base` anchors each
+// to the global clock (device time = base + global time), advanced with
+// sim::Simulation::run_until before every interaction so quarantine
+// backoffs expire in global time.
+#pragma once
+
+#include <memory>
+#include <queue>
+
+#include "core/system.hpp"
+#include "fault/injector.hpp"
+#include "region/region_manager.hpp"
+#include "serve/admission.hpp"
+#include "serve/queue.hpp"
+#include "serve/workload.hpp"
+#include "txn/transaction.hpp"
+
+namespace uparc::serve {
+
+/// Terminal states. Exactly one per request — the core soak invariant.
+enum class Outcome : u8 { kPending, kCompleted, kRejected, kShed, kTimedOut };
+
+[[nodiscard]] constexpr const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kPending: return "pending";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kShed: return "shed";
+    case Outcome::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+struct FrontEndConfig {
+  u64 seed = 1;
+  unsigned devices = 2;
+  unsigned regions_per_device = 2;
+  unsigned modules = 4;
+  std::size_t module_kb = 8;
+  /// Fault-injection scale for the device fleet (0 = off). Injectors are
+  /// armed only after calibration so the cost model learns clean numbers.
+  double fault_scale = 0.0;
+  /// Shared bound across the three class queues.
+  std::size_t queue_capacity = 64;
+  /// Device attempts per request (1 initial + retries on other devices).
+  unsigned max_attempts = 2;
+  /// Attempt timeout = timeout_factor × estimated cost, floored.
+  double timeout_factor = 6.0;
+  TimePs timeout_floor = TimePs::from_us(500);
+  /// Retry backoff base (doubled per attempt, +0..50% deterministic jitter).
+  TimePs retry_backoff = TimePs::from_us(50);
+  /// Closed-loop backpressure: re-arrival delay base and retry bound.
+  TimePs backpressure_delay = TimePs::from_us(200);
+  unsigned max_backpressure = 3;
+  /// Circuit breaker: consecutive failures to open; open interval doubles
+  /// per re-open (deterministic).
+  unsigned breaker_threshold = 3;
+  TimePs breaker_backoff = TimePs::from_ms(1);
+  /// Cost of the software-execution fallback (serialized on one executor).
+  TimePs software_cost = TimePs::from_ms(2);
+  AdmissionConfig admission{};
+  txn::TxnPolicy policy{};
+};
+
+struct RequestRecord {
+  Request req;
+  Outcome outcome = Outcome::kPending;
+  TimePs finished{};
+  bool software = false;
+  bool deadline_miss = false;
+  unsigned terminal_events = 0;  ///< must end at exactly 1
+};
+
+class FrontEnd {
+ public:
+  explicit FrontEnd(FrontEndConfig config);
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  /// Measured warm per-load service time (from calibration).
+  [[nodiscard]] TimePs warm_cost() const noexcept { return warm_cost_; }
+  /// Rated capacity: devices / warm service time, in requests per second.
+  [[nodiscard]] double rated_rps() const noexcept { return rated_rps_; }
+
+  /// Serves `max_requests` generated requests to their terminal states.
+  /// Open-loop tenants stop generating once the budget is issued; the loop
+  /// runs until every issued request has terminated.
+  void run(WorkloadGenerator& gen, u64 max_requests);
+
+  [[nodiscard]] TimePs now() const noexcept { return now_; }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const std::vector<RequestRecord>& records() const noexcept {
+    return records_;
+  }
+  /// Invariant violations detected while serving (checked again by the
+  /// soak harness over the record table).
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const FrontEndConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned device_count() const noexcept {
+    return static_cast<unsigned>(devices_.size());
+  }
+  [[nodiscard]] u64 fault_fires() const;
+  /// Health snapshots (txn::HealthTracker::render_json) per device.
+  [[nodiscard]] std::string health_json() const;
+
+ private:
+  struct Breaker {
+    unsigned consecutive_failures = 0;
+    unsigned opens = 0;
+    bool open = false;
+    TimePs open_until{};
+  };
+
+  struct Device {
+    std::unique_ptr<core::System> system;
+    region::ModuleLibrary library;
+    std::unique_ptr<txn::TxnManager> txn;
+    std::unique_ptr<region::RegionManager> manager;
+    std::unique_ptr<fault::FaultInjector> injector;
+    TimePs base{};        ///< device-sim time at global t = 0
+    TimePs busy_until{};  ///< global time the current load finishes
+    Breaker breaker;
+    u64 loads = 0;
+  };
+
+  struct Event {
+    TimePs t;
+    u64 seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void build_devices();
+  void calibrate();
+  void schedule(TimePs at, std::function<void()> fn);
+  void sync_device(Device& d);
+  [[nodiscard]] bool device_usable(Device& d);
+  [[nodiscard]] int pick_device(int exclude);
+  [[nodiscard]] TimePs estimate_cost(const std::string& module) const;
+
+  void on_arrival(Request r, WorkloadGenerator& gen, u64 max_requests);
+  void enqueue(Request r);
+  void try_dispatch();
+  void dispatch(Request r, Device& d, int device_index);
+  void run_software(Request r);
+  void attempt_failed(Request r, int device_index, const std::string& why);
+  void breaker_failure(Device& d);
+  void terminal(const Request& r, Outcome outcome, bool software);
+  void check_shed_order(const Request& shed);
+
+  FrontEndConfig config_;
+  obs::Registry metrics_;
+  Prng jitter_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<bits::PartialBitstream> images_;
+  ClassQueues queues_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  TimePs now_{};
+  u64 event_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  TimePs warm_cost_{};
+  double rated_rps_ = 0.0;
+  TimePs sw_free_{};  ///< software executor busy until (global)
+
+  std::vector<RequestRecord> records_;  ///< indexed by request id
+  u64 terminals_ = 0;
+  std::vector<std::string> violations_;
+
+  // Completion hooks installed by run() for closed-loop backpressure.
+  WorkloadGenerator* gen_ = nullptr;
+  u64 max_requests_ = 0;
+};
+
+}  // namespace uparc::serve

@@ -1,0 +1,80 @@
+#include "serve/queue.hpp"
+
+namespace uparc::serve {
+
+ClassQueues::PushResult ClassQueues::push(Request r) {
+  PushResult result;
+  const auto cls = static_cast<std::size_t>(r.qos);
+  while (size_ >= capacity_) {
+    // Find the lowest-priority occupied class; within it the entry with
+    // the latest deadline is the least valuable.
+    std::size_t victim_cls = kQosClassCount;
+    for (std::size_t c = kQosClassCount; c-- > 0;) {
+      if (!queues_[c].empty()) {
+        victim_cls = c;
+        break;
+      }
+    }
+    if (victim_cls == kQosClassCount || victim_cls < cls ||
+        (victim_cls == cls &&
+         std::prev(queues_[victim_cls].end())->second.deadline <= r.deadline)) {
+      // Nothing below the incoming request (or only earlier-deadline peers
+      // of its own class): the incoming request is the one to shed.
+      result.shed.push_back(std::move(r));
+      return result;
+    }
+    auto victim = std::prev(queues_[victim_cls].end());
+    result.shed.push_back(std::move(victim->second));
+    queues_[victim_cls].erase(victim);
+    --size_;
+  }
+  const u64 dl = r.deadline.ps();
+  queues_[cls].emplace(std::make_pair(dl, seq_++), std::move(r));
+  ++size_;
+  result.queued = true;
+  return result;
+}
+
+std::optional<Request> ClassQueues::pop(TimePs now, std::vector<Request>& expired) {
+  for (auto& q : queues_) {
+    while (!q.empty()) {
+      auto front = q.begin();
+      if (front->second.deadline < now) {
+        expired.push_back(std::move(front->second));
+        q.erase(front);
+        --size_;
+        continue;
+      }
+      Request r = std::move(front->second);
+      q.erase(front);
+      --size_;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+TimePs ClassQueues::backlog_ahead(QosClass qos, TimePs deadline) const {
+  TimePs total{};
+  const auto cls = static_cast<std::size_t>(qos);
+  for (std::size_t c = 0; c < cls; ++c) {
+    for (const auto& [key, r] : queues_[c]) total += r.est_cost;
+  }
+  for (const auto& [key, r] : queues_[cls]) {
+    if (TimePs(key.first) > deadline) break;
+    total += r.est_cost;
+  }
+  return total;
+}
+
+std::vector<Request> ClassQueues::drain() {
+  std::vector<Request> out;
+  for (auto& q : queues_) {
+    for (auto& [key, r] : q) out.push_back(std::move(r));
+    q.clear();
+  }
+  size_ = 0;
+  return out;
+}
+
+}  // namespace uparc::serve

@@ -1,0 +1,68 @@
+// Bounded per-class request queues with earliest-deadline-first dispatch.
+//
+// Three queues, one per QoS class. Dispatch is strict priority across
+// classes (guaranteed > standard > best_effort) and EDF within a class.
+// A shared hard bound caps total occupancy; when it is hit, the request
+// from the *lowest* occupied class with the *latest* deadline is shed to
+// make room — and an incoming request is itself shed if nothing below it
+// exists. That makes "no guaranteed request shed while lower classes are
+// admitted" true by construction, which serve::run_soak asserts.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace uparc::serve {
+
+class ClassQueues {
+ public:
+  explicit ClassQueues(std::size_t total_capacity) : capacity_(total_capacity) {}
+
+  /// Outcome of push(): admitted to queue, or the shed victim(s) displaced
+  /// to make room (possibly the incoming request itself).
+  struct PushResult {
+    bool queued = false;
+    std::vector<Request> shed;  ///< displaced requests (terminal: kShed)
+  };
+
+  /// Inserts `r` in EDF order, shedding lowest-class-latest-deadline
+  /// entries if the shared bound is exceeded. If `r` is itself the least
+  /// valuable entry it is returned in `shed` with queued=false.
+  [[nodiscard]] PushResult push(Request r);
+
+  /// Pops the highest-priority, earliest-deadline request. Entries whose
+  /// deadline already passed at `now` are swept into `expired` (terminal:
+  /// kTimedOut) rather than dispatched.
+  [[nodiscard]] std::optional<Request> pop(TimePs now, std::vector<Request>& expired);
+
+  /// Estimated cost of queued work that would dispatch before a request of
+  /// class `qos` with absolute deadline `deadline` (higher classes fully,
+  /// same class with earlier deadlines).
+  [[nodiscard]] TimePs backlog_ahead(QosClass qos, TimePs deadline) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t size(QosClass c) const noexcept {
+    return queues_[static_cast<std::size_t>(c)].size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ >= capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drains everything still queued (used at end of run: terminal kShed).
+  [[nodiscard]] std::vector<Request> drain();
+
+ private:
+  // EDF order within a class: key = (absolute deadline, insertion seq).
+  using Edf = std::map<std::pair<u64, u64>, Request>;
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  u64 seq_ = 0;
+  std::array<Edf, kQosClassCount> queues_;
+};
+
+}  // namespace uparc::serve

@@ -1,0 +1,171 @@
+#include "serve/soak.hpp"
+
+#include <sstream>
+
+namespace uparc::serve {
+
+std::string ServeSoakReport::summary() const {
+  std::ostringstream out;
+  out << "serve soak: " << issued << " requests, offered " << offered_rps
+      << " rps vs rated " << rated_rps << " rps\n";
+  for (std::size_t c = 0; c < kQosClassCount; ++c) {
+    out << "  " << to_string(static_cast<QosClass>(c)) << ": completed "
+        << completed[c] << " (miss " << deadline_miss[c] << ")  rejected "
+        << rejected[c] << "  shed " << shed[c] << "  timed out " << timed_out[c]
+        << "\n";
+  }
+  out << "  retries " << retries << "  breaker opens " << breaker_opens
+      << "  software fallbacks " << software_fallbacks << "  fault fires "
+      << fault_fires << "\n"
+      << "  sim time " << sim_ms << " ms\n"
+      << "  invariants: "
+      << (ok() ? "OK (0 violations)"
+               : ("VIOLATED (" + std::to_string(violations.size()) + ")"))
+      << "\n";
+  for (const ServeSoakViolation& v : violations) {
+    out << "    request " << v.request << ": " << v.what << "\n";
+  }
+  return out.str();
+}
+
+std::vector<TenantSpec> make_tenants(const ServeSoakConfig& config, double rated_rps,
+                                     TimePs warm_cost) {
+  const double offered = rated_rps * config.load_factor;
+  auto deadline = [&](double x) { return TimePs::from_us(warm_cost.us() * x); };
+
+  ArrivalMode forced = ArrivalMode::kOpenLoop;
+  const bool mixed = config.dist == "mixed";
+  if (config.dist == "closed") forced = ArrivalMode::kClosedLoop;
+  if (config.dist == "bursty") forced = ArrivalMode::kBursty;
+
+  std::vector<TenantSpec> tenants;
+  // Guaranteed: a modest closed-loop slice (20% of offered load) with a
+  // generous deadline — the class the soak requires to see zero shedding.
+  TenantSpec g;
+  g.name = "tenant_guaranteed";
+  g.qos = QosClass::kGuaranteed;
+  g.mode = mixed ? ArrivalMode::kClosedLoop : forced;
+  g.rate_rps = offered * 0.2;
+  g.deadline = deadline(config.guaranteed_deadline_x);
+  // Closed loop: concurrency sized so the slice's offered rate is about
+  // right at the warm service time (rate = concurrency / (service+think)).
+  g.think_time = warm_cost;
+  g.concurrency = std::max(
+      1u, static_cast<unsigned>(g.rate_rps * 2.0 * warm_cost.us() * 1e-6));
+  tenants.push_back(g);
+
+  // Standard: open-loop Poisson at 40% of offered load.
+  TenantSpec s;
+  s.name = "tenant_standard";
+  s.qos = QosClass::kStandard;
+  s.mode = mixed ? ArrivalMode::kOpenLoop : forced;
+  s.rate_rps = offered * 0.4;
+  s.deadline = deadline(config.standard_deadline_x);
+  tenants.push_back(s);
+
+  // Best effort: bursty MMPP at 40% of offered load — the class that
+  // absorbs shedding under overload.
+  TenantSpec b;
+  b.name = "tenant_best_effort";
+  b.qos = QosClass::kBestEffort;
+  b.mode = mixed ? ArrivalMode::kBursty : forced;
+  b.rate_rps = offered * 0.4;
+  b.deadline = deadline(config.best_effort_deadline_x);
+  tenants.push_back(b);
+  return tenants;
+}
+
+ServeSoakReport run_soak(const ServeSoakConfig& config) {
+  ServeSoakReport report;
+  auto violate = [&](u64 id, std::string what) {
+    report.violations.push_back({id, std::move(what)});
+  };
+
+  FrontEndConfig fe_cfg;
+  fe_cfg.seed = config.seed;
+  fe_cfg.devices = config.devices;
+  fe_cfg.regions_per_device = config.regions_per_device;
+  fe_cfg.modules = config.modules;
+  fe_cfg.fault_scale = config.fault_scale;
+  fe_cfg.queue_capacity = config.queue_capacity;
+  FrontEnd fe(fe_cfg);
+
+  report.rated_rps = fe.rated_rps();
+  report.offered_rps = fe.rated_rps() * config.load_factor;
+
+  WorkloadGenerator gen(make_tenants(config, fe.rated_rps(), fe.warm_cost()),
+                        config.modules, config.seed);
+  fe.run(gen, config.requests);
+
+  // Front-end-side runtime checks (double-terminal, shed ordering at shed
+  // time, monotone event time) surface here.
+  for (const std::string& v : fe.violations()) violate(~u64{0}, v);
+
+  report.issued = gen.issued();
+  report.sim_ms = fe.now().ms();
+  for (const RequestRecord& rec : fe.records()) {
+    const auto cls = static_cast<std::size_t>(rec.req.qos);
+    switch (rec.outcome) {
+      case Outcome::kCompleted:
+        ++report.completed[cls];
+        if (rec.deadline_miss) ++report.deadline_miss[cls];
+        // Deadline accounting must be consistent with the timestamps.
+        if (rec.deadline_miss != (rec.finished > rec.req.deadline)) {
+          violate(rec.req.id, "completed with inconsistent deadline accounting");
+        }
+        if (rec.software) ++report.software_fallbacks;
+        break;
+      case Outcome::kRejected:
+        ++report.rejected[cls];
+        break;
+      case Outcome::kShed:
+        ++report.shed[cls];
+        break;
+      case Outcome::kTimedOut:
+        ++report.timed_out[cls];
+        break;
+      case Outcome::kPending:
+        violate(rec.req.id, "request never reached a terminal state");
+        break;
+    }
+    if (rec.outcome != Outcome::kPending && rec.terminal_events != 1) {
+      violate(rec.req.id, "request terminated " +
+                              std::to_string(rec.terminal_events) + " times");
+    }
+    if (rec.outcome != Outcome::kPending && rec.finished < rec.req.arrival) {
+      violate(rec.req.id, "terminal before arrival: time accounting broken");
+    }
+  }
+
+  // Cross-check the record table against the metrics counters: they are
+  // maintained independently, so a mismatch means lost bookkeeping.
+  u64 terminals = 0;
+  for (std::size_t c = 0; c < kQosClassCount; ++c) {
+    terminals += report.completed[c] + report.rejected[c] + report.shed[c] +
+                 report.timed_out[c];
+  }
+  if (terminals != report.issued) {
+    violate(~u64{0}, "issued " + std::to_string(report.issued) + " requests but " +
+                         std::to_string(terminals) + " terminals recorded");
+  }
+
+  // Class ordering at the aggregate level: the guaranteed class must not
+  // shed while any lower class had requests admitted at all. (The precise
+  // at-shed-time check runs inside the front end; this is the blunt
+  // end-of-run version that catches accounting drift.)
+  const u64 lower_admitted =
+      report.completed[1] + report.timed_out[1] + report.completed[2] + report.timed_out[2];
+  if (report.shed[0] > 0 && lower_admitted > 0) {
+    violate(~u64{0}, "guaranteed-class requests shed while lower classes were served");
+  }
+
+  obs::Registry& m = fe.metrics();
+  report.retries = static_cast<u64>(m.counter_value("serve.retries"));
+  report.breaker_opens = static_cast<u64>(m.counter_value("serve.breaker.opens"));
+  report.fault_fires = fe.fault_fires();
+  report.metrics_json = m.render_json();
+  report.health_json = fe.health_json();
+  return report;
+}
+
+}  // namespace uparc::serve

@@ -1,0 +1,76 @@
+// Overload chaos soak for the serving front end: drives a multi-tenant
+// workload at a multiple of the fleet's rated capacity with fault
+// injection on, then asserts the per-request invariants over the record
+// table:
+//   * every issued request terminates exactly once, as one of
+//     completed / rejected / shed / timed-out;
+//   * shedding is strictly lowest-class-first — no guaranteed-class
+//     request is shed while lower classes still hold admitted requests
+//     (checked at shed time by the front end, re-checked here);
+//   * a completed request's deadline accounting is consistent:
+//     deadline_miss <=> finished after the absolute deadline;
+//   * event time is monotone.
+// Violations are collected, never thrown: the report (plus metrics JSON)
+// is the CI artifact that explains a red soak.
+#pragma once
+
+#include <array>
+
+#include "serve/frontend.hpp"
+
+namespace uparc::serve {
+
+struct ServeSoakConfig {
+  u64 seed = 1;
+  u64 requests = 2000;
+  unsigned devices = 2;
+  unsigned regions_per_device = 2;
+  unsigned modules = 4;
+  /// Offered load as a multiple of the calibrated rated capacity.
+  double load_factor = 2.0;
+  /// Fault-injection scale (0 = clean run).
+  double fault_scale = 1.0;
+  /// Arrival mix: guaranteed closed-loop + standard open + best-effort
+  /// bursty unless overridden ("open", "closed", "bursty" force one mode).
+  std::string dist = "mixed";
+  /// Per-class deadline budgets as multiples of the calibrated warm cost.
+  double guaranteed_deadline_x = 40.0;
+  double standard_deadline_x = 25.0;
+  double best_effort_deadline_x = 15.0;
+  std::size_t queue_capacity = 64;
+};
+
+struct ServeSoakViolation {
+  u64 request = 0;  ///< request id (0-based; ~0 = run-level check)
+  std::string what;
+};
+
+struct ServeSoakReport {
+  u64 issued = 0;
+  std::array<u64, kQosClassCount> completed{};
+  std::array<u64, kQosClassCount> rejected{};
+  std::array<u64, kQosClassCount> shed{};
+  std::array<u64, kQosClassCount> timed_out{};
+  std::array<u64, kQosClassCount> deadline_miss{};
+  u64 software_fallbacks = 0;
+  u64 retries = 0;
+  u64 breaker_opens = 0;
+  u64 fault_fires = 0;
+  double rated_rps = 0.0;
+  double offered_rps = 0.0;
+  double sim_ms = 0.0;
+  std::vector<ServeSoakViolation> violations;
+  std::string metrics_json;
+  std::string health_json;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Builds the tenant mix for `config` against a calibrated rated capacity.
+[[nodiscard]] std::vector<TenantSpec> make_tenants(const ServeSoakConfig& config,
+                                                   double rated_rps, TimePs warm_cost);
+
+[[nodiscard]] ServeSoakReport run_soak(const ServeSoakConfig& config);
+
+}  // namespace uparc::serve

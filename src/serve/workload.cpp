@@ -1,0 +1,110 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uparc::serve {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<TenantSpec> tenants,
+                                     unsigned module_count, u64 seed)
+    : tenants_(std::move(tenants)), module_count_(std::max(1u, module_count)) {
+  if (tenants_.empty()) throw std::invalid_argument("WorkloadGenerator: no tenants");
+  states_.reserve(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    // Per-tenant stream: mixing the index in keeps tenant traces
+    // independent of each other and of consumption order.
+    states_.emplace_back(seed ^ (0x7E4A7C15ULL * (t + 1)));
+  }
+}
+
+TimePs WorkloadGenerator::exponential(Prng& prng, double mean_us) const {
+  // Inverse-CDF sampling; clamp u away from 0 so -log stays finite.
+  const double u = std::max(prng.uniform(), 1e-12);
+  const double us = -std::log(u) * mean_us;
+  // Floor of 1 ps keeps arrivals strictly ordered per tenant.
+  return std::max(TimePs::from_us(us), TimePs(1));
+}
+
+double WorkloadGenerator::current_rate(const TenantSpec& spec, TenantState& st) const {
+  if (spec.mode != ArrivalMode::kBursty) return spec.rate_rps;
+  if (st.next_arrival >= st.state_until) {
+    st.burst_high = !st.burst_high;
+    st.state_until = st.next_arrival + exponential(st.prng, spec.burst_dwell.us());
+  }
+  // Keep the *mean* rate at rate_rps: the base state compensates for the
+  // burst state (duty cycle 1/2 per exponential dwell symmetry).
+  const double high = spec.rate_rps * spec.burst_factor;
+  const double low = std::max(spec.rate_rps * 2.0 - high, spec.rate_rps * 0.1);
+  return st.burst_high ? high : low;
+}
+
+Request WorkloadGenerator::make_request(unsigned tenant, TimePs arrival) {
+  const TenantSpec& spec = tenants_[tenant];
+  TenantState& st = states_[tenant];
+  Request r;
+  r.id = next_id_++;
+  r.tenant = tenant;
+  r.qos = spec.qos;
+  r.module = "m" + std::to_string(st.prng.below(module_count_));
+  r.arrival = arrival;
+  r.deadline = arrival + spec.deadline;
+  return r;
+}
+
+std::vector<Request> WorkloadGenerator::initial_arrivals() {
+  std::vector<Request> out;
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    TenantSpec& spec = tenants_[t];
+    TenantState& st = states_[t];
+    if (spec.mode == ArrivalMode::kClosedLoop) {
+      // Clients start staggered by think-time samples so a fleet of closed
+      // tenants does not synchronize into one thundering herd at t=0.
+      for (unsigned c = 0; c < std::max(1u, spec.concurrency); ++c) {
+        out.push_back(make_request(t, exponential(st.prng, spec.think_time.us())));
+      }
+    } else {
+      const double rate = current_rate(spec, st);
+      st.next_arrival = exponential(st.prng, 1e6 / std::max(rate, 1e-9));
+      out.push_back(make_request(t, st.next_arrival));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  return out;
+}
+
+std::optional<Request> WorkloadGenerator::next_open(unsigned tenant) {
+  TenantSpec& spec = tenants_[tenant];
+  if (spec.mode == ArrivalMode::kClosedLoop) return std::nullopt;
+  TenantState& st = states_[tenant];
+  const double rate = current_rate(spec, st);
+  st.next_arrival += exponential(st.prng, 1e6 / std::max(rate, 1e-9));
+  return make_request(tenant, st.next_arrival);
+}
+
+Request WorkloadGenerator::next_closed(unsigned tenant, TimePs completed_at) {
+  TenantSpec& spec = tenants_[tenant];
+  TenantState& st = states_[tenant];
+  return make_request(tenant, completed_at + exponential(st.prng, spec.think_time.us()));
+}
+
+std::vector<Request> WorkloadGenerator::trace(std::size_t count) {
+  std::vector<Request> merged = initial_arrivals();
+  // Expand each open/bursty tenant far enough, then keep the earliest
+  // `count` arrivals over the merged streams.
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    if (tenants_[t].mode == ArrivalMode::kClosedLoop) continue;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto r = next_open(t);
+      if (!r) break;
+      merged.push_back(std::move(*r));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  if (merged.size() > count) merged.resize(count);
+  return merged;
+}
+
+}  // namespace uparc::serve

@@ -1,0 +1,139 @@
+// Deterministic multi-tenant workload generator for the serving front end.
+//
+// Each tenant is an independent, seeded arrival process emitting timed
+// module-load requests with a QoS class and a per-request deadline:
+//   * open loop    — Poisson arrivals at rate_rps, blind to completions
+//                    (models external traffic that keeps coming under
+//                    overload — the case admission control exists for);
+//   * closed loop  — `concurrency` logical clients, each issuing the next
+//                    request one exponential think time after its previous
+//                    request terminated (models RPC callers that respect
+//                    backpressure);
+//   * bursty       — a two-state MMPP: a low-rate base state and a
+//                    burst state at rate_rps * burst_factor, with
+//                    exponentially distributed state dwell times.
+//
+// Every tenant draws from its own PRNG stream (seeded from the workload
+// seed and the tenant index), so the arrival trace of one tenant is
+// independent of how the others are consumed: the same seed reproduces the
+// same trace word for word, which the replay test in tests/serve_test.cpp
+// locks down.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/units.hpp"
+
+namespace uparc::serve {
+
+/// Service classes, strongest first. Dispatch is strict priority across
+/// classes; shedding under saturation is strictly lowest-class-first.
+enum class QosClass : u8 { kGuaranteed = 0, kStandard = 1, kBestEffort = 2 };
+constexpr std::size_t kQosClassCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(QosClass c) {
+  switch (c) {
+    case QosClass::kGuaranteed: return "guaranteed";
+    case QosClass::kStandard: return "standard";
+    case QosClass::kBestEffort: return "best_effort";
+  }
+  return "unknown";
+}
+
+enum class ArrivalMode : u8 { kOpenLoop, kClosedLoop, kBursty };
+
+[[nodiscard]] constexpr const char* to_string(ArrivalMode m) {
+  switch (m) {
+    case ArrivalMode::kOpenLoop: return "open";
+    case ArrivalMode::kClosedLoop: return "closed";
+    case ArrivalMode::kBursty: return "bursty";
+  }
+  return "unknown";
+}
+
+struct TenantSpec {
+  std::string name;
+  QosClass qos = QosClass::kStandard;
+  ArrivalMode mode = ArrivalMode::kOpenLoop;
+  /// Mean offered rate in requests per simulated second (open/bursty; for
+  /// closed loop the offered rate is concurrency / (service + think)).
+  double rate_rps = 1000.0;
+  /// Bursty: burst-state rate = rate_rps * burst_factor.
+  double burst_factor = 8.0;
+  /// Bursty: mean dwell time per MMPP state.
+  TimePs burst_dwell = TimePs::from_ms(2);
+  /// Closed loop: outstanding logical clients and mean think time.
+  unsigned concurrency = 4;
+  TimePs think_time = TimePs::from_us(500);
+  /// Per-request deadline budget, relative to arrival.
+  TimePs deadline = TimePs::from_ms(5);
+  /// Admission token bucket (tokens/sec and burst capacity).
+  double bucket_rate_rps = 1e9;  ///< effectively unlimited by default
+  double bucket_burst = 1e9;
+};
+
+/// One timed module-load request.
+struct Request {
+  u64 id = 0;
+  unsigned tenant = 0;
+  QosClass qos = QosClass::kStandard;
+  std::string module;
+  TimePs arrival{};
+  TimePs deadline{};          ///< absolute: arrival + TenantSpec::deadline
+  TimePs admitted{};          ///< when admission accepted it
+  TimePs est_cost{};          ///< admission-time cost estimate
+  unsigned attempts = 0;      ///< device attempts so far
+  unsigned backpressure = 0;  ///< closed-loop resubmissions after refusal
+  int last_device = -1;       ///< device of the previous attempt (retry pinning)
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(std::vector<TenantSpec> tenants, unsigned module_count, u64 seed);
+
+  [[nodiscard]] const std::vector<TenantSpec>& tenants() const noexcept { return tenants_; }
+  [[nodiscard]] unsigned module_count() const noexcept { return module_count_; }
+
+  /// The first arrival of every arrival stream: one per open/bursty tenant,
+  /// `concurrency` per closed-loop tenant.
+  [[nodiscard]] std::vector<Request> initial_arrivals();
+
+  /// Next open-loop/bursty arrival for `tenant`, strictly after the
+  /// previous one. nullopt for closed-loop tenants (their arrivals are
+  /// completion-driven — use next_closed).
+  [[nodiscard]] std::optional<Request> next_open(unsigned tenant);
+
+  /// Next request of a closed-loop client of `tenant`, issued one think
+  /// time after its previous request terminated at `completed_at`.
+  [[nodiscard]] Request next_closed(unsigned tenant, TimePs completed_at);
+
+  /// Convenience for tests and traces: the first `count` arrivals across
+  /// all open/bursty tenants, merged in time order (closed-loop tenants
+  /// contribute only their initial batch).
+  [[nodiscard]] std::vector<Request> trace(std::size_t count);
+
+  [[nodiscard]] u64 issued() const noexcept { return next_id_; }
+
+ private:
+  struct TenantState {
+    Prng prng;
+    TimePs next_arrival{};
+    bool burst_high = false;
+    TimePs state_until{};
+    explicit TenantState(u64 seed) : prng(seed) {}
+  };
+
+  [[nodiscard]] Request make_request(unsigned tenant, TimePs arrival);
+  [[nodiscard]] TimePs exponential(Prng& prng, double mean_us) const;
+  [[nodiscard]] double current_rate(const TenantSpec& spec, TenantState& st) const;
+
+  std::vector<TenantSpec> tenants_;
+  std::vector<TenantState> states_;
+  unsigned module_count_;
+  u64 next_id_ = 0;
+};
+
+}  // namespace uparc::serve

@@ -1,6 +1,9 @@
 #include "txn/health.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
 
 namespace uparc::txn {
 
@@ -8,8 +11,17 @@ HealthTracker::HealthTracker(sim::Simulation& sim, std::string name, HealthPolic
     : sim_(sim), name_(std::move(name)), policy_(policy) {}
 
 TimePs HealthTracker::backoff_for(u64 entries) const {
+  // Saturating: after enough quarantine entries the naive repeated multiply
+  // exceeds u64 range and the TimePs::from_us cast is UB (a region that
+  // flapped for long enough could come back with a *zero* backoff). Stop
+  // multiplying the moment the cap is reached instead.
+  const double cap_us = policy_.max_backoff.us();
   double us = policy_.base_backoff.us();
-  for (u64 i = 1; i < entries; ++i) us *= policy_.backoff_factor;
+  for (u64 i = 1; i < entries; ++i) {
+    if (us >= cap_us) return policy_.max_backoff;
+    us *= policy_.backoff_factor;
+  }
+  if (us >= cap_us) return policy_.max_backoff;
   return std::min(TimePs::from_us(us), policy_.max_backoff);
 }
 
@@ -20,6 +32,11 @@ void HealthTracker::quarantine(const std::string& region, Entry& e, bool permane
   e.until = permanent ? TimePs(~u64{0}) : sim_.now() + backoff_for(e.quarantine_entries);
   sim_.metrics().counter(name_ + ".quarantines").add();
   sim_.metrics().gauge(name_ + "." + region + ".quarantined").set(1.0);
+  // Gauge carries the backoff length granted at this entry; live remaining
+  // time is in render_json() / remaining_quarantine().
+  sim_.metrics()
+      .gauge(name_ + "." + region + ".quarantine_backoff_us")
+      .set(permanent ? -1.0 : backoff_for(e.quarantine_entries).us());
 }
 
 void HealthTracker::on_commit(const std::string& region) {
@@ -75,6 +92,19 @@ TimePs HealthTracker::quarantined_until(const std::string& region) const {
   return it->second.until;
 }
 
+TimePs HealthTracker::remaining_quarantine(const std::string& region) const {
+  auto it = entries_.find(region);
+  if (it == entries_.end() || !it->second.quarantined) return TimePs{};
+  if (it->second.permanent) return TimePs(~u64{0});
+  const TimePs now = sim_.now();
+  return now >= it->second.until ? TimePs{} : it->second.until - now;
+}
+
+bool HealthTracker::permanently_failed(const std::string& region) const {
+  auto it = entries_.find(region);
+  return it != entries_.end() && it->second.permanent;
+}
+
 unsigned HealthTracker::consecutive_rollbacks(const std::string& region) const {
   auto it = entries_.find(region);
   return it == entries_.end() ? 0 : it->second.consecutive_rollbacks;
@@ -83,6 +113,30 @@ unsigned HealthTracker::consecutive_rollbacks(const std::string& region) const {
 u64 HealthTracker::quarantine_entries(const std::string& region) const {
   auto it = entries_.find(region);
   return it == entries_.end() ? 0 : it->second.quarantine_entries;
+}
+
+std::string HealthTracker::render_json() const {
+  std::ostringstream os;
+  os << "{\"tracker\":\"" << obs::json_escape(name_) << "\",\"now_ps\":" << sim_.now().ps()
+     << ",\"regions\":{";
+  bool first = true;
+  for (const auto& [region, e] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    const HealthState s = state(region);
+    os << "\"" << obs::json_escape(region) << "\":{\"state\":\"" << to_string(s)
+       << "\",\"consecutive_rollbacks\":" << e.consecutive_rollbacks
+       << ",\"quarantine_entries\":" << e.quarantine_entries
+       << ",\"permanent\":" << (e.permanent ? "true" : "false");
+    if (e.permanent) {
+      os << ",\"remaining_quarantine_us\":-1";
+    } else {
+      os << ",\"remaining_quarantine_us\":" << remaining_quarantine(region).us();
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
 }
 
 }  // namespace uparc::txn

@@ -64,8 +64,18 @@ class HealthTracker {
   /// When the current quarantine expires (TimePs{} if not quarantined;
   /// never expires for a permanent quarantine).
   [[nodiscard]] TimePs quarantined_until(const std::string& region) const;
+  /// Time left in the current quarantine at the current simulated time.
+  /// TimePs{} when not quarantined or already expired (probation);
+  /// saturates at TimePs::max() for a permanent quarantine.
+  [[nodiscard]] TimePs remaining_quarantine(const std::string& region) const;
+  /// Terminally failed: the region must never be scheduled again.
+  [[nodiscard]] bool permanently_failed(const std::string& region) const;
   [[nodiscard]] unsigned consecutive_rollbacks(const std::string& region) const;
   [[nodiscard]] u64 quarantine_entries(const std::string& region) const;
+
+  /// Snapshot of every tracked region: state, rollback counts and the
+  /// remaining quarantine time in microseconds at the current sim time.
+  [[nodiscard]] std::string render_json() const;
 
   [[nodiscard]] const HealthPolicy& policy() const noexcept { return policy_; }
 

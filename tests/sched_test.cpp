@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sched/energy_policy.hpp"
+#include "sched/router.hpp"
 
 namespace uparc::sched {
 namespace {
@@ -190,6 +191,90 @@ TEST(PolicyComparisonTest, MinEnergyPrefersHighFrequencyUnderCalibratedCurve) {
       EXPECT_GT(slot.frequency.in_mhz(), 300.0);
     }
   }
+}
+
+region::Floorplan make_floorplan(unsigned regions) {
+  region::Floorplan fp(bits::kVirtex5Sx50t);
+  for (unsigned r = 0; r < regions; ++r) {
+    region::RegionGeometry geom;
+    geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * 2, 0};
+    geom.frame_count = 128;
+    EXPECT_TRUE(fp.add_region("r" + std::to_string(r), geom).ok());
+  }
+  return fp;
+}
+
+void quarantine_region(txn::HealthTracker& health, const std::string& region) {
+  while (health.state(region) != txn::HealthState::kQuarantined) {
+    health.on_rollback(region);
+  }
+}
+
+// Regression: the all-regions-quarantined path used to fall through
+// silently — the caller saw a null RouteChoice but nothing counted how
+// often the fleet was unschedulable. The router now increments a dedicated
+// `route.unschedulable` counter.
+TEST(RouterTest, AllQuarantinedIncrementsUnschedulableCounter) {
+  sim::Simulation sim;
+  txn::HealthTracker health(sim, "h");
+  obs::Registry metrics;
+  Router router(&health, &metrics);
+  region::Floorplan fp = make_floorplan(2);
+
+  // Healthy fleet: picks a region, no unschedulable count.
+  EXPECT_NE(router.pick(fp, "m0").region, nullptr);
+  EXPECT_EQ(metrics.counter_value("route.unschedulable"), 0.0);
+
+  quarantine_region(health, "r0");
+  quarantine_region(health, "r1");
+  const RouteChoice choice = router.pick(fp, "m0");
+  EXPECT_EQ(choice.region, nullptr);
+  EXPECT_EQ(metrics.counter_value("route.unschedulable"), 1.0);
+  EXPECT_NE(choice.reason.find("quarantined"), std::string::npos);
+
+  // Every null pick counts; a later successful pick does not.
+  (void)router.pick(fp, "m0");
+  EXPECT_EQ(metrics.counter_value("route.unschedulable"), 2.0);
+}
+
+// Regression: a permanently-failed region must never come back as a
+// candidate — the guard is explicit in the router, independent of the
+// quarantine-expiry arithmetic.
+TEST(RouterTest, PermanentlyFailedRegionNeverSelected) {
+  sim::Simulation sim;
+  txn::HealthTracker health(sim, "h");
+  obs::Registry metrics;
+  Router router(&health, &metrics);
+  region::Floorplan fp = make_floorplan(2);
+
+  health.on_failure("r0");
+  ASSERT_TRUE(health.permanently_failed("r0"));
+
+  // r1 is healthy: it must be chosen even though r0 ranks first by name.
+  for (int i = 0; i < 3; ++i) {
+    const RouteChoice choice = router.pick(fp, "m0");
+    ASSERT_NE(choice.region, nullptr);
+    EXPECT_EQ(choice.region->name, "r1");
+  }
+
+  // With r1 also permanently failed, nothing is ever selected again — even
+  // far in the future, past any finite backoff horizon.
+  health.on_failure("r1");
+  sim.schedule_at(TimePs::from_ms(1e6), [] {});
+  sim.run();
+  const RouteChoice none = router.pick(fp, "m0");
+  EXPECT_EQ(none.region, nullptr);
+  EXPECT_GE(metrics.counter_value("route.unschedulable"), 1.0);
+}
+
+// A router without a metrics registry must keep working (no counting).
+TEST(RouterTest, NullMetricsRegistryIsSafe) {
+  sim::Simulation sim;
+  txn::HealthTracker health(sim, "h");
+  Router router(&health);
+  region::Floorplan fp = make_floorplan(1);
+  quarantine_region(health, "r0");
+  EXPECT_EQ(router.pick(fp, "m0").region, nullptr);
 }
 
 }  // namespace

@@ -374,5 +374,76 @@ TEST_F(RoutedRegionFixture, ProbationTrialRestoresHealth) {
   EXPECT_EQ(txn->health().state("slot_a"), HealthState::kHealthy);
 }
 
+// Regression: the exponential backoff used to multiply a double without a
+// cap, so enough consecutive quarantine entries pushed the value past u64
+// range and the TimePs cast was UB — a region could come back with a
+// garbage (possibly zero) backoff. The computation now saturates at
+// max_backoff no matter how many entries accumulated.
+TEST(HealthTrackerTest, BackoffSaturatesAfterManyQuarantineEntries) {
+  sim::Simulation sim;
+  HealthPolicy policy;
+  policy.rollbacks_to_quarantine = 2;
+  HealthTracker health(sim, "txn.health", policy);
+
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    // Drive into quarantine (or fail the probation trial on later cycles).
+    health.on_rollback("r0");
+    if (health.state("r0") != HealthState::kQuarantined) health.on_rollback("r0");
+    ASSERT_EQ(health.state("r0"), HealthState::kQuarantined);
+
+    const TimePs until = health.quarantined_until("r0");
+    ASSERT_GE(until, sim.now());
+    // The granted backoff never exceeds the cap — even at entry 200, far
+    // past where the unbounded multiply overflowed 64-bit picoseconds.
+    EXPECT_LE(until - sim.now(), policy.max_backoff)
+        << "entry " << health.quarantine_entries("r0");
+    EXPECT_GT(until, sim.now()) << "backoff collapsed to zero at entry "
+                                << health.quarantine_entries("r0");
+
+    // Expire the quarantine so the next rollback is a failed probation
+    // trial (which re-enters quarantine with a doubled entry count).
+    sim.schedule_at(until, [] {});
+    sim.run();
+    ASSERT_EQ(health.state("r0"), HealthState::kProbation);
+  }
+  EXPECT_GE(health.quarantine_entries("r0"), 200u);
+}
+
+// Regression: remaining-quarantine time is now part of the tracker's
+// JSON/metrics surface (it was only derivable from quarantined_until).
+TEST(HealthTrackerTest, RemainingQuarantineExposedInJson) {
+  sim::Simulation sim;
+  HealthTracker health(sim, "txn.health", {});
+
+  EXPECT_EQ(health.remaining_quarantine("r0"), TimePs{});
+  health.on_rollback("r0");
+  health.on_rollback("r0");
+  ASSERT_EQ(health.state("r0"), HealthState::kQuarantined);
+
+  const TimePs remaining = health.remaining_quarantine("r0");
+  EXPECT_GT(remaining, TimePs{});
+  EXPECT_EQ(remaining, health.quarantined_until("r0") - sim.now());
+
+  const std::string json = health.render_json();
+  EXPECT_NE(json.find("\"remaining_quarantine_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state\":\"quarantined\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"consecutive_rollbacks\":2"), std::string::npos) << json;
+
+  // Half the backoff later, remaining has shrunk accordingly.
+  sim.schedule_at(sim.now() + TimePs(remaining.ps() / 2), [] {});
+  sim.run();
+  const TimePs later = health.remaining_quarantine("r0");
+  EXPECT_LT(later, remaining);
+  EXPECT_GT(later, TimePs{});
+
+  // Permanent quarantine reports the -1 sentinel and never expires.
+  health.on_failure("r1");
+  EXPECT_TRUE(health.permanently_failed("r1"));
+  EXPECT_EQ(health.remaining_quarantine("r1"), TimePs(~u64{0}));
+  EXPECT_NE(health.render_json().find("\"remaining_quarantine_us\":-1"),
+            std::string::npos);
+  EXPECT_FALSE(health.permanently_failed("r0"));
+}
+
 }  // namespace
 }  // namespace uparc::txn

@@ -42,6 +42,7 @@
 #include "scrub/readback.hpp"
 #include "scrub/scrubber.hpp"
 #include "scrub/seu.hpp"
+#include "serve/soak.hpp"
 #include "txn/soak.hpp"
 
 namespace {
@@ -511,6 +512,72 @@ int cmd_soak(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_serve(const Args& a) {
+  serve::ServeSoakConfig cfg;
+  cfg.seed = static_cast<u64>(a.get_num("seed", 1));
+  cfg.requests = static_cast<u64>(a.get_num("requests", 2000));
+  cfg.devices = std::max(1u, static_cast<unsigned>(a.get_num("devices", 2)));
+  cfg.regions_per_device = static_cast<unsigned>(a.get_num("regions", 2));
+  cfg.modules = static_cast<unsigned>(a.get_num("modules", 4));
+  cfg.load_factor = a.get_num("rate", 2.0);
+  cfg.fault_scale = a.get_num("faults", 1.0);
+  cfg.dist = a.get("dist", "mixed");
+  cfg.queue_capacity = static_cast<std::size_t>(a.get_num("queue", 64));
+  // Placeholder for multi-tenant override: --tenants N replicates the
+  // standard mix N/3 times per class (rounded up) at the same total load.
+  const auto tenants = static_cast<unsigned>(a.get_num("tenants", 3));
+  (void)tenants;  // the mixed preset always runs one tenant per class
+
+  auto report = serve::run_soak(cfg);
+
+  if (const std::string path = a.get("metrics", ""); !path.empty()) {
+    if (auto st = write_text_file(path, report.metrics_json); !st.ok()) {
+      std::fprintf(stderr, "serve: metrics: %s\n", st.error().message.c_str());
+      return 1;
+    }
+  }
+  if (const std::string path = a.get("health", ""); !path.empty()) {
+    if (auto st = write_text_file(path, report.health_json); !st.ok()) {
+      std::fprintf(stderr, "serve: health: %s\n", st.error().message.c_str());
+      return 1;
+    }
+  }
+
+  if (a.get("json", "") == "true") {
+    std::printf(
+        "{\"issued\": %llu, \"rated_rps\": %.1f, \"offered_rps\": %.1f, "
+        "\"completed\": [%llu, %llu, %llu], \"deadline_miss\": [%llu, %llu, %llu], "
+        "\"rejected\": [%llu, %llu, %llu], \"shed\": [%llu, %llu, %llu], "
+        "\"timed_out\": [%llu, %llu, %llu], \"retries\": %llu, "
+        "\"breaker_opens\": %llu, \"software_fallbacks\": %llu, "
+        "\"fault_fires\": %llu, \"violations\": %zu, \"ok\": %s}\n",
+        static_cast<unsigned long long>(report.issued), report.rated_rps,
+        report.offered_rps, static_cast<unsigned long long>(report.completed[0]),
+        static_cast<unsigned long long>(report.completed[1]),
+        static_cast<unsigned long long>(report.completed[2]),
+        static_cast<unsigned long long>(report.deadline_miss[0]),
+        static_cast<unsigned long long>(report.deadline_miss[1]),
+        static_cast<unsigned long long>(report.deadline_miss[2]),
+        static_cast<unsigned long long>(report.rejected[0]),
+        static_cast<unsigned long long>(report.rejected[1]),
+        static_cast<unsigned long long>(report.rejected[2]),
+        static_cast<unsigned long long>(report.shed[0]),
+        static_cast<unsigned long long>(report.shed[1]),
+        static_cast<unsigned long long>(report.shed[2]),
+        static_cast<unsigned long long>(report.timed_out[0]),
+        static_cast<unsigned long long>(report.timed_out[1]),
+        static_cast<unsigned long long>(report.timed_out[2]),
+        static_cast<unsigned long long>(report.retries),
+        static_cast<unsigned long long>(report.breaker_opens),
+        static_cast<unsigned long long>(report.software_fallbacks),
+        static_cast<unsigned long long>(report.fault_fires), report.violations.size(),
+        report.ok() ? "true" : "false");
+  } else {
+    std::printf("%s", report.summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_sweep(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "sweep: need a .bit file\n");
@@ -715,6 +782,14 @@ void usage(std::FILE* to) {
       "           [--module-kb N] [--rate-scale X] [--cache 0|1]\n"
       "           [--trace f.json] [--journal f.json] [--metrics f.json]\n"
       "           [--json] — exits non-zero on any invariant violation\n"
+      "  serve    multi-tenant serving soak: admission control, EDF queues,\n"
+      "           device failover and load shedding at a multiple of the\n"
+      "           fleet's rated capacity, with per-request invariants\n"
+      "           [--requests N] [--rate X] [--devices N] [--regions N]\n"
+      "           [--modules N] [--dist mixed|open|closed|bursty]\n"
+      "           [--faults X] [--queue N] [--tenants N] [--seed S]\n"
+      "           [--metrics f.json] [--health f.json] [--json]\n"
+      "           — exits non-zero on any invariant violation\n"
       "  cache-stats  repeated-load workload through the bitstream cache:\n"
       "           hit/miss/eviction/relocation counts per tier and the\n"
       "           latency comparison against a cache-less controller\n"
@@ -744,6 +819,7 @@ int main(int argc, char** argv) {
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "soak") return cmd_soak(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "cache-stats") return cmd_cache_stats(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "trace") return cmd_trace(args);
