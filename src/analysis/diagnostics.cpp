@@ -35,6 +35,7 @@ std::string Location::describe() const {
     case Kind::kWord: return "word " + std::to_string(offset);
     case Kind::kByte: return "byte " + std::to_string(offset);
     case Kind::kModule: return "module " + path;
+    case Kind::kFile: return path + ":" + std::to_string(offset);
   }
   return "-";
 }

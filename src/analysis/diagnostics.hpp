@@ -28,13 +28,14 @@ enum class Severity { kInfo, kWarning, kError };
 
 /// Where a diagnostic points: an offset into the linted image (32-bit word
 /// offset for bitstream bodies, byte offset for containers and file
-/// headers), a module/clock path in an elaborated model, or nothing.
+/// headers), a module/clock path in an elaborated model, a source file and
+/// line (detlint / replay artifacts), or nothing.
 struct Location {
-  enum class Kind { kNone, kWord, kByte, kModule };
+  enum class Kind { kNone, kWord, kByte, kModule, kFile };
 
   Kind kind = Kind::kNone;
-  std::size_t offset = 0;   ///< for kWord / kByte
-  std::string path;         ///< for kModule
+  std::size_t offset = 0;   ///< for kWord / kByte; line number for kFile
+  std::string path;         ///< for kModule / kFile
 
   [[nodiscard]] static Location none() { return {}; }
   [[nodiscard]] static Location word(std::size_t off) {
@@ -46,8 +47,11 @@ struct Location {
   [[nodiscard]] static Location module(std::string path) {
     return Location{Kind::kModule, 0, std::move(path)};
   }
+  [[nodiscard]] static Location file(std::string path, std::size_t line) {
+    return Location{Kind::kFile, line, std::move(path)};
+  }
 
-  /// "word 12", "byte 6", "module uparc.urec", or "-".
+  /// "word 12", "byte 6", "module uparc.urec", "src/x.cpp:12", or "-".
   [[nodiscard]] std::string describe() const;
 };
 

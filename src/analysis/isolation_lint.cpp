@@ -1,0 +1,147 @@
+#include "analysis/isolation_lint.hpp"
+
+#include <algorithm>
+
+#include "sim/clock.hpp"
+#include "sim/module.hpp"
+#include "sim/topology.hpp"
+
+namespace uparc::analysis {
+namespace {
+
+using sim::kNoShard;
+using sim::ShardId;
+using sim::Topology;
+
+[[nodiscard]] std::string shard_name(ShardId s) {
+  return s == kNoShard ? std::string("unassigned") : "shard " + std::to_string(s);
+}
+
+[[nodiscard]] std::string channel_path(const Topology::Channel& ch) {
+  std::string p = ch.producer ? ch.producer->name() : "?";
+  p += " -> ";
+  p += ch.consumer ? ch.consumer->name() : "?";
+  return p;
+}
+
+void lint_unassigned(const Topology& topo, Report& r) {
+  for (const sim::Module* m : topo.modules()) {
+    if (topo.shard_of(m) == kNoShard) {
+      r.warning("iso.module.unassigned", Location::module(m->name()),
+                "module has no owning shard in a partitioned topology",
+                "assign_shard() during elaboration (serve:: devices tag whole systems)");
+    }
+  }
+  for (const sim::Clock* c : topo.clocks()) {
+    if (topo.shard_of(c) == kNoShard) {
+      r.warning("iso.module.unassigned", Location::module(c->name()),
+                "clock has no owning shard in a partitioned topology",
+                "assign_shard() during elaboration so the per-shard clock is explicit");
+    }
+  }
+}
+
+void lint_clocks(const Topology& topo, Report& r) {
+  // A clock must live in the same shard as every module it drives: in the
+  // parallel kernel each shard advances its own clocks, so a clock edge
+  // fanning out to two shards would need a global barrier per cycle.
+  for (const sim::Clock* c : topo.clocks()) {
+    ShardId seen = topo.shard_of(c);
+    const sim::Module* first = nullptr;
+    for (const Topology::ClockBinding& b : topo.bindings()) {
+      if (b.clock != c) continue;
+      const ShardId ms = topo.shard_of(b.module);
+      if (ms == kNoShard) continue;
+      if (seen == kNoShard) {
+        seen = ms;
+        first = b.module;
+        continue;
+      }
+      if (ms != seen) {
+        r.error("iso.clock.multi-shard", Location::module(c->name()),
+                "clock drives '" + (first ? first->name() : c->name()) + "' in " +
+                    shard_name(seen) + " and '" + b.module->name() + "' in " +
+                    shard_name(ms),
+                "give each shard its own clock instance (per-shard clocks are a "
+                "parallel-kernel prerequisite)");
+        break;
+      }
+    }
+  }
+}
+
+void lint_state(const Topology& topo, Report& r) {
+  for (const Topology::StateRef& ref : topo.state_refs()) {
+    const Topology::StateRecord* rec = topo.find_state(ref.addr);
+    const std::string label = ref.what.empty() ? "state" : ref.what;
+    if (rec == nullptr) {
+      r.warning("iso.state.unregistered",
+                Location::module(ref.user ? ref.user->name() : "?"),
+                "reference to " + label + " that was never registered with an owner",
+                "register_state() in the owning module's constructor");
+      continue;
+    }
+    const ShardId user_shard = topo.shard_of(ref.user);
+    const ShardId owner_shard = topo.shard_of(rec->owner);
+    if (user_shard != kNoShard && owner_shard != kNoShard && user_shard != owner_shard) {
+      r.error("iso.state.cross-shard",
+              Location::module((ref.user ? ref.user->name() : "?") + " -> " + rec->name),
+              "module in " + shard_name(user_shard) + " references '" + rec->name +
+                  "' (" + label + ") owned by '" + rec->owner->name() + "' in " +
+                  shard_name(owner_shard),
+              "move both onto one shard, or replace the direct reference with a "
+              "declared cross-shard channel");
+    }
+  }
+  // A FIFO named in a channel is mutable state too: if nobody registered
+  // it, its ownership is undeclared and the audit cannot place it.
+  for (const Topology::Channel& ch : topo.channels()) {
+    if (!ch.has_fifo) continue;
+    const bool registered = std::any_of(
+        topo.state_records().begin(), topo.state_records().end(),
+        [&](const Topology::StateRecord& s) { return s.name == ch.fifo; });
+    if (!registered) {
+      r.warning("iso.state.unregistered", Location::module(channel_path(ch)),
+                "FIFO '" + ch.fifo + "' is declared as a channel but never registered "
+                "as owned mutable state",
+                "register_state(owner, \"" + ch.fifo + "\", &fifo) where it is constructed");
+    }
+  }
+}
+
+void lint_channels(const Topology& topo, Report& r) {
+  for (const Topology::Channel& ch : topo.channels()) {
+    const ShardId ps = topo.shard_of(ch.producer);
+    const ShardId cs = topo.shard_of(ch.consumer);
+    if (ps == kNoShard || cs == kNoShard || ps == cs) continue;
+    const Location at = Location::module(channel_path(ch));
+    if (!ch.has_fifo) {
+      r.error("iso.channel.direct-cross-shard", at,
+              "direct wire crosses from " + shard_name(ps) + " to " + shard_name(cs) +
+                  "; a wire cannot span worker threads",
+              "replace with a FIFO declared cross_shard (message channel)");
+    } else if (!ch.cross_shard) {
+      r.error("iso.channel.undeclared", at,
+              "FIFO '" + ch.fifo + "' spans " + shard_name(ps) + " -> " +
+                  shard_name(cs) + " but is not declared as a cross-shard channel",
+              "set Channel::cross_shard when the FIFO is meant to carry "
+              "inter-shard messages");
+    }
+  }
+}
+
+}  // namespace
+
+Report lint_isolation(const sim::Topology& topo) {
+  Report r;
+  if (!topo.partitioned()) return r;  // one implicit shard: nothing to audit
+  lint_unassigned(topo, r);
+  lint_clocks(topo, r);
+  lint_state(topo, r);
+  lint_channels(topo, r);
+  return r;
+}
+
+Report lint_isolation(const sim::Simulation& sim) { return lint_isolation(sim.topology()); }
+
+}  // namespace uparc::analysis

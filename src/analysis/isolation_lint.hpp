@@ -1,0 +1,34 @@
+// Isolation linter (rules iso.*) for a shard-partitioned simulation graph.
+//
+// The parallel-kernel refactor (ROADMAP: per-device event shards on worker
+// threads) is only mechanical if every piece of mutable state has exactly
+// one owning shard and every inter-shard interaction goes through a declared
+// message channel. This pass walks the sim::Topology ownership tags —
+// shard assignments, registered mutable components, declared state
+// references and channels — and flags everything that would break under
+// partitioning:
+//
+//   iso.module.unassigned        component in a partitioned topology with
+//                                no owning shard (warning)
+//   iso.clock.multi-shard        one clock driving modules in two shards
+//   iso.state.cross-shard        declared state reference crossing shards
+//   iso.state.unregistered       referenced or channel-named mutable
+//                                component nobody registered (warning)
+//   iso.channel.direct-cross-shard  wire (non-FIFO) channel spanning shards
+//   iso.channel.undeclared       FIFO channel spanning shards without a
+//                                cross-shard declaration
+//
+// An unpartitioned topology (no shard assignments at all) is one implicit
+// shard: the pass returns an empty report, so single-System scenarios stay
+// lint-clean without tagging.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "sim/kernel.hpp"
+
+namespace uparc::analysis {
+
+[[nodiscard]] Report lint_isolation(const sim::Simulation& sim);
+[[nodiscard]] Report lint_isolation(const sim::Topology& topo);
+
+}  // namespace uparc::analysis

@@ -1,0 +1,117 @@
+#include "analysis/replay.hpp"
+
+#include <algorithm>
+
+namespace uparc::analysis {
+namespace {
+
+/// Nearest JSON object key ("...": ) at or before `pos` in `text`. Returns
+/// an empty string when the prefix holds no key (non-JSON artifacts).
+[[nodiscard]] std::string nearest_key(std::string_view text, std::size_t pos) {
+  std::string last;
+  bool in_str = false;
+  std::string cur;
+  const std::size_t end = std::min(pos, text.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    const char c = text[i];
+    if (in_str) {
+      if (c == '\\') {
+        if (i + 1 < end) cur += text[++i];
+      } else if (c == '"') {
+        in_str = false;
+        // A string is a key iff the next non-space char is ':'.
+        std::size_t j = i + 1;
+        while (j < text.size() && (text[j] == ' ' || text[j] == '\n' || text[j] == '\t')) ++j;
+        if (j < text.size() && text[j] == ':') last = cur;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_str = true;
+      cur.clear();
+    }
+  }
+  return last;
+}
+
+[[nodiscard]] std::string excerpt(std::string_view text, std::size_t pos) {
+  const std::size_t begin = pos >= 12 ? pos - 12 : 0;
+  std::string out;
+  for (char c : text.substr(begin, std::min<std::size_t>(32, text.size() - begin))) {
+    out += (c == '\n' || c == '\t') ? ' ' : c;
+  }
+  return out;
+}
+
+[[nodiscard]] std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(std::min(pos, text.size())), '\n'));
+}
+
+}  // namespace
+
+void diff_artifact(std::string_view name, std::string_view run1,
+                   std::string_view run2, Report& report) {
+  const std::size_t common = std::min(run1.size(), run2.size());
+  std::size_t pos = 0;
+  while (pos < common && run1[pos] == run2[pos]) ++pos;
+  if (pos == common && run1.size() == run2.size()) return;
+
+  const std::string key = nearest_key(run1, pos);
+  std::string msg = "replay diverges at byte " + std::to_string(pos);
+  if (!key.empty()) msg += " (near key \"" + key + "\")";
+  if (pos == common) {
+    msg += ": run1 is " + std::to_string(run1.size()) + " bytes, run2 " +
+           std::to_string(run2.size());
+  } else {
+    msg += ": run1 \"..." + excerpt(run1, pos) + "\" vs run2 \"..." +
+           excerpt(run2, pos) + "\"";
+  }
+  report.error("det.replay.divergence", Location::file(std::string(name), line_of(run1, pos)),
+               std::move(msg),
+               "the scenario read state that survives between runs: look for mutable "
+               "globals, address-ordered iteration, or wall-clock reads feeding this key");
+}
+
+std::string ReplayResult::summary() const {
+  std::string out = scenario + " seed " + std::to_string(seed) + ": ";
+  if (identical()) {
+    out += std::to_string(artifacts.size()) + " artifacts byte-identical";
+  } else {
+    out += std::to_string(report.error_count()) + " divergence(s); first: " +
+           report.diagnostics().front().location.describe() + " " +
+           report.diagnostics().front().message;
+  }
+  return out;
+}
+
+ReplayResult verify_serve_replay(const serve::ServeSoakConfig& config) {
+  ReplayResult result;
+  result.scenario = "serve";
+  result.seed = config.seed;
+  const serve::ServeSoakReport a = serve::run_soak(config);
+  const serve::ServeSoakReport b = serve::run_soak(config);
+  result.artifacts = {"serve/metrics.json", "serve/health.json", "serve/summary.txt"};
+  diff_artifact(result.artifacts[0], a.metrics_json, b.metrics_json, result.report);
+  diff_artifact(result.artifacts[1], a.health_json, b.health_json, result.report);
+  diff_artifact(result.artifacts[2], a.summary(), b.summary(), result.report);
+  return result;
+}
+
+ReplayResult verify_txn_replay(txn::SoakConfig config) {
+  config.trace = true;  // the event trace is the highest-resolution artifact
+  ReplayResult result;
+  result.scenario = "soak";
+  result.seed = config.seed;
+  const txn::SoakReport a = txn::run_soak(config);
+  const txn::SoakReport b = txn::run_soak(config);
+  result.artifacts = {"soak/journal.json", "soak/metrics.json", "soak/trace.json",
+                      "soak/summary.txt"};
+  diff_artifact(result.artifacts[0], a.journal_json, b.journal_json, result.report);
+  diff_artifact(result.artifacts[1], a.metrics_json, b.metrics_json, result.report);
+  diff_artifact(result.artifacts[2], a.trace_json, b.trace_json, result.report);
+  diff_artifact(result.artifacts[3], a.summary(), b.summary(), result.report);
+  return result;
+}
+
+}  // namespace uparc::analysis

@@ -1,0 +1,51 @@
+// Dynamic replay verifier (rule det.replay.divergence).
+//
+// The static passes (isolation_lint, source_lint) can only argue that the
+// tree *looks* deterministic; this layer checks it: run a seeded scenario
+// twice in one process and byte-diff every artifact the run produces —
+// transaction journal, metrics report, event trace, serve health snapshot.
+// Any divergence means hidden state leaked between runs (a mutable global,
+// an address-ordered container, wall-clock time) and is reported with the
+// first diverging byte, its line, and the nearest preceding JSON key so the
+// offender is nameable.
+//
+// `uparc_cli verify-determinism` drives this across seeds; CI runs it as a
+// required job (see .github/workflows/ci.yml `determinism`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "serve/soak.hpp"
+#include "txn/soak.hpp"
+
+namespace uparc::analysis {
+
+/// Outcome of one scenario replayed twice under a fixed seed.
+struct ReplayResult {
+  std::string scenario;  ///< "serve" or "soak"
+  u64 seed = 0;
+  std::vector<std::string> artifacts;  ///< artifact names compared
+  Report report;                       ///< det.replay.divergence findings
+
+  [[nodiscard]] bool identical() const noexcept { return report.empty(); }
+  /// "serve seed 7: 3 artifacts byte-identical" or the first divergence.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Byte-diffs two runs of artifact `name`; on mismatch appends one
+/// det.replay.divergence error locating the first diverging byte (line
+/// within the artifact, nearest preceding JSON key, both excerpts).
+void diff_artifact(std::string_view name, std::string_view run1,
+                   std::string_view run2, Report& report);
+
+/// Runs serve::run_soak(config) twice and diffs metrics/health/summary.
+[[nodiscard]] ReplayResult verify_serve_replay(const serve::ServeSoakConfig& config);
+
+/// Runs txn::run_soak(config) twice (trace forced on) and diffs
+/// journal/metrics/trace/summary.
+[[nodiscard]] ReplayResult verify_txn_replay(txn::SoakConfig config);
+
+}  // namespace uparc::analysis

@@ -1,0 +1,344 @@
+#include "analysis/source_lint.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace uparc::analysis {
+namespace {
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replaces comments and string/char-literal contents with spaces, keeping
+/// newlines (and therefore line numbers) intact, so token scans cannot match
+/// inside text. Handles //, /* */, "...", '...' and R"delim(...)delim".
+[[nodiscard]] std::string strip_comments_and_literals(std::string_view text) {
+  std::string out(text);
+  enum class St { kCode, kLine, kBlock, kStr, kChar };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(out[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < out.size() && out[p] != '(') delim += out[p++];
+          const std::string close = ")" + delim + "\"";
+          std::size_t end = out.find(close, p);
+          if (end == std::string::npos) end = out.size();
+          for (std::size_t k = i; k < std::min(end + close.size(), out.size()); ++k) {
+            if (out[k] != '\n') out[k] = ' ';
+          }
+          i = std::min(end + close.size(), out.size()) - 1;
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+    if (start > text.size()) break;
+  }
+  return lines;
+}
+
+/// Positions of `word` in `line` with non-identifier characters (or edges)
+/// on both sides.
+[[nodiscard]] std::vector<std::size_t> find_tokens(std::string_view line,
+                                                   std::string_view word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= line.size() || !ident_char(line[after]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = after;
+  }
+  return hits;
+}
+
+[[nodiscard]] bool has_token(std::string_view line, std::string_view word) {
+  return !find_tokens(line, word).empty();
+}
+
+/// Last non-space character before `pos`, or '\0'.
+[[nodiscard]] char char_before(std::string_view line, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+  }
+  return '\0';
+}
+
+/// First non-space character at/after `pos`, or '\0'.
+[[nodiscard]] char char_after(std::string_view line, std::size_t pos) {
+  while (pos < line.size()) {
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+    ++pos;
+  }
+  return '\0';
+}
+
+/// True when the token at `pos` is qualified exactly by `std::`.
+[[nodiscard]] bool std_qualified(std::string_view line, std::size_t pos) {
+  return pos >= 5 && line.substr(pos - 5, 5) == "std::";
+}
+
+/// Inline suppression: every rule named in `detlint:allow(a, b)` markers on
+/// the raw (unstripped) line.
+[[nodiscard]] std::vector<std::string> allowed_rules(std::string_view raw_line) {
+  std::vector<std::string> rules;
+  static constexpr std::string_view kMarker = "detlint:allow(";
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(kMarker, pos)) != std::string_view::npos) {
+    std::size_t p = pos + kMarker.size();
+    std::string cur;
+    while (p < raw_line.size() && raw_line[p] != ')') {
+      const char c = raw_line[p++];
+      if (c == ',') {
+        if (!cur.empty()) rules.push_back(std::move(cur));
+        cur.clear();
+      } else if (c != ' ') {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) rules.push_back(std::move(cur));
+    pos = p;
+  }
+  return rules;
+}
+
+/// det.global.mutable: a `static` keyword opening a variable declaration.
+/// Scans the declaration tail (up to 3 lines) for the first structural
+/// character: `;` or `=` or `{` means a variable, `(` means a function
+/// declaration (or constructor-style init, accepted as the price of not
+/// parsing C++). `const`/`constexpr` anywhere in the tail exonerates.
+[[nodiscard]] bool static_decl_is_mutable(const std::vector<std::string_view>& lines,
+                                          std::size_t line_idx, std::size_t tok_end) {
+  std::string tail;
+  for (std::size_t l = line_idx; l < std::min(line_idx + 3, lines.size()); ++l) {
+    tail += l == line_idx ? std::string(lines[l].substr(tok_end)) : std::string(lines[l]);
+    tail += ' ';
+  }
+  if (has_token(tail, "const") || has_token(tail, "constexpr") ||
+      has_token(tail, "consteval")) {
+    return false;
+  }
+  for (char c : tail) {
+    if (c == '(') return false;
+    if (c == ';' || c == '=' || c == '{') return true;
+  }
+  return false;
+}
+
+/// det.key.pointer: `map<`/`set<` whose first template argument names a
+/// pointer type. Scans from the `<` to the first depth-0 `,` or `>`.
+[[nodiscard]] bool ordered_container_has_pointer_key(std::string_view line,
+                                                     std::size_t tok_pos,
+                                                     std::size_t tok_len) {
+  std::size_t p = tok_pos + tok_len;
+  while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+  if (p >= line.size() || line[p] != '<') return false;
+  int depth = 0;
+  for (++p; p < line.size(); ++p) {
+    const char c = line[p];
+    if (c == '<') ++depth;
+    if (c == '>') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (c == ',' && depth == 0) break;
+    if (c == '*' && depth == 0) return true;
+  }
+  return false;
+}
+
+struct LineCheck {
+  const char* rule;
+  Severity severity;
+  const char* message;
+  const char* hint;
+  std::vector<std::string_view> tokens;
+};
+
+}  // namespace
+
+Report lint_source(std::string_view path, std::string_view text) {
+  Report report;
+  const std::string stripped = strip_comments_and_literals(text);
+  const std::vector<std::string_view> raw_lines = split_lines(text);
+  const std::vector<std::string_view> lines = split_lines(stripped);
+
+  const std::vector<LineCheck> token_checks = {
+      {"det.rand.device", Severity::kError,
+       "std::random_device draws hardware entropy",
+       "seed a uparc::Prng from the scenario seed instead", {"random_device"}},
+      {"det.time.wall-clock", Severity::kError,
+       "host clock read; wall time must never feed simulated results",
+       "use sim::Simulation::now() (simulated time) or plumb a seed/timestamp in",
+       {"system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+        "clock_gettime", "timespec_get", "localtime", "gmtime"}},
+      {"det.rng.std", Severity::kWarning,
+       "std random engine: distribution output is platform-dependent",
+       "use uparc::Prng (xoshiro256**) with an explicit seed",
+       {"mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+        "minstd_rand0", "ranlux24", "ranlux48", "knuth_b", "random_shuffle"}},
+      {"det.container.unordered", Severity::kWarning,
+       "hash-ordered container: iteration order is implementation-defined",
+       "use std::map / a sorted vector, or sort before anything ordered escapes",
+       {"unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"}},
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) continue;
+    const std::vector<std::string> allowed =
+        i < raw_lines.size() ? allowed_rules(raw_lines[i]) : std::vector<std::string>{};
+    auto suppressed = [&](std::string_view rule) {
+      for (const std::string& a : allowed) {
+        if (a == rule || a == "*") return true;
+      }
+      return false;
+    };
+    auto emit = [&](const char* rule, Severity sev, std::string message, std::string hint) {
+      if (suppressed(rule)) return;
+      report.add({sev, rule, Location::file(std::string(path), i + 1),
+                  std::move(message), std::move(hint)});
+    };
+
+    for (const LineCheck& check : token_checks) {
+      for (std::string_view tok : check.tokens) {
+        if (!has_token(line, tok)) continue;
+        emit(check.rule, check.severity,
+             std::string(check.message) + " ('" + std::string(tok) + "')", check.hint);
+        break;  // one diagnostic per rule per line
+      }
+    }
+
+    // det.rand.libc: rand()/srand()/rand_r() calls; member access like
+    // `foo.rand(` is somebody else's method, `std::rand` is the real thing.
+    for (std::string_view tok : {"rand", "srand", "rand_r"}) {
+      bool hit = false;
+      for (std::size_t pos : find_tokens(line, tok)) {
+        if (char_after(line, pos + tok.size()) != '(') continue;
+        const char before = char_before(line, pos);
+        if (before == '.' || before == '>') continue;
+        if (before == ':' && !std_qualified(line, pos)) continue;
+        hit = true;
+        break;
+      }
+      if (hit) {
+        emit("det.rand.libc", Severity::kError,
+             "libc '" + std::string(tok) + "()' uses hidden global RNG state",
+             "use uparc::Prng seeded from the scenario seed");
+        break;
+      }
+    }
+
+    // det.time.wall-clock additionally: a bare or std:: `time(...)` call.
+    for (std::size_t pos : find_tokens(line, "time")) {
+      if (char_after(line, pos + 4) != '(') continue;
+      const char before = char_before(line, pos);
+      if (before == '.' || before == '>') continue;
+      if (before == ':' && !std_qualified(line, pos)) continue;
+      emit("det.time.wall-clock", Severity::kError,
+           "'time()' reads the host clock",
+           "use sim::Simulation::now() or plumb a timestamp in");
+      break;
+    }
+
+    // det.global.mutable: static-storage variables that are not const.
+    for (std::size_t pos : find_tokens(line, "static")) {
+      if (static_decl_is_mutable(lines, i, pos + 6)) {
+        emit("det.global.mutable", Severity::kError,
+             "static-storage variable is hidden mutable shared state",
+             "make it const/constexpr, or own it in a Module registered with the topology");
+        break;
+      }
+    }
+
+    // det.key.pointer: std::map/std::set keyed on a pointer.
+    for (std::string_view tok : {"map", "set", "multimap", "multiset"}) {
+      bool hit = false;
+      for (std::size_t pos : find_tokens(line, tok)) {
+        if (ordered_container_has_pointer_key(line, pos, tok.size())) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        emit("det.key.pointer", Severity::kWarning,
+             "pointer-keyed ordered container: iteration follows allocation addresses",
+             "key on a stable id/name, or keep a registration-ordered vector");
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace uparc::analysis

@@ -1,0 +1,39 @@
+// Nondeterminism source lint (rules det.*) over C++ source text.
+//
+// A deterministic simulator must not read entropy or wall-clock time, must
+// not hide mutable state in globals or function-local statics, and must not
+// let hash- or address-ordered iteration feed results. This pass is a
+// heuristic token scanner (comments and string/char literals are stripped
+// first; no preprocessing or template instantiation), so it is a tripwire,
+// not a proof — the rules:
+//
+//   det.global.mutable      static-storage variable that is neither const
+//                           nor constexpr (hidden shared state)
+//   det.rand.libc           rand()/srand()/rand_r() (global hidden RNG)
+//   det.rand.device         std::random_device (hardware entropy)
+//   det.time.wall-clock     system/steady/high_resolution_clock, ::time(),
+//                           gettimeofday, clock_gettime (host time leaks
+//                           into simulated results)
+//   det.rng.std             std RNG engines / random_shuffle (distribution
+//                           output is platform-dependent; warning)
+//   det.container.unordered unordered_{map,set,multimap,multiset}
+//                           (hash-ordered iteration; warning)
+//   det.key.pointer         std::map/std::set keyed on a pointer type
+//                           (address-ordered iteration; warning)
+//
+// A finding is suppressed by an inline marker on the same line:
+//   int x = rand();  // detlint:allow(det.rand.libc) reason...
+// tools/detlint.cpp drives this over the tree with a checked-in allowlist;
+// `verify-determinism` (analysis/replay.hpp) is the dynamic complement.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+
+namespace uparc::analysis {
+
+/// Lints one file's source text. `path` only labels diagnostic locations.
+[[nodiscard]] Report lint_source(std::string_view path, std::string_view text);
+
+}  // namespace uparc::analysis

@@ -18,6 +18,11 @@ DecompressorUnit::DecompressorUnit(sim::Simulation& sim, std::string name, sim::
       pipeline_latency_(pipeline_latency) {
   clk_.on_rising([this] { on_edge(); });
   bind_clock(clk_);
+  // Ownership audit: the unit and its two FIFO endpoints are mutable state
+  // owned here; the FIFO names match the channels UReC declares.
+  sim_.topology().register_state(this, this->name());
+  sim_.topology().register_state(this, in_.name(), &in_);
+  sim_.topology().register_state(this, out_.name(), &out_);
 }
 
 void DecompressorUnit::set_profile(compress::HardwareProfile profile) { profile_ = profile; }

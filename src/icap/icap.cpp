@@ -9,6 +9,7 @@ Icap::Icap(sim::Simulation& sim, std::string name, ConfigPlane& plane, Frequency
   frame_buf_.reserve(plane_.device().frame_words);
   words_counter_ = &metrics().counter(this->name() + ".words");
   frames_counter_ = &metrics().counter(this->name() + ".frames");
+  sim_.topology().register_state(this, this->name());
 }
 
 void Icap::open_burst_span() {

@@ -7,7 +7,9 @@ namespace uparc::manager {
 
 Preloader::Preloader(sim::Simulation& sim, std::string name, MicroBlaze& manager,
                      mem::Bram& bram)
-    : Module(sim, std::move(name)), manager_(manager), bram_(bram) {}
+    : Module(sim, std::move(name)), manager_(manager), bram_(bram) {
+  sim_.topology().declare_state_ref(this, &bram_, "bitstream BRAM");
+}
 
 Status Preloader::store_impl(bool compressed, WordsView payload, u64 extra_cycles,
                              i64 cycles_override, std::function<void()> done) {

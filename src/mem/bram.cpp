@@ -8,6 +8,7 @@ Bram::Bram(sim::Simulation& sim, std::string name, std::size_t size_bytes, Frequ
     throw std::invalid_argument("Bram size must be a positive multiple of 4 bytes");
   }
   words_.assign(size_bytes / 4, 0);
+  sim_.topology().register_state(this, this->name());
 }
 
 void Bram::write_word(std::size_t word_addr, u32 value) {

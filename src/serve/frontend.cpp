@@ -88,8 +88,20 @@ void FrontEnd::build_devices() {
     // Per-device fault stream; armed after calibration (see calibrate()).
     dev->injector = std::make_unique<fault::FaultInjector>(
         sim, "chaos", chaos_plan(config_.seed + di, config_.fault_scale));
+    // The whole device simulation is one event shard (shard id = device
+    // index): every module, clock and registered component in it belongs to
+    // this device and nothing reaches across. lint_isolation() audits that.
+    sim.topology().assign_shard_to_all(di);
     devices_.push_back(std::move(dev));
   }
+}
+
+analysis::Report FrontEnd::lint_isolation() const {
+  analysis::Report merged;
+  for (const auto& dev : devices_) {
+    merged.merge(analysis::lint_isolation(dev->system->sim().topology()));
+  }
+  return merged;
 }
 
 void FrontEnd::calibrate() {

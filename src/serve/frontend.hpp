@@ -37,6 +37,7 @@
 #include <memory>
 #include <queue>
 
+#include "analysis/isolation_lint.hpp"
 #include "core/system.hpp"
 #include "fault/injector.hpp"
 #include "region/region_manager.hpp"
@@ -136,6 +137,10 @@ class FrontEnd {
   [[nodiscard]] u64 fault_fires() const;
   /// Health snapshots (txn::HealthTracker::render_json) per device.
   [[nodiscard]] std::string health_json() const;
+  /// Isolation audit over every device topology (each device simulation is
+  /// tagged as one shard in build_devices). Empty report = fleet is
+  /// partition-clean; see analysis/isolation_lint.hpp for the iso.* rules.
+  [[nodiscard]] analysis::Report lint_isolation() const;
 
  private:
   struct Breaker {

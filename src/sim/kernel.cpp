@@ -4,14 +4,39 @@
 #include <string>
 #include <utility>
 
+#if UPARC_THREAD_GUARD
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace uparc::sim {
 
+#if UPARC_THREAD_GUARD
+void Simulation::check_owner_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner_thread_.compare_exchange_strong(expected, self, std::memory_order_relaxed)) {
+    return;  // first touch: this thread owns the kernel now
+  }
+  if (expected != self) {
+    std::fprintf(stderr,
+                 "uparc: Simulation touched from a second thread. A Simulation is a "
+                 "single-owner event shard; give each worker thread its own kernel "
+                 "and communicate through declared cross-shard channels "
+                 "(see analysis/isolation_lint.hpp).\n");
+    std::abort();
+  }
+}
+#endif
+
 void Simulation::schedule_at(TimePs t, Action action) {
+  check_owner_thread();
   if (t < now_) throw std::logic_error("Simulation::schedule_at in the past");
   queue_.push(Event{t, seq_++, std::move(action)});
 }
 
 bool Simulation::step() {
+  check_owner_thread();
   if (queue_.empty()) return false;
   // priority_queue::top is const; the action is moved out via const_cast,
   // which is safe because the element is popped immediately after.

@@ -16,6 +16,11 @@
 #include <queue>
 #include <vector>
 
+#if UPARC_THREAD_GUARD
+#include <atomic>
+#include <thread>
+#endif
+
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
 #include "sim/topology.hpp"
@@ -26,7 +31,12 @@ class Tracer;
 
 namespace uparc::sim {
 
-/// Central event scheduler. Not thread-safe; one Simulation per scenario.
+/// Central event scheduler. Not thread-safe by design: one Simulation is
+/// one event shard, owned by exactly one thread for its whole life. Guard
+/// builds (UPARC_THREAD_GUARD, auto-on under sanitizers and Debug) latch
+/// the first scheduling/stepping thread and abort with a diagnostic if any
+/// other thread touches the kernel — the single cheapest way to catch a
+/// future parallel-kernel refactor sharing shards by accident.
 class Simulation {
  public:
   using Action = std::function<void()>;
@@ -74,7 +84,25 @@ class Simulation {
 
   static constexpr u64 kDefaultEventBudget = 500'000'000ULL;
 
+  /// True when this build enforces the single-owner-thread contract.
+  [[nodiscard]] static constexpr bool thread_guard_active() noexcept {
+#if UPARC_THREAD_GUARD
+    return true;
+#else
+    return false;
+#endif
+  }
+
  private:
+#if UPARC_THREAD_GUARD
+  /// Latches the owner thread on first use; aborts on a foreign thread.
+  /// Atomic so the guard itself is race-free under TSan.
+  void check_owner_thread();
+  std::atomic<std::thread::id> owner_thread_{};
+#else
+  void check_owner_thread() noexcept {}
+#endif
+
   struct Event {
     TimePs time;
     u64 seq;

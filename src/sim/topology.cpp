@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/module.hpp"
+
 namespace uparc::sim {
 
 void Topology::remove_module(const Module* m) {
@@ -10,6 +12,11 @@ void Topology::remove_module(const Module* m) {
   std::erase_if(bindings_, [m](const ClockBinding& b) { return b.module == m; });
   std::erase_if(channels_,
                 [m](const Channel& c) { return c.producer == m || c.consumer == m; });
+  std::erase_if(module_shards_, [m](const auto& e) { return e.first == m; });
+  // A dying module takes its registered state with it, including records
+  // keyed on the module's own address; refs from or into it are stale too.
+  std::erase_if(states_, [m](const StateRecord& s) { return s.owner == m || s.addr == m; });
+  std::erase_if(refs_, [m](const StateRef& r) { return r.user == m || r.addr == m; });
 }
 
 void Topology::remove_clock(const Clock* c) {
@@ -18,6 +25,7 @@ void Topology::remove_clock(const Clock* c) {
   std::erase_if(channels_, [c](const Channel& ch) {
     return ch.producer_clock == c || ch.consumer_clock == c;
   });
+  std::erase_if(clock_shards_, [c](const auto& e) { return e.first == c; });
 }
 
 void Topology::bind_clock(const Module* m, const Clock* c) {
@@ -25,6 +33,60 @@ void Topology::bind_clock(const Module* m, const Clock* c) {
   if (std::find(required_.begin(), required_.end(), m) == required_.end()) {
     required_.push_back(m);
   }
+}
+
+void Topology::assign_shard(const Module* m, ShardId shard) {
+  for (auto& e : module_shards_) {
+    if (e.first == m) {
+      e.second = shard;
+      return;
+    }
+  }
+  module_shards_.emplace_back(m, shard);
+}
+
+void Topology::assign_shard(const Clock* c, ShardId shard) {
+  for (auto& e : clock_shards_) {
+    if (e.first == c) {
+      e.second = shard;
+      return;
+    }
+  }
+  clock_shards_.emplace_back(c, shard);
+}
+
+void Topology::assign_shard_to_all(ShardId shard) {
+  for (const Module* m : modules_) assign_shard(m, shard);
+  for (const Clock* c : clocks_) assign_shard(c, shard);
+}
+
+ShardId Topology::shard_of(const Module* m) const {
+  for (const auto& e : module_shards_) {
+    if (e.first == m) return e.second;
+  }
+  return kNoShard;
+}
+
+ShardId Topology::shard_of(const Clock* c) const {
+  for (const auto& e : clock_shards_) {
+    if (e.first == c) return e.second;
+  }
+  return kNoShard;
+}
+
+void Topology::register_state(const Module* owner, std::string name, const void* addr) {
+  states_.push_back(StateRecord{owner, std::move(name), addr == nullptr ? owner : addr});
+}
+
+void Topology::declare_state_ref(const Module* user, const void* addr, std::string what) {
+  refs_.push_back(StateRef{user, addr, std::move(what)});
+}
+
+const Topology::StateRecord* Topology::find_state(const void* addr) const {
+  for (const StateRecord& s : states_) {
+    if (s.addr == addr) return &s;
+  }
+  return nullptr;
 }
 
 const Clock* Topology::clock_of(const Module* m) const {

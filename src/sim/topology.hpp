@@ -3,19 +3,31 @@
 // Modules and clocks register themselves on construction; clocked modules
 // additionally declare which clock drives them, and the datapath declares
 // the channels (wires or synchronizing FIFOs) that cross module boundaries.
-// The registry carries no behaviour — it exists so the model linter
-// (src/analysis/model_lint.hpp) can walk a constructed System and flag
-// structural hazards (unsynchronized clock-domain crossings, dead EN gates,
-// free-running clocks) before any event runs.
+// Components may further be tagged with an owning *shard* (the unit a future
+// parallel kernel would place on one worker thread — one per serve:: device
+// today), register the mutable state they own, and declare references into
+// state owned by other modules. The registry carries no behaviour — it
+// exists so the model linter (src/analysis/model_lint.hpp) and the isolation
+// linter (src/analysis/isolation_lint.hpp) can walk a constructed System and
+// flag structural hazards (unsynchronized clock-domain crossings, hidden
+// cross-shard state, clocks spanning shards) before any event runs.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace uparc::sim {
 
 class Module;
 class Clock;
+
+/// Owning shard of a component. kNoShard means "never assigned"; a topology
+/// with no assignments at all is a single implicit shard and the isolation
+/// linter has nothing to check.
+using ShardId = u32;
+inline constexpr ShardId kNoShard = ~ShardId{0};
 
 class Topology {
  public:
@@ -28,7 +40,9 @@ class Topology {
   /// A data path between two modules. `producer_clock`/`consumer_clock` are
   /// the domains of the endpoints (null = endpoint is unclocked); `fifo`
   /// names the synchronizing FIFO when `has_fifo` is set, and is empty for
-  /// a direct (wire) connection.
+  /// a direct (wire) connection. `cross_shard` declares the channel as a
+  /// sanctioned inter-shard message channel: the only legal way for data to
+  /// leave a shard in the future parallel kernel.
   struct Channel {
     const Module* producer = nullptr;
     const Clock* producer_clock = nullptr;
@@ -36,6 +50,26 @@ class Topology {
     const Clock* consumer_clock = nullptr;
     std::string fifo;
     bool has_fifo = false;
+    bool cross_shard = false;
+  };
+
+  /// A mutable component (FIFO, memory array, register file) registered by
+  /// its owning module. `addr` is the component's identity for matching
+  /// against StateRef declarations (conventionally the object's address).
+  struct StateRecord {
+    const Module* owner = nullptr;
+    std::string name;
+    const void* addr = nullptr;
+  };
+
+  /// A declared reference from `user` into state registered under `addr` —
+  /// a module reading or writing another module's mutable component outside
+  /// a declared channel. Legal within one shard; a cross-shard reference is
+  /// exactly the hidden coupling the parallel-kernel refactor must remove.
+  struct StateRef {
+    const Module* user = nullptr;
+    const void* addr = nullptr;
+    std::string what;  ///< human label for diagnostics ("bram port B", ...)
   };
 
   void add_module(const Module* m) { modules_.push_back(m); }
@@ -50,6 +84,33 @@ class Topology {
   void require_clock(const Module* m) { required_.push_back(m); }
   void declare_channel(Channel ch) { channels_.push_back(std::move(ch)); }
 
+  // --- shard ownership -----------------------------------------------------
+
+  /// Tags a module/clock with its owning shard. Later assignments win.
+  void assign_shard(const Module* m, ShardId shard);
+  void assign_shard(const Clock* c, ShardId shard);
+  /// Tags every currently registered module and clock — the whole-device
+  /// case (serve:: assigns one shard per fleet device this way).
+  void assign_shard_to_all(ShardId shard);
+  /// Shard of a module/clock, or kNoShard when never assigned.
+  [[nodiscard]] ShardId shard_of(const Module* m) const;
+  [[nodiscard]] ShardId shard_of(const Clock* c) const;
+  /// True once any shard assignment exists (the isolation linter only
+  /// audits partitioned topologies).
+  [[nodiscard]] bool partitioned() const noexcept {
+    return !module_shards_.empty() || !clock_shards_.empty();
+  }
+
+  // --- mutable-state registry ----------------------------------------------
+
+  /// Registers a mutable component owned by `owner`. `addr` defaults to the
+  /// owner itself for modules whose whole state is one unit.
+  void register_state(const Module* owner, std::string name, const void* addr = nullptr);
+  /// Declares that `user` references the component registered under `addr`.
+  void declare_state_ref(const Module* user, const void* addr, std::string what = {});
+  /// Record registered under `addr`, or nullptr when never registered.
+  [[nodiscard]] const StateRecord* find_state(const void* addr) const;
+
   [[nodiscard]] const std::vector<const Module*>& modules() const noexcept {
     return modules_;
   }
@@ -61,6 +122,10 @@ class Topology {
     return required_;
   }
   [[nodiscard]] const std::vector<Channel>& channels() const noexcept { return channels_; }
+  [[nodiscard]] const std::vector<StateRecord>& state_records() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] const std::vector<StateRef>& state_refs() const noexcept { return refs_; }
 
   /// First clock bound to `m`, or nullptr when unbound.
   [[nodiscard]] const Clock* clock_of(const Module* m) const;
@@ -71,6 +136,13 @@ class Topology {
   std::vector<ClockBinding> bindings_;
   std::vector<const Module*> required_;
   std::vector<Channel> channels_;
+  // Shard maps kept as registration-ordered pair vectors, not pointer-keyed
+  // maps: iteration stays deterministic (det.key.pointer) and the counts are
+  // tens of entries at most.
+  std::vector<std::pair<const Module*, ShardId>> module_shards_;
+  std::vector<std::pair<const Clock*, ShardId>> clock_shards_;
+  std::vector<StateRecord> states_;
+  std::vector<StateRef> refs_;
 };
 
 }  // namespace uparc::sim

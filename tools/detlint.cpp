@@ -1,0 +1,143 @@
+// detlint: nondeterminism source lint over the uparc tree.
+//
+// Recursively scans a source root (default: the src/ next to the binary's
+// repo, or the path given) for *.cpp/*.hpp files, runs
+// analysis::lint_source on each, filters findings through a checked-in
+// allowlist, and exits nonzero if any non-allowlisted diagnostic remains.
+// CI runs this as a required job (workflow `detlint`); the inline
+// `// detlint:allow(rule)` marker suppresses single lines at the source.
+//
+// Usage:
+//   detlint [--root DIR] [--allowlist FILE] [--json] [--list-rules]
+//
+// Allowlist format (one entry per line, '#' comments):
+//   <rule-id> <path-substring>
+// e.g. "det.container.unordered src/third_party/" — a finding is allowed
+// when its rule matches and the entry's substring occurs in the file path.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/source_lint.hpp"
+
+namespace fs = std::filesystem;
+using uparc::analysis::Diagnostic;
+using uparc::analysis::Report;
+
+namespace {
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+};
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    AllowEntry e;
+    if (ls >> e.rule >> e.path_substring) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+bool allowed(const Diagnostic& d, const std::vector<AllowEntry>& allow) {
+  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
+    return d.rule == e.rule &&
+           d.location.path.find(e.path_substring) != std::string::npos;
+  });
+}
+
+std::vector<fs::path> collect_sources(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic scan order
+  return files;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--root DIR] [--allowlist FILE] [--json] [--list-rules]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  std::string allowlist_path;
+  bool json = false;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else {
+      return usage();
+    }
+  }
+  if (list_rules) {
+    std::printf(
+        "det.global.mutable\ndet.rand.libc\ndet.rand.device\ndet.time.wall-clock\n"
+        "det.rng.std\ndet.container.unordered\ndet.key.pointer\n");
+    return 0;
+  }
+  if (!fs::exists(root)) {
+    std::fprintf(stderr, "detlint: source root '%s' does not exist\n", root.c_str());
+    return 2;
+  }
+  const std::vector<AllowEntry> allow =
+      allowlist_path.empty() ? std::vector<AllowEntry>{} : load_allowlist(allowlist_path);
+
+  Report kept;
+  std::size_t files = 0;
+  std::size_t suppressed = 0;
+  for (const fs::path& p : collect_sources(root)) {
+    ++files;
+    const Report r = uparc::analysis::lint_source(p.generic_string(), read_file(p));
+    for (const Diagnostic& d : r.diagnostics()) {
+      if (allowed(d, allow)) {
+        ++suppressed;
+      } else {
+        kept.add(d);
+      }
+    }
+  }
+
+  if (json) {
+    std::fputs(kept.render_json().c_str(), stdout);
+  } else {
+    std::fputs(kept.render_text().c_str(), stdout);
+    std::printf("detlint: %zu files, %zu finding(s), %zu allowlisted\n", files,
+                kept.diagnostics().size(), suppressed);
+  }
+  return kept.empty() ? 0 : 1;
+}

@@ -10,6 +10,9 @@
 //                      [--max-fires N] [--param P] [--seed S] [--mhz F]
 //   uparc_cli sweep    f.bit
 //   uparc_cli lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]
+//   uparc_cli lint     --isolation [--devices N] [--regions N] [--modules N]
+//   uparc_cli verify-determinism [--scenario serve|soak|all] [--seeds N]
+//                      [--seed S] [--requests N] [--txns N] [--json]
 //   uparc_cli trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]
 //                      [--scrub-rounds N]
 //   uparc_cli soak     [--txns N] [--seed S] [--regions N] [--modules N]
@@ -29,7 +32,9 @@
 #include <vector>
 
 #include "analysis/bitstream_lint.hpp"
+#include "analysis/isolation_lint.hpp"
 #include "analysis/model_lint.hpp"
+#include "analysis/replay.hpp"
 #include "bitstream/parser.hpp"
 #include "bitstream/writer.hpp"
 #include "common/io.hpp"
@@ -42,6 +47,7 @@
 #include "scrub/readback.hpp"
 #include "scrub/scrubber.hpp"
 #include "scrub/seu.hpp"
+#include "serve/frontend.hpp"
 #include "serve/soak.hpp"
 #include "txn/soak.hpp"
 
@@ -338,8 +344,28 @@ int cmd_inject(const Args& a) {
 }
 
 int cmd_lint(const Args& a) {
+  if (a.get("isolation", "") == "true") {
+    // Shard-isolation audit over a serving fleet (no input file: the fleet
+    // itself is the artifact). Each device simulation is one shard.
+    serve::FrontEndConfig cfg;
+    cfg.seed = static_cast<u64>(a.get_num("seed", 1));
+    cfg.devices = static_cast<unsigned>(a.get_num("devices", 2));
+    cfg.regions_per_device = static_cast<unsigned>(a.get_num("regions", 2));
+    cfg.modules = static_cast<unsigned>(a.get_num("modules", 2));
+    serve::FrontEnd fe(cfg);
+    const analysis::Report report = fe.lint_isolation();
+    if (a.get("json", "") == "true") {
+      std::printf("%s", report.render_json().c_str());
+    } else {
+      std::printf("%s", report.render_text().c_str());
+      std::printf("isolation: %u device shard(s), %zu error(s), %zu warning(s)\n",
+                  fe.device_count(), report.error_count(),
+                  report.count(analysis::Severity::kWarning));
+    }
+    return report.clean() ? 0 : 1;
+  }
   if (a.positional.empty()) {
-    std::fprintf(stderr, "lint: need a .bit or .uparc file\n");
+    std::fprintf(stderr, "lint: need a .bit or .uparc file (or --isolation)\n");
     return 2;
   }
   auto data = read_file(a.positional[0]);
@@ -753,6 +779,51 @@ int cmd_cache_stats(const Args& a) {
   return cached.failed == 0 ? 0 : 1;
 }
 
+int cmd_verify_determinism(const Args& a) {
+  const std::string scenario = a.get("scenario", "all");
+  if (scenario != "all" && scenario != "serve" && scenario != "soak") {
+    std::fprintf(stderr, "verify-determinism: --scenario must be serve, soak or all\n");
+    return 2;
+  }
+  const unsigned seeds = static_cast<unsigned>(a.get_num("seeds", 1));
+  const u64 seed0 = static_cast<u64>(a.get_num("seed", 1));
+  const bool json = a.get("json", "") == "true";
+
+  std::vector<analysis::ReplayResult> results;
+  for (unsigned i = 0; i < seeds; ++i) {
+    const u64 seed = seed0 + i;
+    if (scenario == "all" || scenario == "serve") {
+      serve::ServeSoakConfig cfg;
+      cfg.seed = seed;
+      cfg.requests = static_cast<u64>(a.get_num("requests", 300));
+      cfg.devices = static_cast<unsigned>(a.get_num("devices", 2));
+      results.push_back(analysis::verify_serve_replay(cfg));
+    }
+    if (scenario == "all" || scenario == "soak") {
+      txn::SoakConfig cfg;
+      cfg.seed = seed;
+      cfg.transactions = static_cast<unsigned>(a.get_num("txns", 200));
+      results.push_back(analysis::verify_txn_replay(cfg));
+    }
+  }
+
+  bool all_identical = true;
+  analysis::Report merged;
+  for (const analysis::ReplayResult& r : results) {
+    all_identical = all_identical && r.identical();
+    merged.merge(r.report);
+    if (!json) std::printf("%s\n", r.summary().c_str());
+  }
+  if (json) {
+    std::printf("%s", merged.render_json().c_str());
+  } else {
+    std::printf("verify-determinism: %zu replay(s), %zu divergence(s) -> %s\n",
+                results.size(), merged.diagnostics().size(),
+                all_identical ? "DETERMINISTIC" : "NONDETERMINISTIC");
+  }
+  return all_identical ? 0 : 1;
+}
+
 void usage(std::FILE* to) {
   std::fprintf(
       to,
@@ -769,6 +840,14 @@ void usage(std::FILE* to) {
       "           [--max-fires N] [--param P] [--seed S] [--mhz F]\n"
       "  sweep    f.bit — bandwidth/energy across CLK_2 frequencies\n"
       "  lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]\n"
+      "           --isolation [--devices N] [--regions N] [--modules N]\n"
+      "           [--seed S] [--json] — shard-isolation audit (iso.* rules)\n"
+      "           over a serving fleet; no input file needed\n"
+      "  verify-determinism  run a seeded scenario twice, byte-diff every\n"
+      "           artifact (journal/metrics/trace/health); exits non-zero\n"
+      "           on any divergence (rule det.replay.divergence)\n"
+      "           [--scenario serve|soak|all] [--seeds N] [--seed S]\n"
+      "           [--requests N] [--txns N] [--devices N] [--json]\n"
       "  trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]\n"
       "           [--scrub-rounds N] [--seed S]\n"
       "           — traced reconfiguration: Chrome trace_event JSON\n"
@@ -823,6 +902,7 @@ int main(int argc, char** argv) {
   if (cmd == "cache-stats") return cmd_cache_stats(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "verify-determinism") return cmd_verify_determinism(args);
   std::fprintf(stderr, "uparc_cli: unknown command '%s'\n", cmd.c_str());
   usage(stderr);
   return 2;
