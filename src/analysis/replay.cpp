@@ -85,16 +85,28 @@ std::string ReplayResult::summary() const {
   return out;
 }
 
-ReplayResult verify_serve_replay(const serve::ServeSoakConfig& config) {
+ReplayResult verify_serve_replay(serve::ServeSoakConfig config) {
+  // The observability surfaces are part of the determinism contract:
+  // telemetry rings, the alert log and the flight-recorder post-mortem
+  // must replay byte-for-byte along with the metrics.
+  if (config.telemetry_interval.ps() == 0) {
+    config.telemetry_interval = TimePs::from_us(250);
+  }
   ReplayResult result;
   result.scenario = "serve";
   result.seed = config.seed;
   const serve::ServeSoakReport a = serve::run_soak(config);
   const serve::ServeSoakReport b = serve::run_soak(config);
-  result.artifacts = {"serve/metrics.json", "serve/health.json", "serve/summary.txt"};
+  result.artifacts = {"serve/metrics.json",   "serve/health.json", "serve/summary.txt",
+                      "serve/telemetry.json", "serve/telemetry.csv", "serve/alerts.json",
+                      "serve/flight.json"};
   diff_artifact(result.artifacts[0], a.metrics_json, b.metrics_json, result.report);
   diff_artifact(result.artifacts[1], a.health_json, b.health_json, result.report);
   diff_artifact(result.artifacts[2], a.summary(), b.summary(), result.report);
+  diff_artifact(result.artifacts[3], a.telemetry_json, b.telemetry_json, result.report);
+  diff_artifact(result.artifacts[4], a.telemetry_csv, b.telemetry_csv, result.report);
+  diff_artifact(result.artifacts[5], a.alerts_json, b.alerts_json, result.report);
+  diff_artifact(result.artifacts[6], a.flight_json, b.flight_json, result.report);
   return result;
 }
 

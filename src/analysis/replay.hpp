@@ -42,7 +42,9 @@ void diff_artifact(std::string_view name, std::string_view run1,
                    std::string_view run2, Report& report);
 
 /// Runs serve::run_soak(config) twice and diffs metrics/health/summary.
-[[nodiscard]] ReplayResult verify_serve_replay(const serve::ServeSoakConfig& config);
+/// Telemetry is forced on (default interval) when the config leaves it off,
+/// so the time-series/alert/flight artifacts are always part of the diff.
+[[nodiscard]] ReplayResult verify_serve_replay(serve::ServeSoakConfig config);
 
 /// Runs txn::run_soak(config) twice (trace forced on) and diffs
 /// journal/metrics/trace/summary.

@@ -1,0 +1,76 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+
+namespace uparc::obs {
+namespace {
+
+std::string fmt_us(TimePs t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", t.us());
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config) : config_(config) {
+  if (config_.capacity_per_shard == 0) config_.capacity_per_shard = 1;
+}
+
+void FlightRecorder::record(const std::string& shard, FlightEvent event) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) {
+    it = shards_.emplace(shard, TelemetryRing<FlightEvent>(config_.capacity_per_shard)).first;
+  }
+  it->second.push(std::move(event));
+}
+
+void FlightRecorder::trigger(const std::string& shard, TimePs t, const std::string& reason) {
+  error(shard, t, "trigger", reason);
+  ++triggers_;
+  if (triggers_ == 1) {
+    first_trigger_t_ = t;
+    first_trigger_shard_ = shard;
+    first_trigger_reason_ = reason;
+    postmortem_ = render_json();  // freeze the tape at first impact
+    if (dump_sink_) dump_sink_(postmortem_);
+  }
+}
+
+const TelemetryRing<FlightEvent>* FlightRecorder::shard(const std::string& name) const {
+  auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+std::string FlightRecorder::render_json() const {
+  std::string out = "{\n  \"triggers\": " + std::to_string(triggers_) + ",\n  \"first_trigger\": ";
+  if (triggers_ == 0) {
+    out += "null";
+  } else {
+    out += "{\"t_us\": " + fmt_us(first_trigger_t_) + ", \"shard\": \"" +
+           json_escape(first_trigger_shard_) + "\", \"reason\": \"" +
+           json_escape(first_trigger_reason_) + "\"}";
+  }
+  out += ",\n  \"capacity_per_shard\": " + std::to_string(config_.capacity_per_shard) +
+         ",\n  \"shards\": {";
+  bool first_shard = true;
+  for (const auto& [name, ring] : shards_) {
+    out += std::string(first_shard ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": {\"dropped\": " +
+           std::to_string(ring.total_pushed() - static_cast<u64>(ring.size())) +
+           ", \"events\": [";
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const FlightEvent& e = ring.at(i);
+      out += std::string(i == 0 ? "" : ",") + "\n      {\"t_us\": " + fmt_us(e.t) +
+             ", \"severity\": \"" + to_string(e.severity) + "\", \"category\": \"" +
+             json_escape(e.category) + "\", \"name\": \"" + json_escape(e.name) +
+             "\", \"detail\": \"" + json_escape(e.detail) + "\"}";
+    }
+    out += ring.empty() ? "]}" : "\n    ]}";
+    first_shard = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace uparc::obs

@@ -15,6 +15,129 @@ std::string fmt_double(double v) {
 
 }  // namespace
 
+std::string label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '{': out += "\\x7b"; break;
+      case '}': out += "\\x7d"; break;
+      case ',': out += "\\x2c"; break;
+      case '=': out += "\\x3d"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string label_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char next = s[i + 1];
+    if (next == '\\' || next == '"') {
+      out += next;
+      ++i;
+    } else if (next == 'x' && i + 3 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 2]);
+      const int lo = hex(s[i + 3]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 3;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(const std::string& base, std::vector<Label> labels) {
+  if (labels.empty()) return base;
+  // Stable sort so duplicate keys keep insertion order, then last-wins.
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = base + "{";
+  bool first = true;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i + 1 < labels.size() && labels[i + 1].key == labels[i].key) continue;
+    if (!first) out += ",";
+    out += label_escape(labels[i].key) + "=\"" + label_escape(labels[i].value) + "\"";
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+ParsedName parse_labeled_name(const std::string& name) {
+  ParsedName out;
+  out.base = name;
+  if (name.empty() || name.back() != '}') return out;
+  const std::size_t open = name.find('{');
+  if (open == std::string::npos) return out;
+
+  std::vector<Label> labels;
+  std::size_t pos = open + 1;
+  const std::size_t end = name.size() - 1;
+  while (pos < end) {
+    const std::size_t eq = name.find("=\"", pos);
+    if (eq == std::string::npos || eq >= end) return out;  // malformed
+    // Scan for the closing quote, skipping escape pairs (all escapes open
+    // with a backslash, so jumping two chars never lands inside one).
+    std::size_t close = eq + 2;
+    while (close < end && name[close] != '"') {
+      close += name[close] == '\\' ? 2 : 1;
+    }
+    if (close >= end) return out;  // malformed
+    labels.push_back({label_unescape(name.substr(pos, eq - pos)),
+                      label_unescape(name.substr(eq + 2, close - (eq + 2)))});
+    pos = close + 1;
+    if (pos < end) {
+      if (name[pos] != ',') return out;  // malformed
+      ++pos;
+    }
+  }
+  out.base = name.substr(0, open);
+  out.labels = std::move(labels);
+  return out;
+}
+
+std::string ParsedName::value_of(const std::string& key) const {
+  for (const Label& l : labels) {
+    if (l.key == key) return l.value;
+  }
+  return {};
+}
+
+std::string ParsedName::without(const std::string& key) const {
+  std::vector<Label> kept;
+  for (const Label& l : labels) {
+    if (l.key != key) kept.push_back(l);
+  }
+  return labeled_name(base, std::move(kept));
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

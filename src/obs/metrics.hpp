@@ -14,11 +14,50 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace uparc::obs {
+
+/// One `key=value` metric label. Labels distinguish instruments that share
+/// a base name across a fleet ({device, tenant, qos_class}, ...).
+struct Label {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Escapes a label key or value for embedding in a metric name: backslash,
+/// double quote, braces, comma, equals and control characters are encoded
+/// so the rendered name round-trips through text and JSON reports.
+[[nodiscard]] std::string label_escape(const std::string& s);
+/// Inverse of label_escape.
+[[nodiscard]] std::string label_unescape(const std::string& s);
+
+/// Canonical labeled metric name: `base{k1="v1",k2="v2"}` with the labels
+/// sorted by key (duplicate keys keep last-wins) and values escaped. The
+/// same label set always renders the same name regardless of insertion
+/// order, which keeps Registry reports deterministic.
+[[nodiscard]] std::string labeled_name(const std::string& base, std::vector<Label> labels);
+
+/// Splits a canonical labeled name back into base + labels. Names without
+/// a label suffix return an empty label vector; a malformed suffix is
+/// treated as part of the base name (never throws).
+struct ParsedName {
+  std::string base;
+  std::vector<Label> labels;
+
+  /// Value of `key`, or an empty string when absent.
+  [[nodiscard]] std::string value_of(const std::string& key) const;
+  /// Canonical name with the `key` label removed (for cross-device merges).
+  [[nodiscard]] std::string without(const std::string& key) const;
+};
+[[nodiscard]] ParsedName parse_labeled_name(const std::string& name);
 
 /// Monotonically increasing sum of deltas.
 class Counter {

@@ -1,0 +1,286 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uparc::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_us(TimePs t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", t.us());
+  return buf;
+}
+
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::of(const Histogram& h) {
+  HistogramSnapshot s;
+  s.bounds = h.bounds();
+  s.counts = h.bucket_counts();
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const u64 next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo = std::max(i == 0 ? min : bounds[i - 1], min);
+      const double hi = std::min(i < bounds.size() ? bounds[i] : max, max);
+      if (hi <= lo) return std::clamp(lo, min, max);
+      const double into =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return std::clamp(lo + (hi - lo) * into, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+double HistogramSnapshot::count_above(double threshold) const {
+  if (count == 0 || threshold >= max) return 0.0;
+  if (threshold < min) return static_cast<double>(count);
+  double above = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo = std::max(i == 0 ? min : bounds[i - 1], min);
+    const double hi = std::min(i < bounds.size() ? bounds[i] : max, max);
+    if (threshold <= lo) {
+      above += static_cast<double>(counts[i]);
+    } else if (threshold < hi) {
+      above += static_cast<double>(counts[i]) * (hi - threshold) / (hi - lo);
+    }
+  }
+  return above;
+}
+
+std::optional<HistogramSnapshot> HistogramSnapshot::merge(const HistogramSnapshot& a,
+                                                          const HistogramSnapshot& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  if (a.bounds != b.bounds || a.counts.size() != b.counts.size()) return std::nullopt;
+  HistogramSnapshot out = a;
+  for (std::size_t i = 0; i < out.counts.size(); ++i) out.counts[i] += b.counts[i];
+  out.count += b.count;
+  out.sum += b.sum;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  return out;
+}
+
+std::optional<HistogramSnapshot> HistogramSnapshot::delta(const HistogramSnapshot& newer,
+                                                          const HistogramSnapshot& older) {
+  if (older.count == 0) return newer;
+  if (newer.bounds != older.bounds || newer.counts.size() != older.counts.size() ||
+      newer.count < older.count) {
+    return std::nullopt;
+  }
+  HistogramSnapshot out = newer;  // min/max: cumulative range bounds the window
+  for (std::size_t i = 0; i < out.counts.size(); ++i) {
+    if (newer.counts[i] < older.counts[i]) return std::nullopt;
+    out.counts[i] = newer.counts[i] - older.counts[i];
+  }
+  out.count = newer.count - older.count;
+  out.sum = newer.sum - older.sum;
+  if (out.count == 0) {
+    out.min = out.max = 0.0;
+    out.sum = 0.0;
+  }
+  return out;
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryConfig config) : config_(std::move(config)) {
+  if (config_.interval.ps() == 0) config_.interval = TimePs(1);
+}
+
+void TelemetrySampler::add_source(const Registry* registry, std::vector<Label> labels) {
+  sources_.push_back(Source{registry, std::move(labels)});
+}
+
+std::string TelemetrySampler::decorate(const std::string& name, const Source& src) const {
+  if (src.labels.empty()) return name;
+  ParsedName parsed = parse_labeled_name(name);
+  std::vector<Label> labels = parsed.labels;
+  for (const Label& l : src.labels) {
+    const bool present =
+        std::any_of(labels.begin(), labels.end(), [&](const Label& e) { return e.key == l.key; });
+    if (!present) labels.push_back(l);
+  }
+  return labeled_name(parsed.base, std::move(labels));
+}
+
+void TelemetrySampler::push_scalar(const std::string& series, TimePs t, double value) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(series, SeriesRing(config_.capacity)).first;
+  }
+  it->second.push(TelemetrySample{t, value});
+}
+
+void TelemetrySampler::push_hist(const std::string& series, TimePs t, HistogramSnapshot snap) {
+  auto it = hist_.find(series);
+  if (it == hist_.end()) {
+    it = hist_.emplace(series, HistogramRing(config_.capacity)).first;
+  }
+  it->second.push(HistogramPoint{t, std::move(snap)});
+}
+
+TimePs TelemetrySampler::next_tick() const noexcept {
+  return ticks_ == 0 ? config_.interval : last_tick_ + config_.interval;
+}
+
+void TelemetrySampler::sample_until(TimePs until) {
+  while (next_tick() <= until) sample(next_tick());
+}
+
+void TelemetrySampler::sample(TimePs t) {
+  if (presample_) presample_(t);
+  last_tick_ = t;
+  ++ticks_;
+
+  // Fleet accumulators, keyed by the canonical name with the aggregate
+  // label replaced (std::map so the emit order is deterministic).
+  std::map<std::string, double> fleet_sum;
+  std::map<std::string, double> fleet_max;
+  std::map<std::string, std::optional<HistogramSnapshot>> fleet_hist;
+  std::map<std::string, double> fleet_rate;
+
+  const auto fleet_key = [&](const std::string& name) -> std::string {
+    ParsedName parsed = parse_labeled_name(name);
+    if (parsed.value_of(config_.aggregate_label).empty()) return {};
+    std::vector<Label> labels;
+    for (Label& l : parsed.labels) {
+      if (l.key != config_.aggregate_label) labels.push_back(std::move(l));
+    }
+    labels.push_back({config_.aggregate_label, config_.aggregate_value});
+    return labeled_name(parsed.base, std::move(labels));
+  };
+
+  for (const Source& src : sources_) {
+    for (const auto& [name, c] : src.registry->counters()) {
+      const std::string full = decorate(name, src);
+      push_scalar(full, t, c.value());
+      if (const std::string key = fleet_key(full); !key.empty()) fleet_sum[key] += c.value();
+    }
+    for (const auto& [name, g] : src.registry->gauges()) {
+      const std::string full = decorate(name, src);
+      push_scalar(full, t, g.value());
+      if (const std::string key = fleet_key(full); !key.empty()) {
+        auto it = fleet_max.find(key);
+        if (it == fleet_max.end()) {
+          fleet_max[key] = g.value();
+        } else {
+          it->second = std::max(it->second, g.value());
+        }
+      }
+    }
+    for (const auto& [name, m] : src.registry->meters()) {
+      const std::string full = decorate(name, src);
+      push_scalar(full + ".total", t, m.total());
+      push_scalar(full + ".rate", t, m.per_second());
+      if (const std::string key = fleet_key(full); !key.empty()) {
+        fleet_sum[key + ".total"] += m.total();
+        fleet_rate[key + ".rate"] += m.per_second();
+      }
+    }
+    for (const auto& [name, h] : src.registry->histograms()) {
+      const std::string full = decorate(name, src);
+      HistogramSnapshot snap = HistogramSnapshot::of(h);
+      push_scalar(full + ".count", t, static_cast<double>(snap.count));
+      push_scalar(full + ".mean", t, snap.mean());
+      push_scalar(full + ".p50", t, snap.percentile(50.0));
+      push_scalar(full + ".p95", t, snap.percentile(95.0));
+      push_scalar(full + ".p99", t, snap.percentile(99.0));
+      push_scalar(full + ".max", t, snap.max);
+      if (const std::string key = fleet_key(full); !key.empty()) {
+        auto& acc = fleet_hist[key];
+        acc = acc.has_value() ? HistogramSnapshot::merge(*acc, snap) : snap;
+      }
+      push_hist(full, t, std::move(snap));
+    }
+  }
+
+  for (const auto& [key, value] : fleet_sum) push_scalar(key, t, value);
+  for (const auto& [key, value] : fleet_max) push_scalar(key, t, value);
+  for (const auto& [key, value] : fleet_rate) push_scalar(key, t, value);
+  for (const auto& [key, snap] : fleet_hist) {
+    if (!snap.has_value()) continue;  // mismatched bucket layouts: skip, never guess
+    push_scalar(key + ".count", t, static_cast<double>(snap->count));
+    push_scalar(key + ".mean", t, snap->mean());
+    push_scalar(key + ".p50", t, snap->percentile(50.0));
+    push_scalar(key + ".p95", t, snap->percentile(95.0));
+    push_scalar(key + ".p99", t, snap->percentile(99.0));
+    push_scalar(key + ".max", t, snap->max);
+    push_hist(key, t, *snap);
+  }
+}
+
+const SeriesRing* TelemetrySampler::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+const HistogramRing* TelemetrySampler::find_histogram(const std::string& name) const {
+  auto it = hist_.find(name);
+  return it == hist_.end() ? nullptr : &it->second;
+}
+
+std::string TelemetrySampler::render_json() const {
+  std::string out = "{\n  \"interval_us\": " + fmt_double(config_.interval.us()) +
+                    ",\n  \"ticks\": " + std::to_string(ticks_) +
+                    ",\n  \"capacity\": " + std::to_string(config_.capacity) +
+                    ",\n  \"series\": {";
+  bool first = true;
+  for (const auto& [name, ring] : series_) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) + "\": [";
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const TelemetrySample& s = ring.at(i);
+      out += std::string(i == 0 ? "" : ", ") + "[" + fmt_us(s.t) + ", " +
+             fmt_double(s.value) + "]";
+    }
+    out += "]";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string TelemetrySampler::render_csv() const {
+  // Series names are quoted (label suffixes carry commas and quotes);
+  // embedded quotes double per RFC 4180.
+  const auto csv_quote = [](const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out = "series,t_us,value\n";
+  for (const auto& [name, ring] : series_) {
+    const std::string quoted = csv_quote(name);
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const TelemetrySample& s = ring.at(i);
+      out += quoted + "," + fmt_us(s.t) + "," + fmt_double(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace uparc::obs

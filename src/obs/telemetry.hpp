@@ -1,0 +1,189 @@
+// Fleet telemetry time-series sampler.
+//
+// A TelemetrySampler turns the point-in-time Registry instruments into
+// queryable time series: at a fixed simulated-time interval it snapshots
+// every registered counter/gauge/histogram/meter into fixed-capacity ring
+// buffers (constant memory, oldest samples overwritten). Sources carry
+// label sets ({device, tenant, qos_class}), and instruments that share a
+// base name across the `device` label are additionally merged into fleet
+// series (counters/meters sum, gauges max, histograms bucket-merge so the
+// fleet percentile is the weighted percentile across devices, not an
+// average of per-device percentiles).
+//
+// Sampling is driven by the owner's sim clock (serve::FrontEnd samples on
+// interval boundaries of its global virtual clock), so two runs of the
+// same seed produce byte-identical JSON/CSV exports — the replay verifier
+// (`uparc_cli verify-determinism`) diffs them.
+//
+// Depends only on obs/metrics.hpp; sits below serve/ and txn/ the way the
+// Registry sits below the sim kernel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace uparc::obs {
+
+/// Bucket-level snapshot of a Histogram — the mergeable/deltable form the
+/// fleet aggregation and the SLO window math both use. Percentile carries
+/// the Histogram clamp semantics: estimates never leave the observed
+/// [min, max], so a merge of an empty histogram with an overflow-saturated
+/// one reports the saturated side's observed maximum instead of inventing
+/// a finite value from the bucket bounds.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<u64> counts;  ///< bounds.size() + 1, last = overflow
+  u64 count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< valid iff count > 0
+  double max = 0.0;
+
+  [[nodiscard]] static HistogramSnapshot of(const Histogram& h);
+
+  /// Interpolated percentile with the same clamping as Histogram.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Mass strictly above `threshold` (linear interpolation inside the
+  /// bucket containing it) — the "bad events" numerator for latency SLOs.
+  [[nodiscard]] double count_above(double threshold) const;
+
+  /// Cross-device merge. nullopt when the bucket layouts differ.
+  [[nodiscard]] static std::optional<HistogramSnapshot> merge(const HistogramSnapshot& a,
+                                                              const HistogramSnapshot& b);
+  /// Window delta `newer - older` of one instrument sampled at two times.
+  /// min/max fall back to the newer cumulative range (valid clamps: every
+  /// window sample lies inside the cumulative observed range). nullopt when
+  /// the layouts differ or the counts run backwards.
+  [[nodiscard]] static std::optional<HistogramSnapshot> delta(const HistogramSnapshot& newer,
+                                                              const HistogramSnapshot& older);
+};
+
+struct TelemetrySample {
+  TimePs t{};
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring buffer, oldest-first iteration order.
+template <typename T>
+class TelemetryRing {
+ public:
+  explicit TelemetryRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(T sample) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(std::move(sample));
+    } else {
+      buf_[head_] = std::move(sample);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Lifetime pushes; size() < total_pushed() means the ring wrapped.
+  [[nodiscard]] u64 total_pushed() const noexcept { return pushed_; }
+  /// i = 0 is the oldest retained sample.
+  [[nodiscard]] const T& at(std::size_t i) const { return buf_[(head_ + i) % buf_.size()]; }
+  [[nodiscard]] const T& back() const { return at(buf_.size() - 1); }
+  [[nodiscard]] bool empty() const noexcept { return buf_.empty(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  ///< oldest element once the ring wrapped
+  u64 pushed_ = 0;
+};
+
+using SeriesRing = TelemetryRing<TelemetrySample>;
+
+struct HistogramPoint {
+  TimePs t{};
+  HistogramSnapshot snap;
+};
+using HistogramRing = TelemetryRing<HistogramPoint>;
+
+struct TelemetryConfig {
+  /// Simulated-time sampling interval.
+  TimePs interval = TimePs::from_us(250);
+  /// Ring capacity per series (constant memory regardless of run length).
+  std::size_t capacity = 4096;
+  /// Label merged out for fleet aggregation, and the value the merged
+  /// series carries in its place.
+  std::string aggregate_label = "device";
+  std::string aggregate_value = "fleet";
+};
+
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetryConfig config = {});
+
+  /// Registers a source registry. `labels` are appended to every sampled
+  /// instrument name (keys the name already carries win). The registry
+  /// must outlive the sampler.
+  void add_source(const Registry* registry, std::vector<Label> labels);
+
+  /// Invoked at the start of every sample tick, before instruments are
+  /// read — owners refresh derived gauges (queue depths, energy) here.
+  void set_presample_hook(std::function<void(TimePs)> hook) { presample_ = std::move(hook); }
+
+  /// Snapshots every instrument of every source at sim time `t` and folds
+  /// the fleet aggregates. Ticks must be given in nondecreasing order.
+  void sample(TimePs t);
+
+  /// Samples at every interval boundary in (last tick, until]: the owner
+  /// calls this from its event loop so ticks land on exact multiples of
+  /// the interval regardless of event spacing.
+  void sample_until(TimePs until);
+
+  [[nodiscard]] const TelemetryConfig& config() const noexcept { return config_; }
+  [[nodiscard]] u64 ticks() const noexcept { return ticks_; }
+  [[nodiscard]] TimePs last_tick() const noexcept { return last_tick_; }
+  /// Next interval boundary that sample_until would fire.
+  [[nodiscard]] TimePs next_tick() const noexcept;
+
+  /// Scalar series, keyed by canonical labeled name + "." + statistic.
+  [[nodiscard]] const std::map<std::string, SeriesRing>& series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] const SeriesRing* find(const std::string& name) const;
+  /// Cumulative histogram snapshots per histogram instrument (and per
+  /// fleet-merged base), for windowed SLO math.
+  [[nodiscard]] const std::map<std::string, HistogramRing>& histograms() const noexcept {
+    return hist_;
+  }
+  [[nodiscard]] const HistogramRing* find_histogram(const std::string& name) const;
+
+  /// {"interval_us":..,"ticks":..,"series":{"name":[[t_us,value],...]}}.
+  [[nodiscard]] std::string render_json() const;
+  /// "series,t_us,value" rows sorted by series then time — plottable as-is.
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  struct Source {
+    const Registry* registry = nullptr;
+    std::vector<Label> labels;
+  };
+
+  [[nodiscard]] std::string decorate(const std::string& name, const Source& src) const;
+  void push_scalar(const std::string& series, TimePs t, double value);
+  void push_hist(const std::string& series, TimePs t, HistogramSnapshot snap);
+
+  TelemetryConfig config_;
+  std::vector<Source> sources_;
+  std::function<void(TimePs)> presample_;
+  std::map<std::string, SeriesRing> series_;
+  std::map<std::string, HistogramRing> hist_;
+  TimePs last_tick_{};
+  u64 ticks_ = 0;
+};
+
+}  // namespace uparc::obs

@@ -27,6 +27,11 @@ fault::FaultPlan chaos_plan(u64 seed, double scale) {
   return std::string(".") + to_string(c);
 }
 
+/// Flight-recorder / telemetry shard name of device `i`.
+[[nodiscard]] std::string device_shard(int i) {
+  return "d" + std::to_string(i);
+}
+
 }  // namespace
 
 FrontEnd::FrontEnd(FrontEndConfig config)
@@ -85,6 +90,10 @@ void FrontEnd::build_devices() {
         sim, "region_mgr", std::move(floorplan), dev->library, dev->system->uparc(),
         dev->system->plane());
     dev->manager->set_transaction_manager(dev->txn.get());
+    // Transaction terminals land on the device's black-box shard (stamped
+    // with the device sim clock — each shard records in its own clock
+    // domain); a kFailed transaction trips the post-mortem.
+    dev->txn->set_flight_recorder(&flight_, device_shard(static_cast<int>(di)) + "/txn");
     // Per-device fault stream; armed after calibration (see calibrate()).
     dev->injector = std::make_unique<fault::FaultInjector>(
         sim, "chaos", chaos_plan(config_.seed + di, config_.fault_scale));
@@ -143,6 +152,64 @@ void FrontEnd::calibrate() {
   metrics_.gauge("serve.warm_cost_us").set(warm_cost_.us());
 }
 
+void FrontEnd::enable_telemetry(obs::TelemetryConfig telemetry_config,
+                                obs::SloPolicy slo_policy) {
+  telemetry_ = std::make_unique<obs::TelemetrySampler>(telemetry_config);
+  telemetry_->add_source(&metrics_, {});
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    telemetry_->add_source(&devices_[i]->system->sim().metrics(),
+                           {{"device", device_shard(static_cast<int>(i))}});
+  }
+  telemetry_->set_presample_hook([this](TimePs) {
+    // Derived gauges refreshed at tick time, before the instruments are
+    // read: queue depth per class, breaker/busy state per device.
+    for (std::size_t c = 0; c < kQosClassCount; ++c) {
+      const auto qos = static_cast<QosClass>(c);
+      metrics_
+          .gauge(obs::labeled_name("serve.queue_depth", {{"qos_class", to_string(qos)}}))
+          .set(static_cast<double>(queues_.size(qos)));
+    }
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      const Device& d = *devices_[i];
+      const std::vector<obs::Label> dev{{"device", device_shard(static_cast<int>(i))}};
+      metrics_.gauge(obs::labeled_name("serve.breaker_open", dev))
+          .set(d.breaker.open ? 1.0 : 0.0);
+      metrics_.gauge(obs::labeled_name("serve.busy", dev))
+          .set(d.busy_until > now_ ? 1.0 : 0.0);
+    }
+  });
+  slo_ = std::make_unique<obs::SloEngine>(slo_policy);
+}
+
+void FrontEnd::add_slo(obs::SloObjective objective) {
+  if (slo_ == nullptr) throw std::logic_error("FrontEnd::add_slo before enable_telemetry");
+  slo_->add_objective(std::move(objective));
+}
+
+void FrontEnd::telemetry_tick_until(TimePs target) {
+  if (telemetry_ == nullptr) return;
+  while (telemetry_->next_tick() <= target) {
+    const TimePs tick = telemetry_->next_tick();
+    telemetry_->sample(tick);
+    if (slo_ != nullptr && !slo_->objectives().empty()) {
+      slo_->evaluate(tick, *telemetry_);
+      note_alerts();
+    }
+  }
+}
+
+void FrontEnd::note_alerts() {
+  const std::vector<obs::AlertEvent>& alerts = slo_->alerts();
+  for (; alerts_seen_ < alerts.size(); ++alerts_seen_) {
+    const obs::AlertEvent& a = alerts[alerts_seen_];
+    if (a.firing) {
+      flight_.warn("frontend", a.t, "slo", "alert-firing", a.objective);
+    } else {
+      flight_.info("frontend", a.t, "slo", "alert-resolved", a.objective);
+    }
+  }
+}
+
 void FrontEnd::schedule(TimePs at, std::function<void()> fn) {
   events_.push(Event{std::max(at, now_), event_seq_++, std::move(fn)});
 }
@@ -157,7 +224,7 @@ TimePs FrontEnd::estimate_cost(const std::string& module) const {
   return devices_.front()->manager->estimate_load_cost(module, warm_cost_);
 }
 
-bool FrontEnd::device_usable(Device& d) {
+bool FrontEnd::device_usable(Device& d, int device_index) {
   if (d.breaker.open) {
     if (now_ < d.breaker.open_until) return false;
     // Backoff elapsed: half-open. One more failure re-opens with a doubled
@@ -165,6 +232,8 @@ bool FrontEnd::device_usable(Device& d) {
     d.breaker.open = false;
     d.breaker.consecutive_failures =
         config_.breaker_threshold == 0 ? 0 : config_.breaker_threshold - 1;
+    flight_.info(device_shard(device_index), now_, "breaker", "breaker-half-open",
+                 "opens=" + std::to_string(d.breaker.opens));
   }
   sync_device(d);
   for (const region::Region& r : d.manager->floorplan().regions()) {
@@ -179,7 +248,7 @@ int FrontEnd::pick_device(int exclude) {
     if (i == exclude && devices_.size() > 1) continue;
     Device& d = *devices_[i];
     if (d.busy_until > now_) continue;
-    if (!device_usable(d)) continue;
+    if (!device_usable(d, i)) continue;
     // Deterministic preference: fewest breaker failures, then least loaded.
     if (best < 0 ||
         std::make_tuple(d.breaker.consecutive_failures, d.loads, i) <
@@ -207,6 +276,9 @@ void FrontEnd::terminal(const Request& r, Outcome outcome, bool software) {
   ++terminals_;
 
   const std::string cls = class_suffix(r.qos);
+  // Per-class terminal counter: the denominator for class-scoped SLO
+  // ratios (every terminal counts, whatever the outcome).
+  metrics_.counter("serve.finished" + cls).add();
   switch (outcome) {
     case Outcome::kCompleted: {
       rec.deadline_miss = now_ > r.deadline;
@@ -215,8 +287,18 @@ void FrontEnd::terminal(const Request& r, Outcome outcome, bool software) {
         metrics_.counter("serve.deadline_miss" + cls).add();
       } else {
         metrics_.meter("serve.goodput").add(1.0, now_);
+        metrics_.counter("serve.goodput" + cls).add();
       }
       metrics_.histogram("serve.latency_us" + cls, obs::Histogram::latency_bounds_us())
+          .observe((now_ - r.arrival).us());
+      // Labeled twin of the latency histogram: the telemetry sampler folds
+      // the device label across the fleet, so per-device AND fleet-wide
+      // per-class p99 time series come from this one instrument family.
+      const std::string where = software ? "sw" : device_shard(r.last_device);
+      metrics_
+          .histogram(obs::labeled_name("serve.latency_us",
+                                       {{"device", where}, {"qos_class", to_string(r.qos)}}),
+                     obs::Histogram::latency_bounds_us())
           .observe((now_ - r.arrival).us());
       if (software) metrics_.counter("serve.software_fallbacks").add();
       break;
@@ -226,9 +308,14 @@ void FrontEnd::terminal(const Request& r, Outcome outcome, bool software) {
       break;
     case Outcome::kShed:
       metrics_.counter("serve.shed" + cls).add();
+      flight_.warn("frontend", now_, "serve", "shed",
+                   "req=" + std::to_string(r.id) + " class=" + to_string(r.qos));
       break;
     case Outcome::kTimedOut:
       metrics_.counter("serve.timeout" + cls).add();
+      flight_.warn("frontend", now_, "serve", "timeout",
+                   "req=" + std::to_string(r.id) + " class=" + to_string(r.qos) +
+                       " attempts=" + std::to_string(r.attempts));
       break;
     case Outcome::kPending:
       violations_.push_back("request " + std::to_string(r.id) +
@@ -439,7 +526,7 @@ void FrontEnd::dispatch(Request r, Device& d, int device_index) {
   });
 }
 
-void FrontEnd::breaker_failure(Device& d) {
+void FrontEnd::breaker_failure(Device& d, int device_index) {
   ++d.breaker.consecutive_failures;
   if (d.breaker.consecutive_failures >= config_.breaker_threshold &&
       config_.breaker_threshold > 0) {
@@ -448,13 +535,22 @@ void FrontEnd::breaker_failure(Device& d) {
     d.breaker.open_until = now_ + config_.breaker_backoff * (u64{1} << exp);
     ++d.breaker.opens;
     metrics_.counter("serve.breaker.opens").add();
+    // An opening breaker is the canonical black-box moment: the first one
+    // freezes the post-mortem with every shard's recent history intact.
+    const std::string shard = device_shard(device_index);
+    flight_.error(shard, now_, "breaker", "breaker-open",
+                  "failures=" + std::to_string(d.breaker.consecutive_failures) +
+                      " until_us=" + std::to_string(d.breaker.open_until.us()));
+    flight_.trigger(shard, now_, "breaker-open");
   }
 }
 
 void FrontEnd::attempt_failed(Request r, int device_index, const std::string& why) {
-  breaker_failure(*devices_[device_index]);
+  breaker_failure(*devices_[device_index], device_index);
   metrics_.counter("serve.attempt_failures").add();
   metrics_.counter("serve.fail_reason." + why).add();
+  flight_.warn(device_shard(device_index), now_, "serve", "attempt-failed",
+               "req=" + std::to_string(r.id) + " why=" + why);
 
   if (r.attempts < config_.max_attempts) {
     // One retry, jittered backoff, pinned away from the failed device.
@@ -511,6 +607,9 @@ void FrontEnd::run(WorkloadGenerator& gen, u64 max_requests) {
     if (ev.t < last) {
       violations_.push_back("event time went backwards");
     }
+    // Telemetry ticks fire on exact interval boundaries between events, so
+    // the sampled series are independent of event spacing.
+    telemetry_tick_until(std::max(now_, ev.t));
     now_ = std::max(now_, ev.t);
     last = now_;
     ev.fn();
@@ -521,6 +620,21 @@ void FrontEnd::run(WorkloadGenerator& gen, u64 max_requests) {
   // must still terminate exactly once.
   for (Request& r : queues_.drain()) {
     terminal(r, Outcome::kShed, false);
+  }
+
+  if (!violations_.empty()) {
+    flight_.trigger("frontend", now_, "invariant-violation");
+  }
+
+  // Resolve tail: the counters are frozen now, so sampling one more slow
+  // window (plus margin) decays every burn-rate window to zero and lets
+  // firing alerts resolve deterministically before the run returns.
+  if (telemetry_ != nullptr) {
+    TimePs horizon = now_ + telemetry_->config().interval;
+    if (slo_ != nullptr && !slo_->objectives().empty()) {
+      horizon = horizon + slo_->policy().slow_window + telemetry_->config().interval;
+    }
+    telemetry_tick_until(horizon);
   }
 }
 

@@ -40,6 +40,9 @@
 #include "analysis/isolation_lint.hpp"
 #include "core/system.hpp"
 #include "fault/injector.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "region/region_manager.hpp"
 #include "serve/admission.hpp"
 #include "serve/queue.hpp"
@@ -120,6 +123,25 @@ class FrontEnd {
   /// runs until every issued request has terminated.
   void run(WorkloadGenerator& gen, u64 max_requests);
 
+  /// Enables telemetry sampling for the next run(): the front-end registry
+  /// plus every device kernel registry (labeled {device="dN"}) are snapped
+  /// into time-series rings on interval boundaries of the global clock, and
+  /// objectives added with add_slo are burn-rate-evaluated on every tick.
+  /// Call before run().
+  void enable_telemetry(obs::TelemetryConfig telemetry_config = {},
+                        obs::SloPolicy slo_policy = {});
+  /// Registers an SLO objective (requires enable_telemetry first).
+  void add_slo(obs::SloObjective objective);
+  [[nodiscard]] obs::TelemetrySampler* telemetry() noexcept { return telemetry_.get(); }
+  [[nodiscard]] obs::SloEngine* slo() noexcept { return slo_.get(); }
+
+  /// Always-on black box: breaker transitions, failed attempts, sheds and
+  /// transaction terminals land in bounded per-device rings. The first
+  /// breaker open / failed transaction / invariant violation freezes the
+  /// post-mortem snapshot.
+  [[nodiscard]] obs::FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept { return flight_; }
+
   [[nodiscard]] TimePs now() const noexcept { return now_; }
   [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const std::vector<RequestRecord>& records() const noexcept {
@@ -175,9 +197,14 @@ class FrontEnd {
   void calibrate();
   void schedule(TimePs at, std::function<void()> fn);
   void sync_device(Device& d);
-  [[nodiscard]] bool device_usable(Device& d);
+  [[nodiscard]] bool device_usable(Device& d, int device_index);
   [[nodiscard]] int pick_device(int exclude);
   [[nodiscard]] TimePs estimate_cost(const std::string& module) const;
+  /// Fires telemetry ticks (and SLO evaluation) on every interval boundary
+  /// up to `target`; called from the event loop before each event.
+  void telemetry_tick_until(TimePs target);
+  /// Copies new SLO alert transitions into the flight recorder.
+  void note_alerts();
 
   void on_arrival(Request r, WorkloadGenerator& gen, u64 max_requests);
   void enqueue(Request r);
@@ -185,12 +212,16 @@ class FrontEnd {
   void dispatch(Request r, Device& d, int device_index);
   void run_software(Request r);
   void attempt_failed(Request r, int device_index, const std::string& why);
-  void breaker_failure(Device& d);
+  void breaker_failure(Device& d, int device_index);
   void terminal(const Request& r, Outcome outcome, bool software);
   void check_shed_order(const Request& shed);
 
   FrontEndConfig config_;
   obs::Registry metrics_;
+  obs::FlightRecorder flight_;
+  std::unique_ptr<obs::TelemetrySampler> telemetry_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  std::size_t alerts_seen_ = 0;
   Prng jitter_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<bits::PartialBitstream> images_;

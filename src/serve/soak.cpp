@@ -1,6 +1,8 @@
 #include "serve/soak.hpp"
 
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace uparc::serve {
 
@@ -17,6 +19,7 @@ std::string ServeSoakReport::summary() const {
   out << "  retries " << retries << "  breaker opens " << breaker_opens
       << "  software fallbacks " << software_fallbacks << "  fault fires "
       << fault_fires << "\n"
+      << "  slo alerts: fired " << alerts_fired << "  resolved " << alerts_resolved << "\n"
       << "  sim time " << sim_ms << " ms\n"
       << "  invariants: "
       << (ok() ? "OK (0 violations)"
@@ -75,6 +78,32 @@ std::vector<TenantSpec> make_tenants(const ServeSoakConfig& config, double rated
   return tenants;
 }
 
+std::vector<std::string> default_slo_lines(const ServeSoakConfig& config, TimePs warm_cost) {
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  const double g_deadline_us = warm_cost.us() * config.guaranteed_deadline_x;
+  std::vector<std::string> lines;
+  // Fleet-merged guaranteed-class latency: the weighted p99 across devices
+  // must hold the class's deadline budget.
+  lines.push_back(
+      "guaranteed_p99: hist(serve.latency_us{device=\"fleet\",qos_class=\"guaranteed\"}) "
+      "p99 <= " +
+      fmt(g_deadline_us));
+  // Standard-class goodput: in-deadline completions over terminals of the
+  // class. The guaranteed class is protected by admission + priority even
+  // under overload, and best-effort bursts are rejected by design at any
+  // load — the standard class is where overload first shows as user harm
+  // (a clean 1x run holds ~1.0; 2x collapses it to ~0.3).
+  lines.push_back("standard_goodput: ratio(serve.goodput.standard, serve.finished.standard) >= 0.9");
+  // Best-effort shedding is the designed overload valve, but a sustained
+  // shed fraction above 20% of issued load means real capacity shortfall.
+  lines.push_back("shed_ratio: ratio(serve.shed.best_effort, serve.issued) <= 0.2");
+  return lines;
+}
+
 ServeSoakReport run_soak(const ServeSoakConfig& config) {
   ServeSoakReport report;
   auto violate = [&](u64 id, std::string what) {
@@ -92,6 +121,23 @@ ServeSoakReport run_soak(const ServeSoakConfig& config) {
 
   report.rated_rps = fe.rated_rps();
   report.offered_rps = fe.rated_rps() * config.load_factor;
+
+  if (config.telemetry_interval.ps() > 0) {
+    obs::TelemetryConfig tcfg;
+    tcfg.interval = config.telemetry_interval;
+    tcfg.capacity = config.telemetry_capacity;
+    fe.enable_telemetry(tcfg, config.slo_policy);
+    const std::vector<std::string> lines =
+        config.slo_lines.empty() ? default_slo_lines(config, fe.warm_cost())
+                                 : config.slo_lines;
+    for (const std::string& line : lines) {
+      Result<obs::SloObjective> parsed = obs::parse_objective(line);
+      if (!parsed.ok()) {
+        throw std::invalid_argument("run_soak SLO: " + parsed.error().message);
+      }
+      fe.add_slo(std::move(parsed).value());
+    }
+  }
 
   WorkloadGenerator gen(make_tenants(config, fe.rated_rps(), fe.warm_cost()),
                         config.modules, config.seed);
@@ -159,12 +205,29 @@ ServeSoakReport run_soak(const ServeSoakConfig& config) {
     violate(~u64{0}, "guaranteed-class requests shed while lower classes were served");
   }
 
+  // A failed invariant is a post-mortem trigger of its own (the breaker /
+  // txn paths may never have tripped in the run that went wrong).
+  if (!report.ok()) {
+    fe.flight().trigger("soak", fe.now(), "invariant-violation");
+  }
+
   obs::Registry& m = fe.metrics();
   report.retries = static_cast<u64>(m.counter_value("serve.retries"));
   report.breaker_opens = static_cast<u64>(m.counter_value("serve.breaker.opens"));
   report.fault_fires = fe.fault_fires();
   report.metrics_json = m.render_json();
   report.health_json = fe.health_json();
+  if (fe.telemetry() != nullptr) {
+    report.telemetry_json = fe.telemetry()->render_json();
+    report.telemetry_csv = fe.telemetry()->render_csv();
+  }
+  if (fe.slo() != nullptr) {
+    report.alerts_fired = fe.slo()->fired();
+    report.alerts_resolved = fe.slo()->resolved();
+    report.alerts_json = fe.slo()->render_json();
+  }
+  report.flight_json =
+      fe.flight().triggered() ? fe.flight().postmortem() : fe.flight().render_json();
   return report;
 }
 

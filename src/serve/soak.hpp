@@ -38,6 +38,14 @@ struct ServeSoakConfig {
   double standard_deadline_x = 25.0;
   double best_effort_deadline_x = 15.0;
   std::size_t queue_capacity = 64;
+  /// Telemetry sampling interval; 0 = telemetry (and SLO alerting) off.
+  TimePs telemetry_interval{};
+  std::size_t telemetry_capacity = 4096;
+  /// SLO objective lines (obs::parse_objective grammar). Empty while
+  /// telemetry is on = the default fleet objectives (guaranteed p99 vs its
+  /// deadline, goodput ratio, best-effort shed ratio).
+  std::vector<std::string> slo_lines;
+  obs::SloPolicy slo_policy{};
 };
 
 struct ServeSoakViolation {
@@ -59,9 +67,19 @@ struct ServeSoakReport {
   double rated_rps = 0.0;
   double offered_rps = 0.0;
   double sim_ms = 0.0;
+  u64 alerts_fired = 0;
+  u64 alerts_resolved = 0;
   std::vector<ServeSoakViolation> violations;
   std::string metrics_json;
   std::string health_json;
+  /// Telemetry exports (empty when telemetry_interval is 0).
+  std::string telemetry_json;
+  std::string telemetry_csv;
+  std::string alerts_json;
+  /// Flight-recorder dump: the frozen post-mortem when a trigger fired
+  /// (breaker open, failed txn, invariant violation), else the end-of-run
+  /// ring state. Never empty.
+  std::string flight_json;
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   [[nodiscard]] std::string summary() const;
@@ -70,6 +88,13 @@ struct ServeSoakReport {
 /// Builds the tenant mix for `config` against a calibrated rated capacity.
 [[nodiscard]] std::vector<TenantSpec> make_tenants(const ServeSoakConfig& config,
                                                    double rated_rps, TimePs warm_cost);
+
+/// The default fleet SLO set used when `config.slo_lines` is empty:
+/// guaranteed-class fleet p99 against its deadline budget, overall goodput
+/// ratio, best-effort shed ratio. Thresholds scale with the calibrated
+/// warm cost so a clean 1x run stays alert-free while 2x overload fires.
+[[nodiscard]] std::vector<std::string> default_slo_lines(const ServeSoakConfig& config,
+                                                         TimePs warm_cost);
 
 [[nodiscard]] ServeSoakReport run_soak(const ServeSoakConfig& config);
 

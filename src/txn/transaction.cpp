@@ -219,6 +219,11 @@ void TxnManager::fail(std::string why) {
   stats().add("failures");
   metrics().counter(name() + ".failures").add();
   journal_.advance(txn_id_, TxnPhase::kFailed, std::move(why));
+  if (flight_ != nullptr) {
+    flight_->error(flight_shard_, sim_.now(), "txn", "txn-failed",
+                   "region=" + region_ + " module=" + module_ + " why=" + out_.error);
+    flight_->trigger(flight_shard_, sim_.now(), "txn-failed");
+  }
   finish(TxnPhase::kFailed);
 }
 
@@ -229,6 +234,14 @@ void TxnManager::finish(TxnPhase terminal) {
   out_.terminal = terminal;
   out_.end = sim_.now();
   if (rail_ != nullptr) out_.energy_uj = rail_->energy_uj(out_.start, out_.end);
+  if (flight_ != nullptr && terminal != TxnPhase::kFailed && terminal != TxnPhase::kCommitted) {
+    // Rollbacks are notable-but-survivable: recorded for the post-mortem
+    // tape without tripping it. (Commits are the steady state — logging
+    // them would evict the interesting history from the bounded ring.)
+    flight_->warn(flight_shard_, sim_.now(), "txn", std::string("txn-") + to_string(terminal),
+                  "region=" + region_ + " module=" + module_ +
+                      " rounds=" + std::to_string(out_.rollback_rounds));
+  }
   if (obs::Tracer* tr = tracer()) {
     tr->arg(txn_span_, "terminal", to_string(terminal));
     tr->arg(txn_span_, "rollback_rounds", static_cast<double>(out_.rollback_rounds));

@@ -33,6 +33,7 @@
 #include <memory>
 
 #include "manager/recovery.hpp"
+#include "obs/flight_recorder.hpp"
 #include "scrub/readback.hpp"
 #include "txn/health.hpp"
 #include "txn/journal.hpp"
@@ -98,6 +99,15 @@ class TxnManager : public sim::Module {
   [[nodiscard]] TxnPolicy& policy() noexcept { return policy_; }
   [[nodiscard]] const TxnPolicy& policy() const noexcept { return policy_; }
 
+  /// Attaches a black-box flight recorder: transaction terminals are
+  /// recorded under `shard` (stamped with this manager's sim clock), and a
+  /// transaction reaching kFailed trips the recorder's post-mortem
+  /// trigger. `recorder` is not owned and must outlive the manager.
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::string shard) {
+    flight_ = recorder;
+    flight_shard_ = std::move(shard);
+  }
+
   /// Retained golden copy of the region's committed module (null if the
   /// region is blank or was never committed).
   [[nodiscard]] const bits::PartialBitstream* last_good(const std::string& region) const;
@@ -134,6 +144,9 @@ class TxnManager : public sim::Module {
   scrub::Readback readback_;
   Journal journal_;
   HealthTracker health_;
+
+  obs::FlightRecorder* flight_ = nullptr;
+  std::string flight_shard_;
 
   std::map<std::string, bits::PartialBitstream> last_good_;
   std::map<std::string, std::vector<bits::FrameAddress>> windows_;

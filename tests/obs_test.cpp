@@ -113,6 +113,81 @@ TEST(Registry, RendersTextAndJson) {
   EXPECT_NE(json.find("\"meters\""), std::string::npos);
 }
 
+// ----------------------------------------------------------------- labels
+
+TEST(Labels, CanonicalNameSortsKeysAndKeepsLastDuplicate) {
+  const std::string a = labeled_name("lat", {{"qos", "std"}, {"device", "d1"}});
+  const std::string b = labeled_name("lat", {{"device", "d1"}, {"qos", "std"}});
+  EXPECT_EQ(a, b) << "label order must not change the canonical name";
+  EXPECT_EQ(a, "lat{device=\"d1\",qos=\"std\"}");
+  EXPECT_EQ(labeled_name("lat", {{"k", "old"}, {"k", "new"}}), "lat{k=\"new\"}");
+  EXPECT_EQ(labeled_name("lat", {}), "lat");
+}
+
+TEST(Labels, AdversarialValuesRoundTrip) {
+  // Every structural character of the name grammar, embedded in a value:
+  // braces, comma, equals, quote, backslash, control chars, plus a key
+  // that itself needs escaping. Rendering then parsing must return the
+  // exact original labels, and the rendered name must stay brace-balanced
+  // (one '{', one '}' outside escapes) so downstream name parsers work.
+  const std::vector<Label> nasty = {
+      {"k", "a=\"b\",c"},
+      {"path", "x{y}z"},
+      {"quote\\key", "\\ \" \n \t"},
+      {"empty", ""},
+  };
+  const std::string name = labeled_name("m", nasty);
+  const ParsedName parsed = parse_labeled_name(name);
+  EXPECT_EQ(parsed.base, "m");
+  ASSERT_EQ(parsed.labels.size(), nasty.size());
+  for (const Label& l : nasty) {
+    EXPECT_EQ(parsed.value_of(l.key), l.value) << "key " << l.key;
+  }
+  // Structural scan: exactly one unescaped brace pair.
+  int open = 0, close = 0;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '\\') { ++i; continue; }
+    if (name[i] == '{') ++open;
+    if (name[i] == '}') ++close;
+  }
+  EXPECT_EQ(open, 1);
+  EXPECT_EQ(close, 1);
+}
+
+TEST(Labels, MalformedSuffixFallsBackToBaseName) {
+  for (const char* name : {"m{", "m{k=", "m{k=\"v}", "m{k='v'}", "m{unquoted}", "m}"}) {
+    const ParsedName parsed = parse_labeled_name(name);
+    EXPECT_EQ(parsed.base, name) << "malformed suffix must not be half-parsed";
+    EXPECT_TRUE(parsed.labels.empty());
+  }
+}
+
+TEST(Labels, WithoutRemovesOneKeyAndRecanonicalizes) {
+  const std::string name =
+      labeled_name("lat", {{"device", "d0"}, {"qos_class", "std"}, {"tenant", "t0"}});
+  const ParsedName parsed = parse_labeled_name(name);
+  EXPECT_EQ(parsed.without("device"), "lat{qos_class=\"std\",tenant=\"t0\"}");
+  EXPECT_EQ(parsed.without("absent"), name);
+}
+
+TEST(Labels, RegistryRendersAdversarialLabelsAsValidJson) {
+  Registry reg;
+  const std::string name = labeled_name(
+      "serve.latency_us", {{"device", "d\"0\""}, {"tenant", "a,b={c}"}});
+  reg.counter(name).add(1.0);
+  const std::string json = reg.render_json();
+  // The escaped name appears exactly once as a key, and the document stays
+  // structurally sound: every quote inside the key is backslashed, so a
+  // dumb quote-scanner sees balanced strings.
+  EXPECT_NE(json.find(json_escape(name)), std::string::npos);
+  int quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '\\') { ++i; continue; }
+    if (json[i] == '"') ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0) << "unbalanced quotes: a label escaped the string literal";
+}
+
 // ----------------------------------------------------------------- tracer
 
 TEST(Tracer, ParentIsInnermostOpenSpan) {

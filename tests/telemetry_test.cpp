@@ -1,0 +1,218 @@
+// Telemetry layer: HistogramSnapshot merge/delta edge cases (the fleet
+// percentile must never invent finite values from bucket bounds), ring
+// wrap-around, sampler tick alignment, fleet aggregation semantics and
+// export determinism.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace uparc::obs {
+namespace {
+
+HistogramSnapshot snap_of(const std::vector<double>& bounds,
+                          const std::vector<double>& samples) {
+  Histogram h(bounds);
+  for (double s : samples) h.observe(s);
+  return HistogramSnapshot::of(h);
+}
+
+// ----------------------------------------------------- snapshot merge/delta
+
+TEST(HistogramSnapshot, MergeWithEmptyIsIdentity) {
+  const auto a = snap_of({10.0, 100.0}, {5.0, 42.0, 99.0});
+  const auto empty = snap_of({10.0, 100.0}, {});
+  const auto m1 = HistogramSnapshot::merge(a, empty);
+  const auto m2 = HistogramSnapshot::merge(empty, a);
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  for (const HistogramSnapshot& m : {*m1, *m2}) {
+    EXPECT_EQ(m.count, a.count);
+    EXPECT_DOUBLE_EQ(m.percentile(50.0), a.percentile(50.0));
+    EXPECT_DOUBLE_EQ(m.percentile(99.0), a.percentile(99.0));
+    EXPECT_DOUBLE_EQ(m.min, a.min);
+    EXPECT_DOUBLE_EQ(m.max, a.max);
+  }
+}
+
+TEST(HistogramSnapshot, MergeOfTwoEmptiesStaysEmpty) {
+  const auto empty = snap_of({10.0, 100.0}, {});
+  const auto m = HistogramSnapshot::merge(empty, empty);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->count, 0u);
+  EXPECT_DOUBLE_EQ(m->percentile(99.0), 0.0);
+}
+
+TEST(HistogramSnapshot, MergeWithSaturatedOverflowKeepsObservedMax) {
+  // One device's histogram lives entirely in the overflow bucket. The
+  // merged fleet percentile must report the *observed* maximum, not a
+  // value interpolated from the finite bucket bounds (there is no mass
+  // there) and not infinity.
+  const auto saturated = snap_of({10.0, 100.0}, {5000.0, 7000.0, 9000.0});
+  const auto empty = snap_of({10.0, 100.0}, {});
+  const auto m = HistogramSnapshot::merge(empty, saturated);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->count, 3u);
+  const double p99 = m->percentile(99.0);
+  EXPECT_LE(p99, 9000.0) << "percentile escaped the observed range";
+  EXPECT_GT(p99, 100.0) << "percentile collapsed into the finite buckets";
+  EXPECT_DOUBLE_EQ(m->percentile(100.0), 9000.0);
+}
+
+TEST(HistogramSnapshot, MergeMixedMassClampsToJointObservedRange) {
+  const auto fast = snap_of({10.0, 100.0}, {1.0, 2.0, 3.0});
+  const auto slow = snap_of({10.0, 100.0}, {50000.0});
+  const auto m = HistogramSnapshot::merge(fast, slow);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->min, 1.0);
+  EXPECT_DOUBLE_EQ(m->max, 50000.0);
+  EXPECT_GE(m->percentile(50.0), 1.0);
+  EXPECT_LE(m->percentile(99.0), 50000.0);
+}
+
+TEST(HistogramSnapshot, MergeRejectsMismatchedLayouts) {
+  const auto a = snap_of({10.0, 100.0}, {5.0});
+  const auto b = snap_of({10.0, 100.0, 1000.0}, {5.0});
+  EXPECT_FALSE(HistogramSnapshot::merge(a, b).has_value());
+}
+
+TEST(HistogramSnapshot, DeltaIsolatesTheWindow) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  const auto older = HistogramSnapshot::of(h);
+  h.observe(500.0);
+  h.observe(600.0);
+  const auto newer = HistogramSnapshot::of(h);
+  const auto d = HistogramSnapshot::delta(newer, older);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count, 2u);
+  EXPECT_DOUBLE_EQ(d->sum, 1100.0);
+  // All window mass sits in (100, 1000]; count_above(100) sees both.
+  EXPECT_DOUBLE_EQ(d->count_above(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(d->count_above(1000.0), 0.0);
+}
+
+TEST(HistogramSnapshot, DeltaAgainstEmptyBaselineIsTheCumulative) {
+  const auto newer = snap_of({10.0}, {3.0, 20.0});
+  const HistogramSnapshot empty;
+  const auto d = HistogramSnapshot::delta(newer, empty);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count, 2u);
+}
+
+TEST(HistogramSnapshot, DeltaRejectsCountRegression) {
+  const auto two = snap_of({10.0}, {1.0, 2.0});
+  const auto three = snap_of({10.0}, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(HistogramSnapshot::delta(two, three).has_value());
+}
+
+// ------------------------------------------------------------------- ring
+
+TEST(TelemetryRing, WrapKeepsNewestInOldestFirstOrder) {
+  TelemetryRing<int> ring(3);
+  for (int i = 1; i <= 5; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  EXPECT_EQ(ring.at(0), 3);
+  EXPECT_EQ(ring.at(1), 4);
+  EXPECT_EQ(ring.at(2), 5);
+  EXPECT_EQ(ring.back(), 5);
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(TelemetrySampler, TicksLandOnExactIntervalMultiples) {
+  Registry reg;
+  reg.counter("c").add(1.0);
+  TelemetryConfig cfg;
+  cfg.interval = TimePs::from_us(100);
+  TelemetrySampler sampler(cfg);
+  sampler.add_source(&reg, {});
+  // Events land at awkward times; ticks must still be 100us multiples.
+  sampler.sample_until(TimePs::from_us(137));
+  sampler.sample_until(TimePs::from_us(412));
+  EXPECT_EQ(sampler.ticks(), 4u);  // 100, 200, 300, 400
+  const SeriesRing* s = sampler.find("c");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s->at(i).t.us(), 100.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(TelemetrySampler, FleetAggregationMergesAcrossTheDeviceLabel) {
+  Registry d0, d1;
+  d0.counter("serve.done").add(3.0);
+  d1.counter("serve.done").add(4.0);
+  d0.gauge("depth").set(2.0);
+  d1.gauge("depth").set(7.0);
+  auto& h0 = d0.histogram("lat", {10.0, 100.0});
+  auto& h1 = d1.histogram("lat", {10.0, 100.0});
+  h0.observe(5.0);
+  h1.observe(5000.0);  // overflow-only on d1
+
+  TelemetrySampler sampler;
+  sampler.add_source(&d0, {{"device", "d0"}});
+  sampler.add_source(&d1, {{"device", "d1"}});
+  sampler.sample(TimePs::from_us(250));
+
+  const SeriesRing* fleet_done = sampler.find("serve.done{device=\"fleet\"}");
+  ASSERT_NE(fleet_done, nullptr);
+  EXPECT_DOUBLE_EQ(fleet_done->back().value, 7.0);  // counters sum
+
+  const SeriesRing* fleet_depth = sampler.find("depth{device=\"fleet\"}");
+  ASSERT_NE(fleet_depth, nullptr);
+  EXPECT_DOUBLE_EQ(fleet_depth->back().value, 7.0);  // gauges take the max
+
+  // Fleet histogram percentile is the weighted merge: half the mass at 5,
+  // half in overflow; p99 must sit at the observed max of the slow device.
+  const HistogramRing* fleet_lat = sampler.find_histogram("lat{device=\"fleet\"}");
+  ASSERT_NE(fleet_lat, nullptr);
+  EXPECT_EQ(fleet_lat->back().snap.count, 2u);
+  EXPECT_DOUBLE_EQ(fleet_lat->back().snap.percentile(100.0), 5000.0);
+}
+
+TEST(TelemetrySampler, ExportsAreDeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Registry reg;
+    TelemetryConfig cfg;
+    cfg.interval = TimePs::from_us(50);
+    TelemetrySampler sampler(cfg);
+    sampler.add_source(&reg, {{"device", "d0"}});
+    for (int i = 1; i <= 20; ++i) {
+      reg.counter("c").add(static_cast<double>(i));
+      reg.histogram("lat", Histogram::latency_bounds_us()).observe(10.0 * i);
+      sampler.sample_until(TimePs::from_us(50.0 * i));
+    }
+    return sampler.render_json() + "\n---\n" + sampler.render_csv();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TelemetrySampler, CsvQuotesAdversarialSeriesNames) {
+  Registry reg;
+  reg.counter(labeled_name("c", {{"k", "a,b\"c"}})).add(1.0);
+  TelemetrySampler sampler;
+  sampler.add_source(&reg, {});
+  sampler.sample(TimePs::from_us(250));
+  const std::string csv = sampler.render_csv();
+  // RFC-4180: the embedded quote doubles and the field is quoted, so the
+  // row still has exactly 2 unquoted commas (3 columns).
+  const std::size_t row_start = csv.find('\n') + 1;
+  const std::string row = csv.substr(row_start, csv.find('\n', row_start) - row_start);
+  int commas = 0;
+  bool quoted = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == '"') {
+      quoted = !quoted;
+    } else if (row[i] == ',' && !quoted) {
+      ++commas;
+    }
+  }
+  EXPECT_EQ(commas, 2) << "row: " << row;
+  EXPECT_FALSE(quoted) << "unterminated quoted field";
+}
+
+}  // namespace
+}  // namespace uparc::obs

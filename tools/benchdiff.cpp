@@ -1,0 +1,349 @@
+// benchdiff — compare freshly produced BENCH_*.json files against the
+// checked-in baselines in results/ with per-metric tolerance bands.
+//
+//   benchdiff --baseline results --fresh /tmp/bench_out [--tol 0.35] [--json]
+//   benchdiff --self-test
+//
+// For every BENCH_*.json present in both directories it extracts the
+// top-level scalar numeric fields and classifies each by name:
+//
+//   higher-is-better  *_per_sec, speedup*, hit_rate*, goodput*, ratio*
+//   lower-is-better   *_us, *_ms, *_mw, *_nj, misses, evictions
+//   exact             gate_* floors and integer config fields (loads,
+//                     module_kb, ...) — any drift is reported, because a
+//                     silently moved gate is itself a regression
+//
+// A directional metric regresses when it is worse than the baseline by
+// more than the tolerance fraction; improvements never fail. Exact fields
+// compare for equality. The "pass" field must not flip true -> false.
+// Exits non-zero when any file regresses, listing each offending metric
+// with its baseline, fresh value and band. Baseline files missing from
+// the fresh directory are skipped with a note (a bench that did not run
+// is a CI-wiring problem, not a perf regression); fresh files missing
+// from the baseline are reported as new and pass.
+//
+// Wall-clock noise note: the bands default to +-35% because these numbers
+// come from shared CI runners. benchdiff exists to catch step changes
+// (2x+), with the in-bench floors as the backstop for 10x ones.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace fs = std::filesystem;
+using uparc::read_file;
+
+namespace {
+
+struct Metric {
+  std::string key;
+  double value = 0.0;
+  bool boolean = false;  // true/false field, value 1/0
+};
+
+enum class Direction { kHigherBetter, kLowerBetter, kExact };
+
+/// Classifies a metric by naming convention (see file comment).
+Direction direction_of(const std::string& key) {
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return key.size() >= n && key.compare(key.size() - n, n, suffix) == 0;
+  };
+  auto starts_with = [&](const char* prefix) { return key.rfind(prefix, 0) == 0; };
+  if (starts_with("gate_")) return Direction::kExact;
+  if (ends_with("_per_sec") || starts_with("speedup") || starts_with("hit_rate") ||
+      starts_with("goodput") || starts_with("ratio")) {
+    return Direction::kHigherBetter;
+  }
+  if (ends_with("_us") || ends_with("_ms") || ends_with("_mw") || ends_with("_nj") ||
+      key == "misses" || key == "evictions") {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kExact;
+}
+
+/// Extracts depth-1 scalar "key": <number|true|false> fields from a JSON
+/// object. Nested objects/arrays (per-row sweeps) are skipped whole —
+/// benchdiff bands the headline numbers, not every sweep row.
+std::vector<Metric> top_level_metrics(const std::string& text) {
+  std::vector<Metric> out;
+  int depth = 0;
+  bool in_str = false;
+  std::string cur;      // current string literal
+  std::string key;      // last completed depth-1 key
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_str) {
+      if (c == '\\' && i + 1 < text.size()) {
+        cur += text[i + 1];
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        cur.clear();
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        --depth;
+        break;
+      case ':': {
+        if (depth != 1) break;
+        key = cur;
+        // Scan the value start; only scalars are recorded.
+        std::size_t j = i + 1;
+        while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+        if (j >= text.size()) break;
+        if (text[j] == 't' || text[j] == 'f') {
+          out.push_back({key, text[j] == 't' ? 1.0 : 0.0, true});
+        } else if (text[j] == '-' || std::isdigit(static_cast<unsigned char>(text[j]))) {
+          out.push_back({key, std::strtod(text.c_str() + j, nullptr), false});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+const Metric* find_metric(const std::vector<Metric>& metrics, const std::string& key) {
+  for (const Metric& m : metrics) {
+    if (m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+struct Finding {
+  std::string file;
+  std::string key;
+  std::string what;  // human-readable verdict
+  bool regression = false;
+};
+
+/// Diffs one baseline/fresh metric pair into `findings`.
+void diff_metric(const std::string& file, const Metric& base, const Metric* fresh,
+                 double tol, std::vector<Finding>& findings) {
+  char buf[256];
+  if (fresh == nullptr) {
+    std::snprintf(buf, sizeof buf, "metric missing from fresh run (baseline %g)", base.value);
+    findings.push_back({file, base.key, buf, true});
+    return;
+  }
+  if (base.boolean || base.key == "pass") {
+    if (base.value > 0.5 && fresh->value < 0.5) {
+      findings.push_back({file, base.key, "flipped true -> false", true});
+    }
+    return;
+  }
+  const Direction dir = direction_of(base.key);
+  const double floor_band = base.value * (1.0 - tol);
+  const double ceil_band = base.value * (1.0 + tol);
+  bool bad = false;
+  switch (dir) {
+    case Direction::kHigherBetter:
+      bad = fresh->value < floor_band;
+      break;
+    case Direction::kLowerBetter:
+      bad = fresh->value > ceil_band;
+      break;
+    case Direction::kExact:
+      bad = fresh->value != base.value;
+      break;
+  }
+  if (!bad) return;
+  if (dir == Direction::kExact) {
+    std::snprintf(buf, sizeof buf, "exact field drifted: baseline %g, fresh %g", base.value,
+                  fresh->value);
+  } else {
+    std::snprintf(buf, sizeof buf, "baseline %g, fresh %g, allowed %s %g (%s, tol %.0f%%)",
+                  base.value, fresh->value,
+                  dir == Direction::kHigherBetter ? ">=" : "<=",
+                  dir == Direction::kHigherBetter ? floor_band : ceil_band,
+                  dir == Direction::kHigherBetter ? "higher-is-better" : "lower-is-better",
+                  tol * 100.0);
+  }
+  findings.push_back({file, base.key, buf, true});
+}
+
+int run_diff(const fs::path& baseline_dir, const fs::path& fresh_dir, double tol, bool json) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "benchdiff: cannot read baseline dir %s: %s\n",
+                 baseline_dir.string().c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(names.begin(), names.end());
+  if (names.empty()) {
+    std::fprintf(stderr, "benchdiff: no BENCH_*.json baselines in %s\n",
+                 baseline_dir.string().c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  int compared = 0, skipped = 0;
+  for (const std::string& name : names) {
+    auto base_text = read_file((baseline_dir / name).string());
+    if (!base_text.ok()) {
+      std::fprintf(stderr, "benchdiff: cannot read baseline %s\n", name.c_str());
+      return 2;
+    }
+    auto fresh_text = read_file((fresh_dir / name).string());
+    if (!fresh_text.ok()) {
+      std::printf("  %-24s skipped (no fresh run)\n", name.c_str());
+      ++skipped;
+      continue;
+    }
+    ++compared;
+    const auto base = top_level_metrics(
+        std::string(base_text.value().begin(), base_text.value().end()));
+    const auto fresh = top_level_metrics(
+        std::string(fresh_text.value().begin(), fresh_text.value().end()));
+    const std::size_t before = findings.size();
+    for (const Metric& m : base) diff_metric(name, m, find_metric(fresh, m.key), tol, findings);
+    for (const Metric& m : fresh) {
+      if (find_metric(base, m.key) == nullptr) {
+        findings.push_back({name, m.key, "new metric (no baseline); informational", false});
+      }
+    }
+    std::printf("  %-24s %zu metrics, %zu regression(s)\n", name.c_str(), base.size(),
+                findings.size() - before);
+  }
+
+  int regressions = 0;
+  for (const Finding& f : findings) {
+    if (f.regression) {
+      ++regressions;
+      std::printf("  REGRESSION %s %s: %s\n", f.file.c_str(), f.key.c_str(), f.what.c_str());
+    }
+  }
+  if (json) {
+    std::printf("{\"compared\": %d, \"skipped\": %d, \"regressions\": %d, \"tol\": %g}\n",
+                compared, skipped, regressions, tol);
+  } else {
+    std::printf("benchdiff: %d file(s) compared, %d skipped, %d regression(s)\n", compared,
+                skipped, regressions);
+  }
+  return regressions == 0 ? 0 : 1;
+}
+
+/// In-process check of the extractor, the direction table and the banding
+/// math — runs with no filesystem. Keeps the tool honest without dragging
+/// gtest into tools/.
+int self_test() {
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      ++failures;
+      std::printf("  FAIL %s\n", what);
+    }
+  };
+
+  const std::string doc =
+      "{\n"
+      "  \"bench\": \"x\",\n  \"events_per_sec\": 1e6,\n  \"mean_us\": 120.5,\n"
+      "  \"gate_events_per_sec_min\": 1000,\n  \"pass\": true,\n"
+      "  \"sweep\": [{\"mean_us\": 999999}],\n  \"nested\": {\"mean_us\": 5}\n}\n";
+  const auto metrics = top_level_metrics(doc);
+  expect(metrics.size() == 4, "extracts 4 top-level scalars (string + nested skipped)");
+  expect(find_metric(metrics, "mean_us") != nullptr && find_metric(metrics, "mean_us")->value == 120.5,
+         "reads mean_us at depth 1, not from the sweep rows");
+  expect(find_metric(metrics, "pass") != nullptr && find_metric(metrics, "pass")->boolean,
+         "pass parses as boolean");
+
+  expect(direction_of("events_per_sec") == Direction::kHigherBetter, "per_sec is higher-better");
+  expect(direction_of("mean_us") == Direction::kLowerBetter, "us is lower-better");
+  expect(direction_of("gate_events_per_sec_min") == Direction::kExact, "gate_ is exact");
+  expect(direction_of("loads") == Direction::kExact, "unknown config field is exact");
+
+  std::vector<Finding> f;
+  Metric base{"events_per_sec", 1000.0, false};
+  Metric slow{"events_per_sec", 600.0, false};
+  Metric fine{"events_per_sec", 700.0, false};
+  Metric fast{"events_per_sec", 9000.0, false};
+  diff_metric("t", base, &slow, 0.35, f);
+  expect(f.size() == 1, "35% band flags a 40% throughput drop");
+  diff_metric("t", base, &fine, 0.35, f);
+  expect(f.size() == 1, "30% drop stays inside the 35% band");
+  diff_metric("t", base, &fast, 0.35, f);
+  expect(f.size() == 1, "improvement never fails");
+  diff_metric("t", base, nullptr, 0.35, f);
+  expect(f.size() == 2, "missing fresh metric is a regression");
+  Metric pass_base{"pass", 1.0, true};
+  Metric pass_bad{"pass", 0.0, true};
+  diff_metric("t", pass_base, &pass_bad, 0.35, f);
+  expect(f.size() == 3, "pass true->false is a regression");
+
+  std::printf("benchdiff self-test: %s\n", failures == 0 ? "ok" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::printf(
+      "usage: benchdiff --baseline DIR --fresh DIR [--tol FRACTION] [--json]\n"
+      "       benchdiff --self-test\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path baseline, fresh;
+  double tol = 0.35;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--self-test") return self_test();
+    if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) { usage(); return 2; }
+      baseline = v;
+    } else if (arg == "--fresh") {
+      const char* v = value();
+      if (v == nullptr) { usage(); return 2; }
+      fresh = v;
+    } else if (arg == "--tol") {
+      const char* v = value();
+      if (v == nullptr) { usage(); return 2; }
+      tol = std::strtod(v, nullptr);
+      if (tol <= 0.0 || tol >= 1.0) {
+        std::fprintf(stderr, "benchdiff: --tol must be in (0, 1)\n");
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (baseline.empty() || fresh.empty()) {
+    usage();
+    return 2;
+  }
+  return run_diff(baseline, fresh, tol, json);
+}

@@ -22,12 +22,18 @@
 //   uparc_cli cache-stats [--loads N] [--modules N] [--regions N]
 //                      [--module-kb N] [--hot-slots N] [--policy lru|energy]
 //                      [--seed S] [--json]
+//   uparc_cli slo      [--seed S] [--requests N] [--rate X] [--faults F]
+//                      [--slo-file f.slo] [--out DIR] [--expect-clean]
+//                      [--expect-transition] [--json]
 //   uparc_cli help
 //
 // Codec names: RLE, LZ77, LZ78, Huffman, X-MatchPRO, Zip, 7-zip.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <system_error>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -538,7 +544,8 @@ int cmd_soak(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
-int cmd_serve(const Args& a) {
+/// Shared serve-soak config from CLI flags (used by `serve` and `slo`).
+serve::ServeSoakConfig serve_config_from(const Args& a) {
   serve::ServeSoakConfig cfg;
   cfg.seed = static_cast<u64>(a.get_num("seed", 1));
   cfg.requests = static_cast<u64>(a.get_num("requests", 2000));
@@ -549,10 +556,45 @@ int cmd_serve(const Args& a) {
   cfg.fault_scale = a.get_num("faults", 1.0);
   cfg.dist = a.get("dist", "mixed");
   cfg.queue_capacity = static_cast<std::size_t>(a.get_num("queue", 64));
+  return cfg;
+}
+
+/// Writes the telemetry/alert/flight artifact set into `dir`.
+int write_telemetry_artifacts(const std::string& dir, const serve::ServeSoakReport& report,
+                              const char* cmd) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "%s: cannot create %s: %s\n", cmd, dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::pair<const char*, const std::string*> artifacts[] = {
+      {"telemetry.json", &report.telemetry_json},
+      {"telemetry.csv", &report.telemetry_csv},
+      {"alerts.json", &report.alerts_json},
+      {"flight.json", &report.flight_json},
+  };
+  for (const auto& [name, text] : artifacts) {
+    if (auto st = write_text_file(dir + "/" + name, *text); !st.ok()) {
+      std::fprintf(stderr, "%s: %s: %s\n", cmd, name, st.error().message.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& a) {
+  serve::ServeSoakConfig cfg = serve_config_from(a);
   // Placeholder for multi-tenant override: --tenants N replicates the
   // standard mix N/3 times per class (rounded up) at the same total load.
   const auto tenants = static_cast<unsigned>(a.get_num("tenants", 3));
   (void)tenants;  // the mixed preset always runs one tenant per class
+
+  const std::string telemetry_out = a.get("telemetry-out", "");
+  if (!telemetry_out.empty() || a.options.count("telemetry-us") != 0) {
+    cfg.telemetry_interval = TimePs::from_us(a.get_num("telemetry-us", 250));
+  }
 
   auto report = serve::run_soak(cfg);
 
@@ -566,6 +608,11 @@ int cmd_serve(const Args& a) {
     if (auto st = write_text_file(path, report.health_json); !st.ok()) {
       std::fprintf(stderr, "serve: health: %s\n", st.error().message.c_str());
       return 1;
+    }
+  }
+  if (!telemetry_out.empty()) {
+    if (int rc = write_telemetry_artifacts(telemetry_out, report, "serve"); rc != 0) {
+      return rc;
     }
   }
 
@@ -602,6 +649,82 @@ int cmd_serve(const Args& a) {
     std::printf("%s", report.summary().c_str());
   }
   return report.ok() ? 0 : 1;
+}
+
+// Runs a serve soak with telemetry + SLO burn-rate alerting and reports the
+// alert log. Gates for CI: --expect-clean fails on any alert;
+// --expect-transition fails unless at least one alert fired AND resolved.
+int cmd_slo(const Args& a) {
+  serve::ServeSoakConfig cfg = serve_config_from(a);
+  cfg.load_factor = a.get_num("rate", 1.0);
+  cfg.fault_scale = a.get_num("faults", 0.0);
+  cfg.telemetry_interval = TimePs::from_us(a.get_num("telemetry-us", 250));
+  cfg.telemetry_capacity = static_cast<std::size_t>(a.get_num("capacity", 4096));
+
+  if (const std::string path = a.get("slo-file", ""); !path.empty()) {
+    auto bytes = read_file(path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "slo: %s\n", bytes.error().message.c_str());
+      return 2;
+    }
+    std::string text(bytes.value().begin(), bytes.value().end());
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size();
+      std::string line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+      const std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      // Validate here so a typo is a CLI error, not a soak abort.
+      auto parsed = obs::parse_objective(line);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "slo: %s\n", parsed.error().message.c_str());
+        return 2;
+      }
+      cfg.slo_lines.push_back(std::move(line));
+    }
+  }
+
+  auto report = serve::run_soak(cfg);
+
+  if (const std::string out = a.get("out", ""); !out.empty()) {
+    if (int rc = write_telemetry_artifacts(out, report, "slo"); rc != 0) return rc;
+  }
+
+  bool gate_ok = report.ok();
+  std::string gate_why;
+  if (a.get("expect-clean", "") == "true" && report.alerts_fired != 0) {
+    gate_ok = false;
+    gate_why = "expected a clean run but " + std::to_string(report.alerts_fired) +
+               " alert(s) fired";
+  }
+  if (a.get("expect-transition", "") == "true" &&
+      (report.alerts_fired == 0 || report.alerts_resolved == 0)) {
+    gate_ok = false;
+    gate_why = "expected a firing->resolved transition but saw fired=" +
+               std::to_string(report.alerts_fired) +
+               " resolved=" + std::to_string(report.alerts_resolved);
+  }
+
+  if (a.get("json", "") == "true") {
+    std::printf(
+        "{\"issued\": %llu, \"alerts_fired\": %llu, \"alerts_resolved\": %llu, "
+        "\"violations\": %zu, \"ok\": %s}\n",
+        static_cast<unsigned long long>(report.issued),
+        static_cast<unsigned long long>(report.alerts_fired),
+        static_cast<unsigned long long>(report.alerts_resolved), report.violations.size(),
+        gate_ok ? "true" : "false");
+  } else {
+    std::printf("%s", report.summary().c_str());
+    if (!report.alerts_json.empty()) {
+      std::printf("alert log:\n%s", report.alerts_fired + report.alerts_resolved == 0
+                                        ? "  (no alerts)\n"
+                                        : report.alerts_json.c_str());
+    }
+  }
+  if (!gate_why.empty()) std::fprintf(stderr, "slo: %s\n", gate_why.c_str());
+  return gate_ok ? 0 : 1;
 }
 
 int cmd_sweep(const Args& a) {
@@ -868,7 +991,18 @@ void usage(std::FILE* to) {
       "           [--modules N] [--dist mixed|open|closed|bursty]\n"
       "           [--faults X] [--queue N] [--tenants N] [--seed S]\n"
       "           [--metrics f.json] [--health f.json] [--json]\n"
-      "           — exits non-zero on any invariant violation\n"
+      "           [--telemetry-out DIR] [--telemetry-us T]\n"
+      "           — exits non-zero on any invariant violation;\n"
+      "           --telemetry-out writes telemetry.json/.csv, alerts.json\n"
+      "           and the flight-recorder dump (flight.json) into DIR\n"
+      "  slo      serve soak with telemetry + SLO burn-rate alerting:\n"
+      "           declarative objectives over sliding windows, fast+slow\n"
+      "           burn windows with hysteresis, deterministic alert log\n"
+      "           [--requests N] [--rate X] [--faults X] [--seed S]\n"
+      "           [--telemetry-us T] [--slo-file f.slo] [--out DIR]\n"
+      "           [--expect-clean] [--expect-transition] [--json]\n"
+      "           — --expect-clean fails if any alert fires;\n"
+      "           --expect-transition fails without a fire->resolve pair\n"
       "  cache-stats  repeated-load workload through the bitstream cache:\n"
       "           hit/miss/eviction/relocation counts per tier and the\n"
       "           latency comparison against a cache-less controller\n"
@@ -899,6 +1033,7 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "soak") return cmd_soak(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "slo") return cmd_slo(args);
   if (cmd == "cache-stats") return cmd_cache_stats(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "trace") return cmd_trace(args);
