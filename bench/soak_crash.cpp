@@ -1,0 +1,90 @@
+// Bench — crash-restart soak: exhaustive crash-point sweep per seed.
+//
+// For each seed, runs txn::run_crash_soak with no crash-point cap: the
+// controller is killed once at every WAL record boundary the reference
+// workload reaches, under all four tail-corruption modes, and recovery is
+// re-verified after each death. Gates (written to results/BENCH_crash.json
+// and enforced via the exit code):
+//   * zero crash-consistency violations across every seed;
+//   * every armed crash point actually fired (runs == crashes);
+//   * every recovery completed without errors (recoveries_ok == runs).
+#include "bench_util.hpp"
+#include "txn/crash_soak.hpp"
+
+int main() {
+  using namespace uparc;
+  bench::banner("CRASH", "Crash-restart soak: recovery across every WAL boundary");
+
+  constexpr u64 kSeeds[] = {1, 2, 3, 5, 7, 11, 13, 17, 23, 42};
+  std::printf("  %zu seeds, exhaustive boundaries x 4 tail modes per seed\n\n",
+              std::size(kSeeds));
+  std::printf("  %-5s %8s %6s %8s %8s %7s %7s %7s %7s %5s\n", "seed", "records", "runs",
+              "recover", "unacked", "adopt", "reprog", "abortC", "abortR", "viol");
+
+  u64 total_runs = 0;
+  u64 total_unacked = 0;
+  u64 total_violations = 0;
+  bool all_fired = true;
+  bool all_recovered = true;
+  std::string cells;
+  for (std::size_t i = 0; i < std::size(kSeeds); ++i) {
+    txn::CrashSoakConfig cfg;
+    cfg.seed = kSeeds[i];
+    cfg.ops = 6;
+    cfg.regions = 2;
+    cfg.modules = 2;
+    cfg.module_kb = 2;
+    cfg.max_crash_points = 0;  // exhaustive
+    cfg.sweep_corruptions = true;
+    const txn::CrashSoakReport report = txn::run_crash_soak(cfg);
+    std::printf("  %-5llu %8llu %6u %8u %8u %7u %7u %7u %7u %5zu%s\n",
+                static_cast<unsigned long long>(kSeeds[i]),
+                static_cast<unsigned long long>(report.reference_records), report.runs,
+                report.recoveries_ok, report.unacked_commits, report.adopted,
+                report.reprogrammed, report.aborts_clean, report.aborts_reprogram,
+                report.violations.size(), report.ok() ? "" : "  !! INVARIANT");
+    for (const auto& v : report.violations) {
+      std::printf("      seq %llu [%s]: %s\n", static_cast<unsigned long long>(v.crash_seq),
+                  txn::to_string(v.corruption), v.what.c_str());
+    }
+    total_runs += report.runs;
+    total_unacked += report.unacked_commits;
+    total_violations += report.violations.size();
+    all_fired = all_fired && report.runs == report.crashes;
+    all_recovered = all_recovered && report.recoveries_ok == report.runs;
+
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"seed\": %llu, \"records\": %llu, \"runs\": %u, "
+                  "\"recoveries_ok\": %u, \"unacked_commits\": %u, \"adopted\": %u, "
+                  "\"reprogrammed\": %u, \"violations\": %zu}%s\n",
+                  static_cast<unsigned long long>(kSeeds[i]),
+                  static_cast<unsigned long long>(report.reference_records), report.runs,
+                  report.recoveries_ok, report.unacked_commits, report.adopted,
+                  report.reprogrammed, report.violations.size(),
+                  i + 1 < std::size(kSeeds) ? "," : "");
+    cells += buf;
+  }
+
+  const bool pass = total_violations == 0 && all_fired && all_recovered && total_runs > 0;
+  std::printf("\n  total crash runs %llu  unacked-commit edges %llu  violations %llu  %s\n",
+              static_cast<unsigned long long>(total_runs),
+              static_cast<unsigned long long>(total_unacked),
+              static_cast<unsigned long long>(total_violations), pass ? "PASS" : "FAIL");
+
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "{\n  \"bench\": \"crash\",\n  \"seeds\": %zu,\n"
+                "  \"gates\": {\"violations\": %llu, \"all_points_fired\": %s, "
+                "\"all_recoveries_ok\": %s},\n  \"pass\": %s,\n  \"cells\": [\n",
+                std::size(kSeeds), static_cast<unsigned long long>(total_violations),
+                all_fired ? "true" : "false", all_recovered ? "true" : "false",
+                pass ? "true" : "false");
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  if (write_text_file("results/BENCH_crash.json", std::string(head) + cells + "  ]\n}\n")
+          .ok()) {
+    std::printf("  wrote results/BENCH_crash.json\n");
+  }
+  return pass ? 0 : 1;
+}

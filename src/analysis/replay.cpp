@@ -126,4 +126,21 @@ ReplayResult verify_txn_replay(txn::SoakConfig config) {
   return result;
 }
 
+ReplayResult verify_crash_replay(txn::CrashSoakConfig config) {
+  ReplayResult result;
+  result.scenario = "crash";
+  result.seed = config.seed;
+  const txn::CrashSoakReport a = txn::run_crash_soak(config);
+  const txn::CrashSoakReport b = txn::run_crash_soak(config);
+  result.artifacts = {"crash/reference_wal.json", "crash/sweep.log", "crash/recovery.json",
+                      "crash/summary.txt"};
+  diff_artifact(result.artifacts[0], a.reference_wal_json, b.reference_wal_json,
+                result.report);
+  diff_artifact(result.artifacts[1], a.sweep_log, b.sweep_log, result.report);
+  diff_artifact(result.artifacts[2], a.last_recovery_json, b.last_recovery_json,
+                result.report);
+  diff_artifact(result.artifacts[3], a.summary(), b.summary(), result.report);
+  return result;
+}
+
 }  // namespace uparc::analysis

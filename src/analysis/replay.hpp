@@ -19,6 +19,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "serve/soak.hpp"
+#include "txn/crash_soak.hpp"
 #include "txn/soak.hpp"
 
 namespace uparc::analysis {
@@ -49,5 +50,11 @@ void diff_artifact(std::string_view name, std::string_view run1,
 /// Runs txn::run_soak(config) twice (trace forced on) and diffs
 /// journal/metrics/trace/summary.
 [[nodiscard]] ReplayResult verify_txn_replay(txn::SoakConfig config);
+
+/// Runs txn::run_crash_soak(config) twice and diffs the reference WAL dump,
+/// the per-run sweep log, the last recovery report and the summary —
+/// recovery must be bit-for-bit reproducible or crash debugging is
+/// guesswork.
+[[nodiscard]] ReplayResult verify_crash_replay(txn::CrashSoakConfig config);
 
 }  // namespace uparc::analysis

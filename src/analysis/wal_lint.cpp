@@ -1,0 +1,159 @@
+#include "analysis/wal_lint.hpp"
+
+#include <map>
+
+#include "common/json.hpp"
+#include "txn/journal.hpp"
+
+namespace uparc::analysis {
+
+Report lint_wal(const txn::WalScan& scan) {
+  Report report;
+
+  if (scan.records.empty()) {
+    report.info("wal.empty", Location::none(), "no records survive in this log",
+                "a brand-new controller has an empty log; anything else lost its history");
+  }
+
+  if (scan.tail == txn::WalTailState::kTorn) {
+    report.warning("wal.tail.torn", Location::byte(scan.tail_offset),
+                   "truncated in-flight write at the tail (" +
+                       std::to_string(scan.discarded_bytes) + "B discarded)",
+                   "expected after a crash; recovery discards the tail record");
+  } else if (scan.tail == txn::WalTailState::kCorrupt) {
+    report.warning("wal.tail.corrupt", Location::byte(scan.tail_offset),
+                   "tail record damaged: " + scan.tail_error + " (" +
+                       std::to_string(scan.discarded_bytes) + "B discarded)",
+                   "expected after a crash with a misbehaving log device");
+  }
+  if (scan.resync_after_tail) {
+    report.error("wal.corrupt.mid", Location::byte(scan.tail_offset),
+                 "valid records exist beyond the damage: this is a mid-log hole, "
+                 "not an in-flight write",
+                 "the log lies about history; treat the device as failing");
+  }
+
+  struct TxnState {
+    txn::TxnPhase phase = txn::TxnPhase::kBegun;
+    bool terminal = false;
+    bool has_golden = false;
+  };
+  std::map<u64, TxnState> txns;
+  bool have_prev = false;
+  u64 prev_seq = 0;
+  TimePs prev_t{};
+
+  for (const txn::WalScanRecord& rec : scan.records) {
+    const Location loc = Location::byte(rec.offset);
+    if (have_prev) {
+      if (rec.seq != prev_seq + 1) {
+        report.error("wal.seq.gap", loc,
+                     "sequence jumped from " + std::to_string(prev_seq) + " to " +
+                         std::to_string(rec.seq),
+                     "records were lost or reordered");
+      }
+      if (rec.t < prev_t) {
+        report.error("wal.time.backwards", loc,
+                     "record clock went backwards (" + std::to_string(prev_t.ps()) +
+                         "ps -> " + std::to_string(rec.t.ps()) + "ps)");
+      }
+    }
+    have_prev = true;
+    prev_seq = rec.seq;
+    prev_t = rec.t;
+
+    if (!txn::known_wal_type(static_cast<u32>(rec.type))) {
+      report.warning("wal.type.unknown", loc,
+                     "record type " + std::to_string(static_cast<u32>(rec.type)) +
+                         " is outside the catalog",
+                     "written by a newer controller? framing is intact, content skipped");
+      continue;
+    }
+
+    auto parsed = json::parse(rec.payload);
+    if (!parsed.ok()) {
+      report.error("wal.payload.bad-json", loc,
+                   "seq " + std::to_string(rec.seq) +
+                       " payload does not parse: " + parsed.error().message);
+      continue;
+    }
+    const json::Value& v = parsed.value();
+
+    switch (rec.type) {
+      case txn::WalRecordType::kCheckpoint:
+        // A checkpoint compacts everything before it; open-txn bookkeeping
+        // cannot survive one (rotation only happens at idle).
+        txns.clear();
+        break;
+      case txn::WalRecordType::kTxnBegin: {
+        const json::Value* id = v.find("txn");
+        if (id != nullptr) txns[id->as_u64()] = {};
+        break;
+      }
+      case txn::WalRecordType::kGolden: {
+        const json::Value* id = v.find("txn");
+        if (id == nullptr) break;
+        auto it = txns.find(id->as_u64());
+        if (it == txns.end()) {
+          report.warning("wal.txn.orphan", loc,
+                         "golden for txn " + std::to_string(id->as_u64()) +
+                             " which never began in this log");
+          break;
+        }
+        it->second.has_golden = true;
+        break;
+      }
+      case txn::WalRecordType::kTxnPhase: {
+        const json::Value* id = v.find("txn");
+        const json::Value* phase_v = v.find("phase");
+        if (id == nullptr || phase_v == nullptr) break;
+        auto it = txns.find(id->as_u64());
+        if (it == txns.end()) {
+          report.warning("wal.txn.orphan", loc,
+                         "phase for txn " + std::to_string(id->as_u64()) +
+                             " which never began in this log");
+          break;
+        }
+        txn::TxnPhase phase{};
+        if (!txn::phase_from_string(phase_v->as_string(), phase)) break;
+        if (it->second.terminal) {
+          report.error("wal.phase.after-terminal", loc,
+                       "txn " + std::to_string(id->as_u64()) + " advanced to " +
+                           txn::to_string(phase) + " after reaching " +
+                           txn::to_string(it->second.phase));
+          break;
+        }
+        it->second.phase = phase;
+        if (txn::is_terminal(phase)) {
+          it->second.terminal = true;
+          if (phase == txn::TxnPhase::kCommitted && !it->second.has_golden) {
+            report.warning("wal.golden.missing", loc,
+                           "txn " + std::to_string(id->as_u64()) +
+                               " committed without a journaled golden signature",
+                           "recovery cannot readback-verify this commit");
+          }
+        }
+        break;
+      }
+      case txn::WalRecordType::kHealth:
+      case txn::WalRecordType::kCachePin:
+        break;
+    }
+  }
+
+  unsigned open = 0;
+  for (const auto& [id, st] : txns) {
+    if (!st.terminal) ++open;
+  }
+  if (open > 0) {
+    report.info("wal.txn.open", Location::none(),
+                std::to_string(open) + " transaction(s) in flight at the tail",
+                "normal after a crash; recovery presumes abort");
+  }
+
+  return report;
+}
+
+Report lint_wal_bytes(BytesView bytes) { return lint_wal(txn::scan_wal(bytes)); }
+
+}  // namespace uparc::analysis

@@ -1,0 +1,40 @@
+// WAL lint: structural + semantic checks over a scanned write-ahead log.
+//
+// The scanner (txn::scan_wal) already separates "decodable prefix" from
+// "damaged tail"; this pass turns what it found into the stable wal.* rule
+// catalog that `uparc_cli wal` reports and CI gates on:
+//
+//   wal.empty                info     no records survive
+//   wal.tail.torn            warning  truncated in-flight write at the tail
+//                                     (the expected crash artifact)
+//   wal.tail.corrupt         warning  checksum/magic damage at the tail
+//   wal.corrupt.mid          error    valid records BEYOND the damage — not
+//                                     an in-flight write but a hole mid-log
+//                                     (media loss; recovery would be lossy)
+//   wal.seq.gap              error    sequence numbers not contiguous
+//   wal.time.backwards       error    record clock went backwards
+//   wal.payload.bad-json     error    journaled payload does not parse
+//   wal.type.unknown         warning  record type outside the catalog
+//   wal.txn.orphan           warning  phase/golden for a never-begun txn
+//   wal.phase.after-terminal error    phase record after the txn terminal
+//   wal.golden.missing       warning  commit without a golden signature
+//   wal.txn.open             info     in-flight txns at the tail (normal
+//                                     after a crash; recovery aborts them)
+//
+// Tail damage is a *warning*, not an error: a torn tail is precisely what a
+// crashed append leaves behind and recovery handles it by design. Damage
+// with survivors beyond it is an error: that log lies about history.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "txn/wal.hpp"
+
+namespace uparc::analysis {
+
+/// Lints an already-scanned log.
+[[nodiscard]] Report lint_wal(const txn::WalScan& scan);
+
+/// Convenience: scan + lint raw log bytes.
+[[nodiscard]] Report lint_wal_bytes(BytesView bytes);
+
+}  // namespace uparc::analysis

@@ -1,0 +1,33 @@
+#include "fault/crash.hpp"
+
+namespace uparc::fault {
+
+CrashPoint CrashInjector::pick(u64 seed, u64 record_count) {
+  if (record_count == 0) return {};
+  // Site constant in the style of the soak harnesses' per-site streams, so
+  // the crash pick never correlates with the fabric injector's draws.
+  Prng rng(seed ^ 0xC7A5C7A5C7ULL);
+  CrashPoint point;
+  point.wal_seq = 1 + rng.below(record_count);
+  point.corruption = static_cast<txn::WalCorruption>(rng.below(4));
+  return point;
+}
+
+void CrashInjector::arm(txn::Wal& wal) {
+  if (point_.wal_seq == 0) return;
+  wal.set_append_hook([this, &wal](u64 seq, TimePs now) {
+    if (seq != point_.wal_seq || crashed_) return;
+    crashed_ = true;
+    crash_time_ = now;
+    wal.corrupt_tail(point_.corruption);
+    if (flight_ != nullptr) {
+      flight_->error(flight_shard_, now, "fault", "controller-crash",
+                     "wal_seq=" + std::to_string(seq) +
+                         " tail=" + txn::to_string(point_.corruption));
+      flight_->trigger(flight_shard_, now, "controller-crash");
+    }
+    throw ControllerCrash(seq, point_.corruption, now);
+  });
+}
+
+}  // namespace uparc::fault

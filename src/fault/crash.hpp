@@ -1,0 +1,82 @@
+// Deterministic controller-crash injection at WAL record boundaries.
+//
+// The FaultInjector (PR 3) models the *fabric* failing under a live
+// controller; this models the controller itself dying. The injector arms a
+// hook on the transaction WAL and, when the chosen record's append becomes
+// durable, optionally damages that tail record (torn write, partial header,
+// bit flip — the ways a log device loses an in-flight write) and then
+// throws ControllerCrash. The exception unwinds through the simulation's
+// event loop into the harness, which abandons the crashed controller stack
+// and cold-starts a fresh one via txn::RecoveryCoordinator.
+//
+// Crashing *at* an append boundary is the honest model: the WAL is written
+// ahead of every config-plane action, so any mid-action death is
+// indistinguishable (to recovery) from death at the preceding record.
+// Fabric-side partial states are still reachable — through the ordinary
+// FaultInjector corrupting the plane before the crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/prng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "txn/wal.hpp"
+
+namespace uparc::fault {
+
+/// Thrown out of the simulation when the injected crash point is reached.
+struct ControllerCrash : std::runtime_error {
+  ControllerCrash(u64 seq, txn::WalCorruption corruption_, TimePs at_)
+      : std::runtime_error("controller crash at wal seq " + std::to_string(seq) +
+                           " (tail " + txn::to_string(corruption_) + ")"),
+        wal_seq(seq),
+        corruption(corruption_),
+        at(at_) {}
+
+  u64 wal_seq;
+  txn::WalCorruption corruption;
+  TimePs at;
+};
+
+/// One scheduled controller death: kill when WAL record `wal_seq` is
+/// appended, after applying `corruption` to it. seq 0 = disarmed.
+struct CrashPoint {
+  u64 wal_seq = 0;
+  txn::WalCorruption corruption = txn::WalCorruption::kNone;
+};
+
+class CrashInjector {
+ public:
+  explicit CrashInjector(CrashPoint point) : point_(point) {}
+
+  /// Derives a crash point from a FaultPlan-style master seed: a seeded
+  /// pick over `record_count` reachable boundaries (1-based) and the four
+  /// corruption modes. The site constant keeps the stream independent from
+  /// the fabric injector's per-site streams.
+  [[nodiscard]] static CrashPoint pick(u64 seed, u64 record_count);
+
+  /// Installs the kill hook on `wal`. The wal must outlive the injector's
+  /// last append. A disarmed point (seq 0) installs nothing.
+  void arm(txn::Wal& wal);
+
+  /// Every crash leaves a black-box artifact: the recorder's post-mortem
+  /// is frozen at the moment of death (before the throw).
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::string shard) {
+    flight_ = recorder;
+    flight_shard_ = std::move(shard);
+  }
+
+  [[nodiscard]] const CrashPoint& point() const noexcept { return point_; }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] TimePs crash_time() const noexcept { return crash_time_; }
+
+ private:
+  CrashPoint point_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::string flight_shard_;
+  bool crashed_ = false;
+  TimePs crash_time_{};
+};
+
+}  // namespace uparc::fault

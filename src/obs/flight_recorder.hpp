@@ -87,6 +87,15 @@ class FlightRecorder {
   [[nodiscard]] u64 triggers() const noexcept { return triggers_; }
   /// Frozen first-failure snapshot; empty string when never triggered.
   [[nodiscard]] const std::string& postmortem() const noexcept { return postmortem_; }
+  /// When/where/why the tape froze (crash-soak asserts the frozen clock is
+  /// consistent with the WAL tail). Meaningful only once triggered().
+  [[nodiscard]] TimePs first_trigger_time() const noexcept { return first_trigger_t_; }
+  [[nodiscard]] const std::string& first_trigger_shard() const noexcept {
+    return first_trigger_shard_;
+  }
+  [[nodiscard]] const std::string& first_trigger_reason() const noexcept {
+    return first_trigger_reason_;
+  }
 
   [[nodiscard]] const FlightRecorderConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }

@@ -112,6 +112,16 @@ void TelemetrySampler::add_source(const Registry* registry, std::vector<Label> l
   sources_.push_back(Source{registry, std::move(labels)});
 }
 
+void TelemetrySampler::replace_source(const Registry* registry,
+                                      const std::vector<Label>& labels) {
+  for (Source& src : sources_) {
+    if (src.labels == labels) {
+      src.registry = registry;
+      return;
+    }
+  }
+}
+
 std::string TelemetrySampler::decorate(const std::string& name, const Source& src) const {
   if (src.labels.empty()) return name;
   ParsedName parsed = parse_labeled_name(name);

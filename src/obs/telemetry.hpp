@@ -131,6 +131,11 @@ class TelemetrySampler {
   /// must outlive the sampler.
   void add_source(const Registry* registry, std::vector<Label> labels);
 
+  /// Repoints the source whose label set equals `labels` at a new registry
+  /// — used when a device is rebuilt mid-run (controller restart drill)
+  /// and its kernel registry is reallocated. No-op when no source matches.
+  void replace_source(const Registry* registry, const std::vector<Label>& labels);
+
   /// Invoked at the start of every sample tick, before instruments are
   /// read — owners refresh derived gauges (queue depths, energy) here.
   void set_presample_hook(std::function<void(TimePs)> hook) { presample_ = std::move(hook); }

@@ -182,7 +182,11 @@ void RegionManager::pump() {
 
 void RegionManager::dispatch_txn(PendingLoad job, LoadResult result, Region* region,
                                  bits::PartialBitstream instance) {
-  txn_->execute(region->name, job.module, instance,
+  // Copy the name out first: the callback lambda move-captures `job`, and
+  // argument evaluation order is unspecified — passing `job.module` directly
+  // can read from the moved-from job.
+  const std::string module = job.module;
+  txn_->execute(region->name, module, instance,
                 [this, job = std::move(job), result = std::move(result),
                  region](const txn::TxnOutcome& o) mutable {
     result.transactional = true;

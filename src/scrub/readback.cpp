@@ -15,6 +15,17 @@ GoldenSignature::GoldenSignature(const std::vector<bits::Frame>& frames) {
   std::sort(entries_.begin(), entries_.end());
 }
 
+GoldenSignature::GoldenSignature(
+    const std::vector<std::pair<bits::FrameAddress, u32>>& pairs) {
+  entries_.reserve(pairs.size());
+  addresses_.reserve(pairs.size());
+  for (const auto& [addr, crc] : pairs) {
+    entries_.emplace_back(addr.linear_index(), crc);
+    addresses_.push_back(addr);
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
 const u32* GoldenSignature::expected_crc(const bits::FrameAddress& addr) const {
   const u32 key = addr.linear_index();
   auto it = std::lower_bound(entries_.begin(), entries_.end(), key,

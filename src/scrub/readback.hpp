@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/crc32.hpp"
 #include "icap/icap.hpp"
@@ -19,6 +21,10 @@ namespace uparc::scrub {
 class GoldenSignature {
  public:
   explicit GoldenSignature(const std::vector<bits::Frame>& frames);
+  /// Rebuilds a signature from journaled (address, crc) pairs — the
+  /// crash-recovery path, where the frames themselves are gone with the
+  /// crashed controller and only the WAL's signature survives.
+  explicit GoldenSignature(const std::vector<std::pair<bits::FrameAddress, u32>>& pairs);
 
   [[nodiscard]] std::size_t frame_count() const noexcept { return entries_.size(); }
   [[nodiscard]] const std::vector<bits::FrameAddress>& addresses() const noexcept {
@@ -26,6 +32,11 @@ class GoldenSignature {
   }
   /// CRC expected for the frame at `addr`; nullptr if not in the region.
   [[nodiscard]] const u32* expected_crc(const bits::FrameAddress& addr) const;
+  /// Sorted (linear index, crc) pairs; two signatures describe the same
+  /// content iff these compare equal.
+  [[nodiscard]] const std::vector<std::pair<u32, u32>>& entries() const noexcept {
+    return entries_;
+  }
 
  private:
   std::vector<std::pair<u32, u32>> entries_;  // (linear index, crc), sorted

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "bitstream/generator.hpp"
+#include "common/json.hpp"
+#include "txn/recovery.hpp"
 
 namespace uparc::serve {
 namespace {
@@ -34,6 +36,28 @@ fault::FaultPlan chaos_plan(u64 seed, double scale) {
 
 }  // namespace
 
+std::string Breaker::to_json() const {
+  std::ostringstream os;
+  os << "{\"consecutive_failures\":" << consecutive_failures << ",\"opens\":" << opens
+     << ",\"open\":" << (open ? "true" : "false")
+     << ",\"open_until_ps\":" << open_until.ps() << "}";
+  return os.str();
+}
+
+Breaker Breaker::from_json(const std::string& snapshot) {
+  auto parsed = json::parse(snapshot);
+  if (!parsed.ok()) {
+    throw std::runtime_error("Breaker::from_json: " + parsed.error().message);
+  }
+  const json::Value& v = parsed.value();
+  Breaker b;
+  b.consecutive_failures = static_cast<unsigned>(v.at("consecutive_failures").as_u64());
+  b.opens = static_cast<unsigned>(v.at("opens").as_u64());
+  b.open = v.at("open").as_bool();
+  b.open_until = TimePs{v.at("open_until_ps").as_u64()};
+  return b;
+}
+
 FrontEnd::FrontEnd(FrontEndConfig config)
     : config_(config),
       jitter_(config.seed ^ 0xF0E1D2C3B4A59687ULL),
@@ -45,64 +69,126 @@ FrontEnd::FrontEnd(FrontEndConfig config)
 
 FrontEnd::~FrontEnd() = default;
 
+std::unique_ptr<FrontEnd::Device> FrontEnd::make_device(unsigned index) {
+  const unsigned module_count = std::max(1u, config_.modules);
+  const std::size_t frames_per_module = images_.front().frames.size();
+  const u32 column_stride = static_cast<u32>(frames_per_module / 128 + 1);
+
+  auto dev = std::make_unique<Device>();
+  core::SystemConfig sys_cfg;
+  sys_cfg.with_cache = true;
+  dev->system = std::make_unique<core::System>(sys_cfg);
+
+  for (unsigned m = 0; m < module_count; ++m) {
+    Status st = dev->library.add_module("m" + std::to_string(m), images_[m]);
+    if (!st.ok()) throw std::runtime_error("FrontEnd add_module: " + st.error().message);
+  }
+
+  region::Floorplan floorplan(sys_cfg.uparc.device);
+  for (unsigned r = 0; r < std::max(1u, config_.regions_per_device); ++r) {
+    region::RegionGeometry geom;
+    geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * column_stride, 0};
+    geom.frame_count = static_cast<u32>(frames_per_module);
+    Status st = floorplan.add_region("r" + std::to_string(r), geom);
+    if (!st.ok()) throw std::runtime_error("FrontEnd add_region: " + st.error().message);
+  }
+
+  sim::Simulation& sim = dev->system->sim();
+  dev->txn = std::make_unique<txn::TxnManager>(sim, "txn", dev->system->uparc(),
+                                               dev->system->icap(), dev->system->rail(),
+                                               config_.policy);
+  // Every device journals: the WAL is what the restart drill recovers from
+  // (and what a post-mortem reads when a real device dies).
+  dev->wal_store = std::make_unique<txn::MemWalStorage>();
+  dev->wal = std::make_unique<txn::Wal>(sim, "wal", *dev->wal_store, config_.wal);
+  dev->txn->set_wal(dev->wal.get());
+  dev->manager = std::make_unique<region::RegionManager>(
+      sim, "region_mgr", std::move(floorplan), dev->library, dev->system->uparc(),
+      dev->system->plane());
+  dev->manager->set_transaction_manager(dev->txn.get());
+  // Transaction terminals land on the device's black-box shard (stamped
+  // with the device sim clock — each shard records in its own clock
+  // domain); a kFailed transaction trips the post-mortem.
+  dev->txn->set_flight_recorder(&flight_, device_shard(static_cast<int>(index)) + "/txn");
+  // Per-device fault stream; armed after calibration (see calibrate()).
+  dev->injector = std::make_unique<fault::FaultInjector>(
+      sim, "chaos", chaos_plan(config_.seed + index, config_.fault_scale));
+  // The whole device simulation is one event shard (shard id = device
+  // index): every module, clock and registered component in it belongs to
+  // this device and nothing reaches across. lint_isolation() audits that.
+  sim.topology().assign_shard_to_all(index);
+  return dev;
+}
+
 void FrontEnd::build_devices() {
   // One module image set shared by every device's library (identical
   // sizing so every module fits every region window).
   const unsigned module_count = std::max(1u, config_.modules);
   core::SystemConfig probe_cfg;
-  const bits::Device& device_kind = probe_cfg.uparc.device;
   for (unsigned m = 0; m < module_count; ++m) {
     bits::GeneratorConfig gen_cfg;
-    gen_cfg.device = device_kind;
+    gen_cfg.device = probe_cfg.uparc.device;
     gen_cfg.target_body_bytes = std::max<std::size_t>(1, config_.module_kb) * 1024;
     gen_cfg.seed = config_.seed * 1000 + m + 1;
     gen_cfg.design_name = "m" + std::to_string(m);
     images_.push_back(bits::Generator(gen_cfg).generate());
   }
-  const std::size_t frames_per_module = images_.front().frames.size();
-  const u32 column_stride = static_cast<u32>(frames_per_module / 128 + 1);
-
   for (unsigned di = 0; di < config_.devices; ++di) {
-    auto dev = std::make_unique<Device>();
-    core::SystemConfig sys_cfg;
-    sys_cfg.with_cache = true;
-    dev->system = std::make_unique<core::System>(sys_cfg);
-
-    for (unsigned m = 0; m < module_count; ++m) {
-      Status st = dev->library.add_module("m" + std::to_string(m), images_[m]);
-      if (!st.ok()) throw std::runtime_error("FrontEnd add_module: " + st.error().message);
-    }
-
-    region::Floorplan floorplan(device_kind);
-    for (unsigned r = 0; r < std::max(1u, config_.regions_per_device); ++r) {
-      region::RegionGeometry geom;
-      geom.origin = bits::FrameAddress{0, 0, 0, 1 + r * column_stride, 0};
-      geom.frame_count = static_cast<u32>(frames_per_module);
-      Status st = floorplan.add_region("r" + std::to_string(r), geom);
-      if (!st.ok()) throw std::runtime_error("FrontEnd add_region: " + st.error().message);
-    }
-
-    sim::Simulation& sim = dev->system->sim();
-    dev->txn = std::make_unique<txn::TxnManager>(sim, "txn", dev->system->uparc(),
-                                                 dev->system->icap(), dev->system->rail(),
-                                                 config_.policy);
-    dev->manager = std::make_unique<region::RegionManager>(
-        sim, "region_mgr", std::move(floorplan), dev->library, dev->system->uparc(),
-        dev->system->plane());
-    dev->manager->set_transaction_manager(dev->txn.get());
-    // Transaction terminals land on the device's black-box shard (stamped
-    // with the device sim clock — each shard records in its own clock
-    // domain); a kFailed transaction trips the post-mortem.
-    dev->txn->set_flight_recorder(&flight_, device_shard(static_cast<int>(di)) + "/txn");
-    // Per-device fault stream; armed after calibration (see calibrate()).
-    dev->injector = std::make_unique<fault::FaultInjector>(
-        sim, "chaos", chaos_plan(config_.seed + di, config_.fault_scale));
-    // The whole device simulation is one event shard (shard id = device
-    // index): every module, clock and registered component in it belongs to
-    // this device and nothing reaches across. lint_isolation() audits that.
-    sim.topology().assign_shard_to_all(di);
-    devices_.push_back(std::move(dev));
+    devices_.push_back(make_device(di));
   }
+}
+
+void FrontEnd::restart_device(int device_index) {
+  Device& old = *devices_[device_index];
+  sync_device(old);
+  const Bytes wal_bytes = old.wal->storage().read_all();
+  const std::string breaker_snapshot = old.breaker.to_json();
+  const u64 loads = old.loads;
+
+  auto fresh = make_device(static_cast<unsigned>(device_index));
+  // The fabric keeps its frames across a controller restart — only the
+  // controller's memory is lost. Transplant every region window.
+  for (const region::Region& r : old.manager->floorplan().regions()) {
+    for (const bits::FrameAddress& addr : r.geometry.frames()) {
+      if (const Words* frame = old.system->plane().read_frame(addr)) {
+        fresh->system->plane().write_frame(addr, *frame);
+      }
+    }
+  }
+
+  txn::RecoveryCoordinator coordinator(*fresh->system, *fresh->txn);
+  const txn::RecoveryReport report = coordinator.recover(
+      wal_bytes,
+      txn::RecoveryCoordinator::library_resolver(fresh->library,
+                                                 fresh->manager->floorplan()),
+      fresh->wal.get());
+  for (const std::string& err : report.errors) {
+    violations_.push_back("device " + device_shard(device_index) + " restart: " + err);
+  }
+
+  fresh->breaker = Breaker::from_json(breaker_snapshot);
+  fresh->loads = loads;
+  fresh->restarted = true;
+  // Recovery drove the fresh simulation (readback scans, ladder
+  // re-programs); re-anchor so device time = base + global time stays
+  // monotone from here on.
+  const TimePs dev_now = fresh->system->sim().now();
+  fresh->base = dev_now > now_ ? dev_now - now_ : TimePs{0};
+  if (config_.fault_scale > 0.0) {
+    fresh->injector->arm(fresh->system->uparc(), fresh->system->icap());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->replace_source(&fresh->system->sim().metrics(),
+                               {{"device", device_shard(device_index)}});
+  }
+
+  ++restarts_;
+  metrics_.counter("serve.restarts").add();
+  flight_.info(device_shard(device_index), now_, "serve", "controller-restart",
+               "loads=" + std::to_string(loads) +
+                   " wal_records=" + std::to_string(report.records_scanned) +
+                   " regions=" + std::to_string(report.regions.size()));
+  devices_[static_cast<std::size_t>(device_index)] = std::move(fresh);
 }
 
 analysis::Report FrontEnd::lint_isolation() const {
@@ -246,8 +332,14 @@ int FrontEnd::pick_device(int exclude) {
   int best = -1;
   for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
     if (i == exclude && devices_.size() > 1) continue;
+    if (devices_[i]->busy_until > now_) continue;
+    // Restart drill: an idle device past its load quota is cold-restarted
+    // here, before usability is judged on the recovered controller.
+    if (config_.restart_after_loads > 0 && !devices_[i]->restarted &&
+        devices_[i]->loads >= config_.restart_after_loads) {
+      restart_device(i);
+    }
     Device& d = *devices_[i];
-    if (d.busy_until > now_) continue;
     if (!device_usable(d, i)) continue;
     // Deterministic preference: fewest breaker failures, then least loaded.
     if (best < 0 ||

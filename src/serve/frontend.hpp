@@ -48,8 +48,25 @@
 #include "serve/queue.hpp"
 #include "serve/workload.hpp"
 #include "txn/transaction.hpp"
+#include "txn/wal.hpp"
 
 namespace uparc::serve {
+
+/// Per-device circuit breaker. `opens` drives the backoff exponent, so a
+/// breaker restored from a snapshot continues its doubling schedule instead
+/// of starting over — the serve-layer twin of the HealthTracker restore
+/// contract (a restarted controller must not forget how flaky its device
+/// has been).
+struct Breaker {
+  unsigned consecutive_failures = 0;
+  unsigned opens = 0;
+  bool open = false;
+  TimePs open_until{};
+
+  [[nodiscard]] std::string to_json() const;
+  /// Parses a to_json() snapshot; throws std::runtime_error on bad input.
+  [[nodiscard]] static Breaker from_json(const std::string& snapshot);
+};
 
 /// Terminal states. Exactly one per request — the core soak invariant.
 enum class Outcome : u8 { kPending, kCompleted, kRejected, kShed, kTimedOut };
@@ -94,6 +111,15 @@ struct FrontEndConfig {
   TimePs software_cost = TimePs::from_ms(2);
   AdmissionConfig admission{};
   txn::TxnPolicy policy{};
+  /// Per-device write-ahead log rotation policy (every device always
+  /// journals; the WAL is what makes the restart drill below recoverable).
+  txn::WalPolicy wal{};
+  /// Controller-restart drill: once a device has served this many loads it
+  /// is cold-restarted at its next idle pick — controller state is rebuilt
+  /// from its WAL by txn::RecoveryCoordinator and the breaker is restored
+  /// from a snapshot, while the fabric keeps its frames. 0 = off. Each
+  /// device restarts at most once per run.
+  u64 restart_after_loads = 0;
 };
 
 struct RequestRecord {
@@ -157,6 +183,8 @@ class FrontEnd {
     return static_cast<unsigned>(devices_.size());
   }
   [[nodiscard]] u64 fault_fires() const;
+  /// Controller restarts performed by the restart drill this run.
+  [[nodiscard]] u64 restarts() const noexcept { return restarts_; }
   /// Health snapshots (txn::HealthTracker::render_json) per device.
   [[nodiscard]] std::string health_json() const;
   /// Isolation audit over every device topology (each device simulation is
@@ -165,16 +193,11 @@ class FrontEnd {
   [[nodiscard]] analysis::Report lint_isolation() const;
 
  private:
-  struct Breaker {
-    unsigned consecutive_failures = 0;
-    unsigned opens = 0;
-    bool open = false;
-    TimePs open_until{};
-  };
-
   struct Device {
     std::unique_ptr<core::System> system;
     region::ModuleLibrary library;
+    std::unique_ptr<txn::MemWalStorage> wal_store;
+    std::unique_ptr<txn::Wal> wal;
     std::unique_ptr<txn::TxnManager> txn;
     std::unique_ptr<region::RegionManager> manager;
     std::unique_ptr<fault::FaultInjector> injector;
@@ -182,6 +205,7 @@ class FrontEnd {
     TimePs busy_until{};  ///< global time the current load finishes
     Breaker breaker;
     u64 loads = 0;
+    bool restarted = false;  ///< this controller already did its drill
   };
 
   struct Event {
@@ -193,7 +217,14 @@ class FrontEnd {
     }
   };
 
+  [[nodiscard]] std::unique_ptr<Device> make_device(unsigned index);
   void build_devices();
+  /// Cold-restarts device `device_index`'s controller in place: captures
+  /// its WAL and breaker snapshot, rebuilds the Device (the fabric's
+  /// config-plane frames are transplanted — only controller memory is
+  /// lost), replays the WAL through txn::RecoveryCoordinator and restores
+  /// the breaker so its backoff schedule continues.
+  void restart_device(int device_index);
   void calibrate();
   void schedule(TimePs at, std::function<void()> fn);
   void sync_device(Device& d);
@@ -238,6 +269,7 @@ class FrontEnd {
 
   std::vector<RequestRecord> records_;  ///< indexed by request id
   u64 terminals_ = 0;
+  u64 restarts_ = 0;
   std::vector<std::string> violations_;
 
   // Completion hooks installed by run() for closed-loop backpressure.

@@ -18,7 +18,7 @@ std::string ServeSoakReport::summary() const {
   }
   out << "  retries " << retries << "  breaker opens " << breaker_opens
       << "  software fallbacks " << software_fallbacks << "  fault fires "
-      << fault_fires << "\n"
+      << fault_fires << "  controller restarts " << restarts << "\n"
       << "  slo alerts: fired " << alerts_fired << "  resolved " << alerts_resolved << "\n"
       << "  sim time " << sim_ms << " ms\n"
       << "  invariants: "
@@ -117,6 +117,7 @@ ServeSoakReport run_soak(const ServeSoakConfig& config) {
   fe_cfg.modules = config.modules;
   fe_cfg.fault_scale = config.fault_scale;
   fe_cfg.queue_capacity = config.queue_capacity;
+  fe_cfg.restart_after_loads = config.restart_after_loads;
   FrontEnd fe(fe_cfg);
 
   report.rated_rps = fe.rated_rps();
@@ -215,6 +216,7 @@ ServeSoakReport run_soak(const ServeSoakConfig& config) {
   report.retries = static_cast<u64>(m.counter_value("serve.retries"));
   report.breaker_opens = static_cast<u64>(m.counter_value("serve.breaker.opens"));
   report.fault_fires = fe.fault_fires();
+  report.restarts = fe.restarts();
   report.metrics_json = m.render_json();
   report.health_json = fe.health_json();
   if (fe.telemetry() != nullptr) {

@@ -46,6 +46,10 @@ struct ServeSoakConfig {
   /// deadline, goodput ratio, best-effort shed ratio).
   std::vector<std::string> slo_lines;
   obs::SloPolicy slo_policy{};
+  /// Controller-restart drill (FrontEndConfig::restart_after_loads):
+  /// after this many loads a device is cold-restarted once, its state
+  /// rebuilt from its WAL. 0 = off.
+  u64 restart_after_loads = 0;
 };
 
 struct ServeSoakViolation {
@@ -64,6 +68,7 @@ struct ServeSoakReport {
   u64 retries = 0;
   u64 breaker_opens = 0;
   u64 fault_fires = 0;
+  u64 restarts = 0;  ///< controller restarts performed by the drill
   double rated_rps = 0.0;
   double offered_rps = 0.0;
   double sim_ms = 0.0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
+#include "common/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace uparc::txn {
@@ -113,6 +115,61 @@ unsigned HealthTracker::consecutive_rollbacks(const std::string& region) const {
 u64 HealthTracker::quarantine_entries(const std::string& region) const {
   auto it = entries_.find(region);
   return it == entries_.end() ? 0 : it->second.quarantine_entries;
+}
+
+std::string HealthTracker::to_json() const {
+  std::ostringstream os;
+  os << "{\"regions\":{";
+  bool first = true;
+  for (const auto& [region, e] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(region)
+       << "\":{\"consecutive_rollbacks\":" << e.consecutive_rollbacks
+       << ",\"quarantine_entries\":" << e.quarantine_entries
+       << ",\"quarantined\":" << (e.quarantined ? "true" : "false")
+       << ",\"permanent\":" << (e.permanent ? "true" : "false");
+    if (e.permanent) {
+      os << ",\"remaining_ps\":-1";
+    } else if (!e.quarantined) {
+      os << ",\"remaining_ps\":0";
+    } else {
+      const TimePs now = sim_.now();
+      os << ",\"remaining_ps\":" << (now >= e.until ? u64{0} : (e.until - now).ps());
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void HealthTracker::restore_json(const std::string& snapshot) {
+  auto parsed = json::parse(snapshot);
+  if (!parsed.ok()) {
+    throw std::runtime_error("HealthTracker::restore_json: " + parsed.error().message);
+  }
+  const json::Value& root = parsed.value();
+  const json::Value* regions = root.find("regions");
+  if (regions == nullptr || !regions->is(json::Type::kObject)) {
+    throw std::runtime_error("HealthTracker::restore_json: missing \"regions\"");
+  }
+  std::map<std::string, Entry> restored;
+  for (const auto& [region, v] : regions->members) {
+    Entry e;
+    e.consecutive_rollbacks = static_cast<unsigned>(v.at("consecutive_rollbacks").as_u64());
+    e.quarantine_entries = v.at("quarantine_entries").as_u64();
+    e.quarantined = v.at("quarantined").as_bool();
+    e.permanent = v.at("permanent").as_bool();
+    if (e.permanent) {
+      e.until = TimePs(~u64{0});
+    } else if (e.quarantined) {
+      // Re-anchor the deadline: the quarantine owes `remaining` more time
+      // from *this* controller's clock, however long the restart took.
+      e.until = sim_.now() + TimePs(v.at("remaining_ps").as_u64());
+    }
+    restored.emplace(region, e);
+  }
+  entries_ = std::move(restored);
 }
 
 std::string HealthTracker::render_json() const {

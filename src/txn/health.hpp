@@ -77,6 +77,19 @@ class HealthTracker {
   /// remaining quarantine time in microseconds at the current sim time.
   [[nodiscard]] std::string render_json() const;
 
+  /// Serializable snapshot of the tracker's full internal state (unlike
+  /// render_json, which reports the *derived* state at the current time).
+  /// Quarantine deadlines are stored as remaining time so a restore into a
+  /// controller with a different epoch re-anchors correctly.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Restores from a to_json() snapshot, replacing all tracked regions.
+  /// Remaining quarantine re-anchors at the current sim time, and the
+  /// quarantine-entry count survives — a restored flapping region continues
+  /// its doubled backoff schedule instead of starting over. Throws
+  /// std::runtime_error on malformed input.
+  void restore_json(const std::string& snapshot);
+
   [[nodiscard]] const HealthPolicy& policy() const noexcept { return policy_; }
 
  private:

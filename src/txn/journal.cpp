@@ -3,9 +3,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace uparc::txn {
+
+bool phase_from_string(std::string_view name, TxnPhase& out) {
+  for (TxnPhase p : {TxnPhase::kBegun, TxnPhase::kForward, TxnPhase::kVerify,
+                     TxnPhase::kCommitted, TxnPhase::kRollback,
+                     TxnPhase::kRolledBackLastGood, TxnPhase::kRolledBackBlank,
+                     TxnPhase::kFailed}) {
+    if (name == to_string(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
 
 u64 Journal::begin(std::string region, std::string module) {
   TxnRecord rec;
@@ -81,6 +95,54 @@ std::string Journal::render_json() const {
   }
   out << "\n  ],\n  \"open\": " << open_ << "\n}\n";
   return out.str();
+}
+
+ParsedJournal parse_journal_json(const std::string& text) {
+  auto parsed = json::parse(text);
+  if (!parsed.ok()) {
+    throw std::runtime_error("parse_journal_json: " + parsed.error().message);
+  }
+  const json::Value& root = parsed.value();
+  const json::Value* txns = root.find("transactions");
+  if (txns == nullptr || !txns->is(json::Type::kArray)) {
+    throw std::runtime_error("parse_journal_json: missing \"transactions\"");
+  }
+  ParsedJournal out;
+  out.records.reserve(txns->items.size());
+  for (const json::Value& t : txns->items) {
+    TxnRecord rec;
+    rec.id = t.at("id").as_u64();
+    rec.region = t.at("region").as_string();
+    rec.module = t.at("module").as_string();
+    TxnPhase phase{};
+    if (!phase_from_string(t.at("phase").as_string(), phase)) {
+      throw std::runtime_error("parse_journal_json: unknown phase \"" +
+                               t.at("phase").as_string() + "\"");
+    }
+    rec.phase = phase;
+    rec.opened_at = TimePs(t.at("opened_ps").as_u64());
+    rec.closed_at = TimePs(t.at("closed_ps").as_u64());
+    const bool terminal = t.at("terminal").as_bool();
+    if (terminal != rec.terminal()) {
+      throw std::runtime_error("parse_journal_json: terminal flag contradicts phase on txn " +
+                               std::to_string(rec.id));
+    }
+    const json::Value* events = t.find("events");
+    if (events != nullptr && events->is(json::Type::kArray)) {
+      for (const json::Value& e : events->items) {
+        TxnEvent ev;
+        if (!phase_from_string(e.at("phase").as_string(), ev.phase)) {
+          throw std::runtime_error("parse_journal_json: unknown event phase");
+        }
+        ev.at = TimePs(e.at("at_ps").as_u64());
+        if (const json::Value* note = e.find("note")) ev.note = note->as_string();
+        rec.events.push_back(std::move(ev));
+      }
+    }
+    out.records.push_back(std::move(rec));
+  }
+  out.open = root.at("open").as_u64();
+  return out;
 }
 
 }  // namespace uparc::txn

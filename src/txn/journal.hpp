@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.hpp"
@@ -46,6 +47,9 @@ enum class TxnPhase {
   return p == TxnPhase::kCommitted || p == TxnPhase::kRolledBackLastGood ||
          p == TxnPhase::kRolledBackBlank || p == TxnPhase::kFailed;
 }
+
+/// Inverse of to_string(TxnPhase); false when `name` is no phase.
+[[nodiscard]] bool phase_from_string(std::string_view name, TxnPhase& out);
 
 struct TxnEvent {
   TxnPhase phase;
@@ -91,5 +95,14 @@ class Journal {
   std::vector<TxnRecord> records_;
   std::size_t open_ = 0;
 };
+
+/// Parses a Journal::render_json() artifact back into records — the
+/// round-trip the recovery tooling and the CI artifact consumers rely on.
+/// Throws std::runtime_error on malformed input or unknown phases.
+struct ParsedJournal {
+  std::vector<TxnRecord> records;
+  std::size_t open = 0;
+};
+[[nodiscard]] ParsedJournal parse_journal_json(const std::string& text);
 
 }  // namespace uparc::txn

@@ -1,10 +1,28 @@
 #include "txn/transaction.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace uparc::txn {
+
+namespace {
+
+/// Per-frame golden signature of an image as a WAL payload fragment:
+/// [[packed_far, crc32], ...] in frame order.
+void golden_frames_json(std::ostringstream& os, const bits::PartialBitstream& image) {
+  os << "[";
+  for (std::size_t i = 0; i < image.frames.size(); ++i) {
+    const bits::Frame& f = image.frames[i];
+    os << (i == 0 ? "" : ",") << "[" << f.address.pack() << "," << crc32_words(f.data)
+       << "]";
+  }
+  os << "]";
+}
+
+}  // namespace
 
 TxnManager::TxnManager(sim::Simulation& sim, std::string name, core::Uparc& uparc,
                        icap::Icap& port, power::Rail* rail, TxnPolicy policy)
@@ -20,6 +38,137 @@ TxnManager::TxnManager(sim::Simulation& sim, std::string name, core::Uparc& upar
 const bits::PartialBitstream* TxnManager::last_good(const std::string& region) const {
   auto it = last_good_.find(region);
   return it == last_good_.end() ? nullptr : &it->second;
+}
+
+std::string TxnManager::last_good_module(const std::string& region) const {
+  auto it = last_good_module_.find(region);
+  return it == last_good_module_.end() ? std::string{} : it->second;
+}
+
+void TxnManager::set_wal(Wal* wal) {
+  wal_ = wal;
+  if (wal_ != nullptr) {
+    wal_->set_checkpoint_source([this] { return checkpoint_payload(); });
+  }
+}
+
+std::string TxnManager::checkpoint_payload() const {
+  std::ostringstream os;
+  os << "{\"now_ps\":" << sim_.now().ps() << ",\"regions\":{";
+  bool first = true;
+  for (const auto& [region, image] : last_good_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(region) << "\":{\"module\":\""
+       << obs::json_escape(last_good_module(region)) << "\",\"frames\":";
+    golden_frames_json(os, image);
+    os << "}";
+  }
+  os << "},\"windows\":{";
+  first = true;
+  for (const auto& [region, window] : windows_) {
+    if (last_good_.count(region) != 0) continue;  // frames already carry it
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(region) << "\":[";
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      os << (i == 0 ? "" : ",") << window[i].pack();
+    }
+    os << "]";
+  }
+  os << "},\"pins\":[";
+  first = true;
+  for (const std::string& region : pinned_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(region) << "\"";
+  }
+  os << "],\"health\":" << health_.to_json() << "}";
+  return os.str();
+}
+
+void TxnManager::wal_phase(TxnPhase phase, const std::string& note) {
+  if (wal_ == nullptr) return;
+  std::ostringstream os;
+  os << "{\"txn\":" << txn_id_ << ",\"phase\":\"" << to_string(phase) << "\"";
+  if (!note.empty()) os << ",\"note\":\"" << obs::json_escape(note) << "\"";
+  os << "}";
+  wal_->append(WalRecordType::kTxnPhase, os.str());
+}
+
+void TxnManager::wal_health() {
+  if (wal_ == nullptr) return;
+  wal_->append(WalRecordType::kHealth, "{\"health\":" + health_.to_json() + "}");
+}
+
+void TxnManager::restore_last_good(const std::string& region, const std::string& module,
+                                   const bits::PartialBitstream& image) {
+  if (busy_) throw std::logic_error("TxnManager: restore_last_good while busy");
+  last_good_[region] = image;
+  last_good_module_[region] = module;
+  auto& window = windows_[region];
+  window.clear();
+  window.reserve(image.frames.size());
+  for (const bits::Frame& f : image.frames) window.push_back(f.address);
+}
+
+void TxnManager::restore_window(const std::string& region,
+                                std::vector<bits::FrameAddress> window) {
+  if (busy_) throw std::logic_error("TxnManager: restore_window while busy");
+  windows_[region] = std::move(window);
+}
+
+void TxnManager::recover_region(const std::string& region, TxnCallback done) {
+  if (busy_) throw std::logic_error("TxnManager: recover_region while busy");
+  auto win = windows_.find(region);
+  if (win == windows_.end() || win->second.empty()) {
+    throw std::logic_error("TxnManager: recover_region without a restored window: " +
+                           region);
+  }
+  busy_ = true;
+  recovering_ = true;
+  region_ = region;
+  const bits::PartialBitstream* good = last_good(region);
+  module_ = good != nullptr ? last_good_module(region) : "<recovery-blank>";
+  if (good != nullptr) {
+    image_ = *good;
+    blank_built_ = false;
+  } else {
+    // No retained module: the ladder goes straight to the safe blank. Seed
+    // image_ with it too — rollback_round sizes the blank from image_.
+    blank_ = make_blank_bitstream(uparc_.config().device, win->second.front(),
+                                  win->second.size());
+    blank_built_ = true;
+    image_ = blank_;
+  }
+  done_ = std::move(done);
+  out_ = TxnOutcome{};
+  out_.region = region_;
+  out_.module = module_;
+  out_.start = sim_.now();
+  txn_id_ = journal_.begin(region_, module_);
+  out_.txn_id = txn_id_;
+
+  stats().add("recoveries");
+  metrics().counter(name() + ".recoveries").add();
+  if (wal_ != nullptr) {
+    std::ostringstream os;
+    os << "{\"txn\":" << txn_id_ << ",\"region\":\"" << obs::json_escape(region_)
+       << "\",\"module\":\"" << obs::json_escape(module_) << "\",\"recovery\":true}";
+    wal_->append(WalRecordType::kTxnBegin, os.str());
+    std::ostringstream gs;
+    gs << "{\"txn\":" << txn_id_ << ",\"region\":\"" << obs::json_escape(region_)
+       << "\",\"module\":\"" << obs::json_escape(module_) << "\",\"frames\":";
+    golden_frames_json(gs, image_);
+    gs << "}";
+    wal_->append(WalRecordType::kGolden, gs.str());
+  }
+  if (obs::Tracer* tr = tracer()) {
+    txn_span_ = tr->begin("txn.recover", "txn");
+    tr->arg(txn_span_, "region", region_);
+    tr->arg(txn_span_, "module", module_);
+  }
+  rollback_round("crash recovery: presumed abort");
 }
 
 bits::PartialBitstream TxnManager::make_blank_bitstream(const bits::Device& device,
@@ -85,6 +234,21 @@ void TxnManager::execute(const std::string& region, const std::string& module,
 
   stats().add("txns");
   metrics().counter(name() + ".txns").add();
+  if (wal_ != nullptr) {
+    // Journal intent and the staged image's golden signature before any
+    // plane action: a crash from here on can always be reconciled by
+    // readback against this record.
+    std::ostringstream os;
+    os << "{\"txn\":" << txn_id_ << ",\"region\":\"" << obs::json_escape(region_)
+       << "\",\"module\":\"" << obs::json_escape(module_) << "\"}";
+    wal_->append(WalRecordType::kTxnBegin, os.str());
+    std::ostringstream gs;
+    gs << "{\"txn\":" << txn_id_ << ",\"region\":\"" << obs::json_escape(region_)
+       << "\",\"module\":\"" << obs::json_escape(module_) << "\",\"frames\":";
+    golden_frames_json(gs, image_);
+    gs << "}";
+    wal_->append(WalRecordType::kGolden, gs.str());
+  }
   if (obs::Tracer* tr = tracer()) {
     txn_span_ = tr->begin("txn.run", "txn");
     tr->arg(txn_span_, "region", region_);
@@ -95,6 +259,7 @@ void TxnManager::execute(const std::string& region, const std::string& module,
 
 void TxnManager::start_forward() {
   journal_.advance(txn_id_, TxnPhase::kForward);
+  wal_phase(TxnPhase::kForward);
   recovery_.policy() = policy_.forward;
   recovery_.run(image_, [this](const manager::RecoveryOutcome& o) { on_forward(o); });
 }
@@ -117,6 +282,7 @@ void TxnManager::on_forward(const manager::RecoveryOutcome& o) {
 
 void TxnManager::start_verify(VerifyTarget target, const std::vector<bits::Frame>& frames) {
   journal_.advance(txn_id_, TxnPhase::kVerify);
+  wal_phase(TxnPhase::kVerify);
   ++out_.verify_runs;
   metrics().counter(name() + ".verifies").add();
   golden_ = std::make_unique<scrub::GoldenSignature>(frames);
@@ -143,11 +309,25 @@ void TxnManager::on_verify(VerifyTarget target, const scrub::ReadbackReport& rep
 }
 
 void TxnManager::commit() {
+  // The durable commit point: once this record is on media the transaction
+  // is committed whatever happens next — recovery replays everything below
+  // from the WAL. A crash *during* the append leaves the record torn and
+  // the transaction aborts (the caller never saw a commit).
+  wal_phase(TxnPhase::kCommitted);
   last_good_[region_] = image_;
+  last_good_module_[region_] = module_;
   // A verified commit is the strongest freshness signal the cache can get:
   // admit (if the stage predated the cache) and pin the image hot.
   uparc_.cache_promote(image_);
+  pinned_.insert(region_);
+  if (wal_ != nullptr) {
+    std::ostringstream os;
+    os << "{\"txn\":" << txn_id_ << ",\"region\":\"" << obs::json_escape(region_)
+       << "\",\"module\":\"" << obs::json_escape(module_) << "\",\"pinned\":true}";
+    wal_->append(WalRecordType::kCachePin, os.str());
+  }
   health_.on_commit(region_);
+  wal_health();
   out_.committed = true;
   stats().add("commits");
   metrics().counter(name() + ".commits").add();
@@ -166,6 +346,7 @@ void TxnManager::rollback_round(std::string reason) {
   }
   ++out_.rollback_rounds;
   journal_.advance(txn_id_, TxnPhase::kRollback, reason);
+  wal_phase(TxnPhase::kRollback, reason);
   metrics().counter(name() + ".rollback_rounds").add();
   if (obs::Tracer* tr = tracer()) {
     tr->instant("txn.rollback_round", "txn");
@@ -197,12 +378,23 @@ void TxnManager::rollback_round(std::string reason) {
 }
 
 void TxnManager::finish_rolled_back(VerifyTarget target) {
-  health_.on_rollback(region_);
+  const TxnPhase terminal = target == VerifyTarget::kBlank
+                                ? TxnPhase::kRolledBackBlank
+                                : TxnPhase::kRolledBackLastGood;
+  wal_phase(terminal);
+  if (!recovering_) {
+    // Crash reconciliation re-runs the ladder on a region that did nothing
+    // wrong — only live rollbacks count against its health.
+    health_.on_rollback(region_);
+    wal_health();
+  }
   if (target == VerifyTarget::kBlank) {
     // The fabric is verified blank; the old golden copy no longer describes
     // it, so future rollbacks of this region must blank again, not resurrect
     // a module the journal says is gone.
     last_good_.erase(region_);
+    last_good_module_.erase(region_);
+    pinned_.erase(region_);
     stats().add("rollbacks_blank");
     metrics().counter(name() + ".rollbacks_blank").add();
     finish(TxnPhase::kRolledBackBlank);
@@ -215,7 +407,10 @@ void TxnManager::finish_rolled_back(VerifyTarget target) {
 
 void TxnManager::fail(std::string why) {
   if (out_.error.empty()) out_.error = why;
+  wal_phase(TxnPhase::kFailed, why);
   health_.on_failure(region_);
+  wal_health();
+  pinned_.erase(region_);
   stats().add("failures");
   metrics().counter(name() + ".failures").add();
   journal_.advance(txn_id_, TxnPhase::kFailed, std::move(why));
@@ -249,6 +444,10 @@ void TxnManager::finish(TxnPhase terminal) {
   }
   golden_.reset();
   busy_ = false;
+  recovering_ = false;
+  // Transaction boundary: the only safe moment to rotate the WAL segment
+  // (compaction must never orphan an open transaction's records).
+  if (wal_ != nullptr) wal_->maybe_checkpoint();
   auto done = std::move(done_);
   done_ = nullptr;
   if (done) done(out_);

@@ -31,12 +31,14 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "manager/recovery.hpp"
 #include "obs/flight_recorder.hpp"
 #include "scrub/readback.hpp"
 #include "txn/health.hpp"
 #include "txn/journal.hpp"
+#include "txn/wal.hpp"
 
 namespace uparc::txn {
 
@@ -108,9 +110,49 @@ class TxnManager : public sim::Module {
     flight_shard_ = std::move(shard);
   }
 
+  /// Attaches the durable write-ahead journal: every phase change, commit
+  /// golden signature, health delta and cache pin is appended *before* the
+  /// corresponding config-plane action proceeds, and segment rotation is
+  /// requested at transaction boundaries. `wal` is not owned and must
+  /// outlive the manager; it also receives this manager's checkpoint
+  /// source. Pass nullptr to detach.
+  void set_wal(Wal* wal);
+  [[nodiscard]] Wal* wal() noexcept { return wal_; }
+
+  /// Full-state snapshot for WAL checkpoints: every region's last-good
+  /// module + golden signature, the cache pins and the health tracker.
+  [[nodiscard]] std::string checkpoint_payload() const;
+
+  /// Recovery: re-adopt a region's committed identity without touching the
+  /// fabric — the caller (RecoveryCoordinator) has already proven by
+  /// readback that the plane holds exactly this image.
+  void restore_last_good(const std::string& region, const std::string& module,
+                         const bits::PartialBitstream& image);
+
+  /// Recovery: restore only the region's frame window (aborted or blank
+  /// regions), so region_consistent() knows the region's extent.
+  void restore_window(const std::string& region,
+                      std::vector<bits::FrameAddress> window);
+
+  /// Recovery: presumed-abort reconciliation of a region whose fabric
+  /// cannot be trusted. Opens a journaled transaction that re-enters the
+  /// rollback ladder directly — restore the retained last-good if present,
+  /// else the safe blank stub — with every round readback-verified, exactly
+  /// like a live rollback. The health tracker is *not* penalized: the crash
+  /// was the controller's fault, not the fabric's. Requires a prior
+  /// restore_last_good() or restore_window() for the region.
+  void recover_region(const std::string& region, TxnCallback done);
+
+  /// Regions whose committed image is pinned hot in the bitstream cache.
+  [[nodiscard]] const std::set<std::string>& pinned_regions() const noexcept {
+    return pinned_;
+  }
+
   /// Retained golden copy of the region's committed module (null if the
   /// region is blank or was never committed).
   [[nodiscard]] const bits::PartialBitstream* last_good(const std::string& region) const;
+  /// Module name committed with the retained last-good image ("" if none).
+  [[nodiscard]] std::string last_good_module(const std::string& region) const;
 
   /// Ground-truth invariant for the soak harness: the plane window of
   /// `region` matches the retained last-good image, or is blank (all-zero /
@@ -127,6 +169,8 @@ class TxnManager : public sim::Module {
  private:
   enum class VerifyTarget { kCommit, kLastGood, kBlank };
 
+  void wal_phase(TxnPhase phase, const std::string& note = "");
+  void wal_health();
   void start_forward();
   void on_forward(const manager::RecoveryOutcome& o);
   void start_verify(VerifyTarget target, const std::vector<bits::Frame>& frames);
@@ -147,12 +191,16 @@ class TxnManager : public sim::Module {
 
   obs::FlightRecorder* flight_ = nullptr;
   std::string flight_shard_;
+  Wal* wal_ = nullptr;
 
   std::map<std::string, bits::PartialBitstream> last_good_;
+  std::map<std::string, std::string> last_good_module_;
   std::map<std::string, std::vector<bits::FrameAddress>> windows_;
+  std::set<std::string> pinned_;
 
   // In-flight transaction.
   bool busy_ = false;
+  bool recovering_ = false;  ///< current txn is crash reconciliation
   u64 txn_id_ = 0;
   std::string region_;
   std::string module_;

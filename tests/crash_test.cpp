@@ -1,0 +1,204 @@
+// Crash-consistency tests: deterministic crash-point injection, cold-start
+// recovery from a WAL (committed work is reprogrammed onto a blank fabric,
+// nothing is invented from an empty log), the flight-recorder freeze at the
+// moment of death, and a bounded crash-restart sweep with the replay
+// determinism gate on top.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "analysis/replay.hpp"
+#include "bitstream/generator.hpp"
+#include "core/system.hpp"
+#include "fault/crash.hpp"
+#include "region/module_library.hpp"
+#include "txn/crash_soak.hpp"
+#include "txn/recovery.hpp"
+#include "txn/transaction.hpp"
+
+namespace uparc::txn {
+namespace {
+
+TEST(CrashInjectorTest, PickIsDeterministicAndInRange) {
+  const fault::CrashPoint a = fault::CrashInjector::pick(42, 100);
+  const fault::CrashPoint b = fault::CrashInjector::pick(42, 100);
+  EXPECT_EQ(a.wal_seq, b.wal_seq);
+  EXPECT_EQ(a.corruption, b.corruption);
+  EXPECT_GE(a.wal_seq, 1u);
+  EXPECT_LE(a.wal_seq, 100u);
+  bool varies = false;
+  for (u64 seed = 1; seed < 16 && !varies; ++seed) {
+    const fault::CrashPoint c = fault::CrashInjector::pick(seed, 100);
+    varies = c.wal_seq != a.wal_seq || c.corruption != a.corruption;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(CrashInjectorTest, KillsAtTheArmedBoundaryAndFreezesFlight) {
+  sim::Simulation sim;
+  MemWalStorage store;
+  Wal wal(sim, "wal", store);
+  obs::FlightRecorder flight;
+  fault::CrashInjector injector({.wal_seq = 2, .corruption = WalCorruption::kTornWrite});
+  injector.set_flight_recorder(&flight, "ctl");
+  injector.arm(wal);
+
+  EXPECT_EQ(wal.append(WalRecordType::kHealth, "{}"), 1u);
+  EXPECT_FALSE(injector.crashed());
+  try {
+    wal.append(WalRecordType::kTxnBegin, "{\"txn\":1,\"region\":\"r0\"}");
+    FAIL() << "crash point did not fire";
+  } catch (const fault::ControllerCrash& c) {
+    EXPECT_EQ(c.wal_seq, 2u);
+    EXPECT_EQ(c.corruption, WalCorruption::kTornWrite);
+    EXPECT_EQ(c.at, sim.now());
+  }
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_EQ(injector.crash_time(), sim.now());
+
+  // The black box froze at the moment of death, before the throw.
+  EXPECT_TRUE(flight.triggered());
+  EXPECT_EQ(flight.first_trigger_reason(), "controller-crash");
+  EXPECT_EQ(flight.first_trigger_time(), sim.now());
+  EXPECT_FALSE(flight.postmortem().empty());
+
+  // The corruption landed: the tail record is torn in storage.
+  EXPECT_EQ(scan_wal(store.read_all()).tail, WalTailState::kTorn);
+}
+
+TEST(RecoveryTest, EmptyWalRecoversToCleanStateAndSealsNewEpoch) {
+  core::SystemConfig sys_cfg;
+  sys_cfg.with_cache = true;
+  core::System sys(sys_cfg);
+  TxnManager txn(sys.sim(), "txn", sys.uparc(), sys.icap(), sys.rail());
+  MemWalStorage store;
+  Wal new_wal(sys.sim(), "wal", store);
+
+  RecoveryCoordinator coordinator(sys, txn);
+  const auto resolver = [](const std::string& module,
+                           const std::string&) -> Result<bits::PartialBitstream> {
+    return make_error("no image for " + module, ErrorCause::kBadInput);
+  };
+  const Bytes empty;
+  const RecoveryReport report = coordinator.recover(empty, resolver, &new_wal);
+
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.records_scanned, 0u);
+  EXPECT_EQ(report.tail, WalTailState::kClean);
+  EXPECT_TRUE(report.regions.empty());
+  EXPECT_EQ(report.find("r0"), nullptr);
+  EXPECT_FALSE(report.render_json().empty());
+  // A brand-new epoch starts with a compacting checkpoint, and the manager
+  // journals into the new log from here on.
+  EXPECT_EQ(txn.wal(), &new_wal);
+  EXPECT_GE(new_wal.checkpoints(), 1u);
+  EXPECT_EQ(scan_wal(store.read_all()).records.front().type, WalRecordType::kCheckpoint);
+}
+
+TEST(RecoveryTest, ReprogramsCommittedRegionOntoBlankFabric) {
+  // Controller A commits m0 into r0 with a WAL attached; then the
+  // controller dies AND the fabric loses its frames (worst case: power
+  // cycle). Recovery on a blank plane must classify r0 as committed,
+  // notice the readback mismatch and reprogram the journaled last-good.
+  CrashSoakConfig cfg;
+  cfg.modules = 1;
+  cfg.regions = 1;
+  cfg.module_kb = 2;
+
+  bits::GeneratorConfig gen_cfg;
+  gen_cfg.target_body_bytes = 2048;
+  gen_cfg.seed = 77;
+  gen_cfg.design_name = "m0";
+
+  core::SystemConfig sys_cfg;
+  sys_cfg.with_cache = true;
+
+  region::ModuleLibrary library;
+  Bytes wal_bytes;
+  std::size_t frame_count = 0;
+  {
+    core::System a(sys_cfg);
+    gen_cfg.device = a.uparc().config().device;
+    const bits::PartialBitstream image = bits::Generator(gen_cfg).generate();
+    frame_count = image.frames.size();
+    ASSERT_TRUE(library.add_module("m0", image).ok());
+
+    region::Floorplan plan_a(gen_cfg.device);
+    region::RegionGeometry geom;
+    geom.origin = bits::FrameAddress{0, 0, 0, 1, 0};
+    geom.frame_count = static_cast<u32>(frame_count);
+    ASSERT_TRUE(plan_a.add_region("r0", geom).ok());
+
+    MemWalStorage store_a;
+    Wal wal_a(a.sim(), "wal", store_a);
+    TxnManager txn_a(a.sim(), "txn", a.uparc(), a.icap(), a.rail());
+    txn_a.set_wal(&wal_a);
+
+    auto placed = library.instantiate("m0", plan_a, *plan_a.find("r0"));
+    ASSERT_TRUE(placed.ok()) << placed.error().message;
+    std::optional<TxnOutcome> got;
+    txn_a.execute("r0", "m0", placed.value(), [&](const TxnOutcome& o) { got = o; });
+    a.sim().run();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(got->terminal, TxnPhase::kCommitted) << got->error;
+    wal_bytes = store_a.read_all();
+  }
+
+  core::System b(sys_cfg);  // blank fabric: nothing transplanted
+  region::Floorplan plan_b(gen_cfg.device);
+  region::RegionGeometry geom;
+  geom.origin = bits::FrameAddress{0, 0, 0, 1, 0};
+  geom.frame_count = static_cast<u32>(frame_count);
+  ASSERT_TRUE(plan_b.add_region("r0", geom).ok());
+  TxnManager txn_b(b.sim(), "txn", b.uparc(), b.icap(), b.rail());
+  MemWalStorage store_b;
+  Wal wal_b(b.sim(), "wal", store_b);
+
+  RecoveryCoordinator coordinator(b, txn_b);
+  const RecoveryReport report = coordinator.recover(
+      wal_bytes, RecoveryCoordinator::library_resolver(library, plan_b), &wal_b);
+
+  EXPECT_TRUE(report.ok()) << report.summary();
+  const RegionRecovery* r0 = report.find("r0");
+  ASSERT_NE(r0, nullptr);
+  EXPECT_EQ(r0->klass, RegionClass::kCommitted);
+  EXPECT_EQ(r0->module, "m0");
+  EXPECT_FALSE(r0->readback_clean);  // the fabric was blank
+  EXPECT_EQ(r0->action, RecoveryAction::kReprogram);
+  // The recovered controller knows m0 as r0's last-good again.
+  EXPECT_EQ(txn_b.last_good_module("r0"), "m0");
+}
+
+TEST(CrashSoakTest, BoundedSweepHoldsCrashConsistencyInvariants) {
+  CrashSoakConfig cfg;
+  cfg.ops = 4;
+  cfg.regions = 2;
+  cfg.modules = 2;
+  cfg.module_kb = 2;
+  cfg.max_crash_points = 5;
+  cfg.sweep_corruptions = true;
+  const CrashSoakReport report = run_crash_soak(cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.reference_records, 0u);
+  EXPECT_EQ(report.runs, report.crashes);  // every armed point fired
+  EXPECT_GT(report.runs, 0u);
+  EXPECT_FALSE(report.reference_wal_json.empty());
+  EXPECT_FALSE(report.last_recovery_json.empty());
+  EXPECT_FALSE(report.sweep_log.empty());
+}
+
+TEST(CrashSoakTest, ReplayIsByteIdentical) {
+  CrashSoakConfig cfg;
+  cfg.ops = 3;
+  cfg.regions = 2;
+  cfg.modules = 2;
+  cfg.module_kb = 2;
+  cfg.max_crash_points = 3;
+  cfg.sweep_corruptions = false;
+  const analysis::ReplayResult result = analysis::verify_crash_replay(cfg);
+  EXPECT_TRUE(result.identical()) << result.summary();
+  EXPECT_EQ(result.scenario, "crash");
+}
+
+}  // namespace
+}  // namespace uparc::txn

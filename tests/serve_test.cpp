@@ -280,5 +280,46 @@ TEST(ServeSoakTest, SoakIsDeterministic) {
   EXPECT_EQ(a.sim_ms, b.sim_ms);
 }
 
+TEST(BreakerJsonTest, RoundTripPreservesBackoffState) {
+  Breaker b;
+  b.consecutive_failures = 2;
+  b.opens = 5;  // drives the backoff exponent: 5 opens = 32x base
+  b.open = true;
+  b.open_until = TimePs::from_ms(7);
+
+  const Breaker restored = Breaker::from_json(b.to_json());
+  EXPECT_EQ(restored.consecutive_failures, 2u);
+  // Regression: a restored breaker continues its doubling schedule — losing
+  // `opens` across a restart would reset a flapping device to short
+  // backoffs and let it thrash the fleet.
+  EXPECT_EQ(restored.opens, 5u);
+  EXPECT_TRUE(restored.open);
+  EXPECT_EQ(restored.open_until, TimePs::from_ms(7));
+
+  EXPECT_THROW(Breaker::from_json("not json"), std::runtime_error);
+  EXPECT_THROW(Breaker::from_json("{\"opens\":1}"), std::out_of_range);
+}
+
+TEST(ServeSoakTest, RestartDrillRecoversControllersMidSoak) {
+  ServeSoakConfig cfg;
+  cfg.seed = 11;
+  cfg.requests = 200;
+  cfg.devices = 2;
+  cfg.load_factor = 1.5;
+  cfg.fault_scale = 1.0;
+  cfg.restart_after_loads = 15;
+  const ServeSoakReport report = run_soak(cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Both controllers crossed the quota and were cold-restarted from their
+  // WALs mid-run; the run still satisfies every per-request invariant.
+  EXPECT_EQ(report.restarts, 2u);
+
+  // The drill itself must be deterministic.
+  const ServeSoakReport again = run_soak(cfg);
+  EXPECT_EQ(again.restarts, report.restarts);
+  EXPECT_EQ(again.issued, report.issued);
+  EXPECT_EQ(again.sim_ms, report.sim_ms);
+}
+
 }  // namespace
 }  // namespace uparc::serve

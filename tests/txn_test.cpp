@@ -445,5 +445,102 @@ TEST(HealthTrackerTest, RemainingQuarantineExposedInJson) {
   EXPECT_FALSE(health.permanently_failed("r0"));
 }
 
+TEST(HealthTrackerTest, RestoredTrackerContinuesBackoffSchedule) {
+  HealthPolicy pol;
+  pol.rollbacks_to_quarantine = 1;
+  pol.base_backoff = TimePs::from_us(100);
+  pol.backoff_factor = 2.0;
+  pol.max_backoff = TimePs::from_ms(50);
+
+  sim::Simulation sim_a;
+  HealthTracker a(sim_a, "h", pol);
+  a.on_rollback("r0");  // quarantine entry 1: 100 us
+  sim_a.schedule_at(TimePs::from_us(150), [] {});
+  sim_a.run();
+  a.on_rollback("r0");  // probation trial rolled back -> entry 2: 200 us
+  EXPECT_EQ(a.quarantine_entries("r0"), 2u);
+  a.on_failure("r1");  // permanent quarantine must survive the restore too
+  const std::string snapshot = a.to_json();
+
+  sim::Simulation sim_b;
+  HealthTracker b(sim_b, "h", pol);
+  b.restore_json(snapshot);
+  EXPECT_EQ(b.quarantine_entries("r0"), 2u);
+  EXPECT_EQ(b.consecutive_rollbacks("r0"), a.consecutive_rollbacks("r0"));
+  EXPECT_EQ(b.state("r0"), HealthState::kQuarantined);
+  // The deadline re-anchors on the new controller's clock but owes the
+  // same remaining time.
+  EXPECT_EQ(b.remaining_quarantine("r0"), a.remaining_quarantine("r0"));
+  EXPECT_TRUE(b.permanently_failed("r1"));
+
+  // Regression: the restored tracker continues the doubling schedule — the
+  // next quarantine entry backs off 400 us, not the base 100 us a reset
+  // tracker would give.
+  sim_b.schedule_at(sim_b.now() + b.remaining_quarantine("r0") + TimePs{1}, [] {});
+  sim_b.run();
+  EXPECT_EQ(b.state("r0"), HealthState::kProbation);
+  b.on_rollback("r0");
+  EXPECT_EQ(b.quarantine_entries("r0"), 3u);
+  EXPECT_EQ(b.remaining_quarantine("r0"), TimePs::from_us(400));
+
+  EXPECT_THROW(b.restore_json("{\"nope\":1}"), std::runtime_error);
+}
+
+TEST(JournalJsonTest, RoundTripIsLosslessForAllStates) {
+  sim::Simulation sim;
+  Journal j(sim);
+
+  const u64 committed = j.begin("r0", "fft");
+  j.advance(committed, TxnPhase::kForward);
+  j.advance(committed, TxnPhase::kVerify);
+  j.advance(committed, TxnPhase::kCommitted, "verified");
+
+  // Rollback-ladder escalation: last-good readback failed, ladder dropped
+  // to blank — the event trail (with notes) must survive the round trip.
+  const u64 blanked = j.begin("r1", "fir");
+  j.advance(blanked, TxnPhase::kForward, "attempt 1");
+  j.advance(blanked, TxnPhase::kRollback, "icap abort");
+  j.advance(blanked, TxnPhase::kRollback, "last-good verify failed");
+  j.advance(blanked, TxnPhase::kRolledBackBlank, "safe blank");
+
+  const u64 lastgood = j.begin("r2", "fft");
+  j.advance(lastgood, TxnPhase::kForward);
+  j.advance(lastgood, TxnPhase::kRollback);
+  j.advance(lastgood, TxnPhase::kRolledBackLastGood);
+
+  const u64 failed = j.begin("r3", "iir");
+  j.advance(failed, TxnPhase::kForward);
+  j.advance(failed, TxnPhase::kRollback);
+  j.advance(failed, TxnPhase::kFailed, "rollback budget exhausted");
+
+  const u64 open = j.begin("r4", "fft");
+  j.advance(open, TxnPhase::kForward);  // still in flight — non-terminal
+
+  const ParsedJournal parsed = parse_journal_json(j.render_json());
+  ASSERT_EQ(parsed.records.size(), j.records().size());
+  EXPECT_EQ(parsed.open, j.open_count());
+  EXPECT_EQ(parsed.open, 1u);
+  for (std::size_t i = 0; i < parsed.records.size(); ++i) {
+    const TxnRecord& want = j.records()[i];
+    const TxnRecord& got = parsed.records[i];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.region, want.region);
+    EXPECT_EQ(got.module, want.module);
+    EXPECT_EQ(got.phase, want.phase);
+    EXPECT_EQ(got.opened_at, want.opened_at);
+    EXPECT_EQ(got.closed_at, want.closed_at);
+    EXPECT_EQ(got.terminal(), want.terminal());
+    ASSERT_EQ(got.events.size(), want.events.size());
+    for (std::size_t e = 0; e < want.events.size(); ++e) {
+      EXPECT_EQ(got.events[e].phase, want.events[e].phase);
+      EXPECT_EQ(got.events[e].at, want.events[e].at);
+      EXPECT_EQ(got.events[e].note, want.events[e].note);
+    }
+  }
+
+  EXPECT_THROW(parse_journal_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_journal_json("[{\"id\":1,\"phase\":\"warp\"}]"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace uparc::txn

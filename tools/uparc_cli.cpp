@@ -11,8 +11,14 @@
 //   uparc_cli sweep    f.bit
 //   uparc_cli lint     f.bit|f.uparc [--json] [--model] [--device v5|v6]
 //   uparc_cli lint     --isolation [--devices N] [--regions N] [--modules N]
-//   uparc_cli verify-determinism [--scenario serve|soak|all] [--seeds N]
+//   uparc_cli verify-determinism [--scenario serve|soak|crash|all] [--seeds N]
 //                      [--seed S] [--requests N] [--txns N] [--json]
+//   uparc_cli wal      f.wal [--json]
+//   uparc_cli crash-soak [--ops N] [--seed S] [--regions N] [--modules N]
+//                      [--module-kb N] [--rate-scale X] [--stride N]
+//                      [--max-points N] [--corruptions 0|1] [--json]
+//                      [--wal-out f.json] [--recovery-out f.json]
+//                      [--sweep-out f.log]
 //   uparc_cli trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]
 //                      [--scrub-rounds N]
 //   uparc_cli soak     [--txns N] [--seed S] [--regions N] [--modules N]
@@ -41,6 +47,7 @@
 #include "analysis/isolation_lint.hpp"
 #include "analysis/model_lint.hpp"
 #include "analysis/replay.hpp"
+#include "analysis/wal_lint.hpp"
 #include "bitstream/parser.hpp"
 #include "bitstream/writer.hpp"
 #include "common/io.hpp"
@@ -55,7 +62,9 @@
 #include "scrub/seu.hpp"
 #include "serve/frontend.hpp"
 #include "serve/soak.hpp"
+#include "txn/crash_soak.hpp"
 #include "txn/soak.hpp"
+#include "txn/wal.hpp"
 
 namespace {
 
@@ -556,6 +565,9 @@ serve::ServeSoakConfig serve_config_from(const Args& a) {
   cfg.fault_scale = a.get_num("faults", 1.0);
   cfg.dist = a.get("dist", "mixed");
   cfg.queue_capacity = static_cast<std::size_t>(a.get_num("queue", 64));
+  // Restart drill: after N completed loads, tear each device's controller
+  // down and cold-start it from its WAL mid-soak (0 = off).
+  cfg.restart_after_loads = static_cast<u64>(a.get_num("restart-after", 0));
   return cfg;
 }
 
@@ -902,10 +914,82 @@ int cmd_cache_stats(const Args& a) {
   return cached.failed == 0 ? 0 : 1;
 }
 
+int cmd_wal(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "wal: need a log file\n");
+    return 2;
+  }
+  auto data = read_file(a.positional.front());
+  if (!data.ok()) {
+    std::fprintf(stderr, "wal: %s\n", data.error().message.c_str());
+    return 1;
+  }
+  const txn::WalScan scan = txn::scan_wal(data.value());
+  const analysis::Report report = analysis::lint_wal(scan);
+  if (a.get("json", "") == "true") {
+    std::printf("{\"scan\":%s,\"lint\":%s}\n", txn::render_wal_json(scan).c_str(),
+                report.render_json().c_str());
+  } else {
+    std::printf("%s", txn::render_wal_text(scan).c_str());
+    if (!report.empty()) std::printf("%s", report.render_text().c_str());
+  }
+  // Any damage is a non-zero exit: errors mean the log lies about history,
+  // warnings (torn/corrupt tail) mean it needs recovery before reuse.
+  const bool damaged =
+      report.error_count() > 0 || report.count(analysis::Severity::kWarning) > 0;
+  return damaged ? 1 : 0;
+}
+
+int cmd_crash_soak(const Args& a) {
+  txn::CrashSoakConfig cfg;
+  cfg.seed = static_cast<u64>(a.get_num("seed", 1));
+  cfg.ops = static_cast<unsigned>(a.get_num("ops", 10));
+  cfg.regions = static_cast<unsigned>(a.get_num("regions", 2));
+  cfg.modules = static_cast<unsigned>(a.get_num("modules", 3));
+  cfg.module_kb = static_cast<std::size_t>(a.get_num("module-kb", 4));
+  cfg.fault_scale = a.get_num("rate-scale", 1.0);
+  cfg.crash_stride = std::max(1u, static_cast<unsigned>(a.get_num("stride", 1)));
+  cfg.max_crash_points = static_cast<unsigned>(a.get_num("max-points", 0));
+  cfg.sweep_corruptions = a.get_num("corruptions", 1) != 0;
+
+  const txn::CrashSoakReport report = txn::run_crash_soak(cfg);
+
+  auto dump = [](const std::string& path, const std::string& what,
+                 const std::string& body) {
+    if (path.empty()) return true;
+    if (auto st = write_text_file(path, body); !st.ok()) {
+      std::fprintf(stderr, "crash-soak: %s: %s\n", what.c_str(),
+                   st.error().message.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!dump(a.get("wal-out", ""), "wal", report.reference_wal_json)) return 1;
+  if (!dump(a.get("recovery-out", ""), "recovery", report.last_recovery_json)) return 1;
+  if (!dump(a.get("sweep-out", ""), "sweep", report.sweep_log)) return 1;
+
+  if (a.get("json", "") == "true") {
+    std::printf(
+        "{\"reference_records\": %llu, \"runs\": %u, \"crashes\": %u, "
+        "\"recoveries_ok\": %u, \"unacked_commits\": %u, \"adopted\": %u, "
+        "\"reprogrammed\": %u, \"aborts_clean\": %u, \"aborts_reprogram\": %u, "
+        "\"violations\": %zu, \"ok\": %s}\n",
+        static_cast<unsigned long long>(report.reference_records), report.runs,
+        report.crashes, report.recoveries_ok, report.unacked_commits, report.adopted,
+        report.reprogrammed, report.aborts_clean, report.aborts_reprogram,
+        report.violations.size(), report.ok() ? "true" : "false");
+  } else {
+    std::printf("%s", report.summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_verify_determinism(const Args& a) {
   const std::string scenario = a.get("scenario", "all");
-  if (scenario != "all" && scenario != "serve" && scenario != "soak") {
-    std::fprintf(stderr, "verify-determinism: --scenario must be serve, soak or all\n");
+  if (scenario != "all" && scenario != "serve" && scenario != "soak" &&
+      scenario != "crash") {
+    std::fprintf(stderr,
+                 "verify-determinism: --scenario must be serve, soak, crash or all\n");
     return 2;
   }
   const unsigned seeds = static_cast<unsigned>(a.get_num("seeds", 1));
@@ -927,6 +1011,16 @@ int cmd_verify_determinism(const Args& a) {
       cfg.seed = seed;
       cfg.transactions = static_cast<unsigned>(a.get_num("txns", 200));
       results.push_back(analysis::verify_txn_replay(cfg));
+    }
+    if (scenario == "all" || scenario == "crash") {
+      txn::CrashSoakConfig cfg;
+      cfg.seed = seed;
+      cfg.ops = static_cast<unsigned>(a.get_num("ops", 6));
+      // The gate proves recovery reproducibility, not coverage — a bounded
+      // sweep keeps it fast; the crash-soak job owns exhaustiveness.
+      cfg.max_crash_points = static_cast<unsigned>(a.get_num("max-points", 8));
+      cfg.sweep_corruptions = a.get_num("corruptions", 1) != 0;
+      results.push_back(analysis::verify_crash_replay(cfg));
     }
   }
 
@@ -969,7 +1063,7 @@ void usage(std::FILE* to) {
       "  verify-determinism  run a seeded scenario twice, byte-diff every\n"
       "           artifact (journal/metrics/trace/health); exits non-zero\n"
       "           on any divergence (rule det.replay.divergence)\n"
-      "           [--scenario serve|soak|all] [--seeds N] [--seed S]\n"
+      "           [--scenario serve|soak|crash|all] [--seeds N] [--seed S]\n"
       "           [--requests N] [--txns N] [--devices N] [--json]\n"
       "  trace    f.bit [--out trace.json] [--mhz F] [--metrics] [--json]\n"
       "           [--scrub-rounds N] [--seed S]\n"
@@ -990,7 +1084,8 @@ void usage(std::FILE* to) {
       "           [--requests N] [--rate X] [--devices N] [--regions N]\n"
       "           [--modules N] [--dist mixed|open|closed|bursty]\n"
       "           [--faults X] [--queue N] [--tenants N] [--seed S]\n"
-      "           [--metrics f.json] [--health f.json] [--json]\n"
+      "           [--restart-after N] [--metrics f.json] [--health f.json]\n"
+      "           [--json]\n"
       "           [--telemetry-out DIR] [--telemetry-us T]\n"
       "           — exits non-zero on any invariant violation;\n"
       "           --telemetry-out writes telemetry.json/.csv, alerts.json\n"
@@ -1003,6 +1098,21 @@ void usage(std::FILE* to) {
       "           [--expect-clean] [--expect-transition] [--json]\n"
       "           — --expect-clean fails if any alert fires;\n"
       "           --expect-transition fails without a fire->resolve pair\n"
+      "  wal      f.wal [--json] — dump and lint a write-ahead log: every\n"
+      "           decodable record, the tail classification (clean/torn/\n"
+      "           corrupt) and the wal.* rule findings; exits non-zero on\n"
+      "           any damage (torn tails need recovery, mid-log holes are\n"
+      "           media loss)\n"
+      "  crash-soak  crash-restart chaos soak: replay a deterministic\n"
+      "           workload, killing the controller at every reachable WAL\n"
+      "           record boundary (x every tail-corruption mode), recover\n"
+      "           cold from the surviving log + fabric and assert the\n"
+      "           crash-consistency invariants\n"
+      "           [--ops N] [--seed S] [--regions N] [--modules N]\n"
+      "           [--module-kb N] [--rate-scale X] [--stride N]\n"
+      "           [--max-points N] [--corruptions 0|1] [--json]\n"
+      "           [--wal-out f.json] [--recovery-out f.json]\n"
+      "           [--sweep-out f.log] — exits non-zero on any violation\n"
       "  cache-stats  repeated-load workload through the bitstream cache:\n"
       "           hit/miss/eviction/relocation counts per tier and the\n"
       "           latency comparison against a cache-less controller\n"
@@ -1032,6 +1142,8 @@ int main(int argc, char** argv) {
   if (cmd == "inject") return cmd_inject(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "soak") return cmd_soak(args);
+  if (cmd == "wal") return cmd_wal(args);
+  if (cmd == "crash-soak") return cmd_crash_soak(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "slo") return cmd_slo(args);
   if (cmd == "cache-stats") return cmd_cache_stats(args);
