@@ -130,6 +130,25 @@ void lint_channels(const Topology& topo, Report& r) {
   }
 }
 
+void lint_handoff(const Topology& topo, Report& r) {
+  // The latch-reset protocol (Simulation::release_ownership /
+  // adopt_ownership) must pair up at every quiescent point: an excess
+  // release is a shard left ownerless, an excess adopt is a thread that
+  // grabbed a shard nobody renounced — both are exactly the handoff bugs
+  // the parallel executor's pool start/stop choreography can hide.
+  const u64 releases = topo.handoff_releases();
+  const u64 adopts = topo.handoff_adopts();
+  if (releases == adopts) return;
+  r.error("iso.shard.handoff", Location::module("topology"),
+          "unbalanced ownership handoff: " + std::to_string(releases) +
+              " release(s) vs " + std::to_string(adopts) + " adopt(s)",
+          releases > adopts
+              ? "every release_ownership() must be followed by exactly one "
+                "adopt_ownership() on the new owner thread before the shard is used"
+              : "adopt_ownership() without a prior release: the previous owner "
+                "must renounce the latch first");
+}
+
 }  // namespace
 
 Report lint_isolation(const sim::Topology& topo) {
@@ -139,6 +158,7 @@ Report lint_isolation(const sim::Topology& topo) {
   lint_clocks(topo, r);
   lint_state(topo, r);
   lint_channels(topo, r);
+  lint_handoff(topo, r);
   return r;
 }
 

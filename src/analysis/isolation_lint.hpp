@@ -17,6 +17,10 @@
 //   iso.channel.direct-cross-shard  wire (non-FIFO) channel spanning shards
 //   iso.channel.undeclared       FIFO channel spanning shards without a
 //                                cross-shard declaration
+//   iso.shard.handoff            unbalanced release_ownership()/
+//                                adopt_ownership() counts: a shard changed
+//                                hands without completing the latch-reset
+//                                protocol (or was left ownerless)
 //
 // An unpartitioned topology (no shard assignments at all) is one implicit
 // shard: the pass returns an empty report, so single-System scenarios stay

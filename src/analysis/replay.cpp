@@ -110,6 +110,35 @@ ReplayResult verify_serve_replay(serve::ServeSoakConfig config) {
   return result;
 }
 
+ReplayResult verify_parallel_replay(serve::ServeSoakConfig config) {
+  // Worker-count invariance for the sharded executor: the SAME scenario on
+  // 1 worker vs 4 workers must produce byte-identical artifacts. This is a
+  // stronger claim than run-to-run replay — it proves thread scheduling
+  // never reaches simulated results.
+  if (config.telemetry_interval.ps() == 0) {
+    config.telemetry_interval = TimePs::from_us(250);
+  }
+  ReplayResult result;
+  result.scenario = "serve-parallel";
+  result.seed = config.seed;
+  config.workers = 1;
+  const serve::ServeSoakReport a = serve::run_soak(config);
+  config.workers = 4;
+  const serve::ServeSoakReport b = serve::run_soak(config);
+  result.artifacts = {"serve-parallel/metrics.json",   "serve-parallel/health.json",
+                      "serve-parallel/summary.txt",    "serve-parallel/telemetry.json",
+                      "serve-parallel/telemetry.csv",  "serve-parallel/alerts.json",
+                      "serve-parallel/flight.json"};
+  diff_artifact(result.artifacts[0], a.metrics_json, b.metrics_json, result.report);
+  diff_artifact(result.artifacts[1], a.health_json, b.health_json, result.report);
+  diff_artifact(result.artifacts[2], a.summary(), b.summary(), result.report);
+  diff_artifact(result.artifacts[3], a.telemetry_json, b.telemetry_json, result.report);
+  diff_artifact(result.artifacts[4], a.telemetry_csv, b.telemetry_csv, result.report);
+  diff_artifact(result.artifacts[5], a.alerts_json, b.alerts_json, result.report);
+  diff_artifact(result.artifacts[6], a.flight_json, b.flight_json, result.report);
+  return result;
+}
+
 ReplayResult verify_txn_replay(txn::SoakConfig config) {
   config.trace = true;  // the event trace is the highest-resolution artifact
   ReplayResult result;

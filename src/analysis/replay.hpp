@@ -47,6 +47,13 @@ void diff_artifact(std::string_view name, std::string_view run1,
 /// so the time-series/alert/flight artifacts are always part of the diff.
 [[nodiscard]] ReplayResult verify_serve_replay(serve::ServeSoakConfig config);
 
+/// Worker-count invariance check for the sharded parallel executor: runs
+/// serve::run_soak(config) once with workers=1 and once with workers=4 and
+/// diffs the same seven artifacts as verify_serve_replay. Divergence means
+/// thread scheduling leaked into simulated results (scenario
+/// "serve-parallel"). Telemetry is forced on like verify_serve_replay.
+[[nodiscard]] ReplayResult verify_parallel_replay(serve::ServeSoakConfig config);
+
 /// Runs txn::run_soak(config) twice (trace forced on) and diffs
 /// journal/metrics/trace/summary.
 [[nodiscard]] ReplayResult verify_txn_replay(txn::SoakConfig config);

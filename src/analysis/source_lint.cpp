@@ -251,6 +251,14 @@ Report lint_source(std::string_view path, std::string_view text) {
        "hash-ordered container: iteration order is implementation-defined",
        "use std::map / a sorted vector, or sort before anything ordered escapes",
        {"unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"}},
+      {"det.thread.raw", Severity::kError,
+       "raw threading primitive: thread scheduling is a nondeterminism source",
+       "shards run single-owner; cross-shard work goes through "
+       "sim::ParallelExecutor's barrier epochs (the executor itself is the one "
+       "allowlisted user of these primitives)",
+       {"mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+        "recursive_timed_mutex", "condition_variable", "condition_variable_any",
+        "jthread", "counting_semaphore", "binary_semaphore", "stop_token"}},
   };
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -319,6 +327,21 @@ Report lint_source(std::string_view path, std::string_view text) {
              "make it const/constexpr, or own it in a Module registered with the topology");
         break;
       }
+    }
+
+    // det.thread.raw additionally: `std::thread` itself. Qualified-only so
+    // `#include <thread>` stays quiet, and `std::thread::id` /
+    // `std::this_thread` are exempt — the owner-thread guard in the kernel
+    // compares ids without ever spawning, which is exactly the sanctioned
+    // non-threading use of the header.
+    for (std::size_t pos : find_tokens(line, "thread")) {
+      if (!std_qualified(line, pos)) continue;
+      if (char_after(line, pos + 6) == ':') continue;  // std::thread::id
+      emit("det.thread.raw", Severity::kError,
+           "std::thread spawns an unmanaged worker: thread scheduling is a "
+           "nondeterminism source",
+           "run shards through sim::ParallelExecutor's deterministic barrier epochs");
+      break;
     }
 
     // det.key.pointer: std::map/std::set keyed on a pointer.

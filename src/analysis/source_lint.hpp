@@ -20,6 +20,13 @@
 //                           (hash-ordered iteration; warning)
 //   det.key.pointer         std::map/std::set keyed on a pointer type
 //                           (address-ordered iteration; warning)
+//   det.thread.raw          raw threading primitive (std::thread, mutexes,
+//                           condition variables, semaphores): thread
+//                           scheduling must never order simulated work —
+//                           only sim::ParallelExecutor (allowlisted) may
+//                           use them, inside deterministic barrier epochs.
+//                           std::thread::id / std::this_thread are exempt
+//                           (the kernel's owner guard compares ids only)
 //
 // A finding is suppressed by an inline marker on the same line:
 //   int x = rand();  // detlint:allow(det.rand.libc) reason...

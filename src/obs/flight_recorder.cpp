@@ -27,6 +27,11 @@ void FlightRecorder::record(const std::string& shard, FlightEvent event) {
 
 void FlightRecorder::trigger(const std::string& shard, TimePs t, const std::string& reason) {
   error(shard, t, "trigger", reason);
+  adopt_trigger(shard, t, reason);
+}
+
+void FlightRecorder::adopt_trigger(const std::string& shard, TimePs t,
+                                   const std::string& reason) {
   ++triggers_;
   if (triggers_ == 1) {
     first_trigger_t_ = t;

@@ -78,6 +78,14 @@ class FlightRecorder {
   /// triggers are only counted. Also records an error event in `shard`.
   void trigger(const std::string& shard, TimePs t, const std::string& reason);
 
+  /// Counts a failure that was recorded elsewhere and whose events have
+  /// already been copied into this recorder's rings — the parallel serve
+  /// path records into per-device staging recorders and drains them at
+  /// barrier epochs, so the "trigger" error event arrives via the event
+  /// copy and only the latch/count must be replayed here. First adoption
+  /// freezes the post-mortem exactly like trigger(); later ones only count.
+  void adopt_trigger(const std::string& shard, TimePs t, const std::string& reason);
+
   /// Invoked once, at first trigger, with the frozen snapshot JSON.
   void set_dump_sink(std::function<void(const std::string& json)> sink) {
     dump_sink_ = std::move(sink);

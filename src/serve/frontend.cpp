@@ -108,8 +108,16 @@ std::unique_ptr<FrontEnd::Device> FrontEnd::make_device(unsigned index) {
   dev->manager->set_transaction_manager(dev->txn.get());
   // Transaction terminals land on the device's black-box shard (stamped
   // with the device sim clock — each shard records in its own clock
-  // domain); a kFailed transaction trips the post-mortem.
-  dev->txn->set_flight_recorder(&flight_, device_shard(static_cast<int>(index)) + "/txn");
+  // domain); a kFailed transaction trips the post-mortem. On the parallel
+  // path they record into a per-device staging recorder (the worker must
+  // not touch the shared one) that drain_staging() merges at each barrier.
+  if (config_.workers > 0) {
+    dev->staging = std::make_unique<obs::FlightRecorder>(flight_.config());
+    dev->txn->set_flight_recorder(dev->staging.get(),
+                                  device_shard(static_cast<int>(index)) + "/txn");
+  } else {
+    dev->txn->set_flight_recorder(&flight_, device_shard(static_cast<int>(index)) + "/txn");
+  }
   // Per-device fault stream; armed after calibration (see calibrate()).
   dev->injector = std::make_unique<fault::FaultInjector>(
       sim, "chaos", chaos_plan(config_.seed + index, config_.fault_scale));
@@ -140,6 +148,14 @@ void FrontEnd::build_devices() {
 
 void FrontEnd::restart_device(int device_index) {
   Device& old = *devices_[device_index];
+  const sim::ShardId shard = old.shard;
+  if (executor_ != nullptr) {
+    // Pull the shard back to the coordinator (solo handoff epoch, audited
+    // by iso.shard.handoff) and take the old controller's last staging
+    // flight events before it is torn down.
+    executor_->acquire(shard);
+    drain_staging();
+  }
   sync_device(old);
   const Bytes wal_bytes = old.wal->storage().read_all();
   const std::string breaker_snapshot = old.breaker.to_json();
@@ -189,6 +205,13 @@ void FrontEnd::restart_device(int device_index) {
                    " wal_records=" + std::to_string(report.records_scanned) +
                    " regions=" + std::to_string(report.regions.size()));
   devices_[static_cast<std::size_t>(device_index)] = std::move(fresh);
+  if (executor_ != nullptr) {
+    // Hand the recovered kernel to the shard's worker; release() also
+    // clears any wedge the old kernel left behind.
+    Device& d = *devices_[device_index];
+    d.shard = shard;
+    executor_->release(shard, &d.system->sim());
+  }
 }
 
 analysis::Report FrontEnd::lint_isolation() const {
@@ -301,6 +324,11 @@ void FrontEnd::schedule(TimePs at, std::function<void()> fn) {
 }
 
 void FrontEnd::sync_device(Device& d) {
+  // Parallel path: device clocks are advanced by advance_fleet() epochs
+  // (the worker owns the kernel; touching it here would trip the
+  // owner-thread guard). Every shard is already at base + epoch horizon,
+  // which is >= base + now_.
+  if (executor_ != nullptr) return;
   const TimePs dev_t = d.base + now_;
   if (dev_t > d.system->sim().now()) d.system->sim().run_until(dev_t);
 }
@@ -311,6 +339,10 @@ TimePs FrontEnd::estimate_cost(const std::string& module) const {
 }
 
 bool FrontEnd::device_usable(Device& d, int device_index) {
+  // A wedged shard (its advance threw) is off-fleet: the executor parks it
+  // and drops its jobs, so dispatching to it would strand the request. The
+  // restart drill is the one path back (release() clears the wedge).
+  if (d.wedged) return false;
   if (d.breaker.open) {
     if (now_ < d.breaker.open_until) return false;
     // Backoff elapsed: half-open. One more failure re-opens with a doubled
@@ -332,7 +364,7 @@ int FrontEnd::pick_device(int exclude) {
   int best = -1;
   for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
     if (i == exclude && devices_.size() > 1) continue;
-    if (devices_[i]->busy_until > now_) continue;
+    if (devices_[i]->in_flight || devices_[i]->busy_until > now_) continue;
     // Restart drill: an idle device past its load quota is cold-restarted
     // here, before usability is judged on the recovered controller.
     if (config_.restart_after_loads > 0 && !devices_[i]->restarted &&
@@ -511,7 +543,7 @@ void FrontEnd::try_dispatch() {
     // dispatchable (or deliberately sent to software).
     bool any_busy = false;
     for (auto& d : devices_) {
-      if (d->busy_until > now_) any_busy = true;
+      if (d->in_flight || d->busy_until > now_) any_busy = true;
     }
     std::vector<Request> expired;
     const int device_index = pick_device(-1);
@@ -554,7 +586,23 @@ void FrontEnd::try_dispatch() {
   }
 }
 
+TimePs FrontEnd::attempt_timeout(const Request& r) const {
+  return std::max(TimePs::from_us(r.est_cost.us() * config_.timeout_factor),
+                  config_.timeout_floor);
+}
+
+bool FrontEnd::any_in_flight() const {
+  for (const auto& d : devices_) {
+    if (d->in_flight) return true;
+  }
+  return false;
+}
+
 void FrontEnd::dispatch(Request r, Device& d, int device_index) {
+  if (executor_ != nullptr) {
+    dispatch_async(std::move(r), device_index);
+    return;
+  }
   sync_device(d);
   sim::Simulation& sim = d.system->sim();
   const TimePs t0 = sim.now();
@@ -583,8 +631,7 @@ void FrontEnd::dispatch(Request r, Device& d, int device_index) {
                              : sim.now() - t0;
   d.busy_until = now_ + service;
 
-  const TimePs timeout = std::max(
-      TimePs::from_us(r.est_cost.us() * config_.timeout_factor), config_.timeout_floor);
+  const TimePs timeout = attempt_timeout(r);
 
   if (aborted || !got) {
     // Kernel abort (event budget) — treat as a failed attempt at the
@@ -616,6 +663,216 @@ void FrontEnd::dispatch(Request r, Device& d, int device_index) {
   schedule(fail_at, [this, r, device_index, why]() {
     attempt_failed(r, device_index, why);
   });
+}
+
+void FrontEnd::dispatch_async(Request r, int device_index) {
+  Device& d = *devices_[device_index];
+  metrics_.histogram("serve.queue_wait_us" + class_suffix(r.qos),
+                     obs::Histogram::latency_bounds_us())
+      .observe((now_ - r.admitted).us());
+
+  ++r.attempts;
+  r.last_device = device_index;
+  ++d.loads;
+  d.in_flight = true;
+  d.flight_abandoned = false;
+  const u64 token = ++d.flight_token;
+  d.flight_request = r;
+
+  // The load job runs on the shard's worker at the start of the next
+  // epoch, when the device clock sits at base + epoch_horizon_ — the
+  // effective start time is this batch's horizon, not now_. Everything the
+  // job and its completion callback touch belongs to this device; the only
+  // exits are executor mailboxes and the staging flight recorder.
+  executor_->post(d.shard, [this, device_index, token]() {
+    Device& dev = *devices_[device_index];
+    const TimePs t0 = dev.system->sim().now();
+    const TimePs base = dev.base;
+    const sim::ShardId shard = dev.shard;
+    dev.manager->load_any(
+        dev.flight_request.module,
+        [this, device_index, token, t0, base, shard](const region::LoadResult& res) {
+          // Stamp the completion with its coordinator-clock time. Immediate
+          // synchronous errors report finished_at at (or before) t0; clamp
+          // so the message never lands before the load started.
+          const TimePs fin = res.finished_at < t0 ? t0 : res.finished_at;
+          region::LoadResult copy = res;
+          executor_->send(shard, fin - base, [this, device_index, token, t0, copy]() {
+            on_load_complete(device_index, token, t0, copy);
+          });
+        });
+  });
+
+  // The caller gives up at the timeout even though the device keeps
+  // grinding until its completion message frees it — work on fabric is not
+  // preemptible. Anchored at the horizon because that is when the load
+  // actually starts on the device.
+  schedule(epoch_horizon_ + attempt_timeout(r), [this, device_index, token]() {
+    Device& dev = *devices_[device_index];
+    if (token != dev.flight_token || !dev.in_flight || dev.flight_abandoned) return;
+    dev.flight_abandoned = true;
+    attempt_failed(dev.flight_request, device_index, "attempt timeout");
+  });
+}
+
+void FrontEnd::on_load_complete(int device_index, u64 token, TimePs t0,
+                                region::LoadResult res) {
+  Device& d = *devices_[device_index];
+  if (token != d.flight_token || !d.in_flight) return;  // stale completion
+  d.in_flight = false;
+  d.busy_until = now_;
+  const Request r = d.flight_request;
+  const bool abandoned = d.flight_abandoned;
+  d.flight_abandoned = false;
+  if (abandoned) {
+    // The timeout probe already failed the attempt; the completion only
+    // frees the device.
+    try_dispatch();
+    return;
+  }
+
+  const TimePs service =
+      res.finished_at > t0 ? std::max(res.finished_at - t0, TimePs{1}) : TimePs{1};
+  const TimePs timeout = attempt_timeout(r);
+  const bool ok = res.success && !res.software_fallback;
+  if (ok && service <= timeout) {
+    d.breaker.consecutive_failures = 0;
+    terminal(r, Outcome::kCompleted, false);
+    try_dispatch();
+    return;
+  }
+  const std::string why = service > timeout ? "attempt timeout"
+                          : res.error.empty() ? "load failed"
+                                              : res.error;
+  attempt_failed(r, device_index, why);
+}
+
+void FrontEnd::on_shard_error(sim::ShardId shard, const std::string& what) {
+  const int device_index = static_cast<int>(shard);  // shard id == device index
+  Device& d = *devices_[device_index];
+  d.wedged = true;
+  flight_.error(device_shard(device_index), now_, "serve", "shard-wedged", what);
+  if (!d.in_flight) return;
+  // The in-flight load will never complete (the executor parked the
+  // shard); fail the attempt the way the sequential path treats a kernel
+  // abort — unless the timeout probe already did.
+  d.in_flight = false;
+  const bool already_failed = d.flight_abandoned;
+  d.flight_abandoned = false;
+  if (!already_failed) {
+    attempt_failed(d.flight_request, device_index,
+                   what.empty() ? "load never completed" : what);
+  }
+}
+
+void FrontEnd::start_executor() {
+  executor_ = std::make_unique<sim::ParallelExecutor>(config_.workers);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->shard =
+        executor_->add_shard(&devices_[i]->system->sim(), device_shard(static_cast<int>(i)));
+  }
+  // Messages land on the coordinator event queue at their stamped time;
+  // batch processing then interleaves them with arrivals/probes in plain
+  // (t, seq) order, so delivery is independent of worker count.
+  executor_->set_sink([this](TimePs t, std::function<void()> fn) {
+    schedule(t, std::move(fn));
+  });
+  executor_->set_error_handler([this](sim::ShardId shard, const std::string& what) {
+    on_shard_error(shard, what);
+  });
+  executor_->start();
+
+  epoch_quantum_ = config_.epoch_quantum;
+  if (epoch_quantum_ == TimePs{0}) {
+    // Auto: a quarter of the warm service time keeps a few barriers per
+    // load in flight without drowning short runs in epochs.
+    epoch_quantum_ = TimePs::from_us(std::max(warm_cost_.us() / 4.0, 10.0));
+  }
+}
+
+void FrontEnd::advance_fleet(TimePs horizon) {
+  epoch_horizon_ = horizon;
+  std::vector<TimePs> targets(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    targets[i] = devices_[i]->base + horizon;
+  }
+  executor_->run_epoch(targets);
+  drain_staging();
+}
+
+void FrontEnd::drain_staging() {
+  struct Adopted {
+    TimePs global_t;  ///< trigger time re-anchored to the coordinator clock
+    TimePs t;         ///< device-clock stamp (matches the copied ring event)
+    int device;
+    std::string shard;
+    std::string reason;
+    u64 count;
+  };
+  std::vector<Adopted> fresh;
+  for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
+    Device& d = *devices_[i];
+    if (d.staging == nullptr) continue;
+    const std::string ring_name = device_shard(i) + "/txn";
+    if (const obs::TelemetryRing<obs::FlightEvent>* ring = d.staging->shard(ring_name)) {
+      const u64 total = ring->total_pushed();
+      const u64 new_events = total - d.staging_drained;
+      // Events the staging ring already overwrote are gone — the same loss
+      // the shared ring would have taken; copy what survives, oldest first.
+      const auto avail = static_cast<std::size_t>(
+          std::min<u64>(new_events, static_cast<u64>(ring->size())));
+      for (std::size_t k = ring->size() - avail; k < ring->size(); ++k) {
+        flight_.record(ring_name, ring->at(k));
+      }
+      d.staging_drained = total;
+    }
+    if (d.staging->triggers() > d.staging_triggers_seen) {
+      const TimePs t = d.staging->first_trigger_time();
+      fresh.push_back(Adopted{t > d.base ? t - d.base : TimePs{0}, t, i,
+                              d.staging->first_trigger_shard(),
+                              d.staging->first_trigger_reason(),
+                              d.staging->triggers() - d.staging_triggers_seen});
+      d.staging_triggers_seen = d.staging->triggers();
+    }
+  }
+  // The ring copies above happen before any adoption so the frozen
+  // post-mortem holds the full epoch; adoption order (global trigger time,
+  // then device index) picks the earliest failure as "first" regardless of
+  // which worker surfaced it.
+  std::sort(fresh.begin(), fresh.end(), [](const Adopted& a, const Adopted& b) {
+    return a.global_t != b.global_t ? a.global_t < b.global_t : a.device < b.device;
+  });
+  for (const Adopted& tr : fresh) {
+    for (u64 k = 0; k < tr.count; ++k) {
+      flight_.adopt_trigger(tr.shard, tr.t, tr.reason);
+    }
+  }
+}
+
+void FrontEnd::run_parallel_loop() {
+  start_executor();
+  while (!events_.empty()) {
+    const TimePs next_t = std::max(events_.top().t, now_);
+    // Conservative horizon: with loads in flight their completion messages
+    // must surface within a quantum; an idle fleet can jump straight to
+    // the next event. max(now_) keeps the horizon monotone.
+    const TimePs horizon =
+        any_in_flight() ? std::min(next_t, now_ + epoch_quantum_) : next_t;
+    advance_fleet(horizon);
+    while (!events_.empty() && events_.top().t <= horizon) {
+      Event ev = events_.top();
+      events_.pop();
+      telemetry_tick_until(std::max(now_, ev.t));
+      now_ = std::max(now_, ev.t);
+      ev.fn();
+    }
+    // Empty batches (quantum-bounded epochs) still advance the clock, or
+    // the loop would re-pick the same horizon forever.
+    telemetry_tick_until(std::max(now_, horizon));
+    now_ = std::max(now_, horizon);
+  }
+  executor_->stop();
+  drain_staging();
 }
 
 void FrontEnd::breaker_failure(Device& d, int device_index) {
@@ -692,19 +949,23 @@ void FrontEnd::run(WorkloadGenerator& gen, u64 max_requests) {
     });
   }
 
-  TimePs last = now_;
-  while (!events_.empty()) {
-    Event ev = events_.top();
-    events_.pop();
-    if (ev.t < last) {
-      violations_.push_back("event time went backwards");
+  if (config_.workers > 0) {
+    run_parallel_loop();
+  } else {
+    TimePs last = now_;
+    while (!events_.empty()) {
+      Event ev = events_.top();
+      events_.pop();
+      if (ev.t < last) {
+        violations_.push_back("event time went backwards");
+      }
+      // Telemetry ticks fire on exact interval boundaries between events,
+      // so the sampled series are independent of event spacing.
+      telemetry_tick_until(std::max(now_, ev.t));
+      now_ = std::max(now_, ev.t);
+      last = now_;
+      ev.fn();
     }
-    // Telemetry ticks fire on exact interval boundaries between events, so
-    // the sampled series are independent of event spacing.
-    telemetry_tick_until(std::max(now_, ev.t));
-    now_ = std::max(now_, ev.t);
-    last = now_;
-    ev.fn();
   }
   gen_ = nullptr;
 
@@ -733,6 +994,12 @@ void FrontEnd::run(WorkloadGenerator& gen, u64 max_requests) {
 u64 FrontEnd::fault_fires() const {
   u64 total = 0;
   for (const auto& d : devices_) total += d->injector->total_fires();
+  return total;
+}
+
+u64 FrontEnd::fleet_events_executed() const {
+  u64 total = 0;
+  for (const auto& d : devices_) total += d->system->sim().events_executed();
   return total;
 }
 

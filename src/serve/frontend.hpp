@@ -47,6 +47,7 @@
 #include "serve/admission.hpp"
 #include "serve/queue.hpp"
 #include "serve/workload.hpp"
+#include "sim/parallel.hpp"
 #include "txn/transaction.hpp"
 #include "txn/wal.hpp"
 
@@ -120,6 +121,19 @@ struct FrontEndConfig {
   /// from a snapshot, while the fabric keeps its frames. 0 = off. Each
   /// device restarts at most once per run.
   u64 restart_after_loads = 0;
+  /// Parallel fleet execution: worker threads for the sharded executor.
+  /// 0 = the classic sequential path (each dispatch runs its device
+  /// simulation synchronously on the coordinating thread). >= 1 pins every
+  /// device shard to a sim::ParallelExecutor worker and advances the fleet
+  /// in conservative barrier epochs; for a fixed epoch_quantum the results
+  /// are byte-identical for ANY worker count >= 1 (the determinism
+  /// contract verified by `verify-determinism --scenario serve`).
+  unsigned workers = 0;
+  /// Epoch horizon bound for the parallel path: each barrier epoch
+  /// advances the fleet at most this far past the coordinator clock.
+  /// 0 = auto (warm_cost / 4, floored at 10 us). Affects load start times
+  /// (so it is part of the scenario), never the worker-count invariance.
+  TimePs epoch_quantum{};
 };
 
 struct RequestRecord {
@@ -183,6 +197,9 @@ class FrontEnd {
     return static_cast<unsigned>(devices_.size());
   }
   [[nodiscard]] u64 fault_fires() const;
+  /// Simulation events executed across the fleet (sum over device
+  /// kernels) — the throughput numerator for bench/parallel_fleet.
+  [[nodiscard]] u64 fleet_events_executed() const;
   /// Controller restarts performed by the restart drill this run.
   [[nodiscard]] u64 restarts() const noexcept { return restarts_; }
   /// Health snapshots (txn::HealthTracker::render_json) per device.
@@ -206,6 +223,19 @@ class FrontEnd {
     Breaker breaker;
     u64 loads = 0;
     bool restarted = false;  ///< this controller already did its drill
+
+    // Parallel-path state (meaningful only when config.workers > 0).
+    sim::ShardId shard = sim::kNoShard;  ///< executor shard id (== index)
+    bool in_flight = false;       ///< a load job/completion is outstanding
+    u64 flight_token = 0;         ///< stale-completion guard (bumped per dispatch)
+    bool flight_abandoned = false;  ///< timeout probe already failed the attempt
+    Request flight_request{};       ///< the request the in-flight load serves
+    bool wedged = false;  ///< shard advance threw: off-fleet until restarted
+    /// Worker-side flight events land here (the shared recorder is
+    /// coordinator-only) and are drained into `flight_` at every barrier.
+    std::unique_ptr<obs::FlightRecorder> staging;
+    u64 staging_drained = 0;        ///< ring events already copied out
+    u64 staging_triggers_seen = 0;  ///< triggers already adopted
   };
 
   struct Event {
@@ -241,6 +271,24 @@ class FrontEnd {
   void enqueue(Request r);
   void try_dispatch();
   void dispatch(Request r, Device& d, int device_index);
+  /// Attempt timeout horizon for `r` (shared by both dispatch paths).
+  [[nodiscard]] TimePs attempt_timeout(const Request& r) const;
+  [[nodiscard]] bool any_in_flight() const;
+
+  // Parallel path (config_.workers > 0): the event loop drives the fleet
+  // through barrier epochs instead of running device sims inline.
+  void run_parallel_loop();
+  void start_executor();
+  /// One barrier epoch advancing every shard to its device time for
+  /// `horizon` (global), then drains staging flight events.
+  void advance_fleet(TimePs horizon);
+  /// Copies worker-recorded flight events / adopted triggers from every
+  /// device's staging recorder into the shared one, deterministically.
+  void drain_staging();
+  void dispatch_async(Request r, int device_index);
+  void on_load_complete(int device_index, u64 token, TimePs t0,
+                        region::LoadResult res);
+  void on_shard_error(sim::ShardId shard, const std::string& what);
   void run_software(Request r);
   void attempt_failed(Request r, int device_index, const std::string& why);
   void breaker_failure(Device& d, int device_index);
@@ -262,6 +310,12 @@ class FrontEnd {
   TimePs now_{};
   u64 event_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  // Parallel path: declared after devices_ so the executor (which holds
+  // raw shard pointers into them) is destroyed first.
+  std::unique_ptr<sim::ParallelExecutor> executor_;
+  TimePs epoch_quantum_{};  ///< resolved horizon bound (config or auto)
+  TimePs epoch_horizon_{};  ///< horizon of the epoch currently processing
 
   TimePs warm_cost_{};
   double rated_rps_ = 0.0;

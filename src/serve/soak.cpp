@@ -118,6 +118,8 @@ ServeSoakReport run_soak(const ServeSoakConfig& config) {
   fe_cfg.fault_scale = config.fault_scale;
   fe_cfg.queue_capacity = config.queue_capacity;
   fe_cfg.restart_after_loads = config.restart_after_loads;
+  fe_cfg.workers = config.workers;
+  fe_cfg.epoch_quantum = config.epoch_quantum;
   FrontEnd fe(fe_cfg);
 
   report.rated_rps = fe.rated_rps();

@@ -23,11 +23,42 @@ void Simulation::check_owner_thread() {
                  "uparc: Simulation touched from a second thread. A Simulation is a "
                  "single-owner event shard; give each worker thread its own kernel "
                  "and communicate through declared cross-shard channels "
-                 "(see analysis/isolation_lint.hpp).\n");
+                 "(see analysis/isolation_lint.hpp), or move the shard with the "
+                 "release_ownership()/adopt_ownership() handoff protocol.\n");
     std::abort();
   }
 }
 #endif
+
+void Simulation::release_ownership() {
+#if UPARC_THREAD_GUARD
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id owner = owner_thread_.load(std::memory_order_relaxed);
+  if (owner != std::thread::id{} && owner != self) {
+    std::fprintf(stderr,
+                 "uparc: release_ownership() from a thread that does not own the "
+                 "shard. Only the current owner may renounce the latch.\n");
+    std::abort();
+  }
+  owner_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+  topology_.note_handoff_release();
+}
+
+void Simulation::adopt_ownership() {
+#if UPARC_THREAD_GUARD
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (!owner_thread_.compare_exchange_strong(expected, self, std::memory_order_relaxed) &&
+      expected != self) {
+    std::fprintf(stderr,
+                 "uparc: adopt_ownership() while another thread still holds the "
+                 "shard. The previous owner must release_ownership() first.\n");
+    std::abort();
+  }
+#endif
+  topology_.note_handoff_adopt();
+}
 
 void Simulation::schedule_at(TimePs t, Action action) {
   check_owner_thread();
@@ -38,32 +69,38 @@ void Simulation::schedule_at(TimePs t, Action action) {
 bool Simulation::step() {
   check_owner_thread();
   if (queue_.empty()) return false;
-  // priority_queue::top is const; the action is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  auto& top = const_cast<Event&>(queue_.top());
-  TimePs t = top.time;
-  Action action = std::move(top.action);
-  queue_.pop();
-  now_ = t;
+  Event ev = queue_.pop();  // moved out of the heap, no const_cast needed
+  now_ = ev.time;
   ++executed_;
-  action();
+  ev.action();
   return true;
 }
 
+void Simulation::budget_exceeded(const char* which, u64 max_events) const {
+  throw std::runtime_error(std::string("Simulation::") + which +
+                           " exceeded event budget (" + std::to_string(max_events) +
+                           ") at t=" + std::to_string(now_.ps()) + " ps with " +
+                           std::to_string(queue_.size()) + " events pending");
+}
+
 void Simulation::run(u64 max_events) {
-  u64 budget = max_events;
+  u64 executed = 0;
   while (step()) {
-    if (--budget == 0)
-      throw std::runtime_error("Simulation::run exceeded event budget at t=" +
-                               std::to_string(now_.ps()) + " ps");
+    // Over budget only when more work remains: a run that needs exactly
+    // max_events events and then drains is legitimate, not runaway.
+    if (++executed >= max_events && !queue_.empty()) {
+      budget_exceeded("run", max_events);
+    }
   }
 }
 
 void Simulation::run_until(TimePs deadline, u64 max_events) {
-  u64 budget = max_events;
+  u64 executed = 0;
   while (!queue_.empty() && queue_.top().time <= deadline) {
     step();
-    if (--budget == 0) throw std::runtime_error("Simulation::run_until exceeded event budget");
+    if (++executed >= max_events && !queue_.empty() && queue_.top().time <= deadline) {
+      budget_exceeded("run_until", max_events);
+    }
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -13,7 +13,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #if UPARC_THREAD_GUARD
@@ -31,12 +30,87 @@ class Tracer;
 
 namespace uparc::sim {
 
+/// One scheduled closure. `seq` breaks same-time ties in scheduling order.
+struct Event {
+  TimePs time;
+  u64 seq;
+  std::function<void()> action;
+};
+
+/// Explicit binary min-heap of Events ordered on (time, seq), owned by the
+/// kernel. Replaces std::priority_queue so that (a) pop() can move the
+/// action out without the const_cast dance priority_queue::top() forces,
+/// and (b) the backing vector can be pre-sized per shard before a parallel
+/// run starts (ParallelExecutor sizes each shard's heap once instead of
+/// letting every worker grow it under load).
+class EventHeap {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Earliest (time, seq) event. Undefined on an empty heap.
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  void push(Event e) {
+    heap_.push_back(std::move(e));
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes and returns the earliest event (moved out, no copy).
+  Event pop() {
+    Event out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static bool earlier(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!earlier(heap_[i], heap_[parent])) return;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && earlier(heap_[l], heap_[best])) best = l;
+      if (r < n && earlier(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
+};
+
 /// Central event scheduler. Not thread-safe by design: one Simulation is
-/// one event shard, owned by exactly one thread for its whole life. Guard
-/// builds (UPARC_THREAD_GUARD, auto-on under sanitizers and Debug) latch
-/// the first scheduling/stepping thread and abort with a diagnostic if any
-/// other thread touches the kernel — the single cheapest way to catch a
-/// future parallel-kernel refactor sharing shards by accident.
+/// one event shard, owned by exactly one thread for its whole life — or,
+/// since the parallel executor, for one *ownership span*: the owner may
+/// renounce the shard with release_ownership() so a worker thread can
+/// adopt_ownership() it (and hand it back the same way). Guard builds
+/// (UPARC_THREAD_GUARD, auto-on under sanitizers and Debug) latch the
+/// owning thread and abort with a diagnostic if any other thread touches
+/// the kernel — the single cheapest way to catch shards shared by
+/// accident. Handoffs are counted in the topology so iso.shard.handoff
+/// can audit that every release found its adopt.
 class Simulation {
  public:
   using Action = std::function<void()>;
@@ -56,13 +130,35 @@ class Simulation {
   /// Runs a single event; returns false when the queue is empty.
   bool step();
   /// Runs until the queue drains. Throws if the event budget is exceeded
-  /// (guards against accidentally free-running clocks).
+  /// (guards against accidentally free-running clocks). A run that needs
+  /// exactly `max_events` events and then drains is within budget.
   void run(u64 max_events = kDefaultEventBudget);
   /// Runs until simulated time reaches `deadline` or the queue drains.
   void run_until(TimePs deadline, u64 max_events = kDefaultEventBudget);
 
   [[nodiscard]] u64 events_executed() const noexcept { return executed_; }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Pre-sizes the event heap (parallel shards reserve once at pool start
+  /// instead of growing the vector mid-epoch).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+  // --- owner-thread handoff --------------------------------------------------
+  //
+  // The latch-reset protocol for moving a shard between threads (the only
+  // sanctioned way): the current owner calls release_ownership() while no
+  // event is in flight, then exactly one other thread calls
+  // adopt_ownership() before touching the kernel. Both directions are
+  // counted in the topology; iso.shard.handoff flags a topology whose
+  // releases and adopts do not pair up (a shard left ownerless, or adopted
+  // without a release).
+
+  /// Renounces the owner latch. Aborts (guard builds) when the caller is
+  /// not the current owner.
+  void release_ownership();
+  /// Claims the owner latch for the calling thread. Aborts (guard builds)
+  /// when another thread still holds it.
+  void adopt_ownership();
 
   /// Structural registry of the elaborated model (modules, clocks, channel
   /// declarations). Populated as components construct; read by the model
@@ -94,6 +190,8 @@ class Simulation {
   }
 
  private:
+  [[noreturn]] void budget_exceeded(const char* which, u64 max_events) const;
+
 #if UPARC_THREAD_GUARD
   /// Latches the owner thread on first use; aborts on a foreign thread.
   /// Atomic so the guard itself is race-free under TSan.
@@ -103,19 +201,7 @@ class Simulation {
   void check_owner_thread() noexcept {}
 #endif
 
-  struct Event {
-    TimePs time;
-    u64 seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap queue_;
   Topology topology_;
   obs::Registry metrics_;
   obs::Tracer* tracer_ = nullptr;

@@ -101,6 +101,17 @@ class Topology {
     return !module_shards_.empty() || !clock_shards_.empty();
   }
 
+  // --- ownership handoff audit ---------------------------------------------
+  //
+  // Simulation::release_ownership()/adopt_ownership() count here. At any
+  // quiescent point (pool stopped, run finished) the two must pair up:
+  // every renounced latch was adopted by exactly one new owner. The
+  // iso.shard.handoff lint rule flags an imbalance.
+  void note_handoff_release() noexcept { ++handoff_releases_; }
+  void note_handoff_adopt() noexcept { ++handoff_adopts_; }
+  [[nodiscard]] u64 handoff_releases() const noexcept { return handoff_releases_; }
+  [[nodiscard]] u64 handoff_adopts() const noexcept { return handoff_adopts_; }
+
   // --- mutable-state registry ----------------------------------------------
 
   /// Registers a mutable component owned by `owner`. `addr` defaults to the
@@ -143,6 +154,8 @@ class Topology {
   std::vector<std::pair<const Clock*, ShardId>> clock_shards_;
   std::vector<StateRecord> states_;
   std::vector<StateRef> refs_;
+  u64 handoff_releases_ = 0;
+  u64 handoff_adopts_ = 0;
 };
 
 }  // namespace uparc::sim

@@ -163,6 +163,20 @@ TEST(IsolationLint, GoldenChannelUndeclared) {
   EXPECT_FALSE(analysis::lint_isolation(s2).has("iso.channel.undeclared"));
 }
 
+TEST(IsolationLint, GoldenShardHandoffUnbalanced) {
+  sim::Simulation s;
+  Probe a(s, "a");
+  s.topology().assign_shard(&a, 0);
+  s.release_ownership();  // released to nobody: no matching adopt
+  Report r = analysis::lint_isolation(s);
+  const Diagnostic* d = expect_rule(r, "iso.shard.handoff");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // Completing the latch-reset round trip clears the finding.
+  s.adopt_ownership();
+  EXPECT_FALSE(analysis::lint_isolation(s).has("iso.shard.handoff"));
+}
+
 // ---------------------------------------------------------------------------
 // Property: the real stacks are partition-clean once tagged.
 
@@ -262,6 +276,30 @@ TEST(SourceLint, GoldenKeyPointer) {
   // Pointer in the mapped type (not the key) is fine.
   EXPECT_TRUE(
       analysis::lint_source("t.cpp", "std::map<int, const Module*> m;\n").empty());
+}
+
+TEST(SourceLint, GoldenThreadRaw) {
+  // Every raw threading primitive is a nondeterminism source (thread
+  // scheduling orders work); only sim/parallel.* is allowlisted.
+  for (const char* line :
+       {"std::mutex mu;\n", "std::condition_variable cv;\n", "std::jthread t;\n",
+        "std::binary_semaphore sem{0};\n", "std::thread worker(fn);\n"}) {
+    Report r = analysis::lint_source("t.cpp", line);
+    const Diagnostic* d = expect_rule(r, "det.thread.raw");
+    ASSERT_NE(d, nullptr) << line;
+    EXPECT_EQ(d->severity, Severity::kError) << line;
+  }
+  // std::thread::id and std::this_thread are bookkeeping, not scheduling —
+  // the owner-thread guard itself must stay clean.
+  EXPECT_TRUE(analysis::lint_source("t.cpp", "std::thread::id owner;\n").empty());
+  EXPECT_TRUE(
+      analysis::lint_source("t.cpp", "auto me = std::this_thread::get_id();\n").empty());
+  // Unqualified member/field uses of the word "thread" are fine.
+  EXPECT_TRUE(analysis::lint_source("t.cpp", "bool thread_guard_active();\n").empty());
+  // The inline marker suppresses it like any other rule.
+  EXPECT_TRUE(analysis::lint_source(
+                  "t.cpp", "std::mutex mu;  // detlint:allow(det.thread.raw) barrier\n")
+                  .empty());
 }
 
 TEST(SourceLint, InlineAllowSuppresses) {

@@ -1,0 +1,155 @@
+// Tests for the sharded parallel executor: barrier-epoch protocol, message
+// merge order, ownership handoff round-trips, wedge handling, and the
+// worker-count invariance of the serve fleet artifacts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/soak.hpp"
+#include "sim/kernel.hpp"
+#include "sim/parallel.hpp"
+
+namespace uparc::sim {
+namespace {
+
+TEST(ParallelExecutor, MessagesMergeInTimeShardSeqOrder) {
+  // The delivered stream is a pure function of shard content: (t, shard,
+  // seq) order, identical for any worker count.
+  for (unsigned workers : {1u, 3u}) {
+    Simulation a;
+    Simulation b;
+    ParallelExecutor ex(workers);
+    const ShardId sa = ex.add_shard(&a, "a");
+    const ShardId sb = ex.add_shard(&b, "b");
+    std::vector<std::string> log;
+    ex.set_sink([&](TimePs, std::function<void()> fn) { fn(); });
+    ex.start();
+    ex.post(sa, [&ex, sa, &log] {
+      ex.send(sa, TimePs(30), [&log] { log.push_back("a@30"); });
+      ex.send(sa, TimePs(30), [&log] { log.push_back("a@30#2"); });
+    });
+    ex.post(sb, [&ex, sb, &log] {
+      ex.send(sb, TimePs(10), [&log] { log.push_back("b@10"); });
+      ex.send(sb, TimePs(30), [&log] { log.push_back("b@30"); });
+    });
+    ex.run_epoch({TimePs(100), TimePs(100)});
+    ex.stop();
+    EXPECT_EQ(log, (std::vector<std::string>{"b@10", "a@30", "a@30#2", "b@30"}))
+        << workers << " workers";
+    EXPECT_EQ(ex.stats().epochs, 1u);
+    EXPECT_EQ(ex.stats().messages, 4u);
+  }
+}
+
+TEST(ParallelExecutor, ShardsAdvanceToEpochTargets) {
+  Simulation a;
+  Simulation b;
+  int fired = 0;
+  ParallelExecutor ex(2);
+  const ShardId sa = ex.add_shard(&a, "a");
+  ex.add_shard(&b, "b");
+  ex.start();
+  ex.post(sa, [&a, &fired] { a.schedule_at(TimePs(50), [&fired] { ++fired; }); });
+  ex.run_epoch({TimePs(40), TimePs(40)});
+  EXPECT_EQ(fired, 0);  // event at 50 is beyond the first horizon
+  ex.run_epoch({TimePs(60), TimePs(60)});
+  ex.stop();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(a.now(), TimePs(60));
+  EXPECT_EQ(b.now(), TimePs(60));
+}
+
+TEST(ParallelExecutor, HandoffRoundTripsBalanceAndAudit) {
+  Simulation s;
+  ParallelExecutor ex(2);
+  const ShardId id = ex.add_shard(&s, "s");
+  ex.start();
+  ex.run_epoch({TimePs(10)});
+  ex.acquire(id);
+  // The coordinator owns the kernel during the drill window and may drive
+  // it directly (the serve restart drill rebuilds a device here).
+  int fired = 0;
+  s.schedule_at(TimePs(15), [&fired] { ++fired; });
+  s.run_until(TimePs(20));
+  EXPECT_EQ(fired, 1);
+  ex.release(id, &s);
+  ex.run_epoch({TimePs(30)});
+  ex.stop();
+  // Every release paired with an adopt: start, acquire, release, stop.
+  EXPECT_EQ(s.topology().handoff_releases(), s.topology().handoff_adopts());
+  EXPECT_EQ(s.topology().handoff_releases(), 4u);
+}
+
+TEST(ParallelExecutor, WedgedShardReportsOnceAndParks) {
+  Simulation s;
+  ParallelExecutor ex(1);
+  const ShardId id = ex.add_shard(&s, "s");
+  std::vector<std::string> errors;
+  ex.set_error_handler([&](ShardId shard, const std::string& what) {
+    errors.push_back(std::to_string(shard) + ": " + what);
+  });
+  ex.start();
+  ex.post(id, [] { throw std::runtime_error("boom"); });
+  ex.run_epoch({TimePs(10)});
+  EXPECT_EQ(errors.size(), 1u);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("boom"), std::string::npos) << errors[0];
+  // Parked: later epochs drop this shard's jobs, never advance it, and
+  // never re-report the wedge.
+  int ran = 0;
+  ex.post(id, [&ran] { ++ran; });
+  ex.run_epoch({TimePs(20)});
+  ex.stop();
+  EXPECT_EQ(errors.size(), 1u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(s.now(), TimePs(0));  // the throwing epoch never advanced it
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count invariance over the real serve fleet: the acceptance
+// contract for the parallel path. All seven artifacts must match 1 worker
+// byte for byte — including the faulted + restart-drill scenario.
+
+TEST(ParallelServe, WorkerCountInvariantArtifacts) {
+  serve::ServeSoakConfig cfg;
+  cfg.seed = 3;
+  cfg.requests = 80;
+  cfg.devices = 3;
+  cfg.fault_scale = 1.0;
+  cfg.telemetry_interval = TimePs::from_us(250);
+  cfg.restart_after_loads = 10;
+  cfg.workers = 1;
+  const serve::ServeSoakReport one = serve::run_soak(cfg);
+  EXPECT_TRUE(one.ok()) << one.summary();
+  for (unsigned workers : {2u, 4u}) {
+    cfg.workers = workers;
+    const serve::ServeSoakReport n = serve::run_soak(cfg);
+    EXPECT_TRUE(n.ok()) << n.summary();
+    EXPECT_EQ(one.metrics_json, n.metrics_json) << workers << " workers";
+    EXPECT_EQ(one.health_json, n.health_json) << workers << " workers";
+    EXPECT_EQ(one.telemetry_json, n.telemetry_json) << workers << " workers";
+    EXPECT_EQ(one.telemetry_csv, n.telemetry_csv) << workers << " workers";
+    EXPECT_EQ(one.alerts_json, n.alerts_json) << workers << " workers";
+    EXPECT_EQ(one.flight_json, n.flight_json) << workers << " workers";
+    EXPECT_EQ(one.summary(), n.summary()) << workers << " workers";
+  }
+}
+
+TEST(ParallelServe, FaultedWideFleetSoakHoldsInvariants) {
+  serve::ServeSoakConfig cfg;
+  cfg.seed = 1;
+  cfg.requests = 150;
+  cfg.devices = 8;
+  cfg.fault_scale = 1.0;
+  cfg.workers = 4;
+  const serve::ServeSoakReport report = serve::run_soak(cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  u64 completed = 0;
+  for (u64 c : report.completed) completed += c;
+  EXPECT_GT(completed, 0u);
+}
+
+}  // namespace
+}  // namespace uparc::sim

@@ -296,8 +296,8 @@ TEST(BreakerJsonTest, RoundTripPreservesBackoffState) {
   EXPECT_TRUE(restored.open);
   EXPECT_EQ(restored.open_until, TimePs::from_ms(7));
 
-  EXPECT_THROW(Breaker::from_json("not json"), std::runtime_error);
-  EXPECT_THROW(Breaker::from_json("{\"opens\":1}"), std::out_of_range);
+  EXPECT_THROW((void)Breaker::from_json("not json"), std::runtime_error);
+  EXPECT_THROW((void)Breaker::from_json("{\"opens\":1}"), std::out_of_range);
 }
 
 TEST(ServeSoakTest, RestartDrillRecoversControllersMidSoak) {

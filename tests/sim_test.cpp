@@ -71,6 +71,120 @@ TEST(Simulation, EventBudgetGuardsInfiniteLoops) {
   EXPECT_THROW(sim.run(1000), std::runtime_error);
 }
 
+TEST(Simulation, RunExactBudgetDrainDoesNotThrow) {
+  // Regression: a run needing exactly max_events used to throw "budget
+  // exceeded" even though the final event drained the queue.
+  Simulation sim;
+  int fired = 0;
+  for (u64 i = 1; i <= 5; ++i) {
+    sim.schedule_at(TimePs(10 * i), [&] { ++fired; });
+  }
+  EXPECT_NO_THROW(sim.run(5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, RunUntilExactBudgetDrainDoesNotThrow) {
+  // Same off-by-one for run_until: exactly max_events inside the deadline
+  // must succeed even when later events remain beyond the deadline.
+  Simulation sim;
+  int fired = 0;
+  for (u64 i = 1; i <= 5; ++i) {
+    sim.schedule_at(TimePs(10 * i), [&] { ++fired; });
+  }
+  sim.schedule_at(TimePs(1000), [&] { ++fired; });  // beyond the deadline
+  EXPECT_NO_THROW(sim.run_until(TimePs(100), 5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), TimePs(100));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, BudgetDiagnosticsNameTimeAndPending) {
+  // Both budget exceptions carry the same shape: which entry point, the
+  // budget, the simulated timestamp and the pending-event count.
+  const auto check = [](const std::string& what, const char* which) {
+    EXPECT_NE(what.find(which), std::string::npos) << what;
+    EXPECT_NE(what.find("event budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("t="), std::string::npos) << what;
+    EXPECT_NE(what.find("events pending"), std::string::npos) << what;
+  };
+  {
+    Simulation sim;
+    std::function<void()> forever = [&] { sim.schedule_in(TimePs(1), forever); };
+    sim.schedule_at(TimePs(0), forever);
+    try {
+      sim.run(100);
+      FAIL() << "run never hit its budget";
+    } catch (const std::runtime_error& e) {
+      check(e.what(), "Simulation::run ");
+    }
+  }
+  {
+    Simulation sim;
+    std::function<void()> forever = [&] { sim.schedule_in(TimePs(1), forever); };
+    sim.schedule_at(TimePs(0), forever);
+    try {
+      sim.run_until(TimePs(1000), 100);
+      FAIL() << "run_until never hit its budget";
+    } catch (const std::runtime_error& e) {
+      check(e.what(), "Simulation::run_until ");
+    }
+  }
+}
+
+TEST(EventHeap, PopsInTimeThenSeqOrder) {
+  // The explicit binary heap must agree with the (time, seq) order the old
+  // priority_queue provided — including FIFO stability at equal times.
+  EventHeap heap;
+  heap.reserve(128);
+  for (u64 i = 0; i < 100; ++i) {
+    const u64 t = (i * 2654435761u) % 17;  // deterministic scrambled times
+    heap.push(Event{TimePs(t), i, [] {}});
+  }
+  EXPECT_EQ(heap.size(), 100u);
+  TimePs last_t{};
+  u64 last_seq = 0;
+  bool first = true;
+  while (!heap.empty()) {
+    const Event ev = heap.pop();
+    if (!first) {
+      EXPECT_TRUE(last_t < ev.time || (last_t == ev.time && last_seq < ev.seq))
+          << "t=" << ev.time.ps() << " seq=" << ev.seq;
+    }
+    last_t = ev.time;
+    last_seq = ev.seq;
+    first = false;
+  }
+}
+
+TEST(Simulation, ReserveEventsPreservesBehavior) {
+  Simulation sim;
+  sim.reserve_events(4096);
+  std::vector<int> order;
+  sim.schedule_at(TimePs(20), [&] { order.push_back(2); });
+  sim.schedule_at(TimePs(10), [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, OwnershipHandoffCountsInTopology) {
+  // The latch-reset protocol is audited via topology counters (rule
+  // iso.shard.handoff): every release must pair with an adopt.
+  Simulation sim;
+  EXPECT_EQ(sim.topology().handoff_releases(), 0u);
+  sim.release_ownership();
+  sim.adopt_ownership();
+  sim.release_ownership();
+  sim.adopt_ownership();
+  EXPECT_EQ(sim.topology().handoff_releases(), 2u);
+  EXPECT_EQ(sim.topology().handoff_adopts(), 2u);
+  // The kernel is usable again after the round-trip.
+  int fired = 0;
+  sim.schedule_at(TimePs(5), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Clock, TicksAtConfiguredPeriod) {
   Simulation sim;
   Clock clk(sim, "clk", Frequency::mhz(100));  // 10 ns period

@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   if (list_rules) {
     std::printf(
         "det.global.mutable\ndet.rand.libc\ndet.rand.device\ndet.time.wall-clock\n"
-        "det.rng.std\ndet.container.unordered\ndet.key.pointer\n");
+        "det.rng.std\ndet.container.unordered\ndet.key.pointer\ndet.thread.raw\n");
     return 0;
   }
   if (!fs::exists(root)) {

@@ -568,6 +568,10 @@ serve::ServeSoakConfig serve_config_from(const Args& a) {
   // Restart drill: after N completed loads, tear each device's controller
   // down and cold-start it from its WAL mid-soak (0 = off).
   cfg.restart_after_loads = static_cast<u64>(a.get_num("restart-after", 0));
+  // Parallel fleet: N executor workers drive the device shards in barrier
+  // epochs (0 = classic sequential path). Results are identical for any
+  // N >= 1; only wall-clock changes.
+  cfg.workers = static_cast<unsigned>(a.get_num("workers", 0));
   return cfg;
 }
 
@@ -1005,6 +1009,9 @@ int cmd_verify_determinism(const Args& a) {
       cfg.requests = static_cast<u64>(a.get_num("requests", 300));
       cfg.devices = static_cast<unsigned>(a.get_num("devices", 2));
       results.push_back(analysis::verify_serve_replay(cfg));
+      // Same scenario through the sharded executor: 1 worker vs 4 workers
+      // must be byte-identical (worker-count invariance).
+      results.push_back(analysis::verify_parallel_replay(cfg));
     }
     if (scenario == "all" || scenario == "soak") {
       txn::SoakConfig cfg;
@@ -1085,16 +1092,18 @@ void usage(std::FILE* to) {
       "           [--modules N] [--dist mixed|open|closed|bursty]\n"
       "           [--faults X] [--queue N] [--tenants N] [--seed S]\n"
       "           [--restart-after N] [--metrics f.json] [--health f.json]\n"
-      "           [--json]\n"
+      "           [--workers N] [--json]\n"
       "           [--telemetry-out DIR] [--telemetry-us T]\n"
       "           — exits non-zero on any invariant violation;\n"
+      "           --workers N >= 1 runs the fleet on the sharded parallel\n"
+      "           executor (byte-identical artifacts for any N);\n"
       "           --telemetry-out writes telemetry.json/.csv, alerts.json\n"
       "           and the flight-recorder dump (flight.json) into DIR\n"
       "  slo      serve soak with telemetry + SLO burn-rate alerting:\n"
       "           declarative objectives over sliding windows, fast+slow\n"
       "           burn windows with hysteresis, deterministic alert log\n"
       "           [--requests N] [--rate X] [--faults X] [--seed S]\n"
-      "           [--telemetry-us T] [--slo-file f.slo] [--out DIR]\n"
+      "           [--workers N] [--telemetry-us T] [--slo-file f.slo] [--out DIR]\n"
       "           [--expect-clean] [--expect-transition] [--json]\n"
       "           — --expect-clean fails if any alert fires;\n"
       "           --expect-transition fails without a fire->resolve pair\n"
